@@ -1,0 +1,56 @@
+//! Criterion benchmarks with one target per paper table/figure: each
+//! measures the cost of regenerating that experiment's data at test scale
+//! (the full-scale regeneration lives in the `figNN_*`/`tableN` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use simprof_bench::{figures, harness, run_all_workloads, EvalConfig};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn bench_figures(c: &mut Criterion) {
+    let cfg = EvalConfig::tiny(21);
+    let runs = run_all_workloads(&cfg);
+    let cc_sp = runs
+        .iter()
+        .position(|r| r.label == "cc_sp")
+        .expect("cc_sp run");
+    let wc_sp = runs
+        .iter()
+        .position(|r| r.label == "wc_sp")
+        .expect("wc_sp run");
+
+    c.bench_function("table1", |b| b.iter(|| black_box(figures::table1(&runs, &cfg))));
+    c.bench_function("table2", |b| b.iter(|| black_box(figures::table2(&cfg))));
+    c.bench_function("fig06_cov", |b| b.iter(|| black_box(figures::fig06(&runs))));
+    c.bench_function("fig07_errors", |b| b.iter(|| black_box(figures::fig07(&runs, &cfg))));
+    c.bench_function("fig08_sample_size", |b| b.iter(|| black_box(figures::fig08(&runs, &cfg))));
+    c.bench_function("fig09_phase_count", |b| b.iter(|| black_box(figures::fig09(&runs))));
+    c.bench_function("fig10_phase_types", |b| b.iter(|| black_box(figures::fig10(&runs))));
+    c.bench_function("fig11_allocation", |b| {
+        b.iter(|| black_box(figures::fig11(&runs[cc_sp], 20, 21)))
+    });
+    c.bench_function("fig14_15_scatter", |b| {
+        b.iter(|| black_box(figures::fig14_15(&runs[wc_sp])))
+    });
+    // Figs. 12–13 re-profile 4 workloads × 8 inputs; bench one reduced pass.
+    c.bench_function("fig12_13_sensitivity_one_workload", |b| {
+        b.iter(|| {
+            let train = harness::run_workload(
+                WorkloadId {
+                    benchmark: Benchmark::ConnectedComponents,
+                    framework: Framework::Spark,
+                },
+                &cfg,
+            );
+            black_box(train.analysis.k())
+        })
+    });
+}
+
+criterion_group!(
+    name = figures_bench;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_figures
+);
+criterion_main!(figures_bench);

@@ -1,0 +1,131 @@
+//! Criterion benchmarks for the performance-critical kernels: the
+//! statistics substrate (clustering, feature scoring, allocation), the
+//! machine model (cache walks, pattern cursors), and the instrumented
+//! engine kernels (quicksort trace, hash combine, k-way merge).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use simprof_engine::ops;
+use simprof_sim::{AccessCursor, AccessPattern, Machine, MachineConfig, Region};
+use simprof_stats::{
+    f_regression, kmeans, optimal_allocation, silhouette_score, srs_indices_seeded, KMeans,
+    Matrix, StratumStats,
+};
+
+/// A deterministic feature matrix shaped like a profiled trace: `n` units,
+/// `d` features, `k` latent phases.
+fn synth_features(n: usize, d: usize, k: usize) -> (Matrix, Vec<f64>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let phase = i % k;
+        let mut row = vec![0.0; d];
+        for (j, v) in row.iter_mut().enumerate() {
+            let hot = j % k == phase;
+            let noise = (((i * 31 + j * 17) % 13) as f64) / 26.0;
+            *v = if hot { 0.8 + noise * 0.2 } else { noise * 0.1 };
+        }
+        y.push(1.0 + phase as f64 * 0.7 + ((i % 7) as f64) * 0.02);
+        rows.push(row);
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let (m, y) = synth_features(400, 100, 5);
+
+    c.bench_function("stats/f_regression 400x100", |b| {
+        b.iter(|| f_regression(black_box(&m), black_box(&y)))
+    });
+
+    let mut g = c.benchmark_group("stats/kmeans");
+    for &k in &[2usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| kmeans(black_box(&m), KMeans::new(k, 7)))
+        });
+    }
+    g.finish();
+
+    let r = kmeans(&m, KMeans::new(5, 7));
+    c.bench_function("stats/silhouette 400", |b| {
+        b.iter(|| silhouette_score(black_box(&m), black_box(&r.assignments)))
+    });
+
+    let strata: Vec<StratumStats> = (0..8)
+        .map(|i| StratumStats { units: 50 + i * 20, stddev: 0.1 + i as f64 * 0.2 })
+        .collect();
+    c.bench_function("stats/optimal_allocation", |b| {
+        b.iter(|| optimal_allocation(black_box(20), black_box(&strata)))
+    });
+
+    c.bench_function("stats/srs 1000 choose 20", |b| {
+        b.iter(|| srs_indices_seeded(black_box(1000), black_box(20), black_box(3)))
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/cache_walk_64k_accesses");
+    for (name, pattern) in [
+        ("sequential", AccessPattern::Sequential),
+        ("random", AccessPattern::Random),
+        ("zipf", AccessPattern::Zipf),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(MachineConfig::scaled(1));
+                let region = machine.alloc(1 << 20);
+                let mut cur = AccessCursor::new(region, pattern, 5);
+                for _ in 0..65_536 {
+                    machine.access(0, cur.next_addr());
+                }
+                black_box(machine.counters(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    c.bench_function("ops/quicksort_trace 32k", |b| {
+        b.iter(|| {
+            let mut data: Vec<u64> =
+                (0..32_768u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            let region = Region::new(0x1000, 32_768 * 8);
+            black_box(ops::quicksort_trace(&mut data, 8, region, vec![], 1))
+        })
+    });
+
+    c.bench_function("ops/hash_combine 64k records", |b| {
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::scaled(1));
+            let pairs = (0..65_536u64).map(|i| (i % 4_096, 1i64));
+            black_box(ops::hash_combine(
+                pairs,
+                |a, b| *a += b,
+                48,
+                4_096,
+                vec![],
+                AccessPattern::Zipf,
+                &mut machine,
+                2,
+            ))
+        })
+    });
+
+    c.bench_function("ops/kway_merge 8x8k", |b| {
+        let runs: Vec<Vec<u64>> =
+            (0..8).map(|r| (0..8_192u64).map(|i| i * 8 + r).collect()).collect();
+        b.iter(|| {
+            let region = Region::new(0, 8 * 8_192 * 8);
+            black_box(ops::kway_merge(black_box(&runs), 8, region, vec![], 3))
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_stats, bench_machine, bench_ops
+);
+criterion_main!(kernels);

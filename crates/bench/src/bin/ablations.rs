@@ -1,0 +1,235 @@
+//! Ablation studies for the design choices DESIGN.md calls out. Unlike the
+//! Criterion benches (which measure time), these measure *quality* — CPI
+//! estimation error or phase structure — under each variant.
+//!
+//! 1. Allocation policy: Neyman optimal vs proportional vs CODE-style
+//!    one-per-phase (the paper's central design choice, §III-C).
+//! 2. Feature-selection K: 10 / 50 / 100 / all (§III-B sets K = 100).
+//! 3. Snapshot frequency: unit/5, unit/10 (paper), unit/50 (§III-A tuning).
+//! 4. OS-noise perturbations on/off (§III-B-1's heterogeneity source).
+
+use simprof_bench::report::{f3, pct, render_table};
+use simprof_bench::{harness, EvalConfig};
+use simprof_core::{
+    baselines, estimate_stratified, relative_error, SimProf, SimProfConfig,
+};
+use simprof_stats::{
+    mean, proportional_allocation, seeded, srs_indices, stratified::StratumStats,
+};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    allocation_ablation(&cfg);
+    feature_k_ablation(&cfg);
+    snapshot_frequency_ablation(&cfg);
+    perturbation_ablation(&cfg);
+    unit_size_ablation(&cfg);
+    k_selection_ablation(&cfg);
+}
+
+/// Neyman vs proportional vs CODE on the same phase model (wc_hp, n = 20).
+fn allocation_ablation(cfg: &EvalConfig) {
+    println!("\n== Ablation 1: allocation policy (wc_hp, n = 20, 40 reps) ==");
+    let run = harness::run_workload(
+        WorkloadId { benchmark: Benchmark::WordCount, framework: Framework::Hadoop },
+        cfg,
+    );
+    let a = &run.analysis;
+    let oracle = a.oracle_cpi();
+    let n = 20;
+    let reps = 40u64;
+
+    // Neyman (SimProf) and proportional share the stratified estimator;
+    // only the allocation differs.
+    let strata: Vec<StratumStats> = {
+        use simprof_core::sampling::strata_of;
+        strata_of(&a.cpis, &a.model.assignments, a.k())
+    };
+    let mut rows = Vec::new();
+    for (name, proportional) in [("Neyman (SimProf)", false), ("proportional", true)] {
+        let mut err = 0.0;
+        for rep in 0..reps {
+            let mut points = a.select_points(n, 900 + rep);
+            if proportional {
+                // Re-draw with proportional allocation.
+                let alloc = proportional_allocation(n, &strata);
+                let mut members: Vec<Vec<u64>> = vec![Vec::new(); a.k()];
+                for (i, &ph) in a.model.assignments.iter().enumerate() {
+                    members[ph].push(i as u64);
+                }
+                let mut rng = seeded(900 + rep);
+                points.per_phase = members
+                    .iter()
+                    .zip(&alloc)
+                    .map(|(ids, &nh)| {
+                        srs_indices(ids.len(), nh, &mut rng)
+                            .into_iter()
+                            .map(|i| ids[i])
+                            .collect()
+                    })
+                    .collect();
+                points.allocation = alloc;
+                points.points = points.per_phase.iter().flatten().copied().collect();
+            }
+            let est = estimate_stratified(&a.cpis, &a.model.assignments, &points, 3.0);
+            err += relative_error(est.mean_cpi, oracle);
+        }
+        rows.push(vec![name.to_string(), pct(err / reps as f64)]);
+    }
+    let code = baselines::code_points(&a.model, &run.output.trace);
+    rows.push(vec![
+        format!("CODE (1/phase, {} pts)", code.points.len()),
+        pct(relative_error(code.predicted_cpi, oracle)),
+    ]);
+    println!("{}", render_table(&["policy", "mean |error|"], &rows));
+}
+
+/// Feature-selection K sweep: clustering quality (weighted CoV) and error.
+fn feature_k_ablation(cfg: &EvalConfig) {
+    println!("== Ablation 2: feature-selection K (cc_sp) ==");
+    let out = Benchmark::ConnectedComponents.run_full(Framework::Spark, &cfg.workload);
+    let mut rows = Vec::new();
+    for k in [10usize, 50, 100, 10_000] {
+        let sp = SimProf::new(SimProfConfig { top_k: k, seed: 42, ..Default::default() });
+        let a = sp.analyze(&out.trace);
+        let mut err = 0.0;
+        let reps = 20u64;
+        for rep in 0..reps {
+            let pts = a.select_points(20, 300 + rep);
+            err += relative_error(a.estimate(&pts, 3.0).mean_cpi, a.oracle_cpi());
+        }
+        rows.push(vec![
+            if k >= 10_000 { "all".into() } else { k.to_string() },
+            a.k().to_string(),
+            f3(a.cov.weighted),
+            pct(err / reps as f64),
+        ]);
+    }
+    println!("{}", render_table(&["K", "phases", "weighted CoV", "mean |error| (n=20)"], &rows));
+}
+
+/// Snapshot frequency: profile fidelity vs snapshot count (§III-A).
+fn snapshot_frequency_ablation(cfg: &EvalConfig) {
+    println!("== Ablation 3: snapshot frequency (wc_hp) ==");
+    let mut rows = Vec::new();
+    for (label, divisor) in [("unit/5", 5u64), ("unit/10 (paper)", 10), ("unit/50", 50)] {
+        let mut wl = cfg.workload;
+        wl.profiler.snapshot_instrs = (wl.profiler.unit_instrs / divisor).max(1);
+        let out = Benchmark::WordCount.run_full(Framework::Hadoop, &wl);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
+        rows.push(vec![
+            label.to_string(),
+            out.trace.units.first().map_or(0, |u| u.snapshots).to_string(),
+            a.k().to_string(),
+            f3(a.cov.weighted),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["snapshot period", "snaps/unit", "phases", "weighted CoV"], &rows)
+    );
+}
+
+/// OS-noise perturbations: effect on intra-phase homogeneity (§III-B-1).
+fn perturbation_ablation(cfg: &EvalConfig) {
+    println!("== Ablation 4: OS perturbations (wc_sp) ==");
+    let mut rows = Vec::new();
+    for (label, level) in
+        [("off", 0u8), ("on (paper-like noise)", 1), ("strong (migrate every 400k instrs)", 2)]
+    {
+        let mut wl = cfg.workload;
+        match level {
+            0 => {
+                wl.sched.perturbations = simprof_sim::Perturbations::default();
+                wl.gc_noise_ppm = 0;
+            }
+            2 => {
+                wl.sched.perturbations =
+                    simprof_sim::Perturbations::with_period(400_000, 99);
+                wl.gc_noise_ppm = 120_000;
+            }
+            _ => {}
+        }
+        let out = Benchmark::WordCount.run_full(Framework::Spark, &wl);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
+        rows.push(vec![
+            label.to_string(),
+            a.k().to_string(),
+            f3(a.cov.weighted),
+            f3(a.cov.max),
+        ]);
+    }
+    println!("{}", render_table(&["perturbations", "phases", "weighted CoV", "max CoV"], &rows));
+}
+
+/// Sampling-unit size: the paper picks 100 M instructions "to avoid the
+/// simulation start-up effect"; this sweep shows the trade-off between unit
+/// count (statistical power) and per-unit stability at our scale.
+fn unit_size_ablation(cfg: &EvalConfig) {
+    println!("== Ablation 5: sampling-unit size (wc_sp, n = 20, 20 reps) ==");
+    let mut rows = Vec::new();
+    for (label, unit) in [("25k", 25_000u64), ("50k (default)", 50_000), ("100k", 100_000)] {
+        let mut wl = cfg.workload;
+        wl.profiler = simprof_profiler::ProfilerConfig::with_unit(unit);
+        let out = Benchmark::WordCount.run_full(Framework::Spark, &wl);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
+        let oracle = a.oracle_cpi();
+        let reps = 20u64;
+        let mut err = 0.0;
+        for rep in 0..reps {
+            let pts = a.select_points(20.min(out.trace.units.len()), 40 + rep);
+            err += relative_error(a.estimate(&pts, 3.0).mean_cpi, oracle);
+        }
+        rows.push(vec![
+            label.to_string(),
+            out.trace.units.len().to_string(),
+            a.k().to_string(),
+            f3(a.cov.weighted),
+            pct(err / reps as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["unit size", "units", "phases", "weighted CoV", "mean |error|"], &rows)
+    );
+}
+
+/// k-selection rule: the paper's silhouette-90 % rule vs the SimPoint/
+/// X-means BIC rule (Perelman et al., related work §V).
+fn k_selection_ablation(cfg: &EvalConfig) {
+    use simprof_core::{homogeneity, FeatureSpace};
+    use simprof_stats::{choose_k, choose_k_bic};
+    println!("== Ablation 6: k-selection rule (silhouette vs BIC) ==");
+    let mut rows = Vec::new();
+    for id in simprof_workloads::WorkloadId::all() {
+        let out = id.run_full(&cfg.workload);
+        let (_, projected) = FeatureSpace::fit(&out.trace, cfg.simprof.top_k);
+        let sil = choose_k(&projected, 20, 0.9, 0.25, cfg.simprof.seed);
+        let bic = choose_k_bic(&projected, 20, 0.9, cfg.simprof.seed);
+        let cpis = out.trace.cpis();
+        let sil_cov = homogeneity(&cpis, &sil.result.assignments).weighted;
+        let bic_cov = homogeneity(&cpis, &bic.result.assignments).weighted;
+        rows.push(vec![
+            id.label(),
+            sil.k.to_string(),
+            f3(sil_cov),
+            bic.k.to_string(),
+            f3(bic_cov),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["workload", "k (silhouette)", "w.CoV", "k (BIC)", "w.CoV"],
+            &rows
+        )
+    );
+}
+
+// Quiet the unused-import lint for `mean`, used only in debug builds of
+// earlier revisions.
+#[allow(dead_code)]
+fn _keep(xs: &[f64]) -> f64 {
+    mean(xs)
+}

@@ -1,0 +1,18 @@
+//! Regenerates Fig. 6: coefficient of variation of CPIs (population /
+//! weighted / max) for every workload.
+
+use simprof_bench::report::{f3, render_table};
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::fig06(&runs)
+        .into_iter()
+        .map(|r| vec![r.label, f3(r.population), f3(r.weighted), f3(r.max)])
+        .collect();
+    println!("Fig. 6 — Coefficient of variation of CPIs");
+    println!("{}", render_table(&["workload", "population", "weighted", "max"], &rows));
+    println!("paper property: weighted CoV < population CoV for every workload");
+}

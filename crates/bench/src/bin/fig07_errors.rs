@@ -1,0 +1,17 @@
+//! Regenerates Fig. 7: CPI sampling errors of SECOND, SRS, CODE, and
+//! SimProf (sample size 20; paper averages: 6.5 %, 8.9 %, 4.0 %, 1.6 %).
+
+use simprof_bench::report::{pct, render_table};
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::fig07(&runs, &cfg)
+        .into_iter()
+        .map(|r| vec![r.label, pct(r.second), pct(r.srs), pct(r.code), pct(r.simprof)])
+        .collect();
+    println!("Fig. 7 — CPI sampling error by approach (n = {})", cfg.fig7_sample_size);
+    println!("{}", render_table(&["workload", "SECOND", "SRS", "CODE", "SimProf"], &rows));
+}

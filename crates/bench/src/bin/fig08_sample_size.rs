@@ -1,0 +1,24 @@
+//! Regenerates Fig. 8: required sample size of SimProf for 99.7 %-CI errors
+//! of 5 % and 2 %, against the SECOND interval's unit count.
+
+use simprof_bench::report::render_table;
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::fig08(&runs, &cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                r.simprof_5pct.to_string(),
+                r.simprof_2pct.to_string(),
+                r.second_units.to_string(),
+            ]
+        })
+        .collect();
+    println!("Fig. 8 — Required sample size (number of sampling units)");
+    println!("{}", render_table(&["workload", "SimProf_0.05", "SimProf_0.02", "SECOND"], &rows));
+}

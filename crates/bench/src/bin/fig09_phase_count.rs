@@ -1,0 +1,17 @@
+//! Regenerates Fig. 9: number of phases per workload (paper: Spark range is
+//! much wider — 1 for grep_sp up to 9 for cc_sp).
+
+use simprof_bench::report::render_table;
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::fig09(&runs)
+        .into_iter()
+        .map(|r| vec![r.label, r.phases.to_string()])
+        .collect();
+    println!("Fig. 9 — Number of phases");
+    println!("{}", render_table(&["workload", "phases"], &rows));
+}

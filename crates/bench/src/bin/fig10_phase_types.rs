@@ -1,0 +1,17 @@
+//! Regenerates Fig. 10: phase-type distribution (map / reduce / sort / IO),
+//! weighted by sampling units.
+
+use simprof_bench::report::{pct, render_table};
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::fig10(&runs)
+        .into_iter()
+        .map(|r| vec![r.label, pct(r.map), pct(r.reduce), pct(r.sort), pct(r.io), pct(r.framework)])
+        .collect();
+    println!("Fig. 10 — Phase type distribution");
+    println!("{}", render_table(&["workload", "map", "reduce", "sort", "io", "framework"], &rows));
+}

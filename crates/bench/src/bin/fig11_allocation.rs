@@ -1,0 +1,31 @@
+//! Regenerates Fig. 11: optimal allocation of simulation points across
+//! cc_sp's phases (sample-size ratio vs CoV vs weight, sorted by weight).
+
+use simprof_bench::report::{f3, render_table};
+use simprof_bench::{figures, harness, EvalConfig};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let run = harness::run_workload(
+        WorkloadId { benchmark: Benchmark::ConnectedComponents, framework: Framework::Spark },
+        &cfg,
+    );
+    let rows: Vec<Vec<String>> = figures::fig11(&run, 20, cfg.simprof.seed)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.phase.to_string(),
+                f3(r.sample_size_ratio),
+                f3(r.cov),
+                f3(r.weight),
+                r.top_method,
+            ]
+        })
+        .collect();
+    println!("Fig. 11 — cc_sp sample-size ratio per phase (n = 20, optimal allocation)");
+    println!(
+        "{}",
+        render_table(&["phase", "sample_ratio", "cov_cpi", "weight", "top method"], &rows)
+    );
+}

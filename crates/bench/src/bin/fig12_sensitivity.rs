@@ -1,0 +1,22 @@
+//! Regenerates Fig. 12: percentage of simulation points in input-sensitive
+//! phases (the reference-input sample size; paper: 33.7 % average
+//! reduction).
+
+use simprof_bench::report::{pct, render_table};
+use simprof_bench::{figures, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let rows_data = figures::fig12_13(&cfg, 20);
+    let mut reduction_sum = 0.0;
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            reduction_sum += 1.0 - r.sensitive_point_fraction;
+            vec![r.label.clone(), pct(r.sensitive_point_fraction), pct(1.0 - r.sensitive_point_fraction)]
+        })
+        .collect();
+    println!("Fig. 12 — Simulation points in input-sensitive phases (n = 20)");
+    println!("{}", render_table(&["workload", "sensitive points", "reduction"], &rows));
+    println!("average reduction: {}", pct(reduction_sum / rows_data.len() as f64));
+}

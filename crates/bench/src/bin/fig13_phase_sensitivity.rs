@@ -1,0 +1,17 @@
+//! Regenerates Fig. 13: number of input-sensitive vs input-insensitive
+//! phases per graph workload.
+
+use simprof_bench::report::render_table;
+use simprof_bench::{figures, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let rows: Vec<Vec<String>> = figures::fig12_13(&cfg, 20)
+        .into_iter()
+        .map(|r| {
+            vec![r.label, r.sensitive_phases.to_string(), r.insensitive_phases.to_string()]
+        })
+        .collect();
+    println!("Fig. 13 — Input-sensitive vs input-insensitive phases");
+    println!("{}", render_table(&["workload", "sensitive", "insensitive"], &rows));
+}

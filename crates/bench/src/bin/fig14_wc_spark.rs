@@ -1,0 +1,28 @@
+//! Regenerates Fig. 14: WordCount on Spark — CPI of each sampling unit with
+//! units sorted by phase id (the fused map-side-combine phase dominates).
+
+use simprof_bench::{figures, harness, EvalConfig};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let run = harness::run_workload(
+        WorkloadId { benchmark: Benchmark::WordCount, framework: Framework::Spark },
+        &cfg,
+    );
+    println!("Fig. 14 — wc_sp: unit CPI and phase id (units sorted by phase)");
+    println!("{:>6} {:>6} {:>8} {:>6}", "order", "unit", "cpi", "phase");
+    for p in figures::fig14_15(&run) {
+        println!("{:>6} {:>6} {:>8.3} {:>6}", p.order, p.unit, p.cpi, p.phase);
+    }
+    let k = run.analysis.k();
+    let sizes = run.analysis.model.phase_sizes();
+    println!("# phases: {k}, sizes: {sizes:?}");
+
+    // ASCII rendition of the figure (units sorted by phase, CPI dots,
+    // phase boundaries marked).
+    let pts = figures::fig14_15(&run);
+    let cpis: Vec<f64> = pts.iter().map(|p| p.cpi).collect();
+    let phases: Vec<usize> = pts.iter().map(|p| p.phase).collect();
+    println!("\n{}", simprof_bench::report::render_scatter(&cpis, &phases, 100, 12));
+}

@@ -1,0 +1,191 @@
+//! Generates a self-contained HTML evaluation report (`report.html`, or the
+//! path given as the first argument) with SVG renditions of every figure —
+//! the shareable artifact of `all_figures`.
+
+use std::fmt::Write as _;
+
+use simprof_bench::{figures, run_all_workloads, svg, EvalConfig};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "report.html".into());
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let labels: Vec<String> = runs.iter().map(|r| r.label.clone()).collect();
+
+    let mut html = String::from(
+        "<!DOCTYPE html><html><head><meta charset=\"utf-8\">\
+         <title>SimProf evaluation</title>\
+         <style>body{font-family:sans-serif;max-width:1000px;margin:24px auto;padding:0 12px}\
+         h2{margin-top:36px;border-bottom:1px solid #ccc;padding-bottom:4px}\
+         p.note{color:#555}</style></head><body>\
+         <h1>SimProf — evaluation report</h1>\
+         <p class=\"note\">Reproduction of the IPDPS'17 paper's figures on the \
+         simulated substrate (seed 42). Shapes, not absolute values, are the \
+         comparison targets; see EXPERIMENTS.md for the per-figure record.</p>",
+    );
+
+    // Fig. 6.
+    let f6 = figures::fig06(&runs);
+    let _ = write!(
+        html,
+        "<h2>Fig. 6 — Coefficient of variation of CPIs</h2>{}",
+        svg::grouped_bars(
+            "population / weighted / max CoV per workload",
+            &labels,
+            &[
+                ("population", f6.iter().map(|r| r.population).collect()),
+                ("weighted", f6.iter().map(|r| r.weighted).collect()),
+                ("max", f6.iter().map(|r| r.max).collect()),
+            ],
+            "CoV of CPI",
+        )
+    );
+
+    // Fig. 7.
+    let f7 = figures::fig07(&runs, &cfg);
+    let body = &f7[..f7.len() - 1];
+    let _ = write!(
+        html,
+        "<h2>Fig. 7 — CPI sampling error (n = {})</h2>{}",
+        cfg.fig7_sample_size,
+        svg::grouped_bars(
+            "sampling error by approach",
+            &labels,
+            &[
+                ("SECOND", body.iter().map(|r| r.second * 100.0).collect()),
+                ("SRS", body.iter().map(|r| r.srs * 100.0).collect()),
+                ("CODE", body.iter().map(|r| r.code * 100.0).collect()),
+                ("SimProf", body.iter().map(|r| r.simprof * 100.0).collect()),
+            ],
+            "error (%)",
+        )
+    );
+    let avg = f7.last().expect("average row");
+    let _ = write!(
+        html,
+        "<p class=\"note\">averages: SECOND {:.1}%, SRS {:.1}%, CODE {:.1}%, SimProf {:.1}% \
+         (paper: 6.5 / 8.9 / 4.0 / 1.6).</p>",
+        avg.second * 100.0,
+        avg.srs * 100.0,
+        avg.code * 100.0,
+        avg.simprof * 100.0
+    );
+
+    // Fig. 8.
+    let f8 = figures::fig08(&runs, &cfg);
+    let body = &f8[..f8.len() - 1];
+    let _ = write!(
+        html,
+        "<h2>Fig. 8 — Required sample size (99.7% CI)</h2>{}",
+        svg::grouped_bars(
+            "sampling units needed",
+            &labels,
+            &[
+                ("SimProf 5%", body.iter().map(|r| r.simprof_5pct as f64).collect()),
+                ("SimProf 2%", body.iter().map(|r| r.simprof_2pct as f64).collect()),
+                ("SECOND", body.iter().map(|r| r.second_units as f64).collect()),
+            ],
+            "sampling units",
+        )
+    );
+
+    // Fig. 9.
+    let f9 = figures::fig09(&runs);
+    let _ = write!(
+        html,
+        "<h2>Fig. 9 — Number of phases</h2>{}",
+        svg::grouped_bars(
+            "phases chosen by the silhouette rule",
+            &labels,
+            &[("phases", f9.iter().map(|r| r.phases as f64).collect())],
+            "phases",
+        )
+    );
+
+    // Fig. 10.
+    let f10 = figures::fig10(&runs);
+    let _ = write!(
+        html,
+        "<h2>Fig. 10 — Phase type distribution</h2>{}",
+        svg::grouped_bars(
+            "share of sampling units by dominant phase type",
+            &labels,
+            &[
+                ("map", f10.iter().map(|r| r.map * 100.0).collect()),
+                ("reduce", f10.iter().map(|r| r.reduce * 100.0).collect()),
+                ("sort", f10.iter().map(|r| r.sort * 100.0).collect()),
+                ("io", f10.iter().map(|r| r.io * 100.0).collect()),
+            ],
+            "share (%)",
+        )
+    );
+
+    // Fig. 11.
+    let cc_sp = runs.iter().find(|r| r.label == "cc_sp").expect("cc_sp");
+    let f11 = figures::fig11(cc_sp, 20, cfg.simprof.seed);
+    let phase_labels: Vec<String> = f11.iter().map(|r| format!("phase {}", r.phase)).collect();
+    let _ = write!(
+        html,
+        "<h2>Fig. 11 — cc_sp optimal allocation (n = 20)</h2>{}",
+        svg::grouped_bars(
+            "sample-size ratio follows weight × CPI variance",
+            &phase_labels,
+            &[
+                ("sample ratio", f11.iter().map(|r| r.sample_size_ratio).collect()),
+                ("CoV of CPI", f11.iter().map(|r| r.cov).collect()),
+                ("weight", f11.iter().map(|r| r.weight).collect()),
+            ],
+            "ratio",
+        )
+    );
+
+    // Figs. 12–13.
+    let sens = figures::fig12_13(&cfg, 20);
+    let sens_labels: Vec<String> = sens.iter().map(|r| r.label.clone()).collect();
+    let _ = write!(
+        html,
+        "<h2>Figs. 12–13 — Input sensitivity</h2>{}{}",
+        svg::grouped_bars(
+            "simulation points in input-sensitive phases (complement = reduction)",
+            &sens_labels,
+            &[(
+                "sensitive points",
+                sens.iter().map(|r| r.sensitive_point_fraction * 100.0).collect()
+            )],
+            "share (%)",
+        ),
+        svg::grouped_bars(
+            "input-sensitive vs -insensitive phases",
+            &sens_labels,
+            &[
+                ("sensitive", sens.iter().map(|r| r.sensitive_phases as f64).collect()),
+                ("insensitive", sens.iter().map(|r| r.insensitive_phases as f64).collect()),
+            ],
+            "phases",
+        )
+    );
+
+    // Figs. 14–15.
+    for (fig, framework, label) in
+        [(14, Framework::Spark, "wc_sp"), (15, Framework::Hadoop, "wc_hp")]
+    {
+        let run = runs
+            .iter()
+            .find(|r| r.id == WorkloadId { benchmark: Benchmark::WordCount, framework })
+            .expect("wordcount run");
+        let pts = figures::fig14_15(run);
+        let cpis: Vec<f64> = pts.iter().map(|p| p.cpi).collect();
+        let phases: Vec<usize> = pts.iter().map(|p| p.phase).collect();
+        let _ = write!(
+            html,
+            "<h2>Fig. {fig} — WordCount phase structure ({label})</h2>{}",
+            svg::phase_scatter("unit CPI (dots) and phase id (line), units sorted by phase", &cpis, &phases)
+        );
+    }
+
+    html.push_str("</body></html>");
+    std::fs::write(&out_path, &html).expect("write report");
+    println!("wrote {out_path} ({} bytes)", html.len());
+}

@@ -1,0 +1,57 @@
+//! Debug probe: per-phase stats and top methods for one workload.
+
+use simprof_bench::{harness, EvalConfig};
+use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "wc_hp".into());
+    let cfg = EvalConfig::paper(42);
+    let id = WorkloadId::all()
+        .into_iter()
+        .find(|w| w.label() == label)
+        .expect("workload label like wc_hp");
+    let _ = (Benchmark::ALL, Framework::ALL);
+    let run = harness::run_workload(id, &cfg);
+    let a = &run.analysis;
+    println!("{label}: {} units, oracle cpi {:.3}, k={}", a.cpis.len(), a.oracle_cpi(), a.k());
+    println!("k scores: {:?}", a.model.k_scores.iter().map(|&(k,s)| (k, (s*100.0).round()/100.0)).collect::<Vec<_>>());
+    for h in 0..a.k() {
+        let s = &a.stats[h];
+        let top = a.model.top_methods(h, 3);
+        let names: Vec<String> = top
+            .iter()
+            .map(|&(m, w)| {
+                let name = run.output.registry.name(simprof_engine::MethodId(m as u32));
+                let short = name.rsplit('.').nth(1).unwrap_or(name);
+                format!("{short}.{}={:.2}", name.rsplit('.').next().unwrap_or(""), w)
+            })
+            .collect();
+        println!(
+            "  phase {h}: n={:<4} w={:.3} mean={:.3} sd={:.3} cov={:.3}  {}",
+            s.n,
+            a.weights[h],
+            s.mean,
+            s.stddev,
+            s.cov,
+            names.join(", ")
+        );
+        // CPI series sample of this phase (first 40 members).
+        let members: Vec<(usize, f64)> = a
+            .model
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == h)
+            .map(|(i, _)| (i, a.cpis[i]))
+            .collect();
+        let shown: Vec<String> =
+            members.iter().take(30).map(|&(i, c)| format!("{i}:{c:.2}")).collect();
+        println!("    cpis: {}", shown.join(" "));
+        let mut extremes = members.clone();
+        extremes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let top: Vec<String> =
+            extremes.iter().take(8).map(|&(i, c)| format!("{i}:{c:.2}")).collect();
+        println!("    max:  {}", top.join(" "));
+    }
+}
+// (appended) -- nothing

@@ -1,0 +1,43 @@
+//! Debug probe: per-phase trimmed statistics of cc_sp across every Table II
+//! reference input (what Algorithm 1 actually compares).
+
+use simprof_bench::{harness, EvalConfig};
+use simprof_core::{classify_units, trimmed_phase_stats};
+use simprof_stats::split_seed;
+use simprof_workloads::{Benchmark, Framework, GraphInput, Kronecker, WorkloadId};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let fw = if std::env::args().any(|a| a == "hp") { Framework::Hadoop } else { Framework::Spark };
+    let bench = if std::env::args().any(|a| a == "rank") { Benchmark::PageRank } else { Benchmark::ConnectedComponents };
+    let id = WorkloadId { benchmark: bench, framework: fw };
+    let train = harness::run_workload(id, &cfg);
+    let a = &train.analysis;
+    println!("train {:?}_{:?}: k={} units={}", bench, fw, a.k(), a.cpis.len());
+
+    let train_stats = trimmed_phase_stats(&a.cpis, &a.model.assignments, a.k());
+    let mut ref_stats = Vec::new();
+    for &input in GraphInput::ALL.iter().filter(|&&i| i != GraphInput::Google) {
+        let g = Kronecker::for_input(input, cfg.workload.graph_scale, cfg.workload.graph_degree)
+            .generate(split_seed(cfg.workload.seed, 0x6120 + input as u64));
+        let r = bench.run_on_graph(fw, &cfg.workload, &g);
+        let asg = classify_units(&a.model, &r.trace);
+        ref_stats.push((input.label(), trimmed_phase_stats(&r.trace.cpis(), &asg, a.k())));
+    }
+    for h in 0..a.k() {
+        let t = &train_stats[h];
+        println!("phase {h}: w={:.2} train m={:.3} sd={:.3}", a.weights[h], t.mean, t.stddev);
+        for (name, st) in &ref_stats {
+            let dm = ((st[h].mean - t.mean) / t.mean * 100.0).abs();
+            let ds = if t.stddev > 0.0 {
+                ((st[h].stddev - t.stddev) / t.stddev * 100.0).abs()
+            } else {
+                0.0
+            };
+            println!(
+                "    {name:<10} m={:.3} ({dm:>4.0}%)  sd={:.3} ({ds:>4.0}%)  n={}",
+                st[h].mean, st[h].stddev, st[h].n
+            );
+        }
+    }
+}

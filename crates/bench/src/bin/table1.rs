@@ -1,0 +1,26 @@
+//! Regenerates Table I: the evaluated benchmarks, with measured job
+//! statistics at the evaluation scale.
+
+use simprof_bench::report::render_table;
+use simprof_bench::{figures, run_all_workloads, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let mut runs = run_all_workloads(&cfg);
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
+    let rows: Vec<Vec<String>> = figures::table1(&runs, &cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.label,
+                r.category.to_string(),
+                r.input,
+                r.units.to_string(),
+                r.tasks.to_string(),
+                r.instrs.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table I — Evaluated benchmarks");
+    println!("{}", render_table(&["workload", "type", "input", "units", "tasks", "instrs"], &rows));
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table II: the synthesized Kronecker graph inputs of the
+//! input-sensitivity study.
+
+use simprof_bench::report::render_table;
+use simprof_bench::{figures, EvalConfig};
+
+fn main() {
+    let cfg = EvalConfig::paper(42);
+    let rows: Vec<Vec<String>> = figures::table2(&cfg)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.kind.to_string(),
+                r.role.to_string(),
+                r.nodes.to_string(),
+                r.edges.to_string(),
+                r.max_degree.to_string(),
+            ]
+        })
+        .collect();
+    println!("Table II — Evaluated inputs (synthesized Kronecker graphs)");
+    println!("{}", render_table(&["input", "type", "role", "nodes", "edges", "max deg"], &rows));
+}

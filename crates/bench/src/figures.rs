@@ -1,0 +1,509 @@
+//! Computations behind every table and figure of the paper's evaluation
+//! (§IV). Each function returns plain data so the figure binaries only
+//! format, and the computations themselves are unit/integration testable.
+
+use serde::Serialize;
+
+use simprof_core::{
+    baselines, classify_units, input_sensitivity, phase_type_distribution, relative_error,
+    second_points_by_cycles, srs_points, SamplerKind,
+};
+use simprof_engine::OpClass;
+use simprof_stats::split_seed;
+use simprof_workloads::{Benchmark, Framework, GraphInput, Kronecker, WorkloadId};
+
+use crate::harness::{run_workload, EvalConfig, WorkloadRun};
+
+/// Table I row: the benchmark suite.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Paper-style workload label.
+    pub label: String,
+    /// Benchmark category (microbench / ML / graph).
+    pub category: &'static str,
+    /// Input description.
+    pub input: String,
+    /// Sampling units profiled.
+    pub units: usize,
+    /// Total tasks in the job.
+    pub tasks: usize,
+    /// Total instructions in the job description.
+    pub instrs: u64,
+}
+
+/// Computes Table I with measured job statistics.
+pub fn table1(runs: &[WorkloadRun], cfg: &EvalConfig) -> Vec<Table1Row> {
+    runs.iter()
+        .map(|r| {
+            let category = match r.id.benchmark {
+                Benchmark::Sort | Benchmark::WordCount | Benchmark::Grep => "Microbench",
+                Benchmark::NaiveBayes => "Machine Learning",
+                Benchmark::ConnectedComponents | Benchmark::PageRank => "Graph Analytics",
+            };
+            let input = if r.id.benchmark.is_graph() {
+                format!("2^{} nodes", cfg.workload.graph_scale)
+            } else {
+                format!("{} KiB text", cfg.workload.text_bytes / 1024)
+            };
+            Table1Row {
+                label: r.label.clone(),
+                category,
+                input,
+                units: r.output.trace.units.len(),
+                tasks: r.output.total_tasks,
+                instrs: r.output.total_instrs,
+            }
+        })
+        .collect()
+}
+
+/// Table II row: one synthesized graph input.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table2Row {
+    /// Input name (Google, Facebook, …).
+    pub name: &'static str,
+    /// Input family description.
+    pub kind: &'static str,
+    /// Role in the sensitivity study.
+    pub role: &'static str,
+    /// Vertices.
+    pub nodes: usize,
+    /// Edges.
+    pub edges: usize,
+    /// Maximum out-degree (skew signal).
+    pub max_degree: usize,
+}
+
+/// Computes Table II by synthesizing every input at the evaluation scale.
+pub fn table2(cfg: &EvalConfig) -> Vec<Table2Row> {
+    GraphInput::ALL
+        .iter()
+        .map(|&input| {
+            let g = Kronecker::for_input(
+                input,
+                cfg.workload.graph_scale,
+                cfg.workload.graph_degree,
+            )
+            .generate(graph_seed(cfg, input));
+            let kind = match input {
+                GraphInput::Google | GraphInput::Stanford => "Web graph",
+                GraphInput::Facebook => "Social network",
+                GraphInput::Flickr => "Online communities",
+                GraphInput::Wikipedia => "Online encyclopedia",
+                GraphInput::Dblp => "CS bibliography",
+                GraphInput::Amazon => "Co-purchasing network",
+                GraphInput::Road => "Road network",
+            };
+            Table2Row {
+                name: input.label(),
+                kind,
+                role: if input == GraphInput::Google { "training input" } else { "reference input" },
+                nodes: g.n,
+                edges: g.edge_count(),
+                max_degree: g.max_degree(),
+            }
+        })
+        .collect()
+}
+
+fn graph_seed(cfg: &EvalConfig, input: GraphInput) -> u64 {
+    split_seed(cfg.workload.seed, 0x6120 + input as u64)
+}
+
+/// Fig. 6 row: CoV of CPIs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig06Row {
+    /// Workload label.
+    pub label: String,
+    /// CoV over all sampling units.
+    pub population: f64,
+    /// Per-phase CoV weighted by phase size.
+    pub weighted: f64,
+    /// Largest per-phase CoV.
+    pub max: f64,
+}
+
+/// Computes Fig. 6 (population / weighted / max CoV per workload).
+pub fn fig06(runs: &[WorkloadRun]) -> Vec<Fig06Row> {
+    runs.iter()
+        .map(|r| Fig06Row {
+            label: r.label.clone(),
+            population: r.analysis.cov.population,
+            weighted: r.analysis.cov.weighted,
+            max: r.analysis.cov.max,
+        })
+        .collect()
+}
+
+/// Fig. 7 row: CPI sampling error of the four approaches.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig07Row {
+    /// Workload label ("average" for the summary row).
+    pub label: String,
+    /// SECOND error.
+    pub second: f64,
+    /// SRS error (mean absolute over repetitions).
+    pub srs: f64,
+    /// CODE error.
+    pub code: f64,
+    /// SimProf error (mean absolute over repetitions).
+    pub simprof: f64,
+}
+
+impl Fig07Row {
+    /// Error of the given sampler kind, or `None` for samplers that are not
+    /// part of the paper's Fig. 7 (the systematic baseline lives in the
+    /// `ext_systematic` experiment instead).
+    pub fn of(&self, kind: SamplerKind) -> Option<f64> {
+        match kind {
+            SamplerKind::Second => Some(self.second),
+            SamplerKind::Srs => Some(self.srs),
+            SamplerKind::Code => Some(self.code),
+            SamplerKind::SimProf => Some(self.simprof),
+            SamplerKind::Systematic => None,
+        }
+    }
+}
+
+/// Computes Fig. 7: the CPI sampling error of SECOND / SRS / CODE / SimProf
+/// per workload, with the average row appended last.
+pub fn fig07(runs: &[WorkloadRun], cfg: &EvalConfig) -> Vec<Fig07Row> {
+    let mut rows: Vec<Fig07Row> = runs
+        .iter()
+        .map(|r| {
+            let trace = &r.output.trace;
+            let oracle = trace.oracle_cpi();
+            let n = cfg.fig7_sample_size;
+
+            let second = second_points_by_cycles(trace, cfg.second_cycles);
+            let second_err = relative_error(second.predicted_cpi, oracle);
+
+            let code = baselines::code_points(&r.analysis.model, trace);
+            let code_err = relative_error(code.predicted_cpi, oracle);
+
+            let mut srs_err = 0.0;
+            let mut simprof_err = 0.0;
+            for rep in 0..cfg.fig7_reps {
+                let seed = split_seed(cfg.simprof.seed, 0xF16_7 + rep);
+                srs_err += relative_error(srs_points(trace, n, seed).predicted_cpi, oracle);
+                let sp = baselines::simprof_points(&r.analysis.model, trace, n, seed);
+                simprof_err += relative_error(sp.predicted_cpi, oracle);
+            }
+            srs_err /= cfg.fig7_reps as f64;
+            simprof_err /= cfg.fig7_reps as f64;
+
+            Fig07Row {
+                label: r.label.clone(),
+                second: second_err,
+                srs: srs_err,
+                code: code_err,
+                simprof: simprof_err,
+            }
+        })
+        .collect();
+
+    let n = rows.len().max(1) as f64;
+    rows.push(Fig07Row {
+        label: "average".into(),
+        second: rows.iter().map(|r| r.second).sum::<f64>() / n,
+        srs: rows.iter().map(|r| r.srs).sum::<f64>() / n,
+        code: rows.iter().map(|r| r.code).sum::<f64>() / n,
+        simprof: rows.iter().map(|r| r.simprof).sum::<f64>() / n,
+    });
+    rows
+}
+
+/// Fig. 8 row: required sample sizes.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08Row {
+    /// Workload label ("average" for the summary row).
+    pub label: String,
+    /// SimProf sample size for 5 % error at 99.7 % confidence.
+    pub simprof_5pct: usize,
+    /// SimProf sample size for 2 % error at 99.7 % confidence.
+    pub simprof_2pct: usize,
+    /// Units covered by the SECOND interval.
+    pub second_units: usize,
+}
+
+/// Computes Fig. 8: SimProf's required sample sizes (99.7 % CI, 5 %/2 %
+/// error) against the unit count of the SECOND interval.
+pub fn fig08(runs: &[WorkloadRun], cfg: &EvalConfig) -> Vec<Fig08Row> {
+    let mut rows: Vec<Fig08Row> = runs
+        .iter()
+        .map(|r| Fig08Row {
+            label: r.label.clone(),
+            simprof_5pct: r.analysis.required_size(3.0, 0.05),
+            simprof_2pct: r.analysis.required_size(3.0, 0.02),
+            second_units: second_points_by_cycles(&r.output.trace, cfg.second_cycles).points.len(),
+        })
+        .collect();
+    let n = rows.len().max(1);
+    rows.push(Fig08Row {
+        label: "average".into(),
+        simprof_5pct: rows.iter().map(|r| r.simprof_5pct).sum::<usize>() / n,
+        simprof_2pct: rows.iter().map(|r| r.simprof_2pct).sum::<usize>() / n,
+        second_units: rows.iter().map(|r| r.second_units).sum::<usize>() / n,
+    });
+    rows
+}
+
+/// Fig. 9 row: phase count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig09Row {
+    /// Workload label.
+    pub label: String,
+    /// Number of phases the silhouette rule chose.
+    pub phases: usize,
+}
+
+/// Computes Fig. 9 (number of phases per workload).
+pub fn fig09(runs: &[WorkloadRun]) -> Vec<Fig09Row> {
+    runs.iter().map(|r| Fig09Row { label: r.label.clone(), phases: r.analysis.k() }).collect()
+}
+
+/// Fig. 10 row: phase-type distribution.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Row {
+    /// Workload label.
+    pub label: String,
+    /// Fraction of sampling units in map-dominated phases.
+    pub map: f64,
+    /// … reduce-dominated phases.
+    pub reduce: f64,
+    /// … sort-dominated phases.
+    pub sort: f64,
+    /// … IO-dominated phases.
+    pub io: f64,
+    /// … framework-only phases (rare).
+    pub framework: f64,
+}
+
+/// Computes Fig. 10 (phase-type breakdown, weighted by sampling units).
+pub fn fig10(runs: &[WorkloadRun]) -> Vec<Fig10Row> {
+    runs.iter()
+        .map(|r| {
+            let dist =
+                phase_type_distribution(&r.analysis.model, &r.output.trace, &r.output.registry);
+            let share = |c: OpClass| dist.iter().find(|d| d.class == c).map_or(0.0, |d| d.share);
+            Fig10Row {
+                label: r.label.clone(),
+                map: share(OpClass::Map),
+                reduce: share(OpClass::Reduce),
+                sort: share(OpClass::Sort),
+                io: share(OpClass::Io),
+                framework: share(OpClass::Framework),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 11 row: one phase of cc_sp under optimal allocation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11Row {
+    /// Phase index (sorted by weight, descending — the paper's ordering).
+    pub phase: usize,
+    /// Share of the simulation points allocated to this phase.
+    pub sample_size_ratio: f64,
+    /// CoV of CPI within the phase.
+    pub cov: f64,
+    /// Phase weight `N_h / N`.
+    pub weight: f64,
+    /// The phase's heaviest method (the paper names `aggregateUsingIndex`
+    /// and `mapPartitionsWithIndex` for phases 0 and 1).
+    pub top_method: String,
+}
+
+/// Computes Fig. 11: how optimal allocation distributes `n` simulation
+/// points across cc_sp's phases.
+pub fn fig11(run: &WorkloadRun, n: usize, seed: u64) -> Vec<Fig11Row> {
+    let a = &run.analysis;
+    let points = a.select_points(n, seed);
+    let ratios = points.phase_ratios();
+    let mut order: Vec<usize> = (0..a.k()).collect();
+    order.sort_by(|&x, &y| a.weights[y].partial_cmp(&a.weights[x]).unwrap());
+    order
+        .into_iter()
+        .enumerate()
+        .map(|(rank, h)| {
+            let top = a.model.top_methods(h, 1);
+            let top_method = top
+                .first()
+                .map(|&(m, _)| {
+                    run.output.registry.name(simprof_engine::MethodId(m as u32)).to_owned()
+                })
+                .unwrap_or_default();
+            Fig11Row {
+                phase: rank,
+                sample_size_ratio: ratios[h],
+                cov: a.stats[h].cov,
+                weight: a.weights[h],
+                top_method,
+            }
+        })
+        .collect()
+}
+
+/// Figs. 12–13 row: input-sensitivity outcome for one graph workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct SensitivityRow {
+    /// Workload label (cc_hp, cc_sp, rank_hp, rank_sp).
+    pub label: String,
+    /// Fraction of simulation points in input-sensitive phases (Fig. 12's
+    /// reference-input sample size; `1 −` this is the reduction).
+    pub sensitive_point_fraction: f64,
+    /// Number of input-sensitive phases (Fig. 13).
+    pub sensitive_phases: usize,
+    /// Number of input-insensitive phases (Fig. 13).
+    pub insensitive_phases: usize,
+}
+
+/// Runs the §IV-E input-sensitivity study: for each graph workload, train on
+/// the Google input, classify the seven reference inputs, apply the Eq. 6
+/// test, and measure the simulation-point reduction for `n` points.
+pub fn fig12_13(cfg: &EvalConfig, n_points: usize) -> Vec<SensitivityRow> {
+    // The sensitivity study runs at double the graph scale of the main
+    // matrix: Algorithm 1 compares per-phase statistics of *classified*
+    // reference units, which need enough units per phase per input to be
+    // meaningful (the paper's graphs are 2^20–2^24 nodes).
+    let mut cfg = *cfg;
+    cfg.workload.graph_scale += 1;
+    cfg.workload.graph_degree += 2;
+    let cfg = &cfg;
+    let mut rows = Vec::new();
+    for benchmark in [Benchmark::ConnectedComponents, Benchmark::PageRank] {
+        for framework in Framework::ALL {
+            let id = WorkloadId { benchmark, framework };
+            // Training input (Google) — same seed as the main runs.
+            let train = run_workload(id, cfg);
+            // Reference inputs.
+            let refs: Vec<_> = GraphInput::ALL
+                .iter()
+                .filter(|&&i| i != GraphInput::Google)
+                .map(|&input| {
+                    let g = Kronecker::for_input(
+                        input,
+                        cfg.workload.graph_scale,
+                        cfg.workload.graph_degree,
+                    )
+                    .generate(graph_seed(cfg, input));
+                    benchmark.run_on_graph(framework, &cfg.workload, &g).trace
+                })
+                .collect();
+            let ref_refs: Vec<&_> = refs.iter().collect();
+            let report =
+                input_sensitivity(&train.analysis.model, &train.output.trace, &ref_refs, 0.10);
+            let points = train.analysis.select_points(n_points, cfg.simprof.seed);
+            rows.push(SensitivityRow {
+                label: train.label,
+                sensitive_point_fraction: report.sensitive_point_fraction(&points),
+                sensitive_phases: report.sensitive_count(),
+                insensitive_phases: report.insensitive_count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Figs. 14–15 point: one sampling unit in the phase-sorted CPI scatter.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScatterPoint {
+    /// Position after sorting units by phase id (the paper's x-axis).
+    pub order: usize,
+    /// Original unit id.
+    pub unit: u64,
+    /// The unit's CPI (left y-axis, blue dots).
+    pub cpi: f64,
+    /// The unit's phase id (right y-axis, red line).
+    pub phase: usize,
+}
+
+/// Computes the Fig. 14/15 series: units sorted by phase id, carrying CPI
+/// and phase id.
+pub fn fig14_15(run: &WorkloadRun) -> Vec<ScatterPoint> {
+    let a = &run.analysis;
+    let mut idx: Vec<usize> = (0..a.cpis.len()).collect();
+    idx.sort_by_key(|&i| (a.model.assignments[i], i));
+    idx.into_iter()
+        .enumerate()
+        .map(|(order, i)| ScatterPoint {
+            order,
+            unit: run.output.trace.units[i].id,
+            cpi: a.cpis[i],
+            phase: a.model.assignments[i],
+        })
+        .collect()
+}
+
+/// Classifies a reference trace against a training model (shared by the
+/// integration tests and the sensitivity example).
+pub fn classify_reference(
+    train: &WorkloadRun,
+    reference: &simprof_profiler::ProfileTrace,
+) -> Vec<usize> {
+    classify_units(&train.analysis.model, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_all_workloads;
+
+    fn runs() -> (Vec<WorkloadRun>, EvalConfig) {
+        let cfg = EvalConfig::tiny(5);
+        (run_all_workloads(&cfg), cfg)
+    }
+
+    #[test]
+    fn tables_and_figures_have_twelve_rows() {
+        let (runs, cfg) = runs();
+        assert_eq!(table1(&runs, &cfg).len(), 12);
+        assert_eq!(fig06(&runs).len(), 12);
+        assert_eq!(fig09(&runs).len(), 12);
+        assert_eq!(fig10(&runs).len(), 12);
+        assert_eq!(fig07(&runs, &cfg).len(), 13, "12 + average");
+        assert_eq!(fig08(&runs, &cfg).len(), 13);
+    }
+
+    #[test]
+    fn table2_has_eight_graphs_google_training() {
+        let cfg = EvalConfig::tiny(5);
+        let t2 = table2(&cfg);
+        assert_eq!(t2.len(), 8);
+        assert_eq!(t2[0].name, "Google");
+        assert_eq!(t2[0].role, "training input");
+        assert!(t2.iter().skip(1).all(|r| r.role == "reference input"));
+        assert!(t2.iter().all(|r| r.edges > 0));
+    }
+
+    #[test]
+    fn fig10_shares_sum_to_one() {
+        let (runs, _) = runs();
+        for row in fig10(&runs) {
+            let sum = row.map + row.reduce + row.sort + row.io + row.framework;
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", row.label);
+        }
+    }
+
+    #[test]
+    fn fig11_ratios_sum_to_one() {
+        let (runs, cfg) = runs();
+        let cc_sp = runs.iter().find(|r| r.label == "cc_sp").unwrap();
+        let rows = fig11(cc_sp, 20, cfg.simprof.seed);
+        let total: f64 = rows.iter().map(|r| r.sample_size_ratio).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let wsum: f64 = rows.iter().map(|r| r.weight).sum();
+        assert!((wsum - 1.0).abs() < 1e-9);
+        // Sorted by weight descending.
+        assert!(rows.windows(2).all(|w| w[0].weight >= w[1].weight));
+    }
+
+    #[test]
+    fn fig14_sorts_by_phase() {
+        let (runs, _) = runs();
+        let wc_sp = runs.iter().find(|r| r.label == "wc_sp").unwrap();
+        let pts = fig14_15(wc_sp);
+        assert_eq!(pts.len(), wc_sp.output.trace.units.len());
+        assert!(pts.windows(2).all(|w| w[0].phase <= w[1].phase));
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared evaluation harness: runs the 12-workload matrix, attaches the
+//! SimProf analysis to each run, and caches everything for the figure
+//! computations.
+
+use rayon::prelude::*;
+
+use simprof_core::{Analysis, SimProf, SimProfConfig};
+use simprof_workloads::{RunOutput, WorkloadConfig, WorkloadId};
+
+/// Evaluation-wide settings.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalConfig {
+    /// Workload scale/config.
+    pub workload: WorkloadConfig,
+    /// SimProf pipeline config.
+    pub simprof: SimProfConfig,
+    /// Simulated-cycle budget of the SECOND baseline (the paper's
+    /// "10-second interval", scaled with the workloads).
+    pub second_cycles: u64,
+    /// Sample size used in the Fig. 7 error comparison.
+    pub fig7_sample_size: usize,
+    /// Repetitions over which seeded samplers (SRS, SimProf) average their
+    /// error in Fig. 7.
+    pub fig7_reps: u64,
+}
+
+impl EvalConfig {
+    /// The figure-generation configuration.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            workload: WorkloadConfig::paper(seed),
+            simprof: SimProfConfig { seed, ..Default::default() },
+            second_cycles: 6_000_000,
+            fig7_sample_size: 20,
+            fig7_reps: 30,
+        }
+    }
+
+    /// A fast configuration for harness self-tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            workload: WorkloadConfig::tiny(seed),
+            simprof: SimProfConfig { seed, ..Default::default() },
+            second_cycles: 800_000,
+            fig7_sample_size: 10,
+            fig7_reps: 5,
+        }
+    }
+}
+
+/// One profiled + analyzed workload.
+pub struct WorkloadRun {
+    /// Which workload.
+    pub id: WorkloadId,
+    /// The paper-style label (`wc_hp`, …).
+    pub label: String,
+    /// Profile + registry + job stats.
+    pub output: RunOutput,
+    /// The SimProf analysis (phases, homogeneity, CPIs).
+    pub analysis: Analysis,
+}
+
+/// Profiles and analyzes all twelve workloads, in parallel.
+pub fn run_all_workloads(cfg: &EvalConfig) -> Vec<WorkloadRun> {
+    WorkloadId::all()
+        .into_par_iter()
+        .map(|id| run_workload(id, cfg))
+        .collect()
+}
+
+/// Profiles and analyzes one workload.
+pub fn run_workload(id: WorkloadId, cfg: &EvalConfig) -> WorkloadRun {
+    let output = id.run_full(&cfg.workload);
+    let analysis = SimProf::new(cfg.simprof).analyze(&output.trace);
+    WorkloadRun { id, label: id.label(), output, analysis }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_harness_runs_everything() {
+        let runs = run_all_workloads(&EvalConfig::tiny(3));
+        assert_eq!(runs.len(), 12);
+        for r in &runs {
+            assert!(!r.output.trace.units.is_empty(), "{}", r.label);
+            assert!(r.analysis.k() >= 1, "{}", r.label);
+        }
+    }
+}

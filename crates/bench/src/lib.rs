@@ -1,0 +1,15 @@
+//! Benchmark harness for SimProf.
+//!
+//! Regenerates every table and figure of the paper's evaluation (§IV):
+//! the [`figures`] module computes each one as plain data (so the
+//! computations are unit-testable), the `src/bin/figNN_*` binaries print
+//! them, `src/bin/all_figures` runs the whole evaluation and emits the
+//! paper-vs-measured record for `EXPERIMENTS.md`, and `benches/` holds the
+//! Criterion micro/ablation benchmarks.
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod svg;
+
+pub use harness::{run_all_workloads, EvalConfig, WorkloadRun};

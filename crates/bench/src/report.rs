@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the figure binaries.
+
+/// Renders a fixed-width table: header row, separator, data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an ASCII scatter of `(x, y)` series plus a phase step-line, the
+/// shape of the paper's Figs. 14–15: y-axis = CPI (dots), second series =
+/// phase id (marked with `▒` columns at phase boundaries).
+pub fn render_scatter(cpis: &[f64], phases: &[usize], width: usize, height: usize) -> String {
+    if cpis.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let n = cpis.len();
+    let width = width.max(10).min(n.max(10));
+    let height = height.max(5);
+    let max_cpi = cpis.iter().copied().fold(f64::MIN, f64::max).max(1e-9);
+    // Downsample x into `width` buckets (mean CPI, first phase id).
+    let mut ys = Vec::with_capacity(width);
+    let mut ps = Vec::with_capacity(width);
+    for b in 0..width {
+        let lo = b * n / width;
+        let hi = ((b + 1) * n / width).max(lo + 1);
+        let mean = cpis[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+        ys.push(mean);
+        ps.push(phases[lo]);
+    }
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let thresh = max_cpi * (row as f64 + 0.5) / height as f64;
+        let label = if row == height - 1 {
+            format!("{max_cpi:>6.2} |")
+        } else if row == 0 {
+            format!("{:>6.2} |", 0.0)
+        } else {
+            String::from("       |")
+        };
+        out.push_str(&label);
+        for b in 0..width {
+            let boundary = b > 0 && ps[b] != ps[b - 1];
+            if ys[b] >= thresh {
+                out.push('●');
+            } else if boundary {
+                out.push('▒');
+            } else {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("       +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str("        phases: ");
+    let mut last = usize::MAX;
+    for b in 0..width {
+        out.push(if ps[b] != last { char::from_digit((ps[b] % 10) as u32, 10).unwrap() } else { '.' });
+        last = ps[b];
+    }
+    out.push('\n');
+    out
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("1"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn scatter_renders_shape() {
+        // Second phase is *cheaper*, leaving headroom above its dots for
+        // the boundary marker column.
+        let cpis: Vec<f64> = (0..100).map(|i| if i < 70 { 3.0 } else { 1.0 }).collect();
+        let phases: Vec<usize> = (0..100).map(|i| usize::from(i >= 70)).collect();
+        let s = render_scatter(&cpis, &phases, 50, 8);
+        assert!(s.contains('●'));
+        assert!(s.contains('▒'), "phase boundary marked");
+        assert!(s.lines().count() >= 10);
+        assert_eq!(render_scatter(&[], &[], 50, 8), "(empty series)\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(f3(1.23456), "1.235");
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal self-contained SVG chart generation for the HTML evaluation
+//! report: grouped bar charts (Figs. 6–10, 12–13) and phase-sorted CPI
+//! scatters (Figs. 14–15). No dependencies; output is deterministic strings.
+
+/// Escapes text for XML attribute/content positions.
+pub fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+const PALETTE: [&str; 6] = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c"];
+
+/// A grouped bar chart: one group per label, one bar per series.
+///
+/// Returns a complete `<svg>` element. Values must be non-negative; the
+/// y-axis autoscales to the maximum.
+pub fn grouped_bars(
+    title: &str,
+    labels: &[String],
+    series: &[(&str, Vec<f64>)],
+    y_label: &str,
+) -> String {
+    let width = 960.0;
+    let height = 360.0;
+    let margin_left = 70.0;
+    let margin_bottom = 70.0;
+    let margin_top = 40.0;
+    let plot_w = width - margin_left - 20.0;
+    let plot_h = height - margin_top - margin_bottom;
+
+    let max = series
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let mut svg = format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="12">"##
+    );
+    svg.push_str(&format!(
+        r##"<text x="{}" y="20" font-size="15" font-weight="bold">{}</text>"##,
+        margin_left,
+        escape(title)
+    ));
+    // Y axis with 5 gridlines.
+    for i in 0..=5 {
+        let frac = i as f64 / 5.0;
+        let y = margin_top + plot_h * (1.0 - frac);
+        let value = max * frac;
+        svg.push_str(&format!(
+            r##"<line x1="{margin_left}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            margin_left + plot_w
+        ));
+        svg.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"##,
+            margin_left - 6.0,
+            y + 4.0,
+            format_value(value)
+        ));
+    }
+    svg.push_str(&format!(
+        r##"<text x="14" y="{:.1}" transform="rotate(-90 14 {:.1})" text-anchor="middle">{}</text>"##,
+        margin_top + plot_h / 2.0,
+        margin_top + plot_h / 2.0,
+        escape(y_label)
+    ));
+
+    // Bars.
+    let groups = labels.len().max(1) as f64;
+    let group_w = plot_w / groups;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+    for (gi, label) in labels.iter().enumerate() {
+        let gx = margin_left + gi as f64 * group_w;
+        for (si, (_, values)) in series.iter().enumerate() {
+            let v = values.get(gi).copied().unwrap_or(0.0).max(0.0);
+            let h = plot_h * (v / max);
+            let x = gx + group_w * 0.1 + si as f64 * bar_w;
+            let y = margin_top + plot_h - h;
+            svg.push_str(&format!(
+                r##"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{h:.1}" fill="{}"><title>{}: {}</title></rect>"##,
+                PALETTE[si % PALETTE.len()],
+                escape(label),
+                format_value(v)
+            ));
+        }
+        svg.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end" transform="rotate(-45 {:.1} {:.1})">{}</text>"##,
+            gx + group_w / 2.0,
+            margin_top + plot_h + 16.0,
+            gx + group_w / 2.0,
+            margin_top + plot_h + 16.0,
+            escape(label)
+        ));
+    }
+    // Legend.
+    for (si, (name, _)) in series.iter().enumerate() {
+        let x = margin_left + si as f64 * 130.0;
+        let y = height - 14.0;
+        svg.push_str(&format!(
+            r##"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{}"/>"##,
+            y - 10.0,
+            PALETTE[si % PALETTE.len()]
+        ));
+        svg.push_str(&format!(
+            r##"<text x="{:.1}" y="{y:.1}">{}</text>"##,
+            x + 16.0,
+            escape(name)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// A phase-sorted CPI scatter (Figs. 14–15): CPI dots on the left axis, the
+/// phase id step line on the right axis.
+pub fn phase_scatter(title: &str, cpis: &[f64], phases: &[usize]) -> String {
+    let width = 960.0;
+    let height = 320.0;
+    let margin_left = 60.0;
+    let margin_bottom = 36.0;
+    let margin_top = 40.0;
+    let plot_w = width - margin_left - 60.0;
+    let plot_h = height - margin_top - margin_bottom;
+    let n = cpis.len().max(1) as f64;
+    let max_cpi = cpis.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+    let max_phase = phases.iter().copied().max().unwrap_or(0).max(1) as f64;
+
+    let mut svg = format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="12">"##
+    );
+    svg.push_str(&format!(
+        r##"<text x="{margin_left}" y="20" font-size="15" font-weight="bold">{}</text>"##,
+        escape(title)
+    ));
+    for i in 0..=4 {
+        let frac = i as f64 / 4.0;
+        let y = margin_top + plot_h * (1.0 - frac);
+        svg.push_str(&format!(
+            r##"<line x1="{margin_left}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#eee"/>"##,
+            margin_left + plot_w
+        ));
+        svg.push_str(&format!(
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="end">{:.1}</text>"##,
+            margin_left - 6.0,
+            y + 4.0,
+            max_cpi * frac
+        ));
+    }
+    // CPI dots.
+    for (i, &c) in cpis.iter().enumerate() {
+        let x = margin_left + plot_w * (i as f64 + 0.5) / n;
+        let y = margin_top + plot_h * (1.0 - c / max_cpi);
+        svg.push_str(&format!(r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.6" fill="#4878d0"/>"##));
+    }
+    // Phase step line (right axis).
+    let mut path = String::from("M");
+    for (i, &p) in phases.iter().enumerate() {
+        let x = margin_left + plot_w * (i as f64 + 0.5) / n;
+        let y = margin_top + plot_h * (1.0 - p as f64 / max_phase);
+        path.push_str(&format!("{x:.1},{y:.1} L"));
+    }
+    path.pop();
+    svg.push_str(&format!(r##"<path d="{path}" stroke="#d65f5f" fill="none" stroke-width="1.5"/>"##));
+    svg.push_str(&format!(
+        r##"<text x="{:.1}" y="{:.1}" fill="#d65f5f">phase id</text>"##,
+        margin_left + plot_w + 4.0,
+        margin_top + 10.0
+    ));
+    svg.push_str(&format!(
+        r##"<text x="{:.1}" y="{:.1}" fill="#4878d0">CPI</text>"##,
+        margin_left + plot_w + 4.0,
+        margin_top + 26.0
+    ));
+    svg.push_str("</svg>");
+    svg
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced(svg: &str) -> bool {
+        svg.starts_with("<svg") && svg.ends_with("</svg>") && svg.matches("<svg").count() == 1
+    }
+
+    #[test]
+    fn escape_covers_xml_specials() {
+        assert_eq!(escape(r##"a<b>&"c""##), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn bars_render_all_groups_and_series() {
+        let labels = vec!["wc_hp".to_string(), "wc_sp".to_string()];
+        let series = vec![("population", vec![0.5, 0.2]), ("weighted", vec![0.3, 0.1])];
+        let svg = grouped_bars("Fig 6", &labels, &series, "CoV");
+        assert!(balanced(&svg));
+        assert_eq!(svg.matches("<rect").count(), 4 + 2, "4 bars + 2 legend swatches");
+        assert!(svg.contains("wc_hp"));
+        assert!(svg.contains("weighted"));
+    }
+
+    #[test]
+    fn bars_handle_empty_and_zero() {
+        let svg = grouped_bars("empty", &[], &[], "y");
+        assert!(balanced(&svg));
+        let svg =
+            grouped_bars("zeros", &["a".into()], &[("s", vec![0.0])], "y");
+        assert!(balanced(&svg));
+    }
+
+    #[test]
+    fn scatter_renders_points_and_phase_line() {
+        let cpis = vec![1.0, 1.1, 3.0, 3.2];
+        let phases = vec![0, 0, 1, 1];
+        let svg = phase_scatter("Fig 14", &cpis, &phases);
+        assert!(balanced(&svg));
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = grouped_bars("a<b>", &[], &[], "y");
+        assert!(svg.contains("a&lt;b&gt;"));
+        assert!(!svg.contains("a<b>"));
+    }
+}

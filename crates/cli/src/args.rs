@@ -1,0 +1,184 @@
+//! Minimal flag parser for the CLI.
+//!
+//! The workspace's sanctioned dependency set has no argument-parsing crate,
+//! and the surface is small enough that a hand-rolled parser with strict
+//! validation is clearer than pulling one in.
+
+/// Parsed command options (flat across subcommands; each command validates
+/// the subset it needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// `-w/--workload`.
+    pub workload: Option<String>,
+    /// `-i/--input`.
+    pub input: Option<String>,
+    /// `-o/--output`.
+    pub output: Option<String>,
+    /// `-n/--points`.
+    pub points: usize,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--scale`.
+    pub scale: Scale,
+    /// `--error`.
+    pub error: f64,
+    /// `--z`.
+    pub z: f64,
+    /// `--threshold`.
+    pub threshold: f64,
+}
+
+/// Workload scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Figure-generation scale.
+    Paper,
+    /// Fast test scale.
+    Tiny,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workload: None,
+            input: None,
+            output: None,
+            points: 20,
+            seed: 42,
+            scale: Scale::Paper,
+            error: 0.05,
+            z: 3.0,
+            threshold: 0.10,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `argv` (without the command word).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut opts = Options::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "-w" | "--workload" => opts.workload = Some(value(flag)?),
+                "-i" | "--input" => opts.input = Some(value(flag)?),
+                "-o" | "--output" => opts.output = Some(value(flag)?),
+                "-n" | "--points" => {
+                    opts.points = value(flag)?
+                        .parse()
+                        .map_err(|e| format!("invalid --points: {e}"))?;
+                    if opts.points == 0 {
+                        return Err("--points must be at least 1".into());
+                    }
+                }
+                "--seed" => {
+                    opts.seed =
+                        value(flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?;
+                }
+                "--scale" => {
+                    opts.scale = match value(flag)?.as_str() {
+                        "paper" => Scale::Paper,
+                        "tiny" => Scale::Tiny,
+                        other => return Err(format!("invalid --scale `{other}` (paper|tiny)")),
+                    };
+                }
+                "--error" => {
+                    opts.error =
+                        value(flag)?.parse().map_err(|e| format!("invalid --error: {e}"))?;
+                    if !(opts.error > 0.0 && opts.error < 1.0) {
+                        return Err("--error must be in (0, 1)".into());
+                    }
+                }
+                "--z" => {
+                    opts.z = value(flag)?.parse().map_err(|e| format!("invalid --z: {e}"))?;
+                    if opts.z <= 0.0 {
+                        return Err("--z must be positive".into());
+                    }
+                }
+                "--threshold" => {
+                    opts.threshold = value(flag)?
+                        .parse()
+                        .map_err(|e| format!("invalid --threshold: {e}"))?;
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The workload flag, or an error naming the command that needs it.
+    pub fn require_workload(&self, command: &str) -> Result<&str, String> {
+        self.workload
+            .as_deref()
+            .ok_or_else(|| format!("`{command}` requires -w/--workload (see `simprof list`)"))
+    }
+
+    /// The input flag, or an error naming the command that needs it.
+    pub fn require_input(&self, command: &str) -> Result<&str, String> {
+        self.input
+            .as_deref()
+            .ok_or_else(|| format!("`{command}` requires -i/--input <trace.json>"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Options, String> {
+        let argv: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        Options::parse(&argv)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse("").unwrap();
+        assert_eq!(o, Options::default());
+        assert_eq!(o.points, 20);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn long_and_short_flags() {
+        let o = parse("-w wc_sp -i in.json -o out.json -n 7 --seed 9").unwrap();
+        assert_eq!(o.workload.as_deref(), Some("wc_sp"));
+        assert_eq!(o.input.as_deref(), Some("in.json"));
+        assert_eq!(o.output.as_deref(), Some("out.json"));
+        assert_eq!(o.points, 7);
+        assert_eq!(o.seed, 9);
+        let o2 = parse("--workload wc_sp --points 7").unwrap();
+        assert_eq!(o2.workload.as_deref(), Some("wc_sp"));
+        assert_eq!(o2.points, 7);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse("--scale tiny").unwrap().scale, Scale::Tiny);
+        assert_eq!(parse("--scale paper").unwrap().scale, Scale::Paper);
+        assert!(parse("--scale huge").is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(parse("--points").is_err(), "missing value");
+        assert!(parse("--points x").is_err());
+        assert!(parse("--points 0").is_err(), "zero points rejected");
+        assert!(parse("--error 1.5").is_err());
+        assert!(parse("--error 0").is_err());
+        assert!(parse("--z -1").is_err());
+        assert!(parse("--wat 1").is_err());
+    }
+
+    #[test]
+    fn require_helpers() {
+        let o = parse("").unwrap();
+        assert!(o.require_workload("profile").is_err());
+        assert!(o.require_input("analyze").is_err());
+        let o = parse("-w wc_sp -i t.json").unwrap();
+        assert_eq!(o.require_workload("profile").unwrap(), "wc_sp");
+        assert_eq!(o.require_input("analyze").unwrap(), "t.json");
+    }
+}

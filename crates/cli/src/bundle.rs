@@ -1,0 +1,111 @@
+//! The on-disk trace format: a profile plus everything needed to interpret
+//! it later (method registry, provenance).
+
+use serde::{Deserialize, Serialize};
+
+use simprof_engine::MethodRegistry;
+use simprof_profiler::ProfileTrace;
+
+/// Format version written into every bundle.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A self-contained profiled run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Workload label (`wc_sp`, …).
+    pub label: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Scale preset name ("paper" / "tiny").
+    pub scale: String,
+    /// The profiled sampling units.
+    pub trace: ProfileTrace,
+    /// Method names/classes for the trace's `MethodId`s.
+    pub registry: MethodRegistry,
+}
+
+impl TraceBundle {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("serialize bundle: {e}"))
+    }
+
+    /// Parses a bundle, validating the format version.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let bundle: TraceBundle =
+            serde_json::from_str(s).map_err(|e| format!("parse bundle: {e}"))?;
+        if bundle.version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported bundle version {} (expected {FORMAT_VERSION})",
+                bundle.version
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Writes the bundle to `path`.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        std::fs::write(path, self.to_json()?).map_err(|e| format!("write {path}: {e}"))
+    }
+
+    /// Loads a bundle from `path`.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        Self::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_workloads::{Benchmark, Framework, WorkloadConfig};
+
+    fn bundle() -> TraceBundle {
+        let cfg = WorkloadConfig::tiny(3);
+        let out = Benchmark::Grep.run_full(Framework::Spark, &cfg);
+        TraceBundle {
+            version: FORMAT_VERSION,
+            label: "grep_sp".into(),
+            seed: 3,
+            scale: "tiny".into(),
+            trace: out.trace,
+            registry: out.registry,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = bundle();
+        let s = b.to_json().unwrap();
+        let back = TraceBundle::from_json(&s).unwrap();
+        assert_eq!(back.label, "grep_sp");
+        assert_eq!(back.trace, b.trace);
+        assert_eq!(back.registry.len(), b.registry.len());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut b = bundle();
+        b.version = 999;
+        let s = serde_json::to_string(&b).unwrap();
+        assert!(TraceBundle::from_json(&s).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let b = bundle();
+        let path = std::env::temp_dir().join("simprof_bundle_test.json");
+        let path = path.to_str().unwrap();
+        b.save(path).unwrap();
+        let back = TraceBundle::load(path).unwrap();
+        assert_eq!(back.trace, b.trace);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(TraceBundle::load("/nonexistent/simprof.json").is_err());
+    }
+}

@@ -1,0 +1,470 @@
+//! The CLI subcommands.
+
+use simprof_core::{input_sensitivity, SimProf, SimProfConfig};
+use simprof_engine::MethodId;
+use simprof_stats::split_seed;
+use simprof_workloads::{GraphInput, Kronecker, WorkloadConfig, WorkloadId};
+
+use crate::args::{Options, Scale};
+use crate::bundle::{TraceBundle, FORMAT_VERSION};
+
+fn workload_config(opts: &Options) -> WorkloadConfig {
+    match opts.scale {
+        Scale::Paper => WorkloadConfig::paper(opts.seed),
+        Scale::Tiny => WorkloadConfig::tiny(opts.seed),
+    }
+}
+
+fn find_workload(label: &str) -> Result<WorkloadId, String> {
+    WorkloadId::all().into_iter().find(|w| w.label() == label).ok_or_else(|| {
+        let labels: Vec<String> = WorkloadId::all().iter().map(|w| w.label()).collect();
+        format!("unknown workload `{label}`; available: {}", labels.join(", "))
+    })
+}
+
+fn pipeline(opts: &Options) -> SimProf {
+    SimProf::new(SimProfConfig { seed: opts.seed, ..Default::default() })
+}
+
+/// `simprof list` — the Table I matrix.
+pub fn list(_opts: &Options) -> Result<(), String> {
+    println!("{:<10} {:<20} {}", "label", "benchmark", "framework");
+    for w in WorkloadId::all() {
+        println!("{:<10} {:<20} {:?}", w.label(), w.benchmark.abbrev(), w.framework);
+    }
+    Ok(())
+}
+
+/// `simprof profile -w <label> [-o trace.json]`.
+pub fn profile(opts: &Options) -> Result<(), String> {
+    let label = opts.require_workload("profile")?;
+    let id = find_workload(label)?;
+    let cfg = workload_config(opts);
+    let out = id.run_full(&cfg);
+    println!(
+        "profiled {label}: {} sampling units × {} instructions ({} methods, {} tasks)",
+        out.trace.units.len(),
+        out.trace.unit_instrs,
+        out.registry.len(),
+        out.total_tasks
+    );
+    println!("oracle CPI {:.4}", out.trace.oracle_cpi());
+    let bundle = TraceBundle {
+        version: FORMAT_VERSION,
+        label: label.to_owned(),
+        seed: opts.seed,
+        scale: match opts.scale {
+            Scale::Paper => "paper".into(),
+            Scale::Tiny => "tiny".into(),
+        },
+        trace: out.trace,
+        registry: out.registry,
+    };
+    if let Some(path) = &opts.output {
+        bundle.save(path)?;
+        println!("wrote {path}");
+    } else {
+        println!("(no -o/--output given; trace not saved)");
+    }
+    Ok(())
+}
+
+/// `simprof analyze -i trace.json`.
+pub fn analyze(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("analyze")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    println!(
+        "{}: {} units, oracle CPI {:.4}, {} phases",
+        bundle.label,
+        bundle.trace.units.len(),
+        bundle.trace.oracle_cpi(),
+        analysis.k()
+    );
+    println!(
+        "homogeneity: population CoV {:.3}, weighted {:.3}, max {:.3}",
+        analysis.cov.population, analysis.cov.weighted, analysis.cov.max
+    );
+    for h in 0..analysis.k() {
+        let s = &analysis.stats[h];
+        println!(
+            "  phase {h}: {:>5.1}% of units | CPI {:.3} ± {:.3} (CoV {:.3})",
+            analysis.weights[h] * 100.0,
+            s.mean,
+            s.stddev,
+            s.cov
+        );
+    }
+    Ok(())
+}
+
+/// `simprof select -i trace.json -n 20 [-o points.json]`.
+pub fn select(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("select")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
+    let est = analysis.estimate(&points, opts.z);
+    let oracle = analysis.oracle_cpi();
+    println!(
+        "selected {} simulation points across {} phases (allocation {:?})",
+        points.len(),
+        analysis.k(),
+        points.allocation
+    );
+    println!("unit ids: {:?}", points.points);
+    println!(
+        "estimated CPI {:.4} ± {:.4} (z = {}), oracle {:.4}, error {:.2}%",
+        est.mean_cpi,
+        opts.z * est.se,
+        opts.z,
+        oracle,
+        (est.mean_cpi - oracle).abs() / oracle * 100.0
+    );
+    if let Some(path) = &opts.output {
+        let json = serde_json::json!({
+            "label": bundle.label,
+            "points": points.points,
+            "per_phase": points.per_phase,
+            "allocation": points.allocation,
+            "estimate": est,
+        });
+        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `simprof size -i trace.json --error 0.05 [--z 3]`.
+pub fn size(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("size")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let n = analysis.required_size(opts.z, opts.error);
+    println!(
+        "{}: {} of {} units needed for {:.1}% relative error at z = {}",
+        bundle.label,
+        n,
+        bundle.trace.units.len(),
+        opts.error * 100.0,
+        opts.z
+    );
+    Ok(())
+}
+
+/// `simprof report -i trace.json` — phases with their characteristic methods.
+pub fn report(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("report")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    println!("{}: {} phases", bundle.label, analysis.k());
+    for h in 0..analysis.k() {
+        let s = &analysis.stats[h];
+        println!(
+            "phase {h}: weight {:.1}%, CPI {:.3} (CoV {:.3})",
+            analysis.weights[h] * 100.0,
+            s.mean,
+            s.cov
+        );
+        for (m, w) in analysis.model.top_methods(h, 3) {
+            println!("    {:.2}  {}", w, bundle.registry.name(MethodId(m as u32)));
+        }
+    }
+    Ok(())
+}
+
+/// `simprof validate -i trace.json -n 6` — replay each selected simulation
+/// point in isolation (fast-forward, cold caches, one-unit warm-up) and
+/// compare replayed CPIs against the profile — the end-to-end check that
+/// the selected points are actually simulatable.
+pub fn validate(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("validate")?)?;
+    let id = find_workload(&bundle.label)?;
+    let cfg = match bundle.scale.as_str() {
+        "tiny" => WorkloadConfig::tiny(bundle.seed),
+        _ => WorkloadConfig::paper(bundle.seed),
+    };
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let n = opts.points.min(8); // each replay re-runs the job
+    let points = analysis.select_points(n, split_seed(opts.seed, 0x5E1E));
+    let unit_instrs = bundle.trace.unit_instrs;
+    let warmup = unit_instrs;
+    println!(
+        "{}: replaying {} points (cold restart, {} instruction warm-up)",
+        bundle.label,
+        points.len(),
+        warmup
+    );
+    println!("{:>7} {:>10} {:>10} {:>8}", "unit", "profiled", "replayed", "delta");
+    let mut total = 0.0;
+    let mut count = 0.0;
+    for &unit in &points.points {
+        let profiled = analysis.cpis[unit as usize];
+        match id.replay_unit(&cfg, unit, unit_instrs, warmup) {
+            Some(replayed) => {
+                let delta = (replayed - profiled).abs() / profiled;
+                total += delta;
+                count += 1.0;
+                println!(
+                    "{unit:>7} {profiled:>10.4} {replayed:>10.4} {:>7.1}%",
+                    delta * 100.0
+                );
+            }
+            None => println!("{unit:>7} {profiled:>10.4} {:>10} {:>8}", "-", "n/a"),
+        }
+    }
+    if count > 0.0 {
+        println!("mean per-point replay deviation: {:.1}%", total / count * 100.0);
+    }
+    Ok(())
+}
+
+/// `simprof export -i trace.json -n 20 -o manifest.json` — write the
+/// simulation manifest a detailed simulator consumes (instruction
+/// intervals, warm-up, phase weights for re-aggregation).
+pub fn export(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("export")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
+    let manifest = simprof_core::SimulationManifest::build(&analysis, &bundle.trace, &points);
+    println!(
+        "{}: {} points → {} instructions of detailed simulation ({:.1}% of the job)",
+        bundle.label,
+        manifest.points.len(),
+        manifest.simulated_instrs(),
+        manifest.simulated_instrs() as f64 / bundle.trace.total_instrs() as f64 * 100.0
+    );
+    for p in manifest.points.iter().take(5) {
+        let method = p
+            .dominant_method
+            .map(|m| bundle.registry.name(MethodId(m)).to_owned())
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "  unit {:>5}: instrs [{}, {}) warmup {} | phase {} (w {:.2}) | {}",
+            p.unit, p.start_instr, p.end_instr, p.warmup_instrs, p.phase, p.phase_weight, method
+        );
+    }
+    if manifest.points.len() > 5 {
+        println!("  ... and {} more", manifest.points.len() - 5);
+    }
+    if let Some(path) = &opts.output {
+        std::fs::write(path, serde_json::to_string_pretty(&manifest).unwrap())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `simprof compare -i trace.json -n 20` — all sampling approaches on one
+/// trace (a single-workload Fig. 7 row).
+pub fn compare(opts: &Options) -> Result<(), String> {
+    use simprof_core::{
+        baselines, relative_error, second_points_by_cycles, srs_points, systematic_points,
+    };
+    let bundle = TraceBundle::load(opts.require_input("compare")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let oracle = analysis.oracle_cpi();
+    let n = opts.points;
+    println!("{}: oracle CPI {:.4}, {} units, {} phases", bundle.label, oracle, bundle.trace.units.len(), analysis.k());
+    println!("{:<12} {:>8} {:>10} {:>8}", "approach", "points", "CPI", "error");
+
+    let budget = bundle.trace.total_cycles() / 5;
+    let second = second_points_by_cycles(&bundle.trace, budget);
+    let reps = 20u64;
+    let mut rows: Vec<(&str, usize, f64)> = vec![(
+        "SECOND",
+        second.points.len(),
+        second.predicted_cpi,
+    )];
+    let sys = systematic_points(&bundle.trace, n, 0);
+    rows.push(("SYSTEMATIC", sys.points.len(), sys.predicted_cpi));
+    let mut srs_cpi = 0.0;
+    let mut sp_cpi = 0.0;
+    for rep in 0..reps {
+        let seed = split_seed(opts.seed, 0xC0 + rep);
+        srs_cpi += srs_points(&bundle.trace, n, seed).predicted_cpi;
+        sp_cpi += baselines::simprof_points(&analysis.model, &bundle.trace, n, seed).predicted_cpi;
+    }
+    rows.push(("SRS (avg)", n, srs_cpi / reps as f64));
+    let code = baselines::code_points(&analysis.model, &bundle.trace);
+    rows.push(("CODE", code.points.len(), code.predicted_cpi));
+    rows.push(("SimProf (avg)", n, sp_cpi / reps as f64));
+    for (name, pts, cpi) in rows {
+        println!(
+            "{:<12} {:>8} {:>10.4} {:>7.2}%",
+            name,
+            pts,
+            cpi,
+            relative_error(cpi, oracle) * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `simprof hybrid -i trace.json -n 20` — the SimProf × systematic
+/// estimator at strides 1/2/5/10, with the detailed-simulation budget each
+/// stride needs.
+pub fn hybrid(opts: &Options) -> Result<(), String> {
+    let bundle = TraceBundle::load(opts.require_input("hybrid")?)?;
+    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let oracle = analysis.oracle_cpi();
+    let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
+    println!(
+        "{}: {} points over {} phases; oracle CPI {:.4}",
+        bundle.label,
+        points.len(),
+        analysis.k(),
+        oracle
+    );
+    println!(
+        "{:>7} {:>10} {:>10} {:>14} {:>12}",
+        "stride", "CPI", "error", "sim instrs", "reduction"
+    );
+    for stride in [1usize, 2, 5, 10] {
+        let h = simprof_core::estimate_hybrid(
+            &bundle.trace,
+            &analysis.model.assignments,
+            &points,
+            stride,
+            opts.z,
+        );
+        println!(
+            "{:>7} {:>10.4} {:>9.2}% {:>14} {:>11.1}%",
+            stride,
+            h.mean_cpi,
+            (h.mean_cpi - oracle).abs() / oracle * 100.0,
+            h.simulated_instrs,
+            h.slice_reduction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `simprof sensitivity -w cc_sp [--threshold 0.10]` — Algorithm 1 over the
+/// Table II inputs (graph benchmarks only).
+pub fn sensitivity(opts: &Options) -> Result<(), String> {
+    let label = opts.require_workload("sensitivity")?;
+    let id = find_workload(label)?;
+    if !id.benchmark.is_graph() {
+        return Err(format!(
+            "`sensitivity` needs a graph workload (cc_hp, cc_sp, rank_hp, rank_sp), got {label}"
+        ));
+    }
+    let mut cfg = workload_config(opts);
+    // Same scale bump as the Fig. 12/13 harness (see DESIGN.md).
+    cfg.graph_scale += 1;
+    cfg.graph_degree += 2;
+
+    let train = id.run_full(&cfg);
+    let analysis = pipeline(opts).analyze(&train.trace);
+    println!(
+        "training input Google: {} units, {} phases",
+        train.trace.units.len(),
+        analysis.k()
+    );
+
+    let mut references = Vec::new();
+    let mut names = Vec::new();
+    for &input in GraphInput::ALL.iter().filter(|&&i| i != GraphInput::Google) {
+        let g = Kronecker::for_input(input, cfg.graph_scale, cfg.graph_degree)
+            .generate(split_seed(cfg.seed, 0x6120 + input as u64));
+        let out = id.benchmark.run_on_graph(id.framework, &cfg, &g);
+        println!("  profiled reference {:<10} ({} units)", input.label(), out.trace.units.len());
+        references.push(out.trace);
+        names.push(input.label());
+    }
+    let refs: Vec<&_> = references.iter().collect();
+    let rep = input_sensitivity(&analysis.model, &train.trace, &refs, opts.threshold);
+
+    for h in 0..analysis.k() {
+        let movers: Vec<&str> = rep
+            .per_reference
+            .iter()
+            .zip(&names)
+            .filter(|(p, _)| p[h])
+            .map(|(_, &n)| n)
+            .collect();
+        println!(
+            "phase {h} (weight {:.1}%): {}",
+            analysis.weights[h] * 100.0,
+            if movers.is_empty() {
+                "input INSENSITIVE".into()
+            } else {
+                format!("sensitive — moved by {movers:?}")
+            }
+        );
+    }
+    // §III-D-2: name the methods behind the input-sensitive phases.
+    let methods = rep.sensitive_methods(&analysis.model, 1);
+    if !methods.is_empty() {
+        println!("input-sensitive methods:");
+        for (h, m, w) in methods {
+            println!(
+                "  phase {h}: {:.2}  {}",
+                w,
+                train.registry.name(MethodId(m as u32))
+            );
+        }
+    }
+    let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
+    let frac = rep.sensitive_point_fraction(&points);
+    println!(
+        "{}/{} phases sensitive; reference inputs need {:.0}% of the {}-point budget \
+         ({:.0}% reduction)",
+        rep.sensitive_count(),
+        analysis.k(),
+        frac * 100.0,
+        points.len(),
+        (1.0 - frac) * 100.0
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(s: &str) -> Options {
+        let argv: Vec<String> = s.split_whitespace().map(str::to_owned).collect();
+        Options::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn find_workload_resolves_labels() {
+        assert!(find_workload("wc_sp").is_ok());
+        assert!(find_workload("rank_hp").is_ok());
+        let err = find_workload("nope").unwrap_err();
+        assert!(err.contains("available"), "{err}");
+    }
+
+    #[test]
+    fn profile_analyze_select_roundtrip() {
+        let dir = std::env::temp_dir().join("simprof_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grep.json");
+        let path = path.to_str().unwrap();
+
+        profile(&opts(&format!("-w grep_sp --scale tiny --seed 5 -o {path}"))).unwrap();
+        analyze(&opts(&format!("-i {path}"))).unwrap();
+        select(&opts(&format!("-i {path} -n 5"))).unwrap();
+        size(&opts(&format!("-i {path} --error 0.10"))).unwrap();
+        report(&opts(&format!("-i {path}"))).unwrap();
+        hybrid(&opts(&format!("-i {path} -n 5"))).unwrap();
+        compare(&opts(&format!("-i {path} -n 5"))).unwrap();
+        let manifest_path = dir.join("manifest.json");
+        let manifest_path = manifest_path.to_str().unwrap();
+        export(&opts(&format!("-i {path} -n 5 -o {manifest_path}"))).unwrap();
+        validate(&opts(&format!("-i {path} -n 2"))).unwrap();
+        assert!(std::fs::read_to_string(manifest_path).unwrap().contains("warmup_instrs"));
+        let _ = std::fs::remove_file(manifest_path);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sensitivity_rejects_text_workloads() {
+        let err = sensitivity(&opts("-w wc_sp --scale tiny")).unwrap_err();
+        assert!(err.contains("graph workload"), "{err}");
+    }
+
+    #[test]
+    fn profile_requires_known_workload() {
+        assert!(profile(&opts("-w bogus --scale tiny")).is_err());
+    }
+}

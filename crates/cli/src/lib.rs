@@ -1,0 +1,124 @@
+//! Command-line interface for SimProf.
+//!
+//! The `simprof` binary drives the whole pipeline from a shell:
+//!
+//! ```text
+//! simprof list                                   # the 12-workload matrix
+//! simprof profile -w wc_sp -o wc.json            # run + profile a workload
+//! simprof analyze -i wc.json                     # phases + homogeneity
+//! simprof select  -i wc.json -n 20               # simulation points + CI
+//! simprof size    -i wc.json --error 0.05        # required sample size
+//! simprof report  -i wc.json                     # per-phase method report
+//! simprof sensitivity -w cc_sp                   # Algorithm 1 over Table II
+//! ```
+//!
+//! Traces are stored as JSON [`bundle::TraceBundle`]s (profile + method
+//! registry + provenance), so an `analyze`/`select` run can happen on a
+//! different machine than the `profile` run — mirroring the paper's
+//! profile-on-hardware / simulate-elsewhere workflow.
+
+pub mod args;
+pub mod bundle;
+pub mod commands;
+
+use std::process::ExitCode;
+
+/// Entry point shared by the binary and the integration tests.
+pub fn run(argv: &[String]) -> ExitCode {
+    match dispatch(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses and executes one invocation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (command, rest) = argv.split_first().ok_or_else(usage)?;
+    let opts = args::Options::parse(rest)?;
+    match command.as_str() {
+        "list" => commands::list(&opts),
+        "profile" => commands::profile(&opts),
+        "analyze" => commands::analyze(&opts),
+        "select" => commands::select(&opts),
+        "size" => commands::size(&opts),
+        "report" => commands::report(&opts),
+        "hybrid" => commands::hybrid(&opts),
+        "compare" => commands::compare(&opts),
+        "export" => commands::export(&opts),
+        "validate" => commands::validate(&opts),
+        "sensitivity" => commands::sensitivity(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+simprof — sampling framework for data analytic workloads (IPDPS'17)
+
+USAGE:
+    simprof <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list          List the available workloads (Table I matrix)
+    profile       Run a workload on the simulated substrate and save a trace
+    analyze       Form phases on a trace and print the homogeneity analysis
+    select        Select simulation points by stratified random sampling
+    size          Solve the required sample size for a target error bound
+    report        Per-phase report: weights, CPI stats, characteristic methods
+    hybrid        SimProf × systematic sub-unit estimator (error vs budget)
+    compare       All sampling approaches on one trace (a Fig. 7 row)
+    export        Write a simulation manifest for a detailed simulator
+    validate      Replay selected points in isolation and compare CPIs
+    sensitivity   Input-sensitivity study (Algorithm 1) over the Table II graphs
+    help          Show this message
+
+OPTIONS:
+    -w, --workload <LABEL>   Workload label (wc_sp, sort_hp, ...); see `list`
+    -i, --input <FILE>       Input trace bundle (JSON, from `profile`)
+    -o, --output <FILE>      Output file (trace bundle or points JSON)
+    -n, --points <N>         Number of simulation points [default: 20]
+        --seed <N>           Master seed [default: 42]
+        --scale <PRESET>     Workload scale: paper | tiny [default: paper]
+        --error <FRAC>       Target relative error for `size` [default: 0.05]
+        --z <Z>              z-score for confidence intervals [default: 3]
+        --threshold <FRAC>   Sensitivity threshold for Eq. 6 [default: 0.10]
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert!(dispatch(&argv("help")).is_ok());
+    }
+
+    #[test]
+    fn empty_invocation_is_an_error() {
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn list_runs() {
+        assert!(dispatch(&argv("list")).is_ok());
+    }
+}

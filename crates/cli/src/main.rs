@@ -1,0 +1,21 @@
+//! The `simprof` binary. See [`simprof_cli`] for the command surface.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Dying with a panic backtrace when stdout closes early
+    // (`simprof list | head`) is hostile for a CLI; exit quietly instead.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info.payload().downcast_ref::<String>().map(String::as_str).or_else(|| {
+            info.payload().downcast_ref::<&str>().copied()
+        });
+        if msg.is_some_and(|m| m.contains("Broken pipe")) {
+            std::process::exit(0);
+        }
+        default_hook(info);
+    }));
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    simprof_cli::run(&argv)
+}

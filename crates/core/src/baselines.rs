@@ -1,0 +1,252 @@
+//! The paper's comparison sampling approaches (§IV-B): SECOND, SRS, CODE —
+//! plus SimProf itself behind the same interface for the Fig. 7 sweep.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_profiler::ProfileTrace;
+use simprof_stats::{mean, seeded, srs_indices};
+
+use crate::phases::{phase_weights, PhaseModel};
+use crate::sampling::{central_units, estimate_stratified, select_points};
+
+/// Identifies a sampling approach in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplerKind {
+    /// Single contiguous N-second interval.
+    Second,
+    /// Simple random sampling.
+    Srs,
+    /// SimPoint-like: one most-central point per code phase.
+    Code,
+    /// SMARTS-style systematic sampling over units.
+    Systematic,
+    /// SimProf: stratified random sampling with optimal allocation.
+    SimProf,
+}
+
+impl SamplerKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SamplerKind::Second => "SECOND",
+            SamplerKind::Srs => "SRS",
+            SamplerKind::Code => "CODE",
+            SamplerKind::Systematic => "SYSTEMATIC",
+            SamplerKind::SimProf => "SimProf",
+        }
+    }
+}
+
+/// A selected sample and the CPI it predicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sampler {
+    /// Which approach produced it.
+    pub kind: SamplerKind,
+    /// Selected unit ids.
+    pub points: Vec<u64>,
+    /// The approach's CPI prediction from those points.
+    pub predicted_cpi: f64,
+}
+
+/// SECOND: the contiguous run of units from the start of the job whose
+/// cumulative cycles first reach `cycle_budget` (the paper's "10 seconds",
+/// expressed in simulated cycles). Always includes at least one unit.
+///
+/// The predicted CPI is the plain mean over the window — the window is the
+/// sample.
+pub fn second_points_by_cycles(trace: &ProfileTrace, cycle_budget: u64) -> Sampler {
+    let mut points = Vec::new();
+    let mut cycles = 0u64;
+    for u in &trace.units {
+        points.push(u.id);
+        cycles += u.counters.cycles;
+        if cycles >= cycle_budget {
+            break;
+        }
+    }
+    let cpis: Vec<f64> = points.iter().map(|&i| trace.units[i as usize].cpi()).collect();
+    Sampler { kind: SamplerKind::Second, points, predicted_cpi: mean(&cpis) }
+}
+
+/// SRS: `n` units uniformly at random; prediction is the sample mean.
+pub fn srs_points(trace: &ProfileTrace, n: usize, seed: u64) -> Sampler {
+    let ids = srs_indices(trace.units.len(), n, &mut seeded(seed));
+    let cpis: Vec<f64> = ids.iter().map(|&i| trace.units[i].cpi()).collect();
+    Sampler {
+        kind: SamplerKind::Srs,
+        points: ids.into_iter().map(|i| i as u64).collect(),
+        predicted_cpi: mean(&cpis),
+    }
+}
+
+/// CODE: the SimPoint-like baseline — one simulation point per phase, the
+/// unit closest to the phase center; prediction is the phase-weighted mean
+/// of those points' CPIs. Uses only the code signature (no variance-aware
+/// allocation), which is exactly what the paper contrasts SimProf against.
+pub fn code_points(model: &PhaseModel, trace: &ProfileTrace) -> Sampler {
+    let features = model.space.project(trace);
+    let centers = central_units(&features, &model.centers, &model.assignments);
+    let weights = phase_weights(&model.assignments, model.k());
+    let mut predicted = 0.0;
+    let mut points = Vec::new();
+    for (h, pick) in centers.iter().enumerate() {
+        if let Some(id) = pick {
+            points.push(*id);
+            predicted += weights[h] * trace.units[*id as usize].cpi();
+        }
+    }
+    points.sort_unstable();
+    Sampler { kind: SamplerKind::Code, points, predicted_cpi: predicted }
+}
+
+/// SMARTS-style systematic sampling over whole units: every `n`-th of the
+/// trace's units, starting at `offset`; prediction is the sample mean.
+/// This is the Wunderlich et al. baseline the paper's related work
+/// discusses — cheap to profile (no call stacks needed) but blind to code
+/// structure.
+pub fn systematic_points(trace: &ProfileTrace, n: usize, offset: usize) -> Sampler {
+    let ids = simprof_stats::systematic_indices(trace.units.len(), n, offset);
+    let cpis: Vec<f64> = ids.iter().map(|&i| trace.units[i].cpi()).collect();
+    Sampler {
+        kind: SamplerKind::Systematic,
+        points: ids.into_iter().map(|i| i as u64).collect(),
+        predicted_cpi: mean(&cpis),
+    }
+}
+
+/// SimProf: stratified random sampling with optimal allocation over the
+/// model's phases; prediction is the stratified estimator.
+pub fn simprof_points(model: &PhaseModel, trace: &ProfileTrace, n: usize, seed: u64) -> Sampler {
+    let cpis = trace.cpis();
+    let pts = select_points(&cpis, &model.assignments, model.k(), n, &mut seeded(seed));
+    let est = estimate_stratified(&cpis, &model.assignments, &pts, 3.0);
+    Sampler { kind: SamplerKind::SimProf, points: pts.points, predicted_cpi: est.mean_cpi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::form_phases;
+    use crate::pipeline::SimProfConfig;
+    use simprof_engine::MethodId;
+    use simprof_profiler::SamplingUnit;
+    use simprof_sim::Counters;
+
+    /// Two-stage trace: first 30 units cheap map units (method 1), last 30
+    /// expensive reduce units (method 2).
+    fn staged_trace() -> ProfileTrace {
+        let units = (0..60u64)
+            .map(|i| {
+                let first = i < 30;
+                let jitter = (i % 7) * 13;
+                let (m, cycles) = if first { (1, 800 + jitter) } else { (2, 2900 + jitter) };
+                SamplingUnit {
+                    id: i,
+                    histogram: vec![(MethodId(0), 10), (MethodId(m), 9)],
+                    snapshots: 10,
+                    counters: Counters { instructions: 1000, cycles, ..Default::default() },
+                    slices: Vec::new(),
+                }
+            })
+            .collect();
+        ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
+    }
+
+    #[test]
+    fn second_takes_contiguous_prefix() {
+        let t = staged_trace();
+        // Budget of ~5 cheap units.
+        let s = second_points_by_cycles(&t, 4000);
+        assert!(s.points.len() >= 5);
+        let expect: Vec<u64> = (0..s.points.len() as u64).collect();
+        assert_eq!(s.points, expect, "contiguous from start");
+        // It never saw the expensive second stage → biased low.
+        assert!(s.predicted_cpi < 1.0, "{}", s.predicted_cpi);
+    }
+
+    #[test]
+    fn second_biased_against_late_stages() {
+        let t = staged_trace();
+        let s = second_points_by_cycles(&t, 30_000);
+        let oracle = t.oracle_cpi();
+        assert!(
+            (s.predicted_cpi - oracle).abs() / oracle > 0.2,
+            "window missing the reduce stage must be off: {} vs {}",
+            s.predicted_cpi,
+            oracle
+        );
+    }
+
+    #[test]
+    fn second_budget_larger_than_job_takes_everything() {
+        let t = staged_trace();
+        let s = second_points_by_cycles(&t, u64::MAX);
+        assert_eq!(s.points.len(), 60);
+        assert!((s.predicted_cpi - t.oracle_cpi()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn srs_is_seeded_and_unbiased_on_average() {
+        let t = staged_trace();
+        let a = srs_points(&t, 10, 7);
+        let b = srs_points(&t, 10, 7);
+        assert_eq!(a.points, b.points);
+        let oracle = t.oracle_cpi();
+        let avg: f64 =
+            (0..300).map(|s| srs_points(&t, 10, s).predicted_cpi).sum::<f64>() / 300.0;
+        assert!((avg - oracle).abs() / oracle < 0.05, "{avg} vs {oracle}");
+    }
+
+    #[test]
+    fn code_one_point_per_phase() {
+        let t = staged_trace();
+        let model = form_phases(&t, &SimProfConfig { seed: 5, ..Default::default() });
+        assert_eq!(model.k(), 2);
+        let c = code_points(&model, &t);
+        assert_eq!(c.points.len(), 2);
+        let oracle = t.oracle_cpi();
+        assert!(
+            (c.predicted_cpi - oracle).abs() / oracle < 0.15,
+            "phase-weighted centers land near oracle: {} vs {}",
+            c.predicted_cpi,
+            oracle
+        );
+    }
+
+    #[test]
+    fn simprof_beats_second_on_staged_trace() {
+        let t = staged_trace();
+        let model = form_phases(&t, &SimProfConfig { seed: 5, ..Default::default() });
+        let oracle = t.oracle_cpi();
+        let sp = simprof_points(&model, &t, 12, 11);
+        let sp_err = (sp.predicted_cpi - oracle).abs() / oracle;
+        let sec = second_points_by_cycles(&t, 30_000);
+        let sec_err = (sec.predicted_cpi - oracle).abs() / oracle;
+        assert!(sp_err < sec_err, "simprof {sp_err} < second {sec_err}");
+        assert_eq!(sp.points.len(), 12);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SamplerKind::Second.label(), "SECOND");
+        assert_eq!(SamplerKind::Systematic.label(), "SYSTEMATIC");
+        assert_eq!(SamplerKind::SimProf.label(), "SimProf");
+    }
+
+    #[test]
+    fn systematic_spans_the_job() {
+        let t = staged_trace();
+        let s = systematic_points(&t, 10, 0);
+        assert_eq!(s.points.len(), 10);
+        // Covers both stages (unlike SECOND).
+        assert!(s.points.iter().any(|&p| p < 30));
+        assert!(s.points.iter().any(|&p| p >= 30));
+        let oracle = t.oracle_cpi();
+        assert!(
+            (s.predicted_cpi - oracle).abs() / oracle < 0.1,
+            "periodic coverage tracks the stage mix: {} vs {}",
+            s.predicted_cpi,
+            oracle
+        );
+    }
+}

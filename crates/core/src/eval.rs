@@ -1,0 +1,148 @@
+//! Evaluation helpers: sampling-error metrics (Fig. 7) and phase-type
+//! labelling (Figs. 9–10).
+
+use serde::{Deserialize, Serialize};
+
+use simprof_engine::{MethodRegistry, OpClass};
+use simprof_profiler::ProfileTrace;
+
+use crate::phases::PhaseModel;
+
+/// Relative error of a predicted CPI against the oracle (|pred − oracle| /
+/// oracle). Returns `0` when the oracle is zero.
+pub fn relative_error(predicted: f64, oracle: f64) -> f64 {
+    if oracle == 0.0 {
+        0.0
+    } else {
+        (predicted - oracle).abs() / oracle
+    }
+}
+
+/// One row of the Fig. 10 phase-type breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTypeShare {
+    /// The operation class.
+    pub class: OpClass,
+    /// Fraction of sampling units whose phase is dominated by this class.
+    pub share: f64,
+}
+
+/// Labels each phase with its dominant operation class.
+///
+/// A phase's label is the class with the largest total snapshot weight in the
+/// phase's unit histograms, ignoring framework methods — the paper's "the
+/// type of the phase depends on the dominant operation" (§IV-D). Returns one
+/// class per phase; phases containing only framework methods are labelled
+/// [`OpClass::Framework`].
+pub fn phase_types(
+    model: &PhaseModel,
+    trace: &ProfileTrace,
+    registry: &MethodRegistry,
+) -> Vec<OpClass> {
+    let k = model.k();
+    // weight[phase][class]
+    let mut weight = vec![[0u64; OpClass::ALL.len()]; k];
+    for (unit, &phase) in trace.units.iter().zip(&model.assignments) {
+        for &(m, count) in &unit.histogram {
+            let class = registry.class(m);
+            let ci = OpClass::ALL.iter().position(|&c| c == class).expect("class in ALL");
+            weight[phase][ci] += count as u64;
+        }
+    }
+    weight
+        .iter()
+        .map(|w| {
+            let best_non_framework = OpClass::ALL
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c != OpClass::Framework)
+                .max_by_key(|&(i, _)| w[i]);
+            match best_non_framework {
+                Some((i, &c)) if w[i] > 0 => c,
+                _ => OpClass::Framework,
+            }
+        })
+        .collect()
+}
+
+/// The Fig. 10 distribution: per class, the fraction of sampling units that
+/// belong to phases of that class.
+pub fn phase_type_distribution(
+    model: &PhaseModel,
+    trace: &ProfileTrace,
+    registry: &MethodRegistry,
+) -> Vec<PhaseTypeShare> {
+    let types = phase_types(model, trace, registry);
+    let total = model.assignments.len().max(1) as f64;
+    let mut unit_count = [0usize; OpClass::ALL.len()];
+    for &phase in &model.assignments {
+        let ci = OpClass::ALL.iter().position(|&c| c == types[phase]).expect("class in ALL");
+        unit_count[ci] += 1;
+    }
+    OpClass::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &class)| PhaseTypeShare { class, share: unit_count[i] as f64 / total })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phases::form_phases;
+    use crate::pipeline::SimProfConfig;
+    use simprof_engine::MethodId;
+    use simprof_profiler::SamplingUnit;
+    use simprof_sim::Counters;
+
+    #[test]
+    fn relative_error_basic() {
+        assert_eq!(relative_error(1.1, 1.0), 0.10000000000000009);
+        assert_eq!(relative_error(0.9, 1.0), 0.09999999999999998);
+        assert_eq!(relative_error(5.0, 0.0), 0.0);
+    }
+
+    fn typed_trace(registry: &mut MethodRegistry) -> ProfileTrace {
+        let fw = registry.intern("Executor.run", OpClass::Framework);
+        let map = registry.intern("Mapper.map", OpClass::Map);
+        let sort = registry.intern("Quick.sort", OpClass::Sort);
+        let mk = |id: u64, m: MethodId, cycles: u64| SamplingUnit {
+            id,
+            histogram: vec![(fw, 10), (m, 9)],
+            snapshots: 10,
+            counters: Counters { instructions: 1000, cycles, ..Default::default() },
+            slices: Vec::new(),
+        };
+        let mut units: Vec<SamplingUnit> =
+            (0..24).map(|i| mk(i, map, 900 + (i % 3) * 10)).collect();
+        units.extend((24..32).map(|i| mk(i, sort, 3000 + (i % 3) * 10)));
+        ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
+    }
+
+    #[test]
+    fn phases_labelled_by_dominant_class() {
+        let mut reg = MethodRegistry::new();
+        let t = typed_trace(&mut reg);
+        let model = form_phases(&t, &SimProfConfig { seed: 3, ..Default::default() });
+        assert_eq!(model.k(), 2);
+        let types = phase_types(&model, &t, &reg);
+        let map_phase = model.assignments[0];
+        let sort_phase = model.assignments[31];
+        assert_eq!(types[map_phase], OpClass::Map);
+        assert_eq!(types[sort_phase], OpClass::Sort);
+    }
+
+    #[test]
+    fn distribution_weights_by_units() {
+        let mut reg = MethodRegistry::new();
+        let t = typed_trace(&mut reg);
+        let model = form_phases(&t, &SimProfConfig { seed: 3, ..Default::default() });
+        let dist = phase_type_distribution(&model, &t, &reg);
+        let total: f64 = dist.iter().map(|d| d.share).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let map_share = dist.iter().find(|d| d.class == OpClass::Map).unwrap().share;
+        let sort_share = dist.iter().find(|d| d.class == OpClass::Sort).unwrap().share;
+        assert!((map_share - 0.75).abs() < 1e-12, "{map_share}");
+        assert!((sort_share - 0.25).abs() < 1e-12, "{sort_share}");
+    }
+}

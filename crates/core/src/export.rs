@@ -1,0 +1,197 @@
+//! Simulation-manifest export: what a detailed microarchitectural simulator
+//! actually consumes.
+//!
+//! The paper's workflow ends with "users simulate the simulation points and
+//! estimate the sampling error" (§III-C) — the selected unit ids must reach
+//! a simulator together with everything needed to (a) position each point in
+//! the instruction stream, (b) warm up before measuring, and (c) re-aggregate
+//! per-point results into a job-level estimate. [`SimulationManifest`]
+//! packages exactly that, per point: the instruction interval on the
+//! profiled thread, a warm-up prefix, the owning phase and its weight, and
+//! the phase's characteristic method (so an architect knows what each point
+//! *is*, the paper's method-level interpretability claim).
+
+use serde::{Deserialize, Serialize};
+
+use simprof_profiler::ProfileTrace;
+
+use crate::phases::PhaseModel;
+use crate::pipeline::Analysis;
+use crate::sampling::SimulationPoints;
+
+/// One simulation point, ready for a detailed simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestPoint {
+    /// Sampling-unit id (the paper's simulation-point name).
+    pub unit: u64,
+    /// First instruction of the measured interval on the profiled thread.
+    pub start_instr: u64,
+    /// One past the last instruction of the measured interval.
+    pub end_instr: u64,
+    /// Suggested functional warm-up prefix (instructions before
+    /// `start_instr` to execute without measuring; one unit by default, the
+    /// paper's cold-start guard).
+    pub warmup_instrs: u64,
+    /// Phase the point samples.
+    pub phase: usize,
+    /// The phase's population weight `N_h / N` (for re-aggregation).
+    pub phase_weight: f64,
+    /// Number of points sampled from this phase (`n_h`; the per-point
+    /// aggregation weight is `phase_weight / points_in_phase`).
+    pub points_in_phase: usize,
+    /// The phase's most characteristic method id, if any — the architect's
+    /// handle on what this point executes.
+    pub dominant_method: Option<u32>,
+    /// The profiled CPI of the unit (for validating the simulator against
+    /// the profile, §I's "validation is done against a real machine").
+    pub profiled_cpi: f64,
+}
+
+/// A complete export of one selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationManifest {
+    /// Sampling-unit size in instructions.
+    pub unit_instrs: u64,
+    /// Total units in the profiled job (for context/weighting).
+    pub total_units: usize,
+    /// The points, ordered by unit id.
+    pub points: Vec<ManifestPoint>,
+}
+
+impl SimulationManifest {
+    /// Builds the manifest from an analysis and a selection made on it.
+    pub fn build(
+        analysis: &Analysis,
+        trace: &ProfileTrace,
+        points: &SimulationPoints,
+    ) -> SimulationManifest {
+        let model: &PhaseModel = &analysis.model;
+        let unit_instrs = trace.unit_instrs;
+        let mut out = Vec::with_capacity(points.points.len());
+        for (phase, ids) in points.per_phase.iter().enumerate() {
+            let dominant = model.top_methods(phase, 1).first().map(|&(m, _)| m as u32);
+            for &unit in ids {
+                out.push(ManifestPoint {
+                    unit,
+                    start_instr: unit * unit_instrs,
+                    end_instr: (unit + 1) * unit_instrs,
+                    warmup_instrs: unit_instrs.min(unit * unit_instrs),
+                    phase,
+                    phase_weight: analysis.weights[phase],
+                    points_in_phase: ids.len(),
+                    dominant_method: dominant,
+                    profiled_cpi: analysis.cpis[unit as usize],
+                });
+            }
+        }
+        out.sort_by_key(|p| p.unit);
+        SimulationManifest { unit_instrs, total_units: trace.units.len(), points: out }
+    }
+
+    /// Re-aggregates per-point simulated CPIs into the job-level stratified
+    /// estimate — the inverse of the export, run after simulation. `results`
+    /// maps unit id → simulated CPI and must cover every manifest point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unit id missing from `results`.
+    pub fn aggregate(&self, results: &std::collections::HashMap<u64, f64>) -> Result<f64, u64> {
+        let mut estimate = 0.0;
+        for p in &self.points {
+            let cpi = results.get(&p.unit).copied().ok_or(p.unit)?;
+            estimate += p.phase_weight * cpi / p.points_in_phase as f64;
+        }
+        Ok(estimate)
+    }
+
+    /// Total instructions of detailed simulation the manifest demands
+    /// (measurement only, excluding warm-up).
+    pub fn simulated_instrs(&self) -> u64 {
+        self.points.len() as u64 * self.unit_instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{SimProf, SimProfConfig};
+    use simprof_engine::MethodId;
+    use simprof_profiler::SamplingUnit;
+    use simprof_sim::Counters;
+    use std::collections::HashMap;
+
+    fn trace() -> ProfileTrace {
+        let units = (0..30u64)
+            .map(|i| {
+                let first = i < 20;
+                let (m, cycles) = if first { (1, 1000 + (i % 4) * 20) } else { (2, 3000 + (i % 4) * 30) };
+                SamplingUnit {
+                    id: i,
+                    histogram: vec![(MethodId(0), 10), (MethodId(m), 9)],
+                    snapshots: 10,
+                    counters: Counters { instructions: 1000, cycles, ..Default::default() },
+                    slices: Vec::new(),
+                }
+            })
+            .collect();
+        ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
+    }
+
+    fn setup() -> (ProfileTrace, Analysis, SimulationPoints) {
+        let t = trace();
+        let a = SimProf::new(SimProfConfig { seed: 3, ..Default::default() }).analyze(&t);
+        let pts = a.select_points(8, 5);
+        (t, a, pts)
+    }
+
+    #[test]
+    fn manifest_positions_points_in_instruction_stream() {
+        let (t, a, pts) = setup();
+        let m = SimulationManifest::build(&a, &t, &pts);
+        assert_eq!(m.points.len(), pts.len());
+        assert_eq!(m.simulated_instrs(), 8 * 1000);
+        for p in &m.points {
+            assert_eq!(p.start_instr, p.unit * 1000);
+            assert_eq!(p.end_instr - p.start_instr, 1000);
+            assert!(p.warmup_instrs <= p.start_instr, "warm-up fits before the interval");
+            assert!(p.phase < a.k());
+            assert!(p.points_in_phase >= 1);
+            assert!(p.dominant_method.is_some());
+        }
+        // Ordered by unit id.
+        assert!(m.points.windows(2).all(|w| w[0].unit < w[1].unit));
+        // Unit 0 cannot have warm-up before instruction 0.
+        if let Some(p0) = m.points.iter().find(|p| p.unit == 0) {
+            assert_eq!(p0.warmup_instrs, 0);
+        }
+    }
+
+    #[test]
+    fn aggregate_reproduces_stratified_estimate() {
+        let (t, a, pts) = setup();
+        let m = SimulationManifest::build(&a, &t, &pts);
+        // A perfect simulator returns exactly the profiled CPIs.
+        let results: HashMap<u64, f64> =
+            m.points.iter().map(|p| (p.unit, p.profiled_cpi)).collect();
+        let est = m.aggregate(&results).unwrap();
+        let reference = a.estimate(&pts, 3.0).mean_cpi;
+        assert!((est - reference).abs() < 1e-12, "{est} vs {reference}");
+    }
+
+    #[test]
+    fn aggregate_reports_missing_points() {
+        let (t, a, pts) = setup();
+        let m = SimulationManifest::build(&a, &t, &pts);
+        let missing = m.aggregate(&HashMap::new()).unwrap_err();
+        assert_eq!(missing, m.points[0].unit);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (t, a, pts) = setup();
+        let m = SimulationManifest::build(&a, &t, &pts);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SimulationManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

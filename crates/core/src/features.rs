@@ -1,0 +1,167 @@
+//! Vectorization and feature selection (§III-B, Fig. 5).
+//!
+//! Each sampling unit becomes a feature vector whose dimensions are methods
+//! and whose values are the fraction of the unit's call-stack snapshots that
+//! contained the method (normalizing by snapshot count makes units with
+//! different snapshot counts comparable). The dimensionality is the number
+//! of unique methods in the whole job, so every vector has the same shape.
+//!
+//! Because "a feature vector can easily have thousands of dimensions", the
+//! paper selects the top-K (= 100) methods most correlated with performance
+//! (IPC) using the univariate linear-regression test, which also eliminates
+//! the executor-startup methods present in every stack.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_profiler::ProfileTrace;
+use simprof_stats::{select_top_k, Matrix};
+
+/// Vectorizes a trace into the full (unselected) feature matrix:
+/// `units × method_universe`.
+pub fn vectorize(trace: &ProfileTrace) -> Matrix {
+    vectorize_with_dim(trace, trace.method_universe())
+}
+
+/// Vectorizes with an explicit dimensionality.
+///
+/// Used to classify a *reference* input's units in the *training* input's
+/// feature space: methods unknown to the training run (ids ≥ `dim`) are
+/// dropped, which mirrors the paper's unit classification — only methods the
+/// phase centers know about can influence the distance.
+pub fn vectorize_with_dim(trace: &ProfileTrace, dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(trace.units.len(), dim);
+    for (i, unit) in trace.units.iter().enumerate() {
+        if unit.snapshots == 0 {
+            continue;
+        }
+        let inv = 1.0 / unit.snapshots as f64;
+        let row = m.row_mut(i);
+        for &(method, count) in &unit.histogram {
+            if method.index() < dim {
+                row[method.index()] = count as f64 * inv;
+            }
+        }
+    }
+    m
+}
+
+/// A fitted feature space: which method columns survived selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpace {
+    /// Dimensionality of the full vectors this space was fitted on.
+    pub full_dim: usize,
+    /// Kept column indices (method ids), in descending score order.
+    pub columns: Vec<usize>,
+}
+
+impl FeatureSpace {
+    /// Fits the space on a training trace: scores every method column
+    /// against per-unit IPC and keeps the top `k`.
+    pub fn fit(trace: &ProfileTrace, k: usize) -> (Self, Matrix) {
+        let full = vectorize(trace);
+        let ipcs = trace.ipcs();
+        let (projected, columns) = select_top_k(&full, &ipcs, k);
+        (Self { full_dim: full.cols(), columns }, projected)
+    }
+
+    /// Projects a trace into this space (handles traces whose method
+    /// universe differs from the training run's).
+    pub fn project(&self, trace: &ProfileTrace) -> Matrix {
+        let full = vectorize_with_dim(trace, self.full_dim);
+        full.select_columns(&self.columns)
+    }
+
+    /// Number of selected features.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_engine::MethodId;
+    use simprof_profiler::SamplingUnit;
+    use simprof_sim::Counters;
+
+    fn unit(id: u64, hist: Vec<(u32, u32)>, snapshots: u32, cycles: u64) -> SamplingUnit {
+        SamplingUnit {
+            id,
+            histogram: hist.into_iter().map(|(m, c)| (MethodId(m), c)).collect(),
+            snapshots,
+            counters: Counters { instructions: 1000, cycles, ..Default::default() },
+            slices: Vec::new(),
+        }
+    }
+
+    fn trace(units: Vec<SamplingUnit>) -> ProfileTrace {
+        ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
+    }
+
+    #[test]
+    fn vectorize_normalizes_by_snapshots() {
+        let t = trace(vec![unit(0, vec![(0, 5), (2, 10)], 10, 1000)]);
+        let m = vectorize(&t);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.row(0), &[0.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn vectorize_zero_snapshot_unit_is_zero_row() {
+        let t = trace(vec![unit(0, vec![], 0, 1000), unit(1, vec![(1, 1)], 1, 1000)]);
+        let m = vectorize(&t);
+        assert_eq!(m.row(0), &[0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn vectorize_with_dim_drops_unknown_methods() {
+        let t = trace(vec![unit(0, vec![(0, 1), (5, 1)], 1, 1000)]);
+        let m = vectorize_with_dim(&t, 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn fit_selects_performance_correlated_method() {
+        // Method 0 present in all units (framework-like, constant).
+        // Method 1 tracks fast units, method 2 tracks slow units.
+        let units = (0..12)
+            .map(|i| {
+                let slow = i % 2 == 0;
+                let cycles = if slow { 3000 + (i as u64 % 3) * 10 } else { 900 + (i as u64 % 3) * 10 };
+                let hist =
+                    if slow { vec![(0, 10), (2, 9)] } else { vec![(0, 10), (1, 9)] };
+                unit(i as u64, hist, 10, cycles)
+            })
+            .collect();
+        let t = trace(units);
+        let (space, projected) = FeatureSpace::fit(&t, 2);
+        assert_eq!(space.dim(), 2);
+        assert!(space.columns.contains(&1) && space.columns.contains(&2), "{:?}", space.columns);
+        assert!(!space.columns.contains(&0), "constant method must be eliminated");
+        assert_eq!(projected.cols(), 2);
+        assert_eq!(projected.rows(), 12);
+    }
+
+    #[test]
+    fn project_matches_fit_on_same_trace() {
+        let t = trace(vec![
+            unit(0, vec![(0, 10), (1, 5)], 10, 1000),
+            unit(1, vec![(0, 10), (1, 1)], 10, 2500),
+            unit(2, vec![(0, 10), (1, 6)], 10, 1100),
+            unit(3, vec![(0, 10)], 10, 2400),
+        ]);
+        let (space, fitted) = FeatureSpace::fit(&t, 5);
+        let projected = space.project(&t);
+        assert_eq!(fitted, projected);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = FeatureSpace { full_dim: 10, columns: vec![3, 7] };
+        let back: FeatureSpace = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,51 @@
+//! SimProf core — the paper's contribution (§III).
+//!
+//! Given a [`simprof_profiler::ProfileTrace`] (sampling units with call-stack
+//! method histograms and hardware counters), this crate:
+//!
+//! 1. **Forms phases** ([`features`], [`phases`]): vectorizes units into
+//!    method-frequency feature vectors, keeps the top-K methods most
+//!    correlated with IPC (univariate regression test), clusters with
+//!    k-means, and selects the number of phases with the silhouette 90 %
+//!    rule.
+//! 2. **Samples phases** ([`sampling`]): stratified random sampling with
+//!    Neyman optimal allocation (Eq. 1) picks the final *simulation points*;
+//!    the stratified standard error (Eq. 4) bounds the CPI sampling error
+//!    and drives the required-sample-size solver (Fig. 8).
+//! 3. **Tests input sensitivity** ([`sensitivity`]): classifies a reference
+//!    input's units against the training input's phase centers and flags
+//!    phases whose CPI mean or stddev moves by more than 10 % (Eq. 6,
+//!    Algorithm 1), letting input-insensitive phases be skipped.
+//!
+//! [`baselines`] implements the paper's comparison points (SECOND, SRS,
+//! CODE), [`eval`] the error metrics and phase-type labelling, [`hybrid`]
+//! the paper's stated future work (systematic SMARTS-style sub-unit
+//! sampling nested inside the stratified selection), and [`pipeline`] a
+//! convenience façade ([`SimProf`]) tying it all together.
+
+pub mod baselines;
+pub mod eval;
+pub mod export;
+pub mod features;
+pub mod hybrid;
+pub mod phases;
+pub mod pipeline;
+pub mod sampling;
+pub mod sensitivity;
+
+pub use baselines::{
+    code_points, second_points_by_cycles, simprof_points, srs_points, systematic_points, Sampler,
+    SamplerKind,
+};
+pub use eval::{phase_type_distribution, phase_types, relative_error, PhaseTypeShare};
+pub use features::{vectorize, vectorize_with_dim, FeatureSpace};
+pub use export::{ManifestPoint, SimulationManifest};
+pub use hybrid::{estimate_hybrid, HybridEstimate};
+pub use phases::{
+    classify_units, form_phases, homogeneity, phase_stats, phase_weights, PhaseModel,
+};
+pub use pipeline::{Analysis, SimProf, SimProfConfig};
+pub use sampling::{
+    estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
+};
+pub use sensitivity::{input_sensitivity, phase_sensitive, trimmed_phase_stats, SensitivityReport};

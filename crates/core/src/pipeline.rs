@@ -1,0 +1,176 @@
+//! End-to-end convenience API: [`SimProf`] bundles the whole §III pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_profiler::ProfileTrace;
+use simprof_stats::{seeded, CovTriple, Summary};
+
+use crate::phases::{form_phases, homogeneity, phase_stats, phase_weights, PhaseModel};
+use crate::sampling::{
+    estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
+};
+
+/// Pipeline parameters, defaulting to the paper's published settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimProfConfig {
+    /// Number of regression-selected features (the paper uses K = 100).
+    pub top_k: usize,
+    /// Maximum number of phases swept (the paper caps at 20).
+    pub k_max: usize,
+    /// Silhouette threshold: smallest k within this fraction of the best
+    /// score wins (the paper uses 90 %).
+    pub silhouette_threshold: f64,
+    /// Minimum best silhouette for any multi-phase structure to be accepted;
+    /// below it the trace forms a single phase.
+    pub min_structure: f64,
+    /// Seed for clustering and sampling randomness.
+    pub seed: u64,
+}
+
+impl Default for SimProfConfig {
+    fn default() -> Self {
+        Self { top_k: 100, k_max: 20, silhouette_threshold: 0.9, min_structure: 0.25, seed: 0 }
+    }
+}
+
+/// The SimProf pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct SimProf {
+    config: SimProfConfig,
+}
+
+impl SimProf {
+    /// Creates the pipeline with the given configuration.
+    pub fn new(config: SimProfConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimProfConfig {
+        &self.config
+    }
+
+    /// Runs phase formation + homogeneity analysis on a trace and returns a
+    /// self-contained [`Analysis`].
+    pub fn analyze(&self, trace: &ProfileTrace) -> Analysis {
+        let model = form_phases(trace, &self.config);
+        let cpis = trace.cpis();
+        let k = model.k();
+        let stats = phase_stats(&cpis, &model.assignments, k);
+        let weights = phase_weights(&model.assignments, k);
+        let cov = homogeneity(&cpis, &model.assignments);
+        Analysis { config: self.config, model, cpis, stats, weights, cov }
+    }
+}
+
+/// The result of phase formation on one trace, with everything needed to
+/// sample, estimate, and report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Analysis {
+    /// The configuration the analysis ran with.
+    pub config: SimProfConfig,
+    /// The fitted phase model (feature space + centers + assignments).
+    pub model: PhaseModel,
+    /// Per-unit CPIs of the analyzed trace.
+    pub cpis: Vec<f64>,
+    /// Per-phase CPI summaries.
+    pub stats: Vec<Summary>,
+    /// Per-phase weights `N_h / N`.
+    pub weights: Vec<f64>,
+    /// Fig. 6 homogeneity triple (population / weighted / max CoV).
+    pub cov: CovTriple,
+}
+
+impl Analysis {
+    /// Number of phases.
+    pub fn k(&self) -> usize {
+        self.model.k()
+    }
+
+    /// Oracle CPI (mean over all sampling units).
+    pub fn oracle_cpi(&self) -> f64 {
+        simprof_stats::mean(&self.cpis)
+    }
+
+    /// Selects `n` simulation points by stratified random sampling with
+    /// optimal allocation (§III-C).
+    pub fn select_points(&self, n: usize, seed: u64) -> SimulationPoints {
+        select_points(&self.cpis, &self.model.assignments, self.k(), n, &mut seeded(seed))
+    }
+
+    /// Stratified CPI estimate from a set of points, with its Eq. 4
+    /// confidence interval at z-score `z`.
+    pub fn estimate(&self, points: &SimulationPoints, z: f64) -> Estimate {
+        estimate_stratified(&self.cpis, &self.model.assignments, points, z)
+    }
+
+    /// Required sample size for a relative error of `rel_err` at z-score `z`
+    /// (the Fig. 8 solver; the paper uses z = 3 for the 99.7 % interval).
+    pub fn required_size(&self, z: f64, rel_err: f64) -> usize {
+        required_sample_size(&self.cpis, &self.model.assignments, self.k(), z, rel_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_engine::MethodId;
+    use simprof_profiler::SamplingUnit;
+    use simprof_sim::Counters;
+
+    fn trace() -> ProfileTrace {
+        let units = (0..50u64)
+            .map(|i| {
+                let early = i < 30;
+                let jitter = (i % 6) * 25;
+                let (m, cycles) = if early { (1, 1000 + jitter) } else { (2, 2600 + 10 * jitter) };
+                SamplingUnit {
+                    id: i,
+                    histogram: vec![(MethodId(0), 10), (MethodId(m), 9)],
+                    snapshots: 10,
+                    counters: Counters { instructions: 1000, cycles, ..Default::default() },
+                    slices: Vec::new(),
+                }
+            })
+            .collect();
+        ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
+    }
+
+    #[test]
+    fn analyze_end_to_end() {
+        let t = trace();
+        let analysis = SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t);
+        assert_eq!(analysis.k(), 2);
+        assert_eq!(analysis.weights.iter().sum::<f64>(), 1.0);
+        assert!(analysis.cov.weighted < analysis.cov.population);
+
+        let points = analysis.select_points(15, 7);
+        assert_eq!(points.len(), 15);
+        let est = analysis.estimate(&points, 3.0);
+        let oracle = analysis.oracle_cpi();
+        assert!((est.mean_cpi - oracle).abs() / oracle < 0.25);
+
+        let n5 = analysis.required_size(3.0, 0.05);
+        let n2 = analysis.required_size(3.0, 0.02);
+        assert!(n2 >= n5);
+        assert!(n5 >= analysis.k());
+    }
+
+    #[test]
+    fn analysis_serde_roundtrip() {
+        let t = trace();
+        let analysis = SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t);
+        let json = serde_json::to_string(&analysis).unwrap();
+        let back: Analysis = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.k(), analysis.k());
+        assert_eq!(back.cpis, analysis.cpis);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SimProfConfig::default();
+        assert_eq!(c.top_k, 100);
+        assert_eq!(c.k_max, 20);
+        assert_eq!(c.silhouette_threshold, 0.9);
+    }
+}

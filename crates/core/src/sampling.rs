@@ -1,0 +1,345 @@
+//! Phase sampling (§III-C): stratified random sampling with optimal
+//! allocation, the stratified CPI estimator, its confidence interval, and
+//! the required-sample-size solver.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_stats::{
+    confidence_interval, mean, optimal_allocation, srs_indices, stddev, stratified_se, Matrix,
+    SeedRng, StratumStats,
+};
+
+/// The selected simulation points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationPoints {
+    /// Unit ids (= indices into the trace) of the selected points, ascending.
+    pub points: Vec<u64>,
+    /// Points grouped by phase (`per_phase[h]` are the points of phase `h`).
+    pub per_phase: Vec<Vec<u64>>,
+    /// The optimal allocation that produced them (`n_h` per phase).
+    pub allocation: Vec<usize>,
+}
+
+impl SimulationPoints {
+    /// Total number of simulation points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points were selected.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Share of the total points that falls in each phase (Fig. 11's
+    /// "sample size ratio").
+    pub fn phase_ratios(&self) -> Vec<f64> {
+        let total = self.points.len().max(1) as f64;
+        self.allocation.iter().map(|&n| n as f64 / total).collect()
+    }
+}
+
+/// A stratified CPI estimate with its sampling-error bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The stratified estimate of mean CPI: `Σ W_h · mean(sample_h)`.
+    pub mean_cpi: f64,
+    /// Standard error (Eq. 4).
+    pub se: f64,
+    /// z-score the confidence interval was computed at.
+    pub z: f64,
+    /// Confidence interval (Eqs. 2–3).
+    pub ci: (f64, f64),
+}
+
+/// Population statistics per phase, in the form the allocator needs.
+pub fn strata_of(cpis: &[f64], assignments: &[usize], k: usize) -> Vec<StratumStats> {
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (&c, &a) in cpis.iter().zip(assignments) {
+        buckets[a].push(c);
+    }
+    buckets.iter().map(|b| StratumStats { units: b.len(), stddev: stddev(b) }).collect()
+}
+
+/// Selects `n` simulation points by stratified random sampling: Neyman
+/// optimal allocation across phases, simple random sampling within each
+/// phase (§III-C).
+///
+/// # Examples
+///
+/// ```
+/// use simprof_core::sampling::{estimate_stratified, select_points};
+/// use simprof_stats::seeded;
+///
+/// // 6 units in two phases: quiet phase 0, noisy phase 1.
+/// let cpis = [1.0, 1.0, 1.0, 2.0, 4.0, 6.0];
+/// let assignments = [0, 0, 0, 1, 1, 1];
+/// let points = select_points(&cpis, &assignments, 2, 4, &mut seeded(1));
+/// assert_eq!(points.len(), 4);
+/// assert!(points.allocation[1] >= points.allocation[0]);
+///
+/// let estimate = estimate_stratified(&cpis, &assignments, &points, 3.0);
+/// assert!(estimate.ci.0 <= estimate.mean_cpi && estimate.mean_cpi <= estimate.ci.1);
+/// ```
+pub fn select_points(
+    cpis: &[f64],
+    assignments: &[usize],
+    k: usize,
+    n: usize,
+    rng: &mut SeedRng,
+) -> SimulationPoints {
+    let strata = strata_of(cpis, assignments, k);
+    let allocation = optimal_allocation(n, &strata);
+
+    // Unit ids per phase.
+    let mut members: Vec<Vec<u64>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        members[a].push(i as u64);
+    }
+
+    let mut per_phase: Vec<Vec<u64>> = Vec::with_capacity(k);
+    let mut points = Vec::new();
+    for (h, ids) in members.iter().enumerate() {
+        let picks = srs_indices(ids.len(), allocation[h], rng);
+        let chosen: Vec<u64> = picks.into_iter().map(|i| ids[i]).collect();
+        points.extend_from_slice(&chosen);
+        per_phase.push(chosen);
+    }
+    points.sort_unstable();
+    SimulationPoints { points, per_phase, allocation }
+}
+
+/// The stratified estimator over simulated points: each phase's sample mean
+/// weighted by the phase's population share, with the Eq. 4 standard error.
+///
+/// `s_h` uses the sample stddev when a phase has ≥ 2 points (Eq. 5), with a
+/// guard unique to SimProf's setting: the native profiler already measured
+/// every unit's CPI, so the population σ_h is *known*. When a small sample's
+/// spread collapses to under a tenth of the profiled σ_h (easy with
+/// quantized CPIs and a handful of draws), the known σ_h is used instead —
+/// otherwise the confidence interval would claim near-certainty the sample
+/// cannot support.
+pub fn estimate_stratified(
+    cpis: &[f64],
+    assignments: &[usize],
+    points: &SimulationPoints,
+    z: f64,
+) -> Estimate {
+    let k = points.per_phase.len();
+    let strata = strata_of(cpis, assignments, k);
+    let total_units: usize = strata.iter().map(|s| s.units).sum();
+
+    let mut est = 0.0;
+    let mut se_strata = Vec::with_capacity(k);
+    let mut sizes = Vec::with_capacity(k);
+    for h in 0..k {
+        let sample: Vec<f64> = points.per_phase[h].iter().map(|&id| cpis[id as usize]).collect();
+        let w = strata[h].units as f64 / total_units.max(1) as f64;
+        est += w * mean(&sample);
+        let sample_sd = stddev(&sample);
+        let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * strata[h].stddev {
+            sample_sd
+        } else {
+            strata[h].stddev
+        };
+        se_strata.push(StratumStats { units: strata[h].units, stddev: s_h });
+        sizes.push(sample.len());
+    }
+    let se = stratified_se(&se_strata, &sizes);
+    Estimate { mean_cpi: est, se, z, ci: confidence_interval(est, se, z) }
+}
+
+/// Smallest sample size whose optimally allocated stratified error satisfies
+/// `z · SE ≤ rel_err · oracle_cpi` (the Fig. 8 solver). Uses population
+/// per-phase stddevs, which the profiler knows from the full trace.
+pub fn required_sample_size(
+    cpis: &[f64],
+    assignments: &[usize],
+    k: usize,
+    z: f64,
+    rel_err: f64,
+) -> usize {
+    let strata = strata_of(cpis, assignments, k);
+    let target = rel_err * mean(cpis);
+    simprof_stats::required_sample_size(&strata, z, target).unwrap_or(cpis.len())
+}
+
+/// Distance-to-center per unit, used by the CODE baseline to pick the most
+/// central unit of each phase.
+///
+/// Many units share *identical* feature vectors (same call stacks), so the
+/// minimum distance is usually tied across a large set. Ties resolve to the
+/// median-index unit among the tied set: picking the first would
+/// systematically select each phase's earliest units, which carry cold-start
+/// and ramp-top behaviour and would bias the baseline.
+pub fn central_units(features: &Matrix, centers: &Matrix, assignments: &[usize]) -> Vec<Option<u64>> {
+    let k = centers.rows();
+    const EPS: f64 = 1e-12;
+    let mut min_d: Vec<f64> = vec![f64::INFINITY; k];
+    for (i, &a) in assignments.iter().enumerate() {
+        let d = Matrix::sq_dist(features.row(i), centers.row(a));
+        if d < min_d[a] {
+            min_d[a] = d;
+        }
+    }
+    let mut tied: Vec<Vec<u64>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate() {
+        let d = Matrix::sq_dist(features.row(i), centers.row(a));
+        if d <= min_d[a] + EPS {
+            tied[a].push(i as u64);
+        }
+    }
+    tied.into_iter()
+        .map(|ids| if ids.is_empty() { None } else { Some(ids[ids.len() / 2]) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_stats::seeded;
+
+    /// 60 units: phase 0 (40 units) CPI ~1 stable, phase 1 (20 units) CPI
+    /// ~4 with large spread.
+    fn fixture() -> (Vec<f64>, Vec<usize>) {
+        let mut cpis = Vec::new();
+        let mut asg = Vec::new();
+        for i in 0..40 {
+            cpis.push(1.0 + (i % 4) as f64 * 0.01);
+            asg.push(0);
+        }
+        for i in 0..20 {
+            cpis.push(3.0 + (i % 5) as f64);
+            asg.push(1);
+        }
+        (cpis, asg)
+    }
+
+    #[test]
+    fn allocation_favors_noisy_phase() {
+        let (cpis, asg) = fixture();
+        let pts = select_points(&cpis, &asg, 2, 12, &mut seeded(1));
+        assert_eq!(pts.len(), 12);
+        assert!(pts.allocation[1] > pts.allocation[0], "{:?}", pts.allocation);
+        let ratios = pts.phase_ratios();
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_belong_to_their_phase() {
+        let (cpis, asg) = fixture();
+        let pts = select_points(&cpis, &asg, 2, 10, &mut seeded(2));
+        for (h, ids) in pts.per_phase.iter().enumerate() {
+            for &id in ids {
+                assert_eq!(asg[id as usize], h);
+            }
+        }
+        let mut all: Vec<u64> = pts.per_phase.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, pts.points);
+    }
+
+    #[test]
+    fn estimate_close_to_oracle() {
+        let (cpis, asg) = fixture();
+        let oracle = mean(&cpis);
+        let pts = select_points(&cpis, &asg, 2, 20, &mut seeded(3));
+        let est = estimate_stratified(&cpis, &asg, &pts, 3.0);
+        assert!((est.mean_cpi - oracle).abs() / oracle < 0.25, "{} vs {}", est.mean_cpi, oracle);
+        assert!(est.ci.0 <= est.mean_cpi && est.mean_cpi <= est.ci.1);
+        assert!(est.se >= 0.0);
+    }
+
+    #[test]
+    fn zero_spread_sample_does_not_collapse_the_ci() {
+        // Phase CPIs are quantized: a small sample can be all-identical even
+        // though the phase varies. The SE must fall back to the population
+        // stddev instead of reporting a zero-width interval.
+        let cpis: Vec<f64> = (0..30).map(|i| if i % 3 == 0 { 2.0 } else { 1.0 }).collect();
+        let asg = vec![0usize; 30];
+        // Hand-build a selection whose two points are both 1.0.
+        let pts = SimulationPoints {
+            points: vec![1, 2],
+            per_phase: vec![vec![1, 2]],
+            allocation: vec![2],
+        };
+        let est = estimate_stratified(&cpis, &asg, &pts, 3.0);
+        // Population stddev of the phase is ~0.47; the guard must restore a
+        // spread of that order, not the sample's 0.
+        assert!(est.se > 0.05, "CI must not collapse: {}", est.se);
+    }
+
+    #[test]
+    fn full_enumeration_is_exact() {
+        let (cpis, asg) = fixture();
+        let pts = select_points(&cpis, &asg, 2, cpis.len(), &mut seeded(4));
+        assert_eq!(pts.len(), cpis.len());
+        let est = estimate_stratified(&cpis, &asg, &pts, 3.0);
+        assert!((est.mean_cpi - mean(&cpis)).abs() < 1e-12);
+        assert_eq!(est.se, 0.0);
+    }
+
+    #[test]
+    fn required_size_monotone_in_error() {
+        let (cpis, asg) = fixture();
+        let n5 = required_sample_size(&cpis, &asg, 2, 3.0, 0.05);
+        let n2 = required_sample_size(&cpis, &asg, 2, 3.0, 0.02);
+        assert!(n2 >= n5, "{n2} >= {n5}");
+        assert!(n5 >= 2);
+    }
+
+    #[test]
+    fn stratification_beats_srs_error_on_average() {
+        // Empirical check of the paper's core claim: with the same budget,
+        // stratified sampling estimates CPI more accurately than SRS.
+        let (cpis, asg) = fixture();
+        let oracle = mean(&cpis);
+        let n = 10;
+        let reps = 200;
+        let mut strat_err = 0.0;
+        let mut srs_err = 0.0;
+        for seed in 0..reps {
+            let pts = select_points(&cpis, &asg, 2, n, &mut seeded(seed));
+            strat_err +=
+                (estimate_stratified(&cpis, &asg, &pts, 3.0).mean_cpi - oracle).abs() / oracle;
+            let ids = simprof_stats::srs_indices(cpis.len(), n, &mut seeded(seed + 10_000));
+            let m = mean(&ids.iter().map(|&i| cpis[i]).collect::<Vec<_>>());
+            srs_err += (m - oracle).abs() / oracle;
+        }
+        assert!(
+            strat_err < srs_err,
+            "stratified {} should beat SRS {}",
+            strat_err / reps as f64,
+            srs_err / reps as f64
+        );
+    }
+
+    #[test]
+    fn central_units_pick_closest() {
+        let features = Matrix::from_rows(&[vec![0.0], vec![0.4], vec![1.0], vec![5.0], vec![5.5]]);
+        let centers = Matrix::from_rows(&[vec![0.3], vec![5.25]]);
+        let asg = vec![0, 0, 0, 1, 1];
+        let picks = central_units(&features, &centers, &asg);
+        // Phase 1's two units are equidistant from 5.25; the median-index
+        // tie-break picks the later of the two.
+        assert_eq!(picks, vec![Some(1), Some(4)]);
+    }
+
+    #[test]
+    fn central_units_break_ties_at_median_index() {
+        // Five identical vectors: the pick must be the middle one, not the
+        // first (which would bias toward each phase's earliest units).
+        let features = Matrix::from_rows(&vec![vec![1.0]; 5]);
+        let centers = Matrix::from_rows(&[vec![1.0]]);
+        let picks = central_units(&features, &centers, &[0, 0, 0, 0, 0]);
+        assert_eq!(picks, vec![Some(2)]);
+    }
+
+    #[test]
+    fn central_units_empty_phase_is_none() {
+        let features = Matrix::from_rows(&[vec![0.0]]);
+        let centers = Matrix::from_rows(&[vec![0.0], vec![9.0]]);
+        let picks = central_units(&features, &centers, &[0]);
+        assert_eq!(picks, vec![Some(0), None]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Hadoop-flavoured job assembly.
+//!
+//! The method catalog matches the stacks the paper shows for Hadoop MapReduce
+//! (Fig. 15: `TokenizerMapper.map`, `NewCombinerRunner.combine`, the
+//! quicksort inside `MapOutputBuffer.sortAndSpill`). Hadoop's execution
+//! model differs from Spark's in two ways the engine reproduces: the map →
+//! reduce waves are separate stages with a hard barrier, and an executor
+//! (task JVM) lives only as long as one task. The profiler merges per-core
+//! task streams into one logical thread, exactly as §III-A describes — with
+//! one executor thread pinned per core, per-core profiling performs that
+//! merge by construction.
+
+use serde::{Deserialize, Serialize};
+
+use crate::methods::{MethodId, MethodRegistry, OpClass};
+
+/// Interned Hadoop framework methods.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HadoopMethods {
+    /// `org.apache.hadoop.mapred.YarnChild.main` (task JVM entry)
+    pub yarn_child_main: MethodId,
+    /// `org.apache.hadoop.mapred.MapTask.run`
+    pub map_task_run: MethodId,
+    /// `org.apache.hadoop.mapred.ReduceTask.run`
+    pub reduce_task_run: MethodId,
+    /// `org.apache.hadoop.mapreduce.lib.input.LineRecordReader.nextKeyValue`
+    pub line_record_reader_next: MethodId,
+    /// `org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect`
+    pub map_output_buffer_collect: MethodId,
+    /// `org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill`
+    pub sort_and_spill: MethodId,
+    /// `org.apache.hadoop.util.QuickSort.sort`
+    pub quick_sort: MethodId,
+    /// `org.apache.hadoop.mapred.Task$NewCombinerRunner.combine`
+    pub combiner_combine: MethodId,
+    /// `org.apache.hadoop.io.compress.DefaultCodec.compress` (mapper-output
+    /// compression — one of the "common optimizations" §IV-A applies)
+    pub codec_compress: MethodId,
+    /// `org.apache.hadoop.mapreduce.task.reduce.Fetcher.copyMapOutput`
+    pub fetcher_copy: MethodId,
+    /// `org.apache.hadoop.mapred.Merger$MergeQueue.merge`
+    pub merger_merge: MethodId,
+    /// `org.apache.hadoop.mapred.IFile$Writer.append` (spill file writes)
+    pub ifile_writer_append: MethodId,
+    /// `org.apache.hadoop.hdfs.DFSInputStream.read`
+    pub dfs_read: MethodId,
+    /// `org.apache.hadoop.hdfs.DFSOutputStream.write`
+    pub dfs_write: MethodId,
+}
+
+impl HadoopMethods {
+    /// Interns the whole catalog.
+    pub fn intern(reg: &mut MethodRegistry) -> Self {
+        Self {
+            yarn_child_main: reg.intern("org.apache.hadoop.mapred.YarnChild.main", OpClass::Framework),
+            map_task_run: reg.intern("org.apache.hadoop.mapred.MapTask.run", OpClass::Framework),
+            reduce_task_run: reg.intern("org.apache.hadoop.mapred.ReduceTask.run", OpClass::Framework),
+            line_record_reader_next: reg.intern(
+                "org.apache.hadoop.mapreduce.lib.input.LineRecordReader.nextKeyValue",
+                OpClass::Io,
+            ),
+            map_output_buffer_collect: reg.intern(
+                "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect",
+                OpClass::Map,
+            ),
+            sort_and_spill: reg.intern(
+                "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill",
+                OpClass::Sort,
+            ),
+            quick_sort: reg.intern("org.apache.hadoop.util.QuickSort.sort", OpClass::Sort),
+            combiner_combine: reg.intern(
+                "org.apache.hadoop.mapred.Task$NewCombinerRunner.combine",
+                OpClass::Reduce,
+            ),
+            codec_compress: reg.intern(
+                "org.apache.hadoop.io.compress.DefaultCodec.compress",
+                OpClass::Io,
+            ),
+            fetcher_copy: reg.intern(
+                "org.apache.hadoop.mapreduce.task.reduce.Fetcher.copyMapOutput",
+                OpClass::Io,
+            ),
+            // Classified Io, not Sort: the reduce-side merge streams spilled
+            // runs from disk; the paper's "sort" phase type is key sorting
+            // (quicksort), which sort_hp and grep_hp lack (Fig. 10).
+            merger_merge: reg.intern("org.apache.hadoop.mapred.Merger$MergeQueue.merge", OpClass::Io),
+            ifile_writer_append: reg
+                .intern("org.apache.hadoop.mapred.IFile$Writer.append", OpClass::Io),
+            dfs_read: reg.intern("org.apache.hadoop.hdfs.DFSInputStream.read", OpClass::Io),
+            dfs_write: reg.intern("org.apache.hadoop.hdfs.DFSOutputStream.write", OpClass::Io),
+        }
+    }
+
+    /// Stack prefix of a map task attempt.
+    pub fn map_base(&self) -> Vec<MethodId> {
+        vec![self.yarn_child_main, self.map_task_run]
+    }
+
+    /// Stack prefix of a reduce task attempt.
+    pub fn reduce_base(&self) -> Vec<MethodId> {
+        vec![self.yarn_child_main, self.reduce_task_run]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_classes() {
+        let mut reg = MethodRegistry::new();
+        let m = HadoopMethods::intern(&mut reg);
+        assert_eq!(reg.class(m.quick_sort), OpClass::Sort);
+        assert_eq!(reg.class(m.combiner_combine), OpClass::Reduce);
+        assert_eq!(reg.class(m.map_output_buffer_collect), OpClass::Map);
+        assert_eq!(reg.class(m.fetcher_copy), OpClass::Io);
+        assert_eq!(reg.class(m.yarn_child_main), OpClass::Framework);
+    }
+
+    #[test]
+    fn map_and_reduce_bases_differ_below_main() {
+        let mut reg = MethodRegistry::new();
+        let m = HadoopMethods::intern(&mut reg);
+        assert_eq!(m.map_base()[0], m.reduce_base()[0]);
+        assert_ne!(m.map_base()[1], m.reduce_base()[1]);
+    }
+
+    #[test]
+    fn shares_hdfs_methods_with_spark_names() {
+        let mut reg = MethodRegistry::new();
+        let h = HadoopMethods::intern(&mut reg);
+        let before = reg.len();
+        let s = crate::spark::SparkMethods::intern(&mut reg);
+        // The DFS read/write methods are the same class in both frameworks.
+        assert_eq!(h.dfs_read, s.dfs_read);
+        assert_eq!(h.dfs_write, s.dfs_write);
+        assert!(reg.len() > before);
+    }
+}

@@ -1,0 +1,92 @@
+//! Block-granularity HDFS cost model.
+//!
+//! The paper's workloads read inputs from and write outputs to HDFS, and the
+//! IO phases it reports (Fig. 10) come from exactly these operations plus
+//! local spill traffic. Only the *cost* behaviour matters to phase formation,
+//! so the model is a latency function: per-block seek plus per-byte streaming
+//! cost, with separate read/write/local-spill rates.
+
+use serde::{Deserialize, Serialize};
+
+/// HDFS / local-disk latency model. All rates are in cycles; defaults model
+/// a ~100 MB/s disk behind a ~3.7 GHz core with OS read-ahead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hdfs {
+    /// Block size in bytes (HDFS default is 128 MiB; scaled runs shrink it).
+    pub block_bytes: u64,
+    /// Fixed cycles per block operation (metadata, seek, RPC).
+    pub seek_cycles: u64,
+    /// Milli-cycles per byte read (e.g. `2000` = 2 cycles/byte).
+    pub read_mcycles_per_byte: u64,
+    /// Milli-cycles per byte written (replication makes writes dearer).
+    pub write_mcycles_per_byte: u64,
+    /// Milli-cycles per byte for local spill traffic (page-cache backed).
+    pub spill_mcycles_per_byte: u64,
+}
+
+impl Default for Hdfs {
+    fn default() -> Self {
+        Self {
+            block_bytes: 1 << 20,
+            seek_cycles: 10_000,
+            read_mcycles_per_byte: 150,
+            write_mcycles_per_byte: 350,
+            spill_mcycles_per_byte: 80,
+        }
+    }
+}
+
+impl Hdfs {
+    /// Stall cycles to read `bytes` from HDFS.
+    pub fn read_stall(&self, bytes: u64) -> u64 {
+        self.blocks(bytes) * self.seek_cycles + bytes * self.read_mcycles_per_byte / 1000
+    }
+
+    /// Stall cycles to write `bytes` to HDFS (includes replication cost).
+    pub fn write_stall(&self, bytes: u64) -> u64 {
+        self.blocks(bytes) * self.seek_cycles + bytes * self.write_mcycles_per_byte / 1000
+    }
+
+    /// Stall cycles to spill `bytes` to local disk.
+    pub fn spill_stall(&self, bytes: u64) -> u64 {
+        self.seek_cycles / 4 + bytes * self.spill_mcycles_per_byte / 1000
+    }
+
+    /// Number of block operations `bytes` requires (at least 1).
+    pub fn blocks(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_scales_with_bytes_and_blocks() {
+        let h = Hdfs::default();
+        let one = h.read_stall(1 << 20);
+        let two = h.read_stall(2 << 20);
+        assert!(two > one);
+        assert_eq!(h.blocks(1), 1);
+        assert_eq!(h.blocks((1 << 20) + 1), 2);
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let h = Hdfs::default();
+        assert!(h.write_stall(1 << 20) > h.read_stall(1 << 20));
+    }
+
+    #[test]
+    fn spill_is_cheapest() {
+        let h = Hdfs::default();
+        assert!(h.spill_stall(1 << 20) < h.read_stall(1 << 20));
+    }
+
+    #[test]
+    fn zero_bytes_still_costs_a_seek() {
+        let h = Hdfs::default();
+        assert_eq!(h.read_stall(0), h.seek_cycles);
+    }
+}

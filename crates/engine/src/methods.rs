@@ -1,0 +1,163 @@
+//! Interned method names.
+//!
+//! The paper's call stacks contain JVM method names; SimProf vectorizes units
+//! by method frequency and later reports "the method with the highest weight
+//! in a phase center" to help architects interpret phases. The registry
+//! interns fully qualified names (e.g.
+//! `org.apache.spark.Aggregator.combineValuesByKey`) into dense [`MethodId`]s
+//! and carries each method's operation class, which is the ground-truth label
+//! used when reproducing the paper's phase-type breakdown (Fig. 10).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The paper's phase-type categories (§IV-D): map, reduce, sort, and IO
+/// operations, plus framework plumbing (executor startup, task dispatch)
+/// which the regression-based feature selection eliminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Per-record transformation work (map, filter, tokenize, project).
+    Map,
+    /// Combining values by key (combine, reduce, aggregate).
+    Reduce,
+    /// Key ordering (quicksort, merges used for ordering).
+    Sort,
+    /// Disk / HDFS / shuffle-network transfer.
+    Io,
+    /// Engine plumbing that appears in every stack.
+    Framework,
+}
+
+impl OpClass {
+    /// Short lowercase label used in reports ("map", "reduce", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Map => "map",
+            OpClass::Reduce => "reduce",
+            OpClass::Sort => "sort",
+            OpClass::Io => "io",
+            OpClass::Framework => "framework",
+        }
+    }
+
+    /// All classes, in report order.
+    pub const ALL: [OpClass; 5] =
+        [OpClass::Map, OpClass::Reduce, OpClass::Sort, OpClass::Io, OpClass::Framework];
+}
+
+/// Interner mapping method names to dense ids with operation classes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MethodRegistry {
+    names: Vec<String>,
+    classes: Vec<OpClass>,
+    index: HashMap<String, MethodId>,
+}
+
+impl MethodRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` with the given class; re-interning an existing name
+    /// returns the original id (the class of the first interning wins).
+    pub fn intern(&mut self, name: &str, class: OpClass) -> MethodId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = MethodId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.classes.push(class);
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already interned name.
+    pub fn lookup(&self, name: &str) -> Option<MethodId> {
+        self.index.get(name).copied()
+    }
+
+    /// The fully qualified name of `id`.
+    pub fn name(&self, id: MethodId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The operation class of `id`.
+    pub fn class(&self, id: MethodId) -> OpClass {
+        self.classes[id.index()]
+    }
+
+    /// Number of interned methods.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut r = MethodRegistry::new();
+        let a = r.intern("Foo.bar", OpClass::Map);
+        let b = r.intern("Foo.bar", OpClass::Sort);
+        assert_eq!(a, b);
+        assert_eq!(r.class(a), OpClass::Map, "first class wins");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut r = MethodRegistry::new();
+        let a = r.intern("A", OpClass::Map);
+        let b = r.intern("B", OpClass::Io);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(r.name(b), "B");
+    }
+
+    #[test]
+    fn lookup_misses_unknown() {
+        let mut r = MethodRegistry::new();
+        r.intern("A", OpClass::Map);
+        assert!(r.lookup("A").is_some());
+        assert!(r.lookup("Z").is_none());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(OpClass::Map.label(), "map");
+        assert_eq!(OpClass::Io.label(), "io");
+        assert_eq!(OpClass::ALL.len(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = MethodRegistry::new();
+        r.intern("Spark.run", OpClass::Framework);
+        r.intern("Agg.combine", OpClass::Reduce);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: MethodRegistry = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.lookup("Agg.combine"), r.lookup("Agg.combine"));
+        assert_eq!(back.class(back.lookup("Agg.combine").unwrap()), OpClass::Reduce);
+    }
+}

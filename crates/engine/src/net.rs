@@ -1,0 +1,78 @@
+//! Cluster network cost model.
+//!
+//! Data-analytic frameworks "scale out to multiple nodes" (paper §I); when a
+//! job spans nodes, the shuffle moves most of its data across the network
+//! instead of the local disk. Like [`crate::hdfs::Hdfs`], only the *cost*
+//! behaviour matters to phase formation: a per-transfer round-trip plus a
+//! per-byte streaming cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Network latency/bandwidth model. Defaults approximate 10 GbE behind a
+/// ~3.7 GHz core: ~1 GB/s effective per stream (≈ 3.5 cycles/byte) and a
+/// ~25 µs round-trip (≈ 90 K cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Network {
+    /// Fixed cycles per transfer (connection + round-trip).
+    pub rtt_cycles: u64,
+    /// Milli-cycles per byte transferred.
+    pub mcycles_per_byte: u64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self { rtt_cycles: 90_000, mcycles_per_byte: 3_500 }
+    }
+}
+
+impl Network {
+    /// Stall cycles to move `bytes` across the network (zero bytes → zero:
+    /// no transfer happens at all).
+    pub fn transfer_stall(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            self.rtt_cycles + bytes * self.mcycles_per_byte / 1000
+        }
+    }
+
+    /// Stall cycles for a shuffle fetch of `bytes` of which `remote_fraction`
+    /// crosses the network (the rest is a local-disk read handled by the
+    /// HDFS model). With `remote_fraction = 0` this is free — single-node
+    /// shuffles never touch the network.
+    pub fn shuffle_stall(&self, bytes: u64, remote_fraction: f64) -> u64 {
+        let remote = (bytes as f64 * remote_fraction.clamp(0.0, 1.0)) as u64;
+        self.transfer_stall(remote)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let n = Network::default();
+        assert_eq!(n.transfer_stall(0), 0);
+        assert_eq!(n.shuffle_stall(1 << 20, 0.0), 0);
+    }
+
+    #[test]
+    fn cost_scales_with_bytes() {
+        let n = Network::default();
+        let one = n.transfer_stall(1 << 20);
+        let two = n.transfer_stall(2 << 20);
+        assert!(two > one);
+        assert!(two < 2 * one + n.rtt_cycles, "rtt paid once per transfer");
+    }
+
+    #[test]
+    fn remote_fraction_scales_shuffle() {
+        let n = Network::default();
+        let half = n.shuffle_stall(1 << 20, 0.5);
+        let full = n.shuffle_stall(1 << 20, 1.0);
+        assert!(half > 0 && half < full);
+        // Out-of-range fractions clamp.
+        assert_eq!(n.shuffle_stall(1 << 20, 2.0), full);
+    }
+}

@@ -1,0 +1,165 @@
+//! Spark-flavoured job assembly.
+//!
+//! Provides the interned method catalog matching the call stacks the paper
+//! shows for Spark (Fig. 5: `Executor$TaskRunner.run` → task routine → IO
+//! methods; Fig. 14: `Aggregator.combineValuesByKey` map-side reduce), plus
+//! helpers for the stack prefixes of Spark's two task types. In Spark an
+//! executor thread lives for the whole job, so the same core runs tasks of
+//! every stage — which is why a single profiled thread covers all stages
+//! (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+use crate::methods::{MethodId, MethodRegistry, OpClass};
+
+/// Interned Spark framework + library methods.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SparkMethods {
+    /// `org.apache.spark.executor.Executor$TaskRunner.run`
+    pub task_runner_run: MethodId,
+    /// `org.apache.spark.scheduler.ResultTask.runTask`
+    pub result_task_run: MethodId,
+    /// `org.apache.spark.scheduler.ShuffleMapTask.runTask`
+    pub shuffle_map_task_run: MethodId,
+    /// `org.apache.spark.rdd.HadoopRDD.compute` (HDFS input scan)
+    pub hadoop_rdd_compute: MethodId,
+    /// `org.apache.spark.rdd.RDD.mapPartitionsWithIndex`
+    pub map_partitions_with_index: MethodId,
+    /// `org.apache.spark.Aggregator.combineValuesByKey` (map-side reduce)
+    pub combine_values_by_key: MethodId,
+    /// `org.apache.spark.util.collection.AppendOnlyMap.changeValue`
+    pub append_only_map_change_value: MethodId,
+    /// `org.apache.spark.Aggregator.combineCombinersByKey` (reduce side)
+    pub combine_combiners_by_key: MethodId,
+    /// `org.apache.spark.util.collection.ExternalSorter.insertAll`
+    pub external_sorter_insert_all: MethodId,
+    /// `org.apache.spark.util.collection.TimSort.sort` (key ordering)
+    pub timsort_sort: MethodId,
+    /// `org.apache.spark.shuffle.sort.SortShuffleWriter.write`
+    pub shuffle_writer_write: MethodId,
+    /// `org.apache.spark.storage.ShuffleBlockFetcherIterator.next`
+    pub shuffle_fetcher_next: MethodId,
+    /// `org.apache.spark.serializer.JavaSerializationStream.writeObject`
+    pub serialize_object: MethodId,
+    /// `org.apache.hadoop.hdfs.DFSInputStream.read`
+    pub dfs_read: MethodId,
+    /// `org.apache.hadoop.hdfs.DFSOutputStream.write`
+    pub dfs_write: MethodId,
+    /// `org.apache.spark.graphx.impl.VertexRDDImpl.aggregateUsingIndex`
+    pub aggregate_using_index: MethodId,
+    /// `org.apache.spark.graphx.impl.EdgeRDDImpl.mapEdgePartitions`
+    pub map_edge_partitions: MethodId,
+    /// `org.apache.spark.graphx.impl.GraphImpl.aggregateMessages`
+    pub aggregate_messages: MethodId,
+    /// `org.apache.spark.graphx.VertexRDD.innerJoin`
+    pub vertex_inner_join: MethodId,
+    /// `org.apache.spark.graphx.impl.ReplicatedVertexView.updateVertices`
+    /// (shipping updated vertex attributes to edge partitions)
+    pub ship_vertex_attrs: MethodId,
+    /// `org.apache.spark.graphx.GraphOps.outDegrees` (Pregel initialization)
+    pub out_degrees: MethodId,
+}
+
+impl SparkMethods {
+    /// Interns the whole catalog.
+    pub fn intern(reg: &mut MethodRegistry) -> Self {
+        Self {
+            task_runner_run: reg
+                .intern("org.apache.spark.executor.Executor$TaskRunner.run", OpClass::Framework),
+            result_task_run: reg
+                .intern("org.apache.spark.scheduler.ResultTask.runTask", OpClass::Framework),
+            shuffle_map_task_run: reg
+                .intern("org.apache.spark.scheduler.ShuffleMapTask.runTask", OpClass::Framework),
+            hadoop_rdd_compute: reg.intern("org.apache.spark.rdd.HadoopRDD.compute", OpClass::Io),
+            map_partitions_with_index: reg
+                .intern("org.apache.spark.rdd.RDD.mapPartitionsWithIndex", OpClass::Map),
+            combine_values_by_key: reg
+                .intern("org.apache.spark.Aggregator.combineValuesByKey", OpClass::Reduce),
+            append_only_map_change_value: reg.intern(
+                "org.apache.spark.util.collection.AppendOnlyMap.changeValue",
+                OpClass::Reduce,
+            ),
+            combine_combiners_by_key: reg
+                .intern("org.apache.spark.Aggregator.combineCombinersByKey", OpClass::Reduce),
+            external_sorter_insert_all: reg.intern(
+                "org.apache.spark.util.collection.ExternalSorter.insertAll",
+                OpClass::Sort,
+            ),
+            timsort_sort: reg
+                .intern("org.apache.spark.util.collection.TimSort.sort", OpClass::Sort),
+            shuffle_writer_write: reg
+                .intern("org.apache.spark.shuffle.sort.SortShuffleWriter.write", OpClass::Io),
+            shuffle_fetcher_next: reg.intern(
+                "org.apache.spark.storage.ShuffleBlockFetcherIterator.next",
+                OpClass::Io,
+            ),
+            serialize_object: reg.intern(
+                "org.apache.spark.serializer.JavaSerializationStream.writeObject",
+                OpClass::Io,
+            ),
+            dfs_read: reg.intern("org.apache.hadoop.hdfs.DFSInputStream.read", OpClass::Io),
+            dfs_write: reg.intern("org.apache.hadoop.hdfs.DFSOutputStream.write", OpClass::Io),
+            aggregate_using_index: reg.intern(
+                "org.apache.spark.graphx.impl.VertexRDDImpl.aggregateUsingIndex",
+                OpClass::Reduce,
+            ),
+            map_edge_partitions: reg.intern(
+                "org.apache.spark.graphx.impl.EdgeRDDImpl.mapEdgePartitions",
+                OpClass::Map,
+            ),
+            aggregate_messages: reg.intern(
+                "org.apache.spark.graphx.impl.GraphImpl.aggregateMessages",
+                OpClass::Reduce,
+            ),
+            vertex_inner_join: reg
+                .intern("org.apache.spark.graphx.VertexRDD.innerJoin", OpClass::Map),
+            ship_vertex_attrs: reg.intern(
+                "org.apache.spark.graphx.impl.ReplicatedVertexView.updateVertices",
+                OpClass::Io,
+            ),
+            out_degrees: reg.intern("org.apache.spark.graphx.GraphOps.outDegrees", OpClass::Map),
+        }
+    }
+
+    /// Stack prefix of a task in a shuffle-producing stage.
+    pub fn shuffle_map_base(&self) -> Vec<MethodId> {
+        vec![self.task_runner_run, self.shuffle_map_task_run]
+    }
+
+    /// Stack prefix of a task in a final (result) stage.
+    pub fn result_base(&self) -> Vec<MethodId> {
+        vec![self.task_runner_run, self.result_task_run]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_interns_distinct_methods() {
+        let mut reg = MethodRegistry::new();
+        let m = SparkMethods::intern(&mut reg);
+        assert!(reg.len() >= 19);
+        assert_ne!(m.task_runner_run, m.result_task_run);
+        assert_eq!(reg.class(m.combine_values_by_key), OpClass::Reduce);
+        assert_eq!(reg.class(m.timsort_sort), OpClass::Sort);
+        assert_eq!(reg.class(m.dfs_read), OpClass::Io);
+    }
+
+    #[test]
+    fn base_paths_share_task_runner() {
+        let mut reg = MethodRegistry::new();
+        let m = SparkMethods::intern(&mut reg);
+        assert_eq!(m.shuffle_map_base()[0], m.result_base()[0]);
+        assert_ne!(m.shuffle_map_base()[1], m.result_base()[1]);
+    }
+
+    #[test]
+    fn reintern_is_stable() {
+        let mut reg = MethodRegistry::new();
+        let a = SparkMethods::intern(&mut reg);
+        let b = SparkMethods::intern(&mut reg);
+        assert_eq!(a.combine_values_by_key, b.combine_values_by_key);
+    }
+}

@@ -1,0 +1,26 @@
+//! Thread-profiling substrate for SimProf (§III-A, Figs. 3–4 of the paper).
+//!
+//! The paper's thread profiler attaches to a JVM and, for one executor
+//! thread, cuts execution into fixed-size *sampling units* (100 M
+//! instructions), takes call-stack snapshots every 10 M instructions through
+//! JVMTI, and reads hardware counters through `perf_event`. This crate
+//! reproduces that architecture against the [`simprof_engine`] scheduler:
+//!
+//! * [`collectors`] — the call-stack collector and the hardware-counter
+//!   collector (the two boxes of the paper's Fig. 4).
+//! * [`manager`] — the sampling manager that drives both collectors from
+//!   scheduler progress events and flushes completed sampling units.
+//! * [`trace`] — the output format: [`ProfileTrace`], a serializable vector
+//!   of [`SamplingUnit`]s with method histograms and counter deltas.
+//! * [`merge`] — merging per-core traces, the paper's treatment of Hadoop's
+//!   short-lived per-task executor threads.
+
+pub mod collectors;
+pub mod manager;
+pub mod merge;
+pub mod trace;
+
+pub use collectors::{CallStackCollector, HwCounterCollector};
+pub use manager::{ProfilerConfig, SamplingManager};
+pub use merge::merge_core_traces;
+pub use trace::{ProfileTrace, SamplingUnit};

@@ -1,0 +1,86 @@
+//! Merging per-core traces.
+//!
+//! In Hadoop, an executor thread lives only as long as its task, so the
+//! paper "merges the profiled results from the executor threads running on
+//! the same core to mimic a long running executor thread in Spark" (§III-A).
+//! With the engine pinning one executor thread per core, the per-core merge
+//! happens by construction; this module provides the complementary multi-core
+//! merge used when a whole machine's worth of cores is profiled and a single
+//! logical trace is wanted.
+
+use crate::trace::ProfileTrace;
+
+/// Concatenates per-core traces into one logical trace, renumbering unit ids.
+///
+/// Units keep their within-core order; cores are concatenated in the given
+/// order. All traces must share unit/snapshot geometry.
+///
+/// # Panics
+///
+/// Panics if `traces` is empty or geometries differ.
+pub fn merge_core_traces(traces: Vec<ProfileTrace>) -> ProfileTrace {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let unit_instrs = traces[0].unit_instrs;
+    let snapshot_instrs = traces[0].snapshot_instrs;
+    assert!(
+        traces.iter().all(|t| t.unit_instrs == unit_instrs && t.snapshot_instrs == snapshot_instrs),
+        "traces must share sampling geometry"
+    );
+    let core = traces[0].core;
+    let mut units = Vec::with_capacity(traces.iter().map(|t| t.units.len()).sum());
+    for t in traces {
+        units.extend(t.units);
+    }
+    for (i, u) in units.iter_mut().enumerate() {
+        u.id = i as u64;
+    }
+    ProfileTrace { unit_instrs, snapshot_instrs, core, units }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SamplingUnit;
+    use simprof_sim::Counters;
+
+    fn trace(core: usize, n: usize) -> ProfileTrace {
+        ProfileTrace {
+            unit_instrs: 100,
+            snapshot_instrs: 10,
+            core,
+            units: (0..n as u64)
+                .map(|id| SamplingUnit {
+                    id,
+                    histogram: vec![],
+                    snapshots: 1,
+                    counters: Counters { instructions: 100, cycles: 100 + core as u64, ..Default::default() },
+                    slices: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_and_renumbers() {
+        let merged = merge_core_traces(vec![trace(0, 3), trace(1, 2)]);
+        assert_eq!(merged.units.len(), 5);
+        let ids: Vec<u64> = merged.units.iter().map(|u| u.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        // Core-1 units follow core-0 units.
+        assert_eq!(merged.units[3].counters.cycles, 101);
+    }
+
+    #[test]
+    #[should_panic(expected = "share sampling geometry")]
+    fn rejects_mismatched_geometry() {
+        let mut b = trace(1, 1);
+        b.unit_instrs = 999;
+        let _ = merge_core_traces(vec![trace(0, 1), b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn rejects_empty() {
+        let _ = merge_core_traces(vec![]);
+    }
+}

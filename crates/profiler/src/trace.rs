@@ -1,0 +1,212 @@
+//! The profiler's output format.
+//!
+//! One [`SamplingUnit`] corresponds to a fixed number of instructions on the
+//! profiled executor thread and carries (a) the frequency histogram of
+//! methods seen in its call-stack snapshots — the raw material of phase
+//! formation — and (b) the hardware-counter deltas over the unit, from which
+//! CPI/IPC are derived.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_engine::MethodId;
+use simprof_sim::Counters;
+
+/// One sampling unit (§II-B: "a fixed number of instruction interval within
+/// a thread").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplingUnit {
+    /// Sequential unit id within the trace; the paper uses the unit id to
+    /// name simulation points.
+    pub id: u64,
+    /// `(method, snapshots containing it)` pairs, sorted by method id.
+    pub histogram: Vec<(MethodId, u32)>,
+    /// Number of call-stack snapshots taken in the unit.
+    pub snapshots: u32,
+    /// Hardware-counter deltas over the unit.
+    pub counters: Counters,
+    /// Per-snapshot-interval `(instructions, cycles)` slices within the
+    /// unit. These support the paper's stated future work of combining
+    /// SimProf with SMARTS-style systematic sampling *inside* each
+    /// simulation point (§III-C): a simulator can run only every j-th slice
+    /// of a selected unit and still estimate the unit's CPI.
+    #[serde(default)]
+    pub slices: Vec<(u64, u64)>,
+}
+
+impl SamplingUnit {
+    /// Cycles per instruction of the unit.
+    pub fn cpi(&self) -> f64 {
+        self.counters.cpi()
+    }
+
+    /// Instructions per cycle of the unit.
+    pub fn ipc(&self) -> f64 {
+        self.counters.ipc()
+    }
+
+    /// CPI estimated from every `stride`-th intra-unit slice starting at
+    /// `offset` — the SMARTS-style systematic sub-unit estimator. Falls back
+    /// to the full-unit CPI when the unit carries no slices.
+    pub fn sliced_cpi(&self, stride: usize, offset: usize) -> f64 {
+        if self.slices.is_empty() || stride <= 1 {
+            return self.cpi();
+        }
+        let mut instrs = 0u64;
+        let mut cycles = 0u64;
+        let mut i = offset % stride;
+        while i < self.slices.len() {
+            instrs += self.slices[i].0;
+            cycles += self.slices[i].1;
+            i += stride;
+        }
+        if instrs == 0 {
+            self.cpi()
+        } else {
+            cycles as f64 / instrs as f64
+        }
+    }
+
+    /// Instructions a simulator must execute for this unit when sampling
+    /// every `stride`-th slice (the cost side of the hybrid trade-off).
+    pub fn sliced_instrs(&self, stride: usize, offset: usize) -> u64 {
+        if self.slices.is_empty() || stride <= 1 {
+            return self.counters.instructions;
+        }
+        let mut instrs = 0u64;
+        let mut i = offset % stride;
+        while i < self.slices.len() {
+            instrs += self.slices[i].0;
+            i += stride;
+        }
+        instrs
+    }
+}
+
+/// A whole profiled execution of one (logical) executor thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileTrace {
+    /// Sampling-unit size in instructions.
+    pub unit_instrs: u64,
+    /// Snapshot period in instructions.
+    pub snapshot_instrs: u64,
+    /// The core whose executor thread was profiled.
+    pub core: usize,
+    /// The units, in execution order.
+    pub units: Vec<SamplingUnit>,
+}
+
+impl ProfileTrace {
+    /// CPI of every unit, in order.
+    pub fn cpis(&self) -> Vec<f64> {
+        self.units.iter().map(SamplingUnit::cpi).collect()
+    }
+
+    /// IPC of every unit, in order.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.units.iter().map(SamplingUnit::ipc).collect()
+    }
+
+    /// The paper's oracle: the mean CPI over all sampling units (§IV-C).
+    pub fn oracle_cpi(&self) -> f64 {
+        simprof_stats_mean(&self.cpis())
+    }
+
+    /// Highest method id appearing anywhere in the trace, plus one — the
+    /// dimensionality of full feature vectors.
+    pub fn method_universe(&self) -> usize {
+        self.units
+            .iter()
+            .flat_map(|u| u.histogram.iter())
+            .map(|&(m, _)| m.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total instructions across all units.
+    pub fn total_instrs(&self) -> u64 {
+        self.units.iter().map(|u| u.counters.instructions).sum()
+    }
+
+    /// Total cycles across all units.
+    pub fn total_cycles(&self) -> u64 {
+        self.units.iter().map(|u| u.counters.cycles).sum()
+    }
+}
+
+// A local mean to avoid a cyclic dependency on simprof-stats (the profiler is
+// below stats in no way, but keeping this crate's deps minimal keeps build
+// layering clean).
+fn simprof_stats_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(id: u64, instrs: u64, cycles: u64) -> SamplingUnit {
+        SamplingUnit {
+            id,
+            histogram: vec![(MethodId(0), 5), (MethodId(3), 2)],
+            snapshots: 7,
+            counters: Counters { instructions: instrs, cycles, ..Default::default() },
+            slices: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cpi_per_unit_and_oracle() {
+        let t = ProfileTrace {
+            unit_instrs: 100,
+            snapshot_instrs: 10,
+            core: 0,
+            units: vec![unit(0, 100, 100), unit(1, 100, 300)],
+        };
+        assert_eq!(t.cpis(), vec![1.0, 3.0]);
+        assert_eq!(t.oracle_cpi(), 2.0);
+        assert_eq!(t.total_instrs(), 200);
+        assert_eq!(t.total_cycles(), 400);
+    }
+
+    #[test]
+    fn method_universe_spans_max_id() {
+        let t = ProfileTrace { unit_instrs: 1, snapshot_instrs: 1, core: 0, units: vec![unit(0, 1, 1)] };
+        assert_eq!(t.method_universe(), 4);
+        let empty = ProfileTrace { unit_instrs: 1, snapshot_instrs: 1, core: 0, units: vec![] };
+        assert_eq!(empty.method_universe(), 0);
+        assert_eq!(empty.oracle_cpi(), 0.0);
+    }
+
+    #[test]
+    fn sliced_cpi_systematic() {
+        let mut u = unit(0, 1000, 2500);
+        // 4 slices with CPIs 1, 2, 3, 4.
+        u.slices = vec![(250, 250), (250, 500), (250, 750), (250, 1000)];
+        assert_eq!(u.sliced_cpi(1, 0), 2.5, "stride 1 = full unit");
+        assert_eq!(u.sliced_cpi(2, 0), (250.0 + 750.0) / 500.0, "slices 0,2");
+        assert_eq!(u.sliced_cpi(2, 1), (500.0 + 1000.0) / 500.0, "slices 1,3");
+        assert_eq!(u.sliced_cpi(4, 3), 4.0, "single slice");
+        assert_eq!(u.sliced_instrs(2, 0), 500);
+        // No slices recorded → falls back to the unit CPI.
+        let bare = unit(1, 100, 300);
+        assert_eq!(bare.sliced_cpi(5, 0), 3.0);
+        assert_eq!(bare.sliced_instrs(5, 0), 100);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = ProfileTrace {
+            unit_instrs: 50_000,
+            snapshot_instrs: 5_000,
+            core: 0,
+            units: vec![unit(0, 100, 150)],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ProfileTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,258 @@
+//! One set-associative LRU cache level.
+//!
+//! Tags and LRU stamps live in flat arrays (`sets × ways`) so a lookup is a
+//! short linear scan over one set — at most `ways` comparisons on contiguous
+//! memory, which keeps full-job simulations fast.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LINE_BYTES;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating that the geometry is realizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is not a positive multiple of `ways × 64 B`.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0, "cache needs at least one way");
+        assert!(capacity_bytes > 0, "cache needs capacity");
+        assert_eq!(
+            capacity_bytes % (ways as u64 * LINE_BYTES),
+            0,
+            "capacity must be a multiple of ways * line size"
+        );
+        Self { capacity_bytes, ways }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (self.ways as u64 * LINE_BYTES)) as usize
+    }
+
+    /// Number of cache lines the level holds.
+    pub fn lines(&self) -> usize {
+        (self.capacity_bytes / LINE_BYTES) as usize
+    }
+}
+
+/// A set-associative LRU cache over 64-byte lines.
+///
+/// Stores line tags only — the model tracks presence, not data. A global
+/// access counter provides LRU ordering. `u64::MAX` marks an invalid way.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    ways: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways;
+        Self { config, sets, ways, tags: vec![INVALID; sets * ways], stamps: vec![0; sets * ways], clock: 0 }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Looks up the line containing `addr`, inserting it on miss (allocate-on-
+    /// miss, LRU eviction). Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / LINE_BYTES;
+        let set = if self.sets.is_power_of_two() {
+            (line as usize) & (self.sets - 1)
+        } else {
+            (line as usize) % self.sets
+        };
+        self.clock += 1;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+        // Hit scan.
+        let mut lru_idx = 0;
+        let mut lru_stamp = u64::MAX;
+        for (i, &t) in slots.iter().enumerate() {
+            if t == line {
+                self.stamps[base + i] = self.clock;
+                return true;
+            }
+            let s = if t == INVALID { 0 } else { self.stamps[base + i] };
+            if s < lru_stamp {
+                lru_stamp = s;
+                lru_idx = i;
+            }
+        }
+        // Miss: fill the LRU (or an invalid) way.
+        self.tags[base + lru_idx] = line;
+        self.stamps[base + lru_idx] = self.clock;
+        false
+    }
+
+    /// Checks for presence without updating LRU state or inserting.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr / LINE_BYTES;
+        let set = if self.sets.is_power_of_two() {
+            (line as usize) & (self.sets - 1)
+        } else {
+            (line as usize) % self.sets
+        };
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Invalidates every line (e.g. context lost after an OS migration).
+    pub fn flush(&mut self) {
+        self.tags.fill(INVALID);
+    }
+
+    /// Invalidates roughly `fraction` of all lines, deterministically chosen
+    /// from `seed`. Used by the perturbation model for partial-flush events.
+    pub fn flush_fraction(&mut self, fraction: f64, seed: u64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        if fraction >= 1.0 {
+            self.flush();
+            return;
+        }
+        let threshold = (fraction * u64::MAX as f64) as u64;
+        let mut state = seed | 1;
+        for t in &mut self.tags {
+            // xorshift64* stream: cheap, deterministic per-slot decision.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if state.wrapping_mul(0x2545_F491_4F6C_DD1D) < threshold {
+                *t = INVALID;
+            }
+        }
+    }
+
+    /// Number of currently valid lines (test/diagnostic helper).
+    pub fn valid_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != INVALID).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig::new(512, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.lines(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of ways")]
+    fn rejects_bad_geometry() {
+        let _ = CacheConfig::new(1000, 8);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Set stride = sets * line = 4 * 64 = 256. Three lines map to set 0.
+        assert!(!c.access(0));
+        assert!(!c.access(256));
+        assert!(c.access(0)); // refresh line 0; line 256 now LRU
+        assert!(!c.access(512)); // evicts 256
+        assert!(c.access(0));
+        assert!(!c.access(256)); // was evicted
+    }
+
+    #[test]
+    fn probe_does_not_disturb() {
+        let mut c = tiny();
+        c.access(0);
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(!c.probe(256));
+        // probing 256 must not have inserted it
+        assert!(!c.access(256));
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits() {
+        // 32 KiB 8-way cache, 16 KiB working set streamed twice: second pass
+        // must be hit-only.
+        let mut c = Cache::new(CacheConfig::new(32 * 1024, 8));
+        let lines = 16 * 1024 / 64;
+        for i in 0..lines {
+            c.access(i * 64);
+        }
+        let hits = (0..lines).filter(|&i| c.access(i * 64)).count();
+        assert_eq!(hits as u64, lines);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_misses() {
+        // Working set 4x capacity with LRU + streaming: second pass all misses.
+        let mut c = Cache::new(CacheConfig::new(32 * 1024, 8));
+        let lines = 4 * 32 * 1024 / 64;
+        for i in 0..lines {
+            c.access(i * 64);
+        }
+        let hits = (0..lines).filter(|&i| c.access(i * 64)).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = tiny();
+        for i in 0..8 {
+            c.access(i * 64);
+        }
+        assert!(c.valid_lines() > 0);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn flush_fraction_partial_and_deterministic() {
+        let mut a = Cache::new(CacheConfig::new(32 * 1024, 8));
+        for i in 0..512 {
+            a.access(i * 64);
+        }
+        let mut b = a.clone();
+        a.flush_fraction(0.5, 99);
+        b.flush_fraction(0.5, 99);
+        assert_eq!(a.valid_lines(), b.valid_lines());
+        let remaining = a.valid_lines();
+        assert!(remaining > 100 && remaining < 412, "about half should survive: {remaining}");
+        a.flush_fraction(1.0, 1);
+        assert_eq!(a.valid_lines(), 0);
+    }
+}

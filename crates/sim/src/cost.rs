@@ -1,0 +1,101 @@
+//! The cycle cost model.
+//!
+//! Cycles accrue from three sources: a base CPI charged per instruction
+//! (pipeline throughput for cache-resident work), per-access penalties that
+//! depend on which level of the hierarchy served the access, and explicit IO
+//! stalls charged by the engine for disk/HDFS/network operations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hierarchy::AccessOutcome;
+
+/// Latency/throughput parameters of the modelled core.
+///
+/// Defaults approximate an Ivy Bridge-E class core (the paper's i7-4820K):
+/// ~0.5 base CPI on cache-resident code, L2 ≈ 12 cycles, LLC ≈ 35 cycles,
+/// DRAM ≈ 180 cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cycles charged per instruction before memory penalties. Stored as
+    /// milli-cycles-per-instruction so all arithmetic stays in integers
+    /// (e.g. `500` = 0.5 CPI).
+    pub base_mcpi: u64,
+    /// Extra cycles when an access hits in L2 (missed L1).
+    pub l2_hit_cycles: u64,
+    /// Extra cycles when an access hits in the LLC (missed L1+L2).
+    pub llc_hit_cycles: u64,
+    /// Extra cycles when an access goes to DRAM (missed everything).
+    pub mem_cycles: u64,
+    /// Divisor applied to miss penalties of *streaming* accesses
+    /// (sequential / short-stride walks): the hardware prefetcher overlaps
+    /// their latency, leaving them bandwidth- rather than latency-bound.
+    pub prefetch_divisor: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            base_mcpi: 500,
+            l2_hit_cycles: 12,
+            llc_hit_cycles: 35,
+            mem_cycles: 150,
+            prefetch_divisor: 4,
+        }
+    }
+}
+
+impl CostModel {
+    /// Base (non-memory) cycles for `instrs` instructions, rounded to the
+    /// nearest cycle.
+    pub fn base_cycles(&self, instrs: u64) -> u64 {
+        (instrs * self.base_mcpi + 500) / 1000
+    }
+
+    /// Extra cycles for one access with the given hierarchy outcome.
+    pub fn access_cycles(&self, outcome: AccessOutcome) -> u64 {
+        match outcome {
+            AccessOutcome::L1Hit => 0,
+            AccessOutcome::L2Hit => self.l2_hit_cycles,
+            AccessOutcome::LlcHit => self.llc_hit_cycles,
+            AccessOutcome::Memory => self.mem_cycles,
+        }
+    }
+
+    /// Like [`CostModel::access_cycles`], but for an access the prefetcher
+    /// can cover (streaming patterns): miss penalties are divided by
+    /// [`CostModel::prefetch_divisor`].
+    pub fn access_cycles_streaming(&self, outcome: AccessOutcome) -> u64 {
+        self.access_cycles(outcome) / self.prefetch_divisor.max(1)
+    }
+
+    /// The best CPI achievable (all L1 hits), as f64.
+    pub fn min_cpi(&self) -> f64 {
+        self.base_mcpi as f64 / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_cycles_rounds() {
+        let m = CostModel::default();
+        assert_eq!(m.base_cycles(1000), 500);
+        assert_eq!(m.base_cycles(1), 1); // 0.5 rounds up
+        assert_eq!(m.base_cycles(0), 0);
+    }
+
+    #[test]
+    fn penalties_are_ordered() {
+        let m = CostModel::default();
+        assert!(m.access_cycles(AccessOutcome::L1Hit) < m.access_cycles(AccessOutcome::L2Hit));
+        assert!(m.access_cycles(AccessOutcome::L2Hit) < m.access_cycles(AccessOutcome::LlcHit));
+        assert!(m.access_cycles(AccessOutcome::LlcHit) < m.access_cycles(AccessOutcome::Memory));
+    }
+
+    #[test]
+    fn min_cpi_matches_base() {
+        assert_eq!(CostModel::default().min_cpi(), 0.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! OS-noise perturbation models.
+//!
+//! §III-B-1 of the paper lists OS scheduling (executor threads migrated to
+//! other cores, arriving with cold private caches) as a source of
+//! non-homogeneous phase behaviour. This module models that as deterministic
+//! periodic events: every `period_instrs` instructions on a core, a fraction
+//! of its private caches is invalidated. The engine's scheduler drives
+//! [`MigrationClock::poll`] as instruction counts advance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::machine::{CoreId, Machine};
+
+/// Perturbation configuration (disabled by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Perturbations {
+    /// Instructions between simulated OS migrations of a thread
+    /// (`None` disables the model).
+    pub migration_period_instrs: Option<u64>,
+    /// Fraction of private-cache lines lost per migration.
+    pub migration_flush_fraction: f64,
+    /// RNG seed for which lines each event invalidates.
+    pub seed: u64,
+}
+
+impl Default for Perturbations {
+    fn default() -> Self {
+        Self { migration_period_instrs: None, migration_flush_fraction: 0.8, seed: 0 }
+    }
+}
+
+impl Perturbations {
+    /// A moderate noise level used by the experiments: a migration roughly
+    /// every `period` instructions, losing 80 % of private-cache contents.
+    pub fn with_period(period: u64, seed: u64) -> Self {
+        Self { migration_period_instrs: Some(period), migration_flush_fraction: 0.8, seed }
+    }
+}
+
+/// Per-core clock that fires migration events as instructions accumulate.
+#[derive(Debug, Clone)]
+pub struct MigrationClock {
+    config: Perturbations,
+    next_event: Vec<u64>,
+    events_fired: u64,
+}
+
+impl MigrationClock {
+    /// Builds a clock for `cores` cores. Events on different cores are
+    /// staggered by half a period so they do not all fire simultaneously.
+    pub fn new(config: Perturbations, cores: usize) -> Self {
+        let next_event = match config.migration_period_instrs {
+            Some(p) => (0..cores as u64).map(|c| p + c * p / 2).collect(),
+            None => vec![u64::MAX; cores],
+        };
+        Self { config, next_event, events_fired: 0 }
+    }
+
+    /// Called after `core`'s instruction counter reached `total_instrs`;
+    /// fires any due migration events against `machine`. Returns how many
+    /// events fired.
+    pub fn poll(&mut self, machine: &mut Machine, core: CoreId, total_instrs: u64) -> u32 {
+        let Some(period) = self.config.migration_period_instrs else {
+            return 0;
+        };
+        let mut fired = 0;
+        while total_instrs >= self.next_event[core] {
+            self.events_fired += 1;
+            let event_seed = self
+                .config
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(self.events_fired * 0x1000_0001 + core as u64);
+            machine.flush_core_fraction(core, self.config.migration_flush_fraction, event_seed);
+            self.next_event[core] += period;
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Total events fired so far (diagnostics).
+    pub fn events_fired(&self) -> u64 {
+        self.events_fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn disabled_never_fires() {
+        let mut m = Machine::new(MachineConfig::scaled(1));
+        let mut clock = MigrationClock::new(Perturbations::default(), 1);
+        assert_eq!(clock.poll(&mut m, 0, u64::MAX / 2), 0);
+        assert_eq!(clock.events_fired(), 0);
+    }
+
+    #[test]
+    fn fires_once_per_period() {
+        let mut m = Machine::new(MachineConfig::scaled(1));
+        let mut clock = MigrationClock::new(Perturbations::with_period(1000, 1), 1);
+        assert_eq!(clock.poll(&mut m, 0, 999), 0);
+        assert_eq!(clock.poll(&mut m, 0, 1000), 1);
+        assert_eq!(clock.poll(&mut m, 0, 1001), 0);
+        assert_eq!(clock.poll(&mut m, 0, 3500), 2);
+        assert_eq!(clock.events_fired(), 3);
+    }
+
+    #[test]
+    fn migration_actually_cools_caches() {
+        let mut m = Machine::new(MachineConfig::scaled(1));
+        let r = m.alloc(4096);
+        for i in 0..64u64 {
+            m.access(0, r.base + i * 64);
+        }
+        let warm = m.counters(0).l1_misses;
+        let mut clock = MigrationClock::new(
+            Perturbations { migration_period_instrs: Some(1), migration_flush_fraction: 1.0, seed: 5 },
+            1,
+        );
+        clock.poll(&mut m, 0, 10);
+        for i in 0..64u64 {
+            m.access(0, r.base + i * 64);
+        }
+        let cold = m.counters(0).l1_misses - warm;
+        assert!(cold > 32, "post-migration pass should re-miss: {cold}");
+    }
+
+    #[test]
+    fn cores_staggered() {
+        let clock = MigrationClock::new(Perturbations::with_period(1000, 1), 3);
+        assert_eq!(clock.next_event, vec![1000, 1500, 2000]);
+    }
+}

@@ -1,0 +1,154 @@
+//! BIC-based model selection for k-means — the SimPoint / X-means
+//! alternative to the silhouette rule.
+//!
+//! SimPoint (Sherwood et al., the paper's baseline lineage) and Perelman et
+//! al. pick the number of phases with the Bayesian Information Criterion
+//! under a spherical-Gaussian mixture view of k-means, choosing the smallest
+//! k whose BIC reaches a fraction (SimPoint: 90 %) of the best score. This
+//! module implements that rule so the workspace can ablate silhouette
+//! against BIC selection.
+
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{kmeans, KMeans, KMeansResult};
+use crate::matrix::Matrix;
+
+/// BIC of a k-means clustering under the identical-spherical-variance model
+/// (Pelleg & Moore, X-means). Larger is better.
+///
+/// Returns `f64::NEG_INFINITY` for an empty clustering.
+pub fn bic_score(data: &Matrix, result: &KMeansResult) -> f64 {
+    let n = data.rows();
+    let k = result.centers.rows();
+    if n == 0 || k == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let d = data.cols().max(1) as f64;
+    let nf = n as f64;
+    // Pooled maximum-likelihood variance; floored to keep degenerate
+    // (duplicate-point) clusterings finite.
+    let sigma2 = (result.inertia / ((n.saturating_sub(k)) as f64).max(1.0) / d).max(1e-12);
+
+    let sizes = result.cluster_sizes();
+    let mut log_likelihood = 0.0;
+    for &nj in &sizes {
+        if nj == 0 {
+            continue;
+        }
+        let njf = nj as f64;
+        log_likelihood += njf * (njf / nf).ln()
+            - njf * d / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln()
+            - (njf - 1.0) * d / 2.0;
+    }
+    let params = k as f64 * (d + 1.0);
+    log_likelihood - params / 2.0 * nf.ln()
+}
+
+/// Outcome of the BIC k-selection sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BicSelection {
+    /// Chosen number of clusters.
+    pub k: usize,
+    /// Clustering result for the chosen `k`.
+    pub result: KMeansResult,
+    /// `(k, bic)` pairs for every candidate evaluated.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Sweeps `k ∈ 1..=k_max` and applies the SimPoint rule: the smallest `k`
+/// whose BIC is at least `threshold` (e.g. 0.9) of the way from the worst to
+/// the best score (BIC values are negative, so the rule interpolates the
+/// observed range rather than scaling by the maximum).
+pub fn choose_k_bic(data: &Matrix, k_max: usize, threshold: f64, seed: u64) -> BicSelection {
+    let n = data.rows();
+    let k_max = k_max.min(n).max(1);
+    if n == 0 {
+        return BicSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores: vec![] };
+    }
+    let candidates: Vec<(usize, KMeansResult, f64)> = (1..=k_max)
+        .map(|k| {
+            let r = kmeans(data, KMeans::new(k, seed));
+            let b = bic_score(data, &r);
+            (k, r, b)
+        })
+        .collect();
+    let best = candidates.iter().map(|&(_, _, b)| b).fold(f64::NEG_INFINITY, f64::max);
+    let worst = candidates.iter().map(|&(_, _, b)| b).fold(f64::INFINITY, f64::min);
+    let cutoff = if best.is_finite() && worst.is_finite() && best > worst {
+        worst + threshold * (best - worst)
+    } else {
+        best
+    };
+    let scores: Vec<(usize, f64)> = candidates.iter().map(|&(k, _, b)| (k, b)).collect();
+    let chosen = candidates
+        .into_iter()
+        .find(|&(_, _, b)| b >= cutoff)
+        .expect("the best-scoring k satisfies the cutoff");
+    BicSelection { k: chosen.0, result: chosen.1, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random noise in [-0.5, 0.5) from an integer key (keeps the
+    /// blobs genuinely noisy so per-point variance cannot collapse to the
+    /// epsilon floor, which would let BIC fit arbitrarily many clusters).
+    fn noise(key: u64) -> f64 {
+        let mut z = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        ((z >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Matrix {
+        let mut rows = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per {
+                let key = (ci * 1000 + i) as u64;
+                rows.push(vec![cx + noise(key), cy + noise(key ^ 0xABCD)]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn bic_prefers_true_k_over_underfit() {
+        let data = blobs(&[(0.0, 0.0), (8.0, 8.0), (0.0, 8.0)], 15);
+        let b1 = bic_score(&data, &kmeans(&data, KMeans::new(1, 3)));
+        let b3 = bic_score(&data, &kmeans(&data, KMeans::new(3, 3)));
+        assert!(b3 > b1, "b3 {b3} vs b1 {b1}");
+    }
+
+    #[test]
+    fn bic_penalizes_gross_overfit() {
+        let data = blobs(&[(0.0, 0.0), (8.0, 8.0)], 20);
+        let b2 = bic_score(&data, &kmeans(&data, KMeans::new(2, 3)));
+        let b12 = bic_score(&data, &kmeans(&data, KMeans::new(12, 3)));
+        assert!(b2 > b12, "b2 {b2} vs b12 {b12}");
+    }
+
+    #[test]
+    fn choose_k_bic_finds_blob_count() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0), (0.0, 10.0)], 14);
+        let sel = choose_k_bic(&data, 8, 0.9, 7);
+        assert!(sel.k >= 2 && sel.k <= 4, "k = {} scores {:?}", sel.k, sel.scores);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(choose_k_bic(&empty, 5, 0.9, 1).k, 1);
+        let dup = Matrix::from_rows(&vec![vec![1.0, 1.0]; 8]);
+        let sel = choose_k_bic(&dup, 5, 0.9, 1);
+        assert!(sel.k >= 1);
+        assert!(bic_score(&dup, &sel.result).is_finite());
+    }
+
+    #[test]
+    fn scores_recorded_for_all_k() {
+        let data = blobs(&[(0.0, 0.0), (9.0, 9.0)], 10);
+        let sel = choose_k_bic(&data, 5, 0.9, 2);
+        let ks: Vec<usize> = sel.scores.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, vec![1, 2, 3, 4, 5]);
+    }
+}

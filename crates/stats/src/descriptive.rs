@@ -1,0 +1,187 @@
+//! Descriptive statistics: means, variances, and the coefficient-of-variation
+//! summaries behind the paper's phase-homogeneity analysis (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance (divides by `n - 1`).
+///
+/// Returns `0.0` when fewer than two observations exist — a phase with a
+/// single sampling unit has no measurable spread.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population variance (divides by `n`). Returns `0.0` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (square root of [`sample_variance`]).
+pub fn stddev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Coefficient of variation: `stddev / mean`.
+///
+/// Returns `0.0` when the mean is zero (CPI data is strictly positive in
+/// practice, so this only guards degenerate inputs).
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    stddev(xs) / m
+}
+
+/// Summary of one group of observations (one phase's CPIs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation (`stddev / mean`, `0` when mean is `0`).
+    pub cov: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    pub fn of(xs: &[f64]) -> Self {
+        let m = mean(xs);
+        let s = stddev(xs);
+        Self { n: xs.len(), mean: m, stddev: s, cov: if m == 0.0 { 0.0 } else { s / m } }
+    }
+}
+
+/// The paper's Fig. 6 triple for a clustering of observations into groups:
+/// the CoV over all observations, the size-weighted mean of per-group CoVs,
+/// and the maximum per-group CoV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CovTriple {
+    /// CoV of the whole population of observations.
+    pub population: f64,
+    /// Per-group CoV weighted by group size.
+    pub weighted: f64,
+    /// Largest per-group CoV.
+    pub max: f64,
+}
+
+/// Computes the population / weighted / max CoV triple for `values` grouped
+/// by `groups` (parallel slices; `groups[i]` is the group id of `values[i]`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn cov_triple(values: &[f64], groups: &[usize]) -> CovTriple {
+    assert_eq!(values.len(), groups.len(), "values/groups length mismatch");
+    let population = cov(values);
+    let n_groups = groups.iter().copied().max().map_or(0, |g| g + 1);
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
+    for (&v, &g) in values.iter().zip(groups) {
+        buckets[g].push(v);
+    }
+    let total = values.len() as f64;
+    let mut weighted = 0.0;
+    let mut max = 0.0f64;
+    for b in buckets.iter().filter(|b| !b.is_empty()) {
+        let c = cov(b);
+        weighted += c * b.len() as f64 / total;
+        max = max.max(c);
+    }
+    CovTriple { population, weighted, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0]), 2.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn variances() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(close(population_variance(&xs), 4.0));
+        assert!(close(sample_variance(&xs), 32.0 / 7.0));
+        assert_eq!(sample_variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_zero_mean_guard() {
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+        assert_eq!(cov(&[-1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_matches_parts() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 4);
+        assert!(close(s.mean, 2.5));
+        assert!(close(s.stddev, sample_variance(&xs).sqrt()));
+        assert!(close(s.cov, s.stddev / s.mean));
+    }
+
+    #[test]
+    fn cov_triple_perfect_grouping() {
+        // Two internally constant groups: weighted CoV must collapse to zero
+        // even though the population CoV is large.
+        let values = [1.0, 1.0, 1.0, 10.0, 10.0, 10.0];
+        let groups = [0, 0, 0, 1, 1, 1];
+        let t = cov_triple(&values, &groups);
+        assert!(t.population > 0.5);
+        assert_eq!(t.weighted, 0.0);
+        assert_eq!(t.max, 0.0);
+    }
+
+    #[test]
+    fn cov_triple_single_group_equals_population() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let groups = [0, 0, 0, 0];
+        let t = cov_triple(&values, &groups);
+        assert!(close(t.population, t.weighted));
+        assert!(close(t.population, t.max));
+    }
+
+    #[test]
+    fn cov_triple_weighted_below_population_when_separating() {
+        let values = [1.0, 1.1, 0.9, 5.0, 5.2, 4.8];
+        let groups = [0, 0, 0, 1, 1, 1];
+        let t = cov_triple(&values, &groups);
+        assert!(t.weighted < t.population);
+        assert!(t.max >= t.weighted);
+    }
+
+    #[test]
+    fn cov_triple_skips_empty_group_ids() {
+        // Group 1 unused: must not contribute or panic.
+        let t = cov_triple(&[1.0, 2.0], &[0, 2]);
+        assert_eq!(t.weighted, 0.0); // singleton groups have zero stddev
+    }
+}

@@ -1,0 +1,296 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! Phase formation (§III-B) clusters sampling-unit feature vectors with
+//! k-means. The implementation is deterministic given a seed: k-means++
+//! initialization draws from a seeded RNG, Lloyd iterations are synchronous,
+//! ties in assignment break toward the lower center index, and empty clusters
+//! are reseeded to the point farthest from its current center.
+//!
+//! Distance computations over all points are parallelized with rayon; results
+//! are identical to the sequential computation because each point's
+//! assignment is independent.
+
+use rand::RngExt;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+use crate::rng::{seeded, SeedRng};
+
+/// Configuration for one k-means run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iter: usize,
+    /// RNG seed for k-means++ initialization.
+    pub seed: u64,
+    /// Number of independent k-means++ restarts; the run with the lowest
+    /// inertia wins (scikit-learn-style `n_init`).
+    pub n_init: usize,
+}
+
+impl KMeans {
+    /// Creates a configuration with the workspace defaults of 100 iterations
+    /// and 4 restarts.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { k, max_iter: 100, seed, n_init: 4 }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster centers, one row per cluster (`k × cols`).
+    pub centers: Matrix,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of every point to its center.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of points assigned to each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centers.rows()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs k-means++ + Lloyd iterations on `data`, taking the best of
+/// `config.n_init` seeded restarts by inertia.
+///
+/// `k` is clamped to the number of rows. With `k == 0` or an empty matrix the
+/// result has no centers and no assignments.
+///
+/// # Examples
+///
+/// ```
+/// use simprof_stats::{kmeans, KMeans, Matrix};
+///
+/// let data = Matrix::from_rows(&[
+///     vec![0.0, 0.1], vec![0.1, 0.0],    // blob A
+///     vec![9.0, 9.1], vec![9.1, 9.0],    // blob B
+/// ]);
+/// let result = kmeans(&data, KMeans::new(2, 42));
+/// assert_eq!(result.centers.rows(), 2);
+/// assert_eq!(result.assignments[0], result.assignments[1]);
+/// assert_ne!(result.assignments[0], result.assignments[2]);
+/// ```
+pub fn kmeans(data: &Matrix, config: KMeans) -> KMeansResult {
+    let restarts = config.n_init.max(1);
+    let mut best: Option<KMeansResult> = None;
+    for r in 0..restarts {
+        let seed = config.seed.wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let result = kmeans_once(data, KMeans { seed, n_init: 1, ..config });
+        if best.as_ref().is_none_or(|b| result.inertia < b.inertia) {
+            best = Some(result);
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
+    let n = data.rows();
+    let k = config.k.min(n);
+    if k == 0 || n == 0 {
+        return KMeansResult {
+            centers: Matrix::zeros(0, data.cols()),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+
+    let mut rng = seeded(config.seed);
+    let mut centers = plus_plus_init(data, k, &mut rng);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iter.max(1) {
+        iterations = iter + 1;
+        // Assignment step (parallel; deterministic tie-break to lower index).
+        let new_assignments: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|i| Matrix::nearest_row(&centers, data.row(i)).expect("k >= 1"))
+            .collect();
+        let changed = new_assignments != assignments;
+        assignments = new_assignments;
+
+        // Update step.
+        let cols = data.cols();
+        let mut sums = Matrix::zeros(k, cols);
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            let row = data.row(i);
+            let acc = sums.row_mut(a);
+            for (s, &v) in acc.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed to the point farthest from its center.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = Matrix::sq_dist(data.row(a), centers.row(assignments[a]));
+                        let db = Matrix::sq_dist(data.row(b), centers.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("n >= 1");
+                sums.row_mut(c).copy_from_slice(data.row(far));
+                counts[c] = 1;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            for v in sums.row_mut(c) {
+                *v *= inv;
+            }
+        }
+        centers = sums;
+
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .into_par_iter()
+        .map(|i| Matrix::sq_dist(data.row(i), centers.row(assignments[i])))
+        .sum();
+
+    KMeansResult { centers, assignments, inertia, iterations }
+}
+
+/// k-means++ seeding: first center uniform, subsequent centers sampled with
+/// probability proportional to squared distance from the nearest chosen
+/// center.
+fn plus_plus_init(data: &Matrix, k: usize, rng: &mut SeedRng) -> Matrix {
+    let n = data.rows();
+    let cols = data.cols();
+    let mut centers = Matrix::zeros(k, cols);
+    let first = rng.random_range(0..n);
+    centers.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut d2: Vec<f64> = (0..n).map(|i| Matrix::sq_dist(data.row(i), centers.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = d2.iter().sum();
+        let pick = if total <= 0.0 {
+            // All points coincide with existing centers; pick uniformly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.row_mut(c).copy_from_slice(data.row(pick));
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = Matrix::sq_dist(data.row(i), centers.row(c));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            rows.push(vec![10.0 + (i as f64) * 0.01, 10.0]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs();
+        let r = kmeans(&data, KMeans::new(2, 42));
+        assert_eq!(r.centers.rows(), 2);
+        // All even rows (blob A) share a cluster, all odd rows (blob B) the other.
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..40 {
+            assert_eq!(r.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(r.inertia < 1.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = two_blobs();
+        let r1 = kmeans(&data, KMeans::new(3, 7));
+        let r2 = kmeans(&data, KMeans::new(3, 7));
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.centers, r2.centers);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let data = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let r = kmeans(&data, KMeans::new(5, 1));
+        assert_eq!(r.centers.rows(), 2);
+        assert_eq!(r.assignments.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_or_empty() {
+        let data = Matrix::from_rows(&[vec![1.0]]);
+        let r = kmeans(&data, KMeans::new(0, 1));
+        assert!(r.assignments.is_empty());
+        let empty = Matrix::zeros(0, 3);
+        let r = kmeans(&empty, KMeans::new(2, 1));
+        assert!(r.assignments.is_empty());
+    }
+
+    #[test]
+    fn identical_points_single_effective_cluster() {
+        let data = Matrix::from_rows(&vec![vec![3.0, 3.0]; 10]);
+        let r = kmeans(&data, KMeans::new(3, 11));
+        // All points distance 0 from every center; inertia must be 0.
+        assert_eq!(r.inertia, 0.0);
+        assert_eq!(r.assignments.len(), 10);
+    }
+
+    #[test]
+    fn k1_center_is_mean() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![2.0], vec![4.0]]);
+        let r = kmeans(&data, KMeans::new(1, 3));
+        assert!((r.centers.get(0, 0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.cluster_sizes(), vec![3]);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = two_blobs();
+        let i1 = kmeans(&data, KMeans::new(1, 5)).inertia;
+        let i2 = kmeans(&data, KMeans::new(2, 5)).inertia;
+        assert!(i2 < i1);
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let data = two_blobs();
+        let r = kmeans(&data, KMeans::new(4, 9));
+        assert_eq!(r.cluster_sizes().iter().sum::<usize>(), 40);
+    }
+}

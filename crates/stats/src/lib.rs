@@ -1,0 +1,48 @@
+//! Statistics substrate for SimProf.
+//!
+//! This crate contains every statistical primitive the SimProf pipeline is
+//! built on, implemented from scratch:
+//!
+//! * [`matrix`] — a flat, row-major `f64` matrix used as the feature-vector
+//!   container throughout the pipeline.
+//! * [`descriptive`] — means, variances, coefficient of variation (CoV) and
+//!   the weighted-CoV summary used by the paper's Fig. 6.
+//! * [`kmeans`] — k-means clustering with k-means++ seeding (phase formation,
+//!   §III-B of the paper).
+//! * [`silhouette`] — silhouette-coefficient model selection implementing the
+//!   paper's "smallest k with at least 90 % of the best score" rule.
+//! * [`bic`] — SimPoint/X-means BIC model selection, the related-work
+//!   alternative the ablations compare against.
+//! * [`regression`] — univariate linear-regression (F-test) feature scoring
+//!   used to select the top-K methods most correlated with IPC.
+//! * [`stratified`] — stratified random sampling: Neyman optimal allocation
+//!   (Eq. 1), the stratified standard error (Eq. 4) and confidence intervals
+//!   (Eqs. 2–3), plus the required-sample-size solver behind Fig. 8.
+//! * [`sampling`] — seeded simple-random and systematic index sampling.
+//! * [`rng`] — deterministic seeding helpers; every stochastic routine in the
+//!   workspace takes an explicit `u64` seed.
+
+pub mod bic;
+pub mod descriptive;
+pub mod kmeans;
+pub mod matrix;
+pub mod regression;
+pub mod rng;
+pub mod sampling;
+pub mod silhouette;
+pub mod stratified;
+
+pub use bic::{bic_score, choose_k_bic, BicSelection};
+pub use descriptive::{
+    cov, cov_triple, mean, population_variance, sample_variance, stddev, CovTriple, Summary,
+};
+pub use kmeans::{kmeans, KMeans, KMeansResult};
+pub use matrix::Matrix;
+pub use regression::{f_regression, select_top_k, top_k_features};
+pub use rng::{seeded, split_seed, SeedRng};
+pub use sampling::{srs_indices, srs_indices_seeded, systematic_indices};
+pub use silhouette::{choose_k, silhouette_score, KSelection};
+pub use stratified::{
+    confidence_interval, optimal_allocation, proportional_allocation, required_sample_size,
+    stratified_se, StratumStats,
+};

@@ -1,0 +1,210 @@
+//! A minimal flat, row-major `f64` matrix.
+//!
+//! Feature vectors flow through the whole SimProf pipeline (vectorization →
+//! feature selection → clustering → classification), so they are stored in a
+//! single contiguous allocation for cache-friendly row scans rather than as a
+//! `Vec<Vec<f64>>`.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f64`.
+///
+/// Rows are observations (sampling units), columns are features (methods).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { data: vec![0.0; rows * cols], rows, cols }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "flat buffer does not match rows*cols");
+        Self { data, rows, cols }
+    }
+
+    /// Creates a matrix from a slice of equally sized rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row lengths");
+            data.extend_from_slice(r);
+        }
+        Self { data, rows: n, cols }
+    }
+
+    /// Number of rows (observations).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (features).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrows row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Iterates over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Extracts column `j` into a new vector.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Builds a new matrix keeping only the given columns, in the given order.
+    ///
+    /// This is how the pipeline projects full method-frequency vectors down to
+    /// the top-K regression-selected features.
+    pub fn select_columns(&self, keep: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, keep.len());
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = out.row_mut(i);
+            for (d, &j) in dst.iter_mut().zip(keep) {
+                *d = src[j];
+            }
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between two equally sized slices.
+    #[inline]
+    pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Euclidean distance between two equally sized slices.
+    #[inline]
+    pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+        Self::sq_dist(a, b).sqrt()
+    }
+
+    /// Index of the row in `centers` closest (squared Euclidean) to `point`.
+    ///
+    /// Ties break toward the lower index, which keeps classification
+    /// deterministic. Returns `None` when `centers` is empty.
+    pub fn nearest_row(centers: &Matrix, point: &[f64]) -> Option<usize> {
+        let mut best = None;
+        let mut best_d = f64::INFINITY;
+        for (idx, c) in centers.iter_rows().enumerate() {
+            let d = Self::sq_dist(c, point);
+            if d < best_d {
+                best_d = d;
+                best = Some(idx);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.iter_rows().all(|r| r.iter().all(|&v| v == 0.0)));
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.column(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row lengths")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let p = m.select_columns(&[2, 0]);
+        assert_eq!(p.row(0), &[3.0, 1.0]);
+        assert_eq!(p.row(1), &[6.0, 4.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(Matrix::dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn nearest_row_breaks_ties_low() {
+        let centers = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![5.0]]);
+        assert_eq!(Matrix::nearest_row(&centers, &[1.0]), Some(0));
+        assert_eq!(Matrix::nearest_row(&centers, &[4.5]), Some(2));
+        assert_eq!(Matrix::nearest_row(&Matrix::zeros(0, 1), &[1.0]), None);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(1, 0), 7.0);
+        m.set(0, 1, 2.0);
+        assert_eq!(m.row(0), &[0.0, 2.0]);
+    }
+}

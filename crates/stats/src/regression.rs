@@ -1,0 +1,191 @@
+//! Univariate linear-regression feature scoring.
+//!
+//! The paper (§III-B) selects the top-K methods whose per-unit frequencies are
+//! most correlated with performance (IPC), using "the univariate linear
+//! regression test". This is the classic F-test on the slope of a univariate
+//! least-squares fit — the same statistic as scikit-learn's `f_regression` —
+//! applied to one feature column at a time:
+//!
+//! ```text
+//! r_j = corr(X[:, j], y)          F_j = r_j^2 / (1 - r_j^2) * (n - 2)
+//! ```
+//!
+//! Constant columns (zero variance) carry no information about performance and
+//! score `0`; this is exactly how the ubiquitous executor-startup methods the
+//! paper mentions get eliminated.
+
+use crate::matrix::Matrix;
+
+/// Computes the univariate regression F-score for every column of `x` against
+/// the response `y`.
+///
+/// Returns one score per column. Degenerate cases (fewer than 3 observations,
+/// constant column, constant response) score `0.0`. Perfectly correlated
+/// columns score `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`.
+pub fn f_regression(x: &Matrix, y: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), x.rows(), "response length must match rows");
+    let n = x.rows();
+    if n < 3 {
+        return vec![0.0; x.cols()];
+    }
+    let nf = n as f64;
+    let y_mean = y.iter().sum::<f64>() / nf;
+    let y_ss: f64 = y.iter().map(|&v| (v - y_mean) * (v - y_mean)).sum();
+    if y_ss == 0.0 {
+        return vec![0.0; x.cols()];
+    }
+
+    // One pass per column over the row-major matrix: accumulate column sums,
+    // then a second pass for centered cross-products.
+    let cols = x.cols();
+    let mut col_mean = vec![0.0; cols];
+    for row in x.iter_rows() {
+        for (m, &v) in col_mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut col_mean {
+        *m /= nf;
+    }
+
+    let mut sxy = vec![0.0; cols];
+    let mut sxx = vec![0.0; cols];
+    for (i, row) in x.iter_rows().enumerate() {
+        let dy = y[i] - y_mean;
+        for j in 0..cols {
+            let dx = row[j] - col_mean[j];
+            sxy[j] += dx * dy;
+            sxx[j] += dx * dx;
+        }
+    }
+
+    (0..cols)
+        .map(|j| {
+            if sxx[j] == 0.0 {
+                return 0.0;
+            }
+            let r2 = (sxy[j] * sxy[j]) / (sxx[j] * y_ss);
+            // Clamp tiny numeric overshoot of r^2 past 1.
+            let r2 = r2.min(1.0);
+            if r2 >= 1.0 {
+                f64::INFINITY
+            } else {
+                r2 / (1.0 - r2) * (nf - 2.0)
+            }
+        })
+        .collect()
+}
+
+/// Returns the indices of the `k` highest-scoring features, sorted by
+/// descending score (ties break toward the lower column index, keeping
+/// selection deterministic).
+///
+/// Features with score `0` are only included if fewer than `k` features have
+/// positive scores — matching the intent of dropping uninformative methods.
+pub fn top_k_features(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    // Drop trailing zero-score features; keep a single column when every
+    // score is zero so downstream clustering still has a feature space.
+    let positive = idx.iter().filter(|&&j| scores[j] > 0.0).count();
+    idx.truncate(positive.max(1).min(idx.len()));
+    idx
+}
+
+/// Convenience: scores all features of `x` against `y` and projects `x` onto
+/// the top-`k` columns. Returns the projected matrix and the kept column
+/// indices (in score order).
+pub fn select_top_k(x: &Matrix, y: &[f64], k: usize) -> (Matrix, Vec<usize>) {
+    let scores = f_regression(x, y);
+    let keep = top_k_features(&scores, k);
+    (x.select_columns(&keep), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_correlated_feature_wins() {
+        // col0 = y exactly, col1 = noise-ish fixed values, col2 constant.
+        let y = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x = Matrix::from_rows(&[
+            vec![1.0, 3.0, 7.0],
+            vec![2.0, 1.0, 7.0],
+            vec![3.0, 4.0, 7.0],
+            vec![4.0, 1.0, 7.0],
+            vec![5.0, 5.0, 7.0],
+        ]);
+        let s = f_regression(&x, &y);
+        assert!(s[0].is_infinite());
+        assert!(s[1].is_finite() && s[1] > 0.0);
+        assert_eq!(s[2], 0.0);
+        assert_eq!(top_k_features(&s, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn constant_response_scores_zero() {
+        let y = vec![2.0; 4];
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+        assert_eq!(f_regression(&x, &y), vec![0.0]);
+    }
+
+    #[test]
+    fn negative_correlation_scores_high() {
+        let y = vec![5.0, 4.0, 3.0, 2.0, 1.0];
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]]);
+        let s = f_regression(&x, &y);
+        assert!(s[0].is_infinite(), "sign must not matter: {:?}", s);
+    }
+
+    #[test]
+    fn too_few_rows_scores_zero() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        assert_eq!(f_regression(&x, &[1.0, 2.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn top_k_drops_zero_scores() {
+        let scores = [0.0, 5.0, 0.0, 3.0];
+        assert_eq!(top_k_features(&scores, 4), vec![1, 3]);
+        assert_eq!(top_k_features(&scores, 1), vec![1]);
+    }
+
+    #[test]
+    fn top_k_all_zero_keeps_one() {
+        let scores = [0.0, 0.0, 0.0];
+        assert_eq!(top_k_features(&scores, 2), vec![0]);
+    }
+
+    #[test]
+    fn select_top_k_projects_matrix() {
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let x = Matrix::from_rows(&[
+            vec![9.0, 1.0],
+            vec![9.0, 2.0],
+            vec![9.0, 3.0],
+            vec![9.0, 4.0],
+        ]);
+        let (proj, keep) = select_top_k(&x, &y, 1);
+        assert_eq!(keep, vec![1]);
+        assert_eq!(proj.cols(), 1);
+        assert_eq!(proj.column(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn scores_match_hand_computed_f() {
+        // y = [1,2,3,4], x = [1,2,2,3]: r = cov/sd, F = r^2/(1-r^2)*(n-2).
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![2.0], vec![3.0]]);
+        let s = f_regression(&x, &y)[0];
+        // sxy = 3, sxx = 2, syy = 5 → r² = 9/10; F = 0.9/0.1 · (4-2) = 18.
+        assert!((s - 18.0).abs() < 1e-9, "{s}");
+    }
+}

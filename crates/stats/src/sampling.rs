@@ -1,0 +1,112 @@
+//! Index sampling: seeded simple random sampling without replacement and
+//! systematic sampling.
+//!
+//! Simple random sampling (SRS) is used both as a paper baseline (§IV-B) and
+//! within each stratum of SimProf's stratified sampler. Systematic sampling is
+//! the SMARTS-style baseline the paper discusses as complementary future work.
+
+use rand::RngExt;
+
+use crate::rng::{seeded, SeedRng};
+
+/// Draws `k` distinct indices uniformly at random from `0..n` using Floyd's
+/// algorithm, returning them in ascending order.
+///
+/// When `k >= n`, returns all indices `0..n`.
+pub fn srs_indices(n: usize, k: usize, rng: &mut SeedRng) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    // Floyd's algorithm: O(k) draws, no allocation proportional to n.
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// Convenience wrapper around [`srs_indices`] with an explicit seed.
+pub fn srs_indices_seeded(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    srs_indices(n, k, &mut seeded(seed))
+}
+
+/// Systematic sampling: every `n / k`-th index starting from `offset`
+/// (SMARTS-style periodic selection). Returns ascending indices.
+///
+/// When `k >= n`, returns all indices; when `k == 0`, returns an empty vector.
+pub fn systematic_indices(n: usize, k: usize, offset: usize) -> Vec<usize> {
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    if k >= n {
+        return (0..n).collect();
+    }
+    let stride = n as f64 / k as f64;
+    let start = offset % stride.ceil().max(1.0) as usize;
+    (0..k).map(|i| ((start as f64 + i as f64 * stride) as usize).min(n - 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srs_draws_k_distinct_in_range() {
+        let mut rng = seeded(9);
+        for &(n, k) in &[(10usize, 3usize), (100, 20), (5, 5), (5, 9)] {
+            let s = srs_indices(n, k, &mut rng);
+            assert_eq!(s.len(), k.min(n));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "ascending + distinct");
+            assert!(s.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn srs_is_deterministic_per_seed() {
+        assert_eq!(srs_indices_seeded(1000, 20, 7), srs_indices_seeded(1000, 20, 7));
+        assert_ne!(srs_indices_seeded(1000, 20, 7), srs_indices_seeded(1000, 20, 8));
+    }
+
+    #[test]
+    fn srs_is_roughly_uniform() {
+        // Every index of 0..10 should be selected a reasonable number of
+        // times across many draws of k=2.
+        let mut counts = [0usize; 10];
+        for seed in 0..2000 {
+            for i in srs_indices_seeded(10, 2, seed) {
+                counts[i] += 1;
+            }
+        }
+        let expect = 2000.0 * 2.0 / 10.0;
+        for &c in &counts {
+            assert!((c as f64) > expect * 0.7 && (c as f64) < expect * 1.3, "count {c}");
+        }
+    }
+
+    #[test]
+    fn systematic_covers_span() {
+        let s = systematic_indices(100, 10, 0);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(*s.last().unwrap() >= 90);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn systematic_edge_cases() {
+        assert!(systematic_indices(0, 5, 0).is_empty());
+        assert!(systematic_indices(10, 0, 0).is_empty());
+        assert_eq!(systematic_indices(3, 10, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn systematic_offset_shifts_start() {
+        let a = systematic_indices(100, 10, 0);
+        let b = systematic_indices(100, 10, 3);
+        assert_eq!(b[0], 3);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Silhouette-coefficient model selection.
+//!
+//! The paper (§III-B) scores each candidate phase count `k ∈ 1..=20` with the
+//! silhouette coefficient and picks "the smallest k which has at least 90 % of
+//! the highest score among all k". The silhouette of point `i` is
+//! `(b_i - a_i) / max(a_i, b_i)` where `a_i` is the mean distance to points in
+//! its own cluster and `b_i` the smallest mean distance to another cluster.
+//!
+//! The silhouette is undefined at `k = 1`; SimProf needs `k = 1` to be
+//! selectable (grep on Spark forms a single phase). We define structure as
+//! present only when the best silhouette over `k ≥ 2` reaches a minimum
+//! (`min_structure`, default 0.25). Below that — or when the data has no
+//! variance at all — the selector returns `k = 1`.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::kmeans::{kmeans, KMeans, KMeansResult};
+use crate::matrix::Matrix;
+
+/// Mean silhouette coefficient of a clustering.
+///
+/// Returns `0.0` when the clustering has fewer than 2 non-empty clusters or
+/// fewer than 2 points. Singleton clusters contribute a silhouette of `0` for
+/// their point, per the standard convention.
+pub fn silhouette_score(data: &Matrix, assignments: &[usize]) -> f64 {
+    let n = data.rows();
+    assert_eq!(assignments.len(), n, "assignment length mismatch");
+    if n < 2 {
+        return 0.0;
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+
+    let total: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            if sizes[assignments[i]] <= 1 {
+                return 0.0;
+            }
+            // Mean distance from i to every cluster.
+            let mut dist_sum = vec![0.0f64; k];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                dist_sum[assignments[j]] += Matrix::dist(data.row(i), data.row(j));
+            }
+            let own = assignments[i];
+            let a = dist_sum[own] / (sizes[own] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != own && sizes[c] > 0)
+                .map(|c| dist_sum[c] / sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            let denom = a.max(b);
+            if denom == 0.0 {
+                0.0
+            } else {
+                (b - a) / denom
+            }
+        })
+        .sum();
+    total / n as f64
+}
+
+/// Outcome of the k-selection sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KSelection {
+    /// Chosen number of clusters.
+    pub k: usize,
+    /// Clustering result for the chosen `k`.
+    pub result: KMeansResult,
+    /// `(k, silhouette)` pairs for every candidate evaluated (`k ≥ 2`).
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Sweeps `k ∈ 2..=k_max`, scores each clustering with the silhouette
+/// coefficient, and applies the paper's rule: the smallest `k` whose score is
+/// at least `threshold` (e.g. 0.9) times the best score.
+///
+/// Falls back to `k = 1` when the data shows no cluster structure (best
+/// silhouette below `min_structure`) or has fewer than 3 rows.
+pub fn choose_k(
+    data: &Matrix,
+    k_max: usize,
+    threshold: f64,
+    min_structure: f64,
+    seed: u64,
+) -> KSelection {
+    let n = data.rows();
+    let k_max = k_max.min(n);
+    if n < 3 || k_max < 2 {
+        return KSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores: Vec::new() };
+    }
+
+    let candidates: Vec<(usize, KMeansResult, f64)> = (2..=k_max)
+        .map(|k| {
+            let r = kmeans(data, KMeans::new(k, seed));
+            let s = silhouette_score(data, &r.assignments);
+            (k, r, s)
+        })
+        .collect();
+
+    let best = candidates.iter().map(|&(_, _, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let scores: Vec<(usize, f64)> = candidates.iter().map(|&(k, _, s)| (k, s)).collect();
+
+    if best < min_structure {
+        return KSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores };
+    }
+
+    let chosen = candidates
+        .into_iter()
+        .find(|&(_, _, s)| s >= threshold * best)
+        .expect("at least the best-scoring k satisfies the threshold");
+    KSelection { k: chosen.0, result: chosen.1, scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(centers: &[(f64, f64)], per: usize) -> Matrix {
+        let mut rows = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..per {
+                let jitter = (i as f64 * 0.017 + ci as f64 * 0.005) % 0.1;
+                rows.push(vec![cx + jitter, cy - jitter]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0)], 15);
+        let assignments: Vec<usize> = (0..30).map(|i| i / 15).collect();
+        let s = silhouette_score(&data, &assignments);
+        assert!(s > 0.9, "score {s}");
+    }
+
+    #[test]
+    fn silhouette_poor_for_bad_split() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0)], 15);
+        // Split orthogonally to the real structure.
+        let assignments: Vec<usize> = (0..30).map(|i| i % 2).collect();
+        let s = silhouette_score(&data, &assignments);
+        assert!(s < 0.2, "score {s}");
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let data = blobs(&[(0.0, 0.0)], 10);
+        let assignments = vec![0usize; 10];
+        assert_eq!(silhouette_score(&data, &assignments), 0.0);
+    }
+
+    #[test]
+    fn silhouette_handles_singletons() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0]]);
+        let assignments = vec![0, 0, 1];
+        let s = silhouette_score(&data, &assignments);
+        assert!(s > 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn choose_k_finds_three_blobs() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 12);
+        let sel = choose_k(&data, 8, 0.9, 0.25, 42);
+        assert_eq!(sel.k, 3, "scores: {:?}", sel.scores);
+    }
+
+    #[test]
+    fn choose_k_collapses_to_one_without_structure() {
+        // A single tight blob: no k >= 2 split is meaningfully better.
+        let data = Matrix::from_rows(&vec![vec![5.0, 5.0]; 20]);
+        let sel = choose_k(&data, 6, 0.9, 0.25, 42);
+        assert_eq!(sel.k, 1);
+        assert_eq!(sel.result.centers.rows(), 1);
+    }
+
+    #[test]
+    fn choose_k_prefers_smallest_within_threshold() {
+        // Two well separated blobs; k=2 scores near-best so the rule must not
+        // return a larger k even if it scores marginally higher.
+        let data = blobs(&[(0.0, 0.0), (50.0, 50.0)], 20);
+        let sel = choose_k(&data, 10, 0.9, 0.25, 7);
+        assert_eq!(sel.k, 2, "scores: {:?}", sel.scores);
+    }
+
+    #[test]
+    fn choose_k_tiny_input() {
+        let data = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let sel = choose_k(&data, 20, 0.9, 0.25, 1);
+        assert_eq!(sel.k, 1);
+    }
+
+    #[test]
+    fn scores_are_recorded_for_all_candidates() {
+        let data = blobs(&[(0.0, 0.0), (10.0, 10.0)], 10);
+        let sel = choose_k(&data, 5, 0.9, 0.25, 3);
+        let ks: Vec<usize> = sel.scores.iter().map(|&(k, _)| k).collect();
+        assert_eq!(ks, vec![2, 3, 4, 5]);
+    }
+}

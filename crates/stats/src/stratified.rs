@@ -1,0 +1,358 @@
+//! Stratified random sampling: Neyman optimal allocation, the stratified
+//! standard error, confidence intervals, and the required-sample-size solver.
+//!
+//! These implement Eqs. 1–5 of the paper (§III-C). Strata are phases; the
+//! measurement is CPI. Optimal allocation gives phases with more sampling
+//! units and higher CPI variance a larger share of the simulation points:
+//!
+//! ```text
+//! n_h = n · (N_h σ_h) / Σ_i (N_i σ_i)                            (Eq. 1)
+//! SE  = (1/N) √( Σ_h N_h² (1 − n_h/N_h) s_h² / n_h )             (Eq. 4)
+//! CI  = mean ± z · SE                                            (Eqs. 2–3)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Population statistics of one stratum (phase).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StratumStats {
+    /// Total number of sampling units in the stratum (`N_h`).
+    pub units: usize,
+    /// Standard deviation of the measurement within the stratum (`σ_h`).
+    pub stddev: f64,
+}
+
+/// Neyman optimal allocation (Eq. 1) of `n` sample slots across strata.
+///
+/// # Examples
+///
+/// ```
+/// use simprof_stats::{optimal_allocation, StratumStats};
+///
+/// // A large noisy phase and a small quiet one: the noisy phase gets
+/// // nearly the whole budget.
+/// let strata = [
+///     StratumStats { units: 100, stddev: 2.0 },
+///     StratumStats { units: 50, stddev: 0.1 },
+/// ];
+/// let alloc = optimal_allocation(10, &strata);
+/// assert_eq!(alloc.iter().sum::<usize>(), 10);
+/// assert!(alloc[0] >= 8);
+/// assert!(alloc[1] >= 1, "every non-empty stratum keeps one slot");
+/// ```
+///
+/// Deviations from the raw formula, needed to make the allocation usable:
+///
+/// * every non-empty stratum receives at least one slot (a phase mean cannot
+///   be estimated from zero points),
+/// * no stratum receives more slots than it has units (`n_h ≤ N_h`),
+/// * leftover slots after rounding go to the strata with the largest
+///   fractional remainders (largest-remainder rounding), keeping `Σ n_h`
+///   as close to `n` as the caps allow.
+///
+/// Returns one sample size per stratum.
+pub fn optimal_allocation(n: usize, strata: &[StratumStats]) -> Vec<usize> {
+    allocate(n, strata, |s| s.units as f64 * s.stddev)
+}
+
+/// Proportional allocation: `n_h ∝ N_h`, ignoring variance. Used as an
+/// ablation against Neyman allocation.
+pub fn proportional_allocation(n: usize, strata: &[StratumStats]) -> Vec<usize> {
+    allocate(n, strata, |s| s.units as f64)
+}
+
+fn allocate(n: usize, strata: &[StratumStats], weight: impl Fn(&StratumStats) -> f64) -> Vec<usize> {
+    let m = strata.len();
+    if m == 0 || n == 0 {
+        return vec![0; m];
+    }
+    let nonempty: Vec<usize> = (0..m).filter(|&h| strata[h].units > 0).collect();
+    if nonempty.is_empty() {
+        return vec![0; m];
+    }
+
+    let total_w: f64 = nonempty.iter().map(|&h| weight(&strata[h])).sum();
+    let mut alloc = vec![0usize; m];
+    let mut frac = vec![0.0f64; m];
+
+    if total_w <= 0.0 {
+        // All weights zero (e.g. every stratum has zero variance under Neyman):
+        // fall back to proportional by unit count.
+        let total_units: f64 = nonempty.iter().map(|&h| strata[h].units as f64).sum();
+        for &h in &nonempty {
+            let share = n as f64 * strata[h].units as f64 / total_units;
+            alloc[h] = share.floor() as usize;
+            frac[h] = share - share.floor();
+        }
+    } else {
+        for &h in &nonempty {
+            let share = n as f64 * weight(&strata[h]) / total_w;
+            alloc[h] = share.floor() as usize;
+            frac[h] = share - share.floor();
+        }
+    }
+
+    // Floor at 1 for non-empty strata, cap at N_h.
+    for &h in &nonempty {
+        alloc[h] = alloc[h].clamp(1, strata[h].units);
+    }
+
+    // Largest-remainder redistribution toward the target total n (bounded by
+    // the sum of caps).
+    let cap_total: usize = nonempty.iter().map(|&h| strata[h].units).sum();
+    let target = n.min(cap_total);
+    let mut current: usize = alloc.iter().sum();
+
+    if current < target {
+        let mut order: Vec<usize> = nonempty.clone();
+        order.sort_by(|&a, &b| frac[b].partial_cmp(&frac[a]).unwrap().then(a.cmp(&b)));
+        let mut i = 0;
+        while current < target {
+            let h = order[i % order.len()];
+            if alloc[h] < strata[h].units {
+                alloc[h] += 1;
+                current += 1;
+            }
+            i += 1;
+            if i > order.len() * (target + 1) {
+                break; // safety: all caps hit
+            }
+        }
+    } else if current > target {
+        // Over-allocation only happens via the ≥1 floors; shrink the largest
+        // allocations (smallest fractional remainder first) but never below 1.
+        let mut order: Vec<usize> = nonempty.clone();
+        order.sort_by(|&a, &b| frac[a].partial_cmp(&frac[b]).unwrap().then(a.cmp(&b)));
+        let mut i = 0;
+        while current > target && i < order.len() * (current + 1) {
+            let h = order[i % order.len()];
+            if alloc[h] > 1 {
+                alloc[h] -= 1;
+                current -= 1;
+            }
+            i += 1;
+            // If every stratum is at 1 and we still exceed target, stop: the
+            // ≥1 floor takes precedence over the exact total.
+            if alloc.iter().zip(strata).all(|(&a, s)| s.units == 0 || a <= 1) {
+                break;
+            }
+        }
+    }
+    alloc
+}
+
+/// Standard error of the stratified estimator (Eq. 4).
+///
+/// `strata[h]` carries the population size `N_h` and the *sample* standard
+/// deviation `s_h`; `sample_sizes[h]` is `n_h`. Strata with `n_h == 0`
+/// contribute nothing (their mean is assumed known/skipped); strata with
+/// `n_h == N_h` are fully enumerated and contribute nothing either (finite
+/// population correction `1 − n_h/N_h` vanishes).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn stratified_se(strata: &[StratumStats], sample_sizes: &[usize]) -> f64 {
+    assert_eq!(strata.len(), sample_sizes.len(), "strata/sample_sizes length mismatch");
+    let total_units: usize = strata.iter().map(|s| s.units).sum();
+    if total_units == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (s, &nh) in strata.iter().zip(sample_sizes) {
+        if nh == 0 || s.units == 0 || nh >= s.units {
+            continue;
+        }
+        let big_n = s.units as f64;
+        let fpc = 1.0 - nh as f64 / big_n;
+        acc += big_n * big_n * fpc * (s.stddev * s.stddev) / nh as f64;
+    }
+    acc.sqrt() / total_units as f64
+}
+
+/// Confidence interval `mean ± z · SE` (Eqs. 2–3). Returns `(low, high)`.
+pub fn confidence_interval(mean: f64, se: f64, z: f64) -> (f64, f64) {
+    let margin = z * se;
+    (mean - margin, mean + margin)
+}
+
+/// Smallest total sample size `n` whose optimally allocated stratified
+/// standard error satisfies `z · SE ≤ target_margin` (absolute units of the
+/// measurement).
+///
+/// This is the solver behind Fig. 8: the paper reports, per workload, the
+/// sample size SimProf needs for a 99.7 % confidence interval (`z = 3`) with
+/// a 5 % or 2 % relative error (`target_margin = 0.05 · mean_CPI` etc.).
+///
+/// Returns `None` when even enumerating every unit misses the target (cannot
+/// happen mathematically — SE is 0 at full enumeration — but guards against
+/// degenerate inputs).
+pub fn required_sample_size(strata: &[StratumStats], z: f64, target_margin: f64) -> Option<usize> {
+    let total_units: usize = strata.iter().map(|s| s.units).sum();
+    if total_units == 0 {
+        return Some(0);
+    }
+    let meets = |n: usize| -> bool {
+        let alloc = optimal_allocation(n, strata);
+        z * stratified_se(strata, &alloc) <= target_margin
+    };
+    if !meets(total_units) {
+        return None;
+    }
+    // Binary search the smallest satisfying n. SE is monotonically
+    // non-increasing in n under optimal allocation (up to rounding wiggle),
+    // so binary search gives the right neighbourhood; a short linear scan
+    // afterwards absorbs rounding non-monotonicity.
+    let mut lo = 1usize;
+    let mut hi = total_units;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if meets(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Absorb rounding wiggle: scan a small window below.
+    let mut best = lo;
+    let window_lo = lo.saturating_sub(8).max(1);
+    for n in (window_lo..lo).rev() {
+        if meets(n) {
+            best = n;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strata() -> Vec<StratumStats> {
+        vec![
+            StratumStats { units: 100, stddev: 2.0 },
+            StratumStats { units: 100, stddev: 0.5 },
+            StratumStats { units: 50, stddev: 0.0 },
+        ]
+    }
+
+    #[test]
+    fn neyman_favors_high_variance() {
+        let alloc = optimal_allocation(20, &strata());
+        assert_eq!(alloc.iter().sum::<usize>(), 20);
+        assert!(alloc[0] > alloc[1], "{alloc:?}");
+        assert!(alloc[1] > alloc[2] || alloc[2] == 1, "{alloc:?}");
+        // σ=0 stratum still gets its floor of one point.
+        assert_eq!(alloc[2], 1);
+    }
+
+    #[test]
+    fn neyman_matches_formula_ratio() {
+        // Weights: 200 vs 50 vs 0 → ≈ 16 vs 4 vs floor.
+        let alloc = optimal_allocation(20, &strata());
+        assert!(alloc[0] >= 14 && alloc[0] <= 16, "{alloc:?}");
+    }
+
+    #[test]
+    fn proportional_ignores_variance() {
+        let alloc = proportional_allocation(25, &strata());
+        assert_eq!(alloc.iter().sum::<usize>(), 25);
+        assert_eq!(alloc[0], alloc[1], "{alloc:?}");
+    }
+
+    #[test]
+    fn allocation_caps_at_stratum_size() {
+        let s = vec![StratumStats { units: 3, stddev: 10.0 }, StratumStats { units: 100, stddev: 0.1 }];
+        let alloc = optimal_allocation(50, &s);
+        assert!(alloc[0] <= 3);
+        assert_eq!(alloc.iter().sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn allocation_handles_total_oversubscription() {
+        let s = vec![StratumStats { units: 3, stddev: 1.0 }, StratumStats { units: 2, stddev: 1.0 }];
+        let alloc = optimal_allocation(50, &s);
+        assert_eq!(alloc, vec![3, 2]);
+    }
+
+    #[test]
+    fn allocation_all_zero_variance_falls_back_proportional() {
+        let s = vec![StratumStats { units: 60, stddev: 0.0 }, StratumStats { units: 30, stddev: 0.0 }];
+        let alloc = optimal_allocation(9, &s);
+        assert_eq!(alloc.iter().sum::<usize>(), 9);
+        assert!(alloc[0] > alloc[1]);
+    }
+
+    #[test]
+    fn allocation_empty_inputs() {
+        assert!(optimal_allocation(5, &[]).is_empty());
+        assert_eq!(optimal_allocation(0, &strata()), vec![0, 0, 0]);
+        let s = vec![StratumStats { units: 0, stddev: 1.0 }];
+        assert_eq!(optimal_allocation(5, &s), vec![0]);
+    }
+
+    #[test]
+    fn se_decreases_with_sample_size() {
+        let s = strata();
+        let se5 = stratified_se(&s, &optimal_allocation(5, &s));
+        let se20 = stratified_se(&s, &optimal_allocation(20, &s));
+        let se100 = stratified_se(&s, &optimal_allocation(100, &s));
+        assert!(se5 > se20, "{se5} > {se20}");
+        assert!(se20 > se100, "{se20} > {se100}");
+    }
+
+    #[test]
+    fn se_zero_at_full_enumeration() {
+        let s = strata();
+        let full: Vec<usize> = s.iter().map(|x| x.units).collect();
+        assert_eq!(stratified_se(&s, &full), 0.0);
+    }
+
+    #[test]
+    fn se_matches_hand_computation() {
+        // Single stratum: SE = sqrt(N^2 (1-n/N) s^2/n)/N = s/sqrt(n) * sqrt(1-n/N)
+        let s = vec![StratumStats { units: 100, stddev: 2.0 }];
+        let se = stratified_se(&s, &[25]);
+        let expect = 2.0 / 5.0 * (0.75f64).sqrt();
+        assert!((se - expect).abs() < 1e-12, "{se} vs {expect}");
+    }
+
+    #[test]
+    fn confidence_interval_symmetric() {
+        let (lo, hi) = confidence_interval(10.0, 0.5, 3.0);
+        assert_eq!(lo, 8.5);
+        assert_eq!(hi, 11.5);
+    }
+
+    #[test]
+    fn required_size_tightens_with_margin() {
+        let s = strata();
+        let n5 = required_sample_size(&s, 3.0, 0.25).unwrap();
+        let n2 = required_sample_size(&s, 3.0, 0.10).unwrap();
+        assert!(n2 > n5, "{n2} > {n5}");
+        // The found n actually meets the target.
+        let alloc = optimal_allocation(n2, &s);
+        assert!(3.0 * stratified_se(&s, &alloc) <= 0.10 + 1e-12);
+    }
+
+    #[test]
+    fn required_size_minimal() {
+        let s = strata();
+        let n = required_sample_size(&s, 3.0, 0.25).unwrap();
+        assert!(n >= 3, "floors force at least one per stratum: {n}");
+        if n > 3 {
+            let alloc = optimal_allocation(n - 1, &s);
+            assert!(
+                3.0 * stratified_se(&s, &alloc) > 0.25,
+                "n-1 = {} should not meet the target",
+                n - 1
+            );
+        }
+    }
+
+    #[test]
+    fn required_size_zero_variance_population() {
+        let s = vec![StratumStats { units: 50, stddev: 0.0 }];
+        assert_eq!(required_sample_size(&s, 3.0, 0.01), Some(1));
+    }
+}

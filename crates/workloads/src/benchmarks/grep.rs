@@ -1,0 +1,169 @@
+//! Grep — scan the corpus for lines containing a pattern.
+//!
+//! The most uniform of the benchmarks: a streaming scan with tiny output.
+//! On Spark it is a single map-only stage, which is why the paper reports
+//! grep_sp forming exactly **one** phase (Fig. 9). On Hadoop, a map wave
+//! scans and a minimal reduce wave collects the few matches; grep_hp is one
+//! of the two Hadoop workloads with no sort phase (Fig. 10), which the
+//! builder reproduces by keeping the match volume small enough that the
+//! spill sort is skipped entirely.
+
+use simprof_engine::hadoop::HadoopMethods;
+use simprof_engine::spark::SparkMethods;
+use simprof_engine::{ops, Job, MethodRegistry, OpClass, Stage, Task};
+use simprof_sim::Machine;
+
+use super::{hdfs_write_item, partition_ranges};
+use crate::config::WorkloadConfig;
+use crate::synth::text::TextSynth;
+
+/// Zipf rank of the needle word: rare enough that matches (and therefore
+/// output IO) are a trivial fraction of the job, keeping grep essentially a
+/// pure scan — the paper's single-phase grep_sp.
+const NEEDLE_RANK: usize = 300;
+
+fn synth(cfg: &WorkloadConfig) -> TextSynth {
+    TextSynth::new(4_000, 1.0, 10, cfg.sub_seed(0x63E0))
+}
+
+fn corpus(cfg: &WorkloadConfig, synth: &TextSynth) -> Vec<String> {
+    synth.lines(cfg.text_bytes * 3, cfg.sub_seed(3))
+}
+
+/// Builds the Spark Grep job: a single map-only stage.
+pub fn spark(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegistry) -> Job {
+    let sm = SparkMethods::intern(reg);
+    let filter_fn = reg.intern("org.bigdatabench.grep.MatchFilterFn.apply", OpClass::Map);
+    let synth = synth(cfg);
+    let needle = synth.word_at(NEEDLE_RANK).to_owned();
+    let lines = corpus(cfg, &synth);
+    let ranges = partition_ranges(lines.len(), cfg.partitions);
+
+    let mut tasks = Vec::with_capacity(ranges.len());
+    for (p, &(lo, hi)) in ranges.iter().enumerate() {
+        let slice = &lines[lo..hi];
+        let seed = cfg.sub_seed(500 + p as u64);
+        let bytes: u64 = slice.iter().map(|l| l.len() as u64 + 1).sum();
+        let mut items = Vec::new();
+        let in_region = machine.alloc(bytes.max(64));
+        let (matches, scan) = ops::scan_match(
+            slice,
+            &needle,
+            vec![sm.map_partitions_with_index, filter_fn],
+            in_region,
+            seed,
+        );
+        items.push(scan.with_io_stall(cfg.hdfs.read_stall(bytes)));
+        let out: u64 = matches.iter().map(|&i| slice[i].len() as u64 + 1).sum();
+        items.push(hdfs_write_item(&cfg.hdfs, machine, out, vec![sm.dfs_write], seed));
+        tasks.push(Task::new(sm.result_base(), items));
+    }
+    Job::new(vec![Stage::new("grep-sp-stage0", tasks)])
+}
+
+/// Builds the Hadoop Grep job: a map wave plus a minimal collect wave.
+pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegistry) -> Job {
+    let hm = HadoopMethods::intern(reg);
+    let mapper = reg.intern("org.bigdatabench.grep.RegexMapper.map", OpClass::Map);
+    let collector = reg.intern("org.bigdatabench.grep.IdentityReducer.reduce", OpClass::Reduce);
+    let synth = synth(cfg);
+    let needle = synth.word_at(NEEDLE_RANK).to_owned();
+    let lines = corpus(cfg, &synth);
+    let ranges = partition_ranges(lines.len(), cfg.partitions);
+
+    let mut total_match_bytes = 0u64;
+    let mut map_tasks = Vec::with_capacity(ranges.len());
+    for (p, &(lo, hi)) in ranges.iter().enumerate() {
+        let slice = &lines[lo..hi];
+        let seed = cfg.sub_seed(600 + p as u64);
+        let bytes: u64 = slice.iter().map(|l| l.len() as u64 + 1).sum();
+        let mut items = Vec::new();
+        let in_region = machine.alloc(bytes.max(64));
+        let (matches, scan) =
+            ops::scan_match(slice, &needle, vec![mapper, hm.map_output_buffer_collect], in_region, seed);
+        items.push(scan.with_io_stall(cfg.hdfs.read_stall(bytes)));
+        let out: u64 = matches.iter().map(|&i| slice[i].len() as u64 + 1).sum();
+        total_match_bytes += out;
+        items.push(super::spill_item(
+            &cfg.hdfs,
+            machine,
+            out,
+            vec![hm.codec_compress, hm.ifile_writer_append],
+            seed,
+        ));
+        map_tasks.push(Task::new(hm.map_base(), items));
+    }
+
+    // A single small reducer concatenates the matches to HDFS.
+    let seed = cfg.sub_seed(650);
+    let mut items = Vec::new();
+    let region = machine.alloc(total_match_bytes.max(64));
+    items.push(
+        simprof_engine::WorkItem::io(
+            vec![hm.fetcher_copy],
+            total_match_bytes / 6 + 1,
+            cfg.shuffle_fetch_stall(total_match_bytes),
+            region,
+            seed,
+        ),
+    );
+    items.push(hdfs_write_item(
+        &cfg.hdfs,
+        machine,
+        total_match_bytes,
+        vec![collector, hm.dfs_write],
+        seed,
+    ));
+    let reduce_tasks = vec![Task::new(hm.reduce_base(), items)];
+
+    Job::new(vec![Stage::new("grep-hp-map", map_tasks), Stage::new("grep-hp-reduce", reduce_tasks)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_sim::MachineConfig;
+
+    #[test]
+    fn spark_grep_is_single_stage() {
+        let cfg = WorkloadConfig::tiny(3);
+        let mut m = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let job = spark(&cfg, &mut m, &mut reg);
+        assert_eq!(job.stages.len(), 1);
+        assert_eq!(job.stages[0].tasks.len(), cfg.partitions);
+    }
+
+    #[test]
+    fn hadoop_grep_has_no_sort() {
+        let cfg = WorkloadConfig::tiny(3);
+        let mut m = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let job = hadoop(&cfg, &mut m, &mut reg);
+        let sort_id = reg.lookup("org.apache.hadoop.util.QuickSort.sort").unwrap();
+        let has_sort = job
+            .stages
+            .iter()
+            .flat_map(|s| &s.tasks)
+            .flat_map(|t| &t.items)
+            .any(|i| i.path.contains(&sort_id));
+        assert!(!has_sort, "grep_hp must not sort (paper Fig. 10)");
+    }
+
+    #[test]
+    fn scan_dominates_spark_grep() {
+        let cfg = WorkloadConfig::tiny(3);
+        let mut m = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let job = spark(&cfg, &mut m, &mut reg);
+        let scan_id = reg.lookup("org.bigdatabench.grep.MatchFilterFn.apply").unwrap();
+        let scan: u64 = job.stages[0]
+            .tasks
+            .iter()
+            .flat_map(|t| &t.items)
+            .filter(|i| i.path.contains(&scan_id))
+            .map(|i| i.instrs)
+            .sum();
+        assert!(scan * 2 > job.total_instrs(), "scan should be ≥ half the work");
+    }
+}

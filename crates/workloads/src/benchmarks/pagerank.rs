@@ -1,0 +1,226 @@
+//! PageRank — damped power iteration on a synthesized Kronecker graph.
+//!
+//! The real iteration runs at build time (damping 0.85, dangling mass
+//! redistributed uniformly); every vertex is active every iteration, so —
+//! unlike Connected Components — per-superstep work is stable and the
+//! phase structure repeats. rank_sp still has many phases (Fig. 9) because
+//! the GraphX stage pair contributes several distinct methods.
+
+use simprof_engine::hadoop::HadoopMethods;
+use simprof_engine::spark::SparkMethods;
+use simprof_engine::{Job, MethodRegistry, OpClass, Stage, Task};
+use simprof_sim::Machine;
+
+use super::cc::{
+    alloc_graph_regions, graphx_superstep_stages, hadoop_superstep_stages, init_degrees_stage,
+    SuperstepStats,
+};
+use super::{hdfs_write_item, partition_ranges};
+use crate::config::WorkloadConfig;
+use crate::synth::kronecker::{GraphInput, Kronecker, SynthGraph};
+
+/// Damping factor.
+pub const DAMPING: f64 = 0.85;
+
+/// The real PageRank computation plus per-iteration activity stats.
+#[derive(Debug, Clone)]
+pub struct PrRun {
+    /// Final rank vector (sums to ~1).
+    pub ranks: Vec<f64>,
+    /// One stats record per iteration (identical shapes, real counts).
+    pub iterations: Vec<SuperstepStats>,
+}
+
+/// Runs `iters` power iterations on the directed graph.
+pub fn pagerank(g: &SynthGraph, partitions: usize, iters: usize, record_targets: bool) -> PrRun {
+    let n = g.n;
+    let ranges = partition_ranges(n, partitions);
+    let part_of = |v: usize| -> usize {
+        ranges.iter().position(|&(lo, hi)| v >= lo && v < hi).expect("vertex in some partition")
+    };
+    let mut ranks = vec![1.0 / n as f64; n];
+    let mut iterations = Vec::with_capacity(iters);
+
+    for _ in 0..iters.max(1) {
+        let mut next = vec![(1.0 - DAMPING) / n as f64; n];
+        let mut dangling = 0.0;
+        let mut edges_from = vec![0usize; partitions];
+        let mut msgs_to = vec![0usize; partitions];
+        let mut targets_from: Vec<Vec<u64>> = vec![Vec::new(); partitions];
+        for v in 0..n {
+            let deg = g.degree(v);
+            if deg == 0 {
+                dangling += ranks[v];
+                continue;
+            }
+            let p = part_of(v);
+            let share = DAMPING * ranks[v] / deg as f64;
+            for &t in g.neighbors(v) {
+                edges_from[p] += 1;
+                msgs_to[part_of(t as usize)] += 1;
+                if record_targets {
+                    targets_from[p].push(t as u64);
+                }
+                next[t as usize] += share;
+            }
+        }
+        let dangling_share = DAMPING * dangling / n as f64;
+        for r in &mut next {
+            *r += dangling_share;
+        }
+        ranks = next;
+        iterations.push(SuperstepStats { edges_from, msgs_to, targets_from });
+    }
+    PrRun { ranks, iterations }
+}
+
+/// Builds the Spark PageRank job.
+pub fn spark(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegistry) -> Job {
+    let sm = SparkMethods::intern(reg);
+    let g = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
+        .generate(cfg.sub_seed(7));
+    spark_on_graph(cfg, machine, reg, &sm, &g)
+}
+
+/// Spark PageRank on an explicit graph (input-sensitivity entry point).
+pub fn spark_on_graph(
+    cfg: &WorkloadConfig,
+    machine: &mut Machine,
+    _reg: &mut MethodRegistry,
+    sm: &SparkMethods,
+    g: &SynthGraph,
+) -> Job {
+    let run = pagerank(g, cfg.partitions, cfg.max_iterations, false);
+    let fake_und = SynthGraph { n: g.n, offsets: g.offsets.clone(), targets: g.targets.clone() };
+    let regions = alloc_graph_regions(machine, &fake_und);
+
+    let mut stages = Vec::new();
+    // Load stage: reuse the CC loader shape via an inline build.
+    let parts = partition_ranges(g.targets.len(), cfg.partitions);
+    let load_tasks = parts
+        .iter()
+        .enumerate()
+        .map(|(p, &(lo, hi))| {
+            let seed = cfg.sub_seed(6000 + p as u64);
+            let bytes = (hi - lo) as u64 * 8;
+            let build = simprof_engine::WorkItem::compute(
+                vec![sm.hadoop_rdd_compute, sm.map_edge_partitions],
+                (hi - lo) as u64 * 6,
+                simprof_engine::ops::costs::SEQ_APKI,
+                simprof_sim::AccessPattern::Sequential,
+                regions.edges,
+                seed,
+            )
+            .with_io_stall(cfg.hdfs.read_stall(bytes));
+            Task::new(sm.shuffle_map_base(), vec![build])
+        })
+        .collect();
+    stages.push(Stage::new("rank-sp-load", load_tasks));
+    if let Some(first) = run.iterations.first() {
+        stages.push(init_degrees_stage(cfg, sm, &regions, &first.edges_from, "rank-sp"));
+    }
+
+    for (step, ss) in run.iterations.iter().enumerate() {
+        stages.extend(graphx_superstep_stages(
+            cfg,
+            machine,
+            sm,
+            &regions,
+            &ss.edges_from,
+            &ss.msgs_to,
+            step,
+            "rank-sp",
+        ));
+    }
+    let seed = cfg.sub_seed(6900);
+    let write = Task::new(
+        sm.result_base(),
+        vec![hdfs_write_item(&cfg.hdfs, machine, g.n as u64 * 12, vec![sm.dfs_write], seed)],
+    );
+    stages.push(Stage::new("rank-sp-write", vec![write]));
+    Job::new(stages)
+}
+
+/// Builds the Hadoop PageRank job: one MapReduce per iteration (capped, as
+/// iterative MR jobs are expensive).
+pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegistry) -> Job {
+    let g = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
+        .generate(cfg.sub_seed(7));
+    hadoop_on_graph(cfg, machine, reg, &g)
+}
+
+/// Hadoop PageRank on an explicit graph (input-sensitivity entry point).
+pub fn hadoop_on_graph(
+    cfg: &WorkloadConfig,
+    machine: &mut Machine,
+    reg: &mut MethodRegistry,
+    g: &SynthGraph,
+) -> Job {
+    let hm = HadoopMethods::intern(reg);
+    let mapper = reg.intern("org.bigdatabench.rank.RankShareMapper.map", OpClass::Map);
+    let reducer_m = reg.intern("org.bigdatabench.rank.RankSumReducer.reduce", OpClass::Reduce);
+    let hp_iters = (cfg.max_iterations / 4).max(2);
+    let run = pagerank(g, cfg.partitions, hp_iters, true);
+    let fake_und = SynthGraph { n: g.n, offsets: g.offsets.clone(), targets: g.targets.clone() };
+    let regions = alloc_graph_regions(machine, &fake_und);
+
+    let mut stages = Vec::new();
+    for (step, ss) in run.iterations.iter().enumerate() {
+        stages.extend(hadoop_superstep_stages(
+            cfg, machine, &hm, mapper, reducer_m, &regions, ss, step, "rank-hp",
+        ));
+    }
+    Job::new(stages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_sim::MachineConfig;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Kronecker::for_input(GraphInput::Google, 10, 6).generate(1);
+        let run = pagerank(&g, 4, 10, false);
+        let sum: f64 = run.ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        assert!(run.ranks.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn high_in_degree_vertices_rank_higher() {
+        let g = Kronecker::for_input(GraphInput::Google, 10, 8).generate(2);
+        let run = pagerank(&g, 4, 15, false);
+        // In-degree per vertex.
+        let mut indeg = vec![0usize; g.n];
+        for &t in &g.targets {
+            indeg[t as usize] += 1;
+        }
+        let max_in = (0..g.n).max_by_key(|&v| indeg[v]).unwrap();
+        let zero_in = (0..g.n).find(|&v| indeg[v] == 0).unwrap();
+        assert!(run.ranks[max_in] > run.ranks[zero_in] * 5.0);
+    }
+
+    #[test]
+    fn iteration_stats_are_stable() {
+        let g = Kronecker::for_input(GraphInput::Google, 9, 5).generate(3);
+        let run = pagerank(&g, 4, 5, false);
+        assert_eq!(run.iterations.len(), 5);
+        let e0: usize = run.iterations[0].edges_from.iter().sum();
+        let e4: usize = run.iterations[4].edges_from.iter().sum();
+        assert_eq!(e0, e4, "PageRank activity does not decay");
+    }
+
+    #[test]
+    fn jobs_build_for_both_frameworks() {
+        let cfg = WorkloadConfig::tiny(37);
+        let mut m = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let sp = spark(&cfg, &mut m, &mut reg);
+        assert!(sp.stages.len() >= 1 + 2 * cfg.max_iterations + 1);
+        let hp = hadoop(&cfg, &mut m, &mut reg);
+        assert_eq!(hp.stages.len(), 2 * (cfg.max_iterations / 4).max(2));
+        assert!(sp.total_instrs() > 100_000);
+        assert!(hp.total_instrs() > 100_000);
+    }
+}

@@ -1,0 +1,9 @@
+//! Data synthesizers.
+//!
+//! The paper generates its inputs: text benchmarks use BigDataBench's data
+//! synthesizer (scaled from real seed corpora), and the input-sensitivity
+//! study synthesizes Kronecker graphs matching the connectivity of SNAP
+//! graphs (§IV-E). This module provides both, fully seeded.
+
+pub mod kronecker;
+pub mod text;

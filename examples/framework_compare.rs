@@ -1,0 +1,68 @@
+//! Framework comparison (paper §IV-F, Figs. 14–15).
+//!
+//! ```text
+//! cargo run --release --example framework_compare
+//! ```
+//!
+//! Profiles WordCount on both engines and contrasts their phase structure:
+//! Spark's map-side combine (`Aggregator.combineValuesByKey`) fuses read,
+//! tokenize, and reduce into one dominant stable phase, while Hadoop keeps
+//! map, combine, and the quicksort spill as separate operations with very
+//! different CPI variance.
+
+use simprof::core::{SimProf, SimProfConfig};
+use simprof::engine::MethodId;
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+
+fn main() {
+    let cfg = WorkloadConfig::paper(42);
+    let simprof = SimProf::new(SimProfConfig { seed: 42, ..Default::default() });
+
+    for framework in [Framework::Spark, Framework::Hadoop] {
+        let out = Benchmark::WordCount.run_full(framework, &cfg);
+        let analysis = simprof.analyze(&out.trace);
+        let label = match framework {
+            Framework::Spark => "wc_sp (Fig. 14)",
+            Framework::Hadoop => "wc_hp (Fig. 15)",
+        };
+        println!("\n=== {label} ===");
+        println!(
+            "{} units, oracle CPI {:.3}, {} phases",
+            out.trace.units.len(),
+            out.trace.oracle_cpi(),
+            analysis.k()
+        );
+        // Phases in descending weight, with their signature methods.
+        let mut order: Vec<usize> = (0..analysis.k()).collect();
+        order.sort_by(|&a, &b| analysis.weights[b].partial_cmp(&analysis.weights[a]).unwrap());
+        for h in order {
+            let s = &analysis.stats[h];
+            let methods: Vec<String> = analysis
+                .model
+                .top_methods(h, 2)
+                .into_iter()
+                .map(|(m, _)| short_name(out.registry.name(MethodId(m as u32))))
+                .collect();
+            println!(
+                "  phase {h}: {:5.1}% of units | CPI {:.3} (CoV {:.3}) | {}",
+                analysis.weights[h] * 100.0,
+                s.mean,
+                s.cov,
+                methods.join(", ")
+            );
+        }
+    }
+
+    println!(
+        "\nPaper's observations to compare against:\n\
+         - wc_sp: the combineValuesByKey phase holds nearly all units with stable\n\
+         \u{20}  CPI (operations fused by map-side reduce); the output phase is tiny.\n\
+         - wc_hp: map (low CPI, low variance), combine (higher variance), and the\n\
+         \u{20}  recursive quicksort (high variance) form separate phases."
+    );
+}
+
+fn short_name(full: &str) -> String {
+    let parts: Vec<&str> = full.rsplit('.').take(2).collect();
+    parts.into_iter().rev().collect::<Vec<_>>().join(".")
+}

@@ -1,0 +1,81 @@
+//! Quickstart: profile one workload, form phases, pick simulation points.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the whole SimProf pipeline on Spark WordCount: run the job on the
+//! machine model with the sampling profiler attached, cluster the sampling
+//! units into phases, select 20 simulation points by stratified random
+//! sampling with optimal allocation, and compare the stratified CPI estimate
+//! (with its 99.7 % confidence interval) against the oracle.
+
+use simprof::core::{SimProf, SimProfConfig};
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+
+fn main() {
+    // 1. Profile: run WordCount on the Spark-like engine. The profiler cuts
+    //    the executor thread's execution into fixed-size sampling units and
+    //    snapshots its call stack ten times per unit (paper §III-A).
+    let cfg = WorkloadConfig::paper(42);
+    let out = Benchmark::WordCount.run_full(Framework::Spark, &cfg);
+    println!(
+        "profiled wc_sp: {} sampling units of {} instructions",
+        out.trace.units.len(),
+        out.trace.unit_instrs
+    );
+
+    // 2. Form phases: vectorize call stacks, select the top-K methods most
+    //    correlated with IPC, k-means cluster, pick k by silhouette (§III-B).
+    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() }).analyze(&out.trace);
+    println!("phases: {}", analysis.k());
+    for h in 0..analysis.k() {
+        let s = &analysis.stats[h];
+        let top = analysis.model.top_methods(h, 1);
+        let method = top
+            .first()
+            .map(|&(m, _)| out.registry.name(simprof::engine::MethodId(m as u32)))
+            .unwrap_or("?");
+        println!(
+            "  phase {h}: weight {:.1}%  mean CPI {:.3}  CoV {:.3}  — {method}",
+            analysis.weights[h] * 100.0,
+            s.mean,
+            s.cov
+        );
+    }
+    println!(
+        "homogeneity (Fig. 6): population CoV {:.3}, weighted {:.3}, max {:.3}",
+        analysis.cov.population, analysis.cov.weighted, analysis.cov.max
+    );
+
+    // 3. Sample: 20 simulation points by stratified random sampling with
+    //    Neyman optimal allocation (§III-C, Eq. 1).
+    let points = analysis.select_points(20, 7);
+    println!("selected {} simulation points; allocation {:?}", points.len(), points.allocation);
+
+    // 4. Estimate: the stratified CPI estimator with its 99.7 % CI (Eqs. 2–5).
+    let est = analysis.estimate(&points, 3.0);
+    let oracle = analysis.oracle_cpi();
+    println!(
+        "oracle CPI {:.4} | estimated {:.4} ± {:.4} (99.7% CI [{:.4}, {:.4}])",
+        oracle,
+        est.mean_cpi,
+        3.0 * est.se,
+        est.ci.0,
+        est.ci.1
+    );
+    println!(
+        "relative error: {:.2}% — simulating {}/{} units ({:.1}% of the job)",
+        (est.mean_cpi - oracle).abs() / oracle * 100.0,
+        points.len(),
+        out.trace.units.len(),
+        points.len() as f64 / out.trace.units.len() as f64 * 100.0
+    );
+
+    // 5. Budgeting: how many points would a 5 % / 2 % error bound need?
+    println!(
+        "required sample size (Fig. 8): {} points for 5% error, {} for 2%",
+        analysis.required_size(3.0, 0.05),
+        analysis.required_size(3.0, 0.02)
+    );
+}

@@ -1,0 +1,75 @@
+//! Sampling-budget exploration: error and confidence interval vs sample
+//! size (the user-facing workflow of paper §III-C).
+//!
+//! ```text
+//! cargo run --release --example sampling_budget
+//! ```
+//!
+//! The paper's procedure: pick a sample size that fits the simulation
+//! budget, simulate the selected points, check the confidence interval, and
+//! grow the sample until the error bound is acceptable. This example sweeps
+//! the budget for Connected Components on Spark and shows the measured error
+//! against the statistical bound — and how the SECOND and SRS baselines
+//! compare at the same budget.
+
+use simprof::core::{second_points_by_cycles, srs_points, SimProf, SimProfConfig};
+use simprof::stats::mean;
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+
+fn main() {
+    let cfg = WorkloadConfig::paper(42);
+    let out = Benchmark::ConnectedComponents.run_full(Framework::Spark, &cfg);
+    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() }).analyze(&out.trace);
+    let oracle = analysis.oracle_cpi();
+    let total = out.trace.units.len();
+    println!("cc_sp: {} units, oracle CPI {:.4}, {} phases\n", total, oracle, analysis.k());
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "n", "SimProf err", "99.7% bound", "SRS err", "coverage"
+    );
+    for n in [5usize, 10, 20, 40, 80, 160] {
+        if n > total {
+            break;
+        }
+        // Average measured error over repetitions; the CI bound comes from
+        // Eq. 4 and should dominate the measured error almost always.
+        let reps = 40u64;
+        let mut sp_err = 0.0;
+        let mut srs_err = 0.0;
+        let mut bound = 0.0;
+        let mut covered = 0u32;
+        for rep in 0..reps {
+            let points = analysis.select_points(n, 9000 + rep);
+            let est = analysis.estimate(&points, 3.0);
+            sp_err += (est.mean_cpi - oracle).abs() / oracle;
+            bound += 3.0 * est.se / oracle;
+            if est.ci.0 <= oracle && oracle <= est.ci.1 {
+                covered += 1;
+            }
+            let srs = srs_points(&out.trace, n, 17_000 + rep);
+            srs_err += (srs.predicted_cpi - oracle).abs() / oracle;
+        }
+        println!(
+            "{:>6} {:>11.2}% {:>11.2}% {:>11.2}% {:>9}/{}",
+            n,
+            sp_err / reps as f64 * 100.0,
+            bound / reps as f64 * 100.0,
+            srs_err / reps as f64 * 100.0,
+            covered,
+            reps
+        );
+    }
+
+    // The SECOND baseline at a "10-second" cycle budget for reference.
+    let second = second_points_by_cycles(&out.trace, 6_000_000);
+    let second_cpis: Vec<f64> =
+        second.points.iter().map(|&i| out.trace.units[i as usize].cpi()).collect();
+    println!(
+        "\nSECOND interval: {} contiguous units (mean CPI {:.4}) → {:.2}% error — a \
+         single window cannot represent a staged job",
+        second.points.len(),
+        mean(&second_cpis),
+        (second.predicted_cpi - oracle).abs() / oracle * 100.0
+    );
+}

@@ -1,0 +1,48 @@
+//! # SimProf
+//!
+//! A Rust reproduction of **"SimProf: A Sampling Framework for Data Analytic
+//! Workloads"** (Huang, Nai, Kumar, Kim, Kim — IPDPS 2017).
+//!
+//! SimProf selects *simulation points* — a small, statistically representative
+//! subset of a long-running data-analytic job's execution — so that slow
+//! microarchitectural simulation only needs to run on that subset. It
+//! identifies *phases* from call-stack signatures, then applies stratified
+//! random sampling with Neyman optimal allocation to pick points inside each
+//! phase, and finally prunes work across inputs with an input-sensitivity
+//! test.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`stats`] — clustering, regression feature scoring, stratified sampling.
+//! * [`sim`] — the machine model (cache hierarchy, CPI cost model, counters).
+//! * [`engine`] — Spark-like and Hadoop-like execution engines with
+//!   instrumented call stacks, plus the HDFS model.
+//! * [`profiler`] — the sampling manager and collectors producing
+//!   [`profiler::ProfileTrace`]s.
+//! * [`core`] — the SimProf pipeline: phase formation, phase sampling,
+//!   baselines, input-sensitivity analysis.
+//! * [`workloads`] — six BigDataBench-style benchmarks on both engines and
+//!   the data synthesizers (Zipfian text, Kronecker graphs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+//! use simprof::core::{SimProf, SimProfConfig};
+//!
+//! // Profile WordCount on the Spark-like engine (tiny config for doctest).
+//! let cfg = WorkloadConfig::tiny(42);
+//! let trace = Benchmark::WordCount.run(Framework::Spark, &cfg);
+//!
+//! // Form phases and pick 20 simulation points.
+//! let analysis = SimProf::new(SimProfConfig::default()).analyze(&trace);
+//! let points = analysis.select_points(20, 42);
+//! assert!(!points.points.is_empty());
+//! ```
+
+pub use simprof_core as core;
+pub use simprof_engine as engine;
+pub use simprof_profiler as profiler;
+pub use simprof_sim as sim;
+pub use simprof_stats as stats;
+pub use simprof_workloads as workloads;

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests: every workload through the full SimProf
+//! pipeline at test scale.
+
+use simprof::core::{
+    input_sensitivity, second_points_by_cycles, srs_points, SimProf, SimProfConfig,
+};
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig, WorkloadId};
+
+fn pipeline() -> SimProf {
+    SimProf::new(SimProfConfig { seed: 7, ..Default::default() })
+}
+
+#[test]
+fn every_workload_through_full_pipeline() {
+    let cfg = WorkloadConfig::tiny(7);
+    for id in WorkloadId::all() {
+        let out = id.run_full(&cfg);
+        assert!(out.trace.units.len() >= 10, "{}: {} units", id.label(), out.trace.units.len());
+
+        let analysis = pipeline().analyze(&out.trace);
+        assert!(analysis.k() >= 1, "{}", id.label());
+        assert_eq!(analysis.cpis.len(), out.trace.units.len());
+        assert!(
+            (analysis.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "{}: weights sum",
+            id.label()
+        );
+
+        // Phase formation must never make things worse than no phases.
+        assert!(
+            analysis.cov.weighted <= analysis.cov.population + 1e-9,
+            "{}: weighted {} vs population {}",
+            id.label(),
+            analysis.cov.weighted,
+            analysis.cov.population
+        );
+
+        // Stratified sampling end-to-end: points valid, estimate finite.
+        let n = 10.min(out.trace.units.len());
+        let points = analysis.select_points(n, 3);
+        assert_eq!(points.len(), n, "{}", id.label());
+        assert!(points.points.iter().all(|&p| (p as usize) < out.trace.units.len()));
+        let est = analysis.estimate(&points, 3.0);
+        assert!(est.mean_cpi.is_finite() && est.mean_cpi > 0.0, "{}", id.label());
+        assert!(est.se >= 0.0);
+    }
+}
+
+#[test]
+fn full_enumeration_recovers_oracle_exactly() {
+    let cfg = WorkloadConfig::tiny(11);
+    let out = Benchmark::WordCount.run_full(Framework::Hadoop, &cfg);
+    let analysis = pipeline().analyze(&out.trace);
+    let all = analysis.select_points(out.trace.units.len(), 1);
+    let est = analysis.estimate(&all, 3.0);
+    assert!((est.mean_cpi - analysis.oracle_cpi()).abs() < 1e-9);
+    assert_eq!(est.se, 0.0);
+}
+
+#[test]
+fn stratified_beats_srs_on_staged_workload() {
+    // The paper's core claim, checked empirically on a staged job: with the
+    // same budget, SimProf's stratified estimate has lower average error
+    // than simple random sampling.
+    let cfg = WorkloadConfig::tiny(13);
+    let out = Benchmark::Sort.run_full(Framework::Spark, &cfg);
+    let analysis = pipeline().analyze(&out.trace);
+    let oracle = analysis.oracle_cpi();
+    let n = 12;
+    let reps = 60;
+    let mut strat = 0.0;
+    let mut srs = 0.0;
+    for rep in 0..reps {
+        let pts = analysis.select_points(n, 100 + rep);
+        strat += (analysis.estimate(&pts, 3.0).mean_cpi - oracle).abs();
+        srs += (srs_points(&out.trace, n, 500 + rep).predicted_cpi - oracle).abs();
+    }
+    assert!(strat < srs, "stratified {strat} < srs {srs}");
+}
+
+#[test]
+fn confidence_interval_covers_oracle() {
+    // 99.7 % CI should cover the oracle in almost all draws.
+    let cfg = WorkloadConfig::tiny(17);
+    let out = Benchmark::NaiveBayes.run_full(Framework::Spark, &cfg);
+    let analysis = pipeline().analyze(&out.trace);
+    let oracle = analysis.oracle_cpi();
+    let reps: u64 = 50;
+    let covered = (0..reps)
+        .filter(|&rep| {
+            let pts = analysis.select_points(15, 700 + rep);
+            let est = analysis.estimate(&pts, 3.0);
+            est.ci.0 <= oracle && oracle <= est.ci.1
+        })
+        .count();
+    assert!(covered as u64 * 100 >= reps * 90, "coverage {covered}/{reps}");
+}
+
+#[test]
+fn second_is_contiguous_and_biased_on_staged_jobs() {
+    let cfg = WorkloadConfig::tiny(19);
+    let out = Benchmark::WordCount.run_full(Framework::Hadoop, &cfg);
+    let second = second_points_by_cycles(&out.trace, 400_000);
+    // Contiguity from the start.
+    let expect: Vec<u64> = (0..second.points.len() as u64).collect();
+    assert_eq!(second.points, expect);
+    assert!(second.points.len() < out.trace.units.len(), "budget must not cover the job");
+}
+
+#[test]
+fn input_sensitivity_full_cycle_on_graphs() {
+    use simprof::workloads::{GraphInput, Kronecker};
+    let cfg = WorkloadConfig::tiny(23);
+    let google = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
+        .generate(1);
+    let road =
+        Kronecker::for_input(GraphInput::Road, cfg.graph_scale, cfg.graph_degree).generate(2);
+
+    let train = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &google);
+    let reference = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &road);
+    let analysis = pipeline().analyze(&train.trace);
+
+    let report = input_sensitivity(&analysis.model, &train.trace, &[&reference.trace], 0.10);
+    assert_eq!(report.sensitive.len(), analysis.k());
+    assert_eq!(report.per_reference.len(), 1);
+    // A Road-network graph is wildly different from a web graph; *something*
+    // must register as input sensitive.
+    assert!(report.sensitive_count() >= 1, "{:?}", report.sensitive);
+
+    let points = analysis.select_points(12, 5);
+    let frac = report.sensitive_point_fraction(&points);
+    assert!((0.0..=1.0).contains(&frac));
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let cfg = WorkloadConfig::tiny(29);
+        let out = Benchmark::PageRank.run_full(Framework::Spark, &cfg);
+        let analysis = pipeline().analyze(&out.trace);
+        let points = analysis.select_points(10, 4);
+        (out.trace, analysis.model.assignments.clone(), points.points)
+    };
+    let (t1, a1, p1) = run();
+    let (t2, a2, p2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(a1, a2);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn hadoop_sort_spends_more_on_io_than_spark_sort() {
+    // §IV-D: "Hadoop-based workloads spent more time on IO operations
+    // instead of doing actual work". Sort shows it most clearly: sort_hp
+    // moves its whole input through spill files, sort_sp sorts in memory.
+    let cfg = WorkloadConfig::tiny(31);
+    let share = |f: Framework| {
+        let out = Benchmark::Sort.run_full(f, &cfg);
+        let stall: u64 = out.trace.units.iter().map(|u| u.counters.io_stall_cycles).sum();
+        let cycles: u64 = out.trace.units.iter().map(|u| u.counters.cycles).sum();
+        stall as f64 / cycles as f64
+    };
+    let hp = share(Framework::Hadoop);
+    let sp = share(Framework::Spark);
+    assert!(hp > sp, "hadoop io share {hp} vs spark {sp}");
+}
