@@ -11,14 +11,8 @@ use simprof_workloads::{Benchmark, Framework, WorkloadId};
 fn bench_figures(c: &mut Criterion) {
     let cfg = EvalConfig::tiny(21);
     let runs = run_all_workloads(&cfg);
-    let cc_sp = runs
-        .iter()
-        .position(|r| r.label == "cc_sp")
-        .expect("cc_sp run");
-    let wc_sp = runs
-        .iter()
-        .position(|r| r.label == "wc_sp")
-        .expect("wc_sp run");
+    let cc_sp = runs.iter().position(|r| r.label == "cc_sp").expect("cc_sp run");
+    let wc_sp = runs.iter().position(|r| r.label == "wc_sp").expect("wc_sp run");
 
     c.bench_function("table1", |b| b.iter(|| black_box(figures::table1(&runs, &cfg))));
     c.bench_function("table2", |b| b.iter(|| black_box(figures::table2(&cfg))));
@@ -30,9 +24,7 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("fig11_allocation", |b| {
         b.iter(|| black_box(figures::fig11(&runs[cc_sp], 20, 21)))
     });
-    c.bench_function("fig14_15_scatter", |b| {
-        b.iter(|| black_box(figures::fig14_15(&runs[wc_sp])))
-    });
+    c.bench_function("fig14_15_scatter", |b| b.iter(|| black_box(figures::fig14_15(&runs[wc_sp]))));
     // Figs. 12–13 re-profile 4 workloads × 8 inputs; bench one reduced pass.
     c.bench_function("fig12_13_sensitivity_one_workload", |b| {
         b.iter(|| {

@@ -9,8 +9,8 @@ use std::hint::black_box;
 use simprof_engine::ops;
 use simprof_sim::{AccessCursor, AccessPattern, Machine, MachineConfig, Region};
 use simprof_stats::{
-    f_regression, kmeans, optimal_allocation, silhouette_score, srs_indices_seeded, KMeans,
-    Matrix, StratumStats,
+    f_regression, kmeans, optimal_allocation, silhouette_score, srs_indices_seeded, KMeans, Matrix,
+    StratumStats,
 };
 
 /// A deterministic feature matrix shaped like a profiled trace: `n` units,
@@ -52,9 +52,8 @@ fn bench_stats(c: &mut Criterion) {
         b.iter(|| silhouette_score(black_box(&m), black_box(&r.assignments)))
     });
 
-    let strata: Vec<StratumStats> = (0..8)
-        .map(|i| StratumStats { units: 50 + i * 20, stddev: 0.1 + i as f64 * 0.2 })
-        .collect();
+    let strata: Vec<StratumStats> =
+        (0..8).map(|i| StratumStats { units: 50 + i * 20, stddev: 0.1 + i as f64 * 0.2 }).collect();
     c.bench_function("stats/optimal_allocation", |b| {
         b.iter(|| optimal_allocation(black_box(20), black_box(&strata)))
     });

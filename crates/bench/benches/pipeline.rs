@@ -25,7 +25,7 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| black_box(form_phases(black_box(&trace), &config())))
     });
 
-    let analysis = SimProf::new(config()).analyze(&trace);
+    let analysis = SimProf::new(config()).analyze(&trace).expect("synthetic trace is valid");
     c.bench_function("pipeline/select_points n=20", |b| {
         b.iter(|| {
             black_box(select_points(
@@ -48,7 +48,7 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     c.bench_function("pipeline/analyze end-to-end", |b| {
-        b.iter(|| black_box(SimProf::new(config()).analyze(black_box(&trace))))
+        b.iter(|| black_box(SimProf::new(config()).analyze(black_box(&trace)).unwrap()))
     });
 }
 

@@ -10,12 +10,8 @@
 
 use simprof_bench::report::{f3, pct, render_table};
 use simprof_bench::{harness, EvalConfig};
-use simprof_core::{
-    baselines, estimate_stratified, relative_error, SimProf, SimProfConfig,
-};
-use simprof_stats::{
-    mean, proportional_allocation, seeded, srs_indices, stratified::StratumStats,
-};
+use simprof_core::{baselines, estimate_stratified, relative_error, SimProf, SimProfConfig};
+use simprof_stats::{mean, proportional_allocation, seeded, srs_indices, stratified::StratumStats};
 use simprof_workloads::{Benchmark, Framework, WorkloadId};
 
 fn main() {
@@ -63,10 +59,7 @@ fn allocation_ablation(cfg: &EvalConfig) {
                     .iter()
                     .zip(&alloc)
                     .map(|(ids, &nh)| {
-                        srs_indices(ids.len(), nh, &mut rng)
-                            .into_iter()
-                            .map(|i| ids[i])
-                            .collect()
+                        srs_indices(ids.len(), nh, &mut rng).into_iter().map(|i| ids[i]).collect()
                     })
                     .collect();
                 points.allocation = alloc;
@@ -92,7 +85,7 @@ fn feature_k_ablation(cfg: &EvalConfig) {
     let mut rows = Vec::new();
     for k in [10usize, 50, 100, 10_000] {
         let sp = SimProf::new(SimProfConfig { top_k: k, seed: 42, ..Default::default() });
-        let a = sp.analyze(&out.trace);
+        let a = sp.analyze(&out.trace).expect("workload trace is valid");
         let mut err = 0.0;
         let reps = 20u64;
         for rep in 0..reps {
@@ -117,7 +110,7 @@ fn snapshot_frequency_ablation(cfg: &EvalConfig) {
         let mut wl = cfg.workload;
         wl.profiler.snapshot_instrs = (wl.profiler.unit_instrs / divisor).max(1);
         let out = Benchmark::WordCount.run_full(Framework::Hadoop, &wl);
-        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace).expect("workload trace is valid");
         rows.push(vec![
             label.to_string(),
             out.trace.units.first().map_or(0, |u| u.snapshots).to_string(),
@@ -145,20 +138,14 @@ fn perturbation_ablation(cfg: &EvalConfig) {
                 wl.gc_noise_ppm = 0;
             }
             2 => {
-                wl.sched.perturbations =
-                    simprof_sim::Perturbations::with_period(400_000, 99);
+                wl.sched.perturbations = simprof_sim::Perturbations::with_period(400_000, 99);
                 wl.gc_noise_ppm = 120_000;
             }
             _ => {}
         }
         let out = Benchmark::WordCount.run_full(Framework::Spark, &wl);
-        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
-        rows.push(vec![
-            label.to_string(),
-            a.k().to_string(),
-            f3(a.cov.weighted),
-            f3(a.cov.max),
-        ]);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace).expect("workload trace is valid");
+        rows.push(vec![label.to_string(), a.k().to_string(), f3(a.cov.weighted), f3(a.cov.max)]);
     }
     println!("{}", render_table(&["perturbations", "phases", "weighted CoV", "max CoV"], &rows));
 }
@@ -173,7 +160,7 @@ fn unit_size_ablation(cfg: &EvalConfig) {
         let mut wl = cfg.workload;
         wl.profiler = simprof_profiler::ProfilerConfig::with_unit(unit);
         let out = Benchmark::WordCount.run_full(Framework::Spark, &wl);
-        let a = SimProf::new(cfg.simprof).analyze(&out.trace);
+        let a = SimProf::new(cfg.simprof).analyze(&out.trace).expect("workload trace is valid");
         let oracle = a.oracle_cpi();
         let reps = 20u64;
         let mut err = 0.0;
@@ -210,20 +197,11 @@ fn k_selection_ablation(cfg: &EvalConfig) {
         let cpis = out.trace.cpis();
         let sil_cov = homogeneity(&cpis, &sil.result.assignments).weighted;
         let bic_cov = homogeneity(&cpis, &bic.result.assignments).weighted;
-        rows.push(vec![
-            id.label(),
-            sil.k.to_string(),
-            f3(sil_cov),
-            bic.k.to_string(),
-            f3(bic_cov),
-        ]);
+        rows.push(vec![id.label(), sil.k.to_string(), f3(sil_cov), bic.k.to_string(), f3(bic_cov)]);
     }
     println!(
         "{}",
-        render_table(
-            &["workload", "k (silhouette)", "w.CoV", "k (BIC)", "w.CoV"],
-            &rows
-        )
+        render_table(&["workload", "k (silhouette)", "w.CoV", "k (BIC)", "w.CoV"], &rows)
     );
 }
 

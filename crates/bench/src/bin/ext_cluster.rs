@@ -22,7 +22,8 @@ fn main() {
         for nodes in [1usize, 2, 4] {
             let cfg = WorkloadConfig::cluster(42, nodes);
             let out = bench.run_full(fw, &cfg);
-            let a = SimProf::new(base.simprof).analyze(&out.trace);
+            let a =
+                SimProf::new(base.simprof).analyze(&out.trace).expect("workload trace is valid");
             let stall: u64 = out.trace.units.iter().map(|u| u.counters.io_stall_cycles).sum();
             let cycles: u64 = out.trace.units.iter().map(|u| u.counters.cycles).sum();
             rows.push(vec![

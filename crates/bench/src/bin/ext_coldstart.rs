@@ -33,7 +33,8 @@ fn main() {
     for (bench, fw, label) in targets {
         let id = WorkloadId { benchmark: bench, framework: fw };
         let out = id.run_full(&cfg.workload);
-        let analysis = SimProf::new(cfg.simprof).analyze(&out.trace);
+        let analysis =
+            SimProf::new(cfg.simprof).analyze(&out.trace).expect("workload trace is valid");
         let points = analysis.select_points(6, 7);
         let unit_instrs = out.trace.unit_instrs;
 
@@ -46,8 +47,7 @@ fn main() {
                 if unit * unit_instrs < 100_000 {
                     continue;
                 }
-                if let Some(replayed) = id.replay_unit(&cfg.workload, unit, unit_instrs, warmup)
-                {
+                if let Some(replayed) = id.replay_unit(&cfg.workload, unit, unit_instrs, warmup) {
                     let profiled = analysis.cpis[unit as usize];
                     err += (replayed - profiled).abs() / profiled;
                     n += 1.0;

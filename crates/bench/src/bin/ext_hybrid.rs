@@ -30,14 +30,8 @@ fn main() {
             let mut err = 0.0;
             let mut reduction = 0.0;
             for rep in 0..reps {
-                let pts = a.select_points(20, split_seed(42, 0x487_1D + rep));
-                let h = estimate_hybrid(
-                    &r.output.trace,
-                    &a.model.assignments,
-                    &pts,
-                    stride,
-                    3.0,
-                );
+                let pts = a.select_points(20, split_seed(42, 0x4871D + rep));
+                let h = estimate_hybrid(&r.output.trace, &a.model.assignments, &pts, stride, 3.0);
                 err += relative_error(h.mean_cpi, oracle);
                 reduction += h.slice_reduction();
             }
@@ -63,10 +57,7 @@ fn main() {
     println!("cells: CPI error (simulation-budget reduction from slicing)\n");
     println!(
         "{}",
-        render_table(
-            &["workload", "stride 1 (full)", "stride 2", "stride 5", "stride 10"],
-            &rows
-        )
+        render_table(&["workload", "stride 1 (full)", "stride 2", "stride 5", "stride 10"], &rows)
     );
     println!(
         "A stride of 10 simulates one snapshot-interval slice per point — \

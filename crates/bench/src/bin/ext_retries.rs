@@ -32,7 +32,7 @@ fn main() {
         let mut manager = SamplingManager::new(wl.profiler);
         Scheduler::new(wl.sched).run(&mut machine, &job, &mut manager);
         let trace = manager.finish();
-        let analysis = SimProf::new(cfg.simprof).analyze(&trace);
+        let analysis = SimProf::new(cfg.simprof).analyze(&trace).expect("workload trace is valid");
         let oracle = analysis.oracle_cpi();
         let reps = 20u64;
         let mut err = 0.0;

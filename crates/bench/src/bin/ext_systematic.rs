@@ -47,12 +47,7 @@ fn main() {
         rows.push(vec![r.label.clone(), pct(sys_err), pct(srs_err), pct(sp_err)]);
     }
     let k = runs.len() as f64;
-    rows.push(vec![
-        "average".into(),
-        pct(sums[0] / k),
-        pct(sums[1] / k),
-        pct(sums[2] / k),
-    ]);
+    rows.push(vec!["average".into(), pct(sums[0] / k), pct(sums[1] / k), pct(sums[2] / k)]);
     println!("Extension — systematic (SMARTS-style) baseline at n = {n}");
     println!("{}", render_table(&["workload", "SYSTEMATIC", "SRS", "SimProf"], &rows));
     println!(

@@ -22,7 +22,8 @@ fn main() {
 
     let train_lines = TextInput::Base.lines(bytes, wl.seed);
     let train = Benchmark::WordCount.run_spark_on_text(&wl, &train_lines);
-    let analysis = SimProf::new(cfg.simprof).analyze(&train.trace);
+    let analysis =
+        SimProf::new(cfg.simprof).analyze(&train.trace).expect("workload trace is valid");
     println!(
         "training input Base: {} units, {} phases, oracle CPI {:.3}\n",
         train.trace.units.len(),

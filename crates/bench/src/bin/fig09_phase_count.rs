@@ -8,10 +8,8 @@ fn main() {
     let cfg = EvalConfig::paper(42);
     let mut runs = run_all_workloads(&cfg);
     runs.sort_by(|a, b| a.label.cmp(&b.label));
-    let rows: Vec<Vec<String>> = figures::fig09(&runs)
-        .into_iter()
-        .map(|r| vec![r.label, r.phases.to_string()])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        figures::fig09(&runs).into_iter().map(|r| vec![r.label, r.phases.to_string()]).collect();
     println!("Fig. 9 — Number of phases");
     println!("{}", render_table(&["workload", "phases"], &rows));
 }

@@ -13,7 +13,11 @@ fn main() {
         .iter()
         .map(|r| {
             reduction_sum += 1.0 - r.sensitive_point_fraction;
-            vec![r.label.clone(), pct(r.sensitive_point_fraction), pct(1.0 - r.sensitive_point_fraction)]
+            vec![
+                r.label.clone(),
+                pct(r.sensitive_point_fraction),
+                pct(1.0 - r.sensitive_point_fraction),
+            ]
         })
         .collect();
     println!("Fig. 12 — Simulation points in input-sensitive phases (n = 20)");

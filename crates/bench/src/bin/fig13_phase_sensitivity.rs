@@ -8,9 +8,7 @@ fn main() {
     let cfg = EvalConfig::paper(42);
     let rows: Vec<Vec<String>> = figures::fig12_13(&cfg, 20)
         .into_iter()
-        .map(|r| {
-            vec![r.label, r.sensitive_phases.to_string(), r.insensitive_phases.to_string()]
-        })
+        .map(|r| vec![r.label, r.sensitive_phases.to_string(), r.insensitive_phases.to_string()])
         .collect();
     println!("Fig. 13 — Input-sensitive vs input-insensitive phases");
     println!("{}", render_table(&["workload", "sensitive", "insensitive"], &rows));

@@ -181,7 +181,11 @@ fn main() {
         let _ = write!(
             html,
             "<h2>Fig. {fig} — WordCount phase structure ({label})</h2>{}",
-            svg::phase_scatter("unit CPI (dots) and phase id (line), units sorted by phase", &cpis, &phases)
+            svg::phase_scatter(
+                "unit CPI (dots) and phase id (line), units sorted by phase",
+                &cpis,
+                &phases
+            )
         );
     }
 

@@ -14,7 +14,10 @@ fn main() {
     let run = harness::run_workload(id, &cfg);
     let a = &run.analysis;
     println!("{label}: {} units, oracle cpi {:.3}, k={}", a.cpis.len(), a.oracle_cpi(), a.k());
-    println!("k scores: {:?}", a.model.k_scores.iter().map(|&(k,s)| (k, (s*100.0).round()/100.0)).collect::<Vec<_>>());
+    println!(
+        "k scores: {:?}",
+        a.model.k_scores.iter().map(|&(k, s)| (k, (s * 100.0).round() / 100.0)).collect::<Vec<_>>()
+    );
     for h in 0..a.k() {
         let s = &a.stats[h];
         let top = a.model.top_methods(h, 3);

@@ -9,14 +9,25 @@ fn main() {
     let mut runs = run_all_workloads(&cfg);
     runs.sort_by(|a, b| a.label.cmp(&b.label));
     println!("ran 12 workloads in {:.1?}", t0.elapsed());
-    println!("{:>10} {:>6} {:>8} {:>4} {:>7} {:>7} {:>7} {:>8} {:>8} {:>10}",
-        "workload", "units", "cpi", "k", "covPop", "covW", "covMax", "n@5%", "n@2%", "cycles");
+    println!(
+        "{:>10} {:>6} {:>8} {:>4} {:>7} {:>7} {:>7} {:>8} {:>8} {:>10}",
+        "workload", "units", "cpi", "k", "covPop", "covW", "covMax", "n@5%", "n@2%", "cycles"
+    );
     for r in &runs {
         let a = &r.analysis;
         let cycles = r.output.trace.total_cycles();
-        println!("{:>10} {:>6} {:>8.3} {:>4} {:>7.3} {:>7.3} {:>7.3} {:>8} {:>8} {:>10}",
-            r.label, r.output.trace.units.len(), a.oracle_cpi(), a.k(),
-            a.cov.population, a.cov.weighted, a.cov.max,
-            a.required_size(3.0, 0.05), a.required_size(3.0, 0.02), cycles);
+        println!(
+            "{:>10} {:>6} {:>8.3} {:>4} {:>7.3} {:>7.3} {:>7.3} {:>8} {:>8} {:>10}",
+            r.label,
+            r.output.trace.units.len(),
+            a.oracle_cpi(),
+            a.k(),
+            a.cov.population,
+            a.cov.weighted,
+            a.cov.max,
+            a.required_size(3.0, 0.05),
+            a.required_size(3.0, 0.02),
+            cycles
+        );
     }
 }

@@ -9,7 +9,11 @@ use simprof_workloads::{Benchmark, Framework, GraphInput, Kronecker, WorkloadId}
 fn main() {
     let cfg = EvalConfig::paper(42);
     let fw = if std::env::args().any(|a| a == "hp") { Framework::Hadoop } else { Framework::Spark };
-    let bench = if std::env::args().any(|a| a == "rank") { Benchmark::PageRank } else { Benchmark::ConnectedComponents };
+    let bench = if std::env::args().any(|a| a == "rank") {
+        Benchmark::PageRank
+    } else {
+        Benchmark::ConnectedComponents
+    };
     let id = WorkloadId { benchmark: bench, framework: fw };
     let train = harness::run_workload(id, &cfg);
     let a = &train.analysis;

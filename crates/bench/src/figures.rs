@@ -79,12 +79,9 @@ pub fn table2(cfg: &EvalConfig) -> Vec<Table2Row> {
     GraphInput::ALL
         .iter()
         .map(|&input| {
-            let g = Kronecker::for_input(
-                input,
-                cfg.workload.graph_scale,
-                cfg.workload.graph_degree,
-            )
-            .generate(graph_seed(cfg, input));
+            let g =
+                Kronecker::for_input(input, cfg.workload.graph_scale, cfg.workload.graph_degree)
+                    .generate(graph_seed(cfg, input));
             let kind = match input {
                 GraphInput::Google | GraphInput::Stanford => "Web graph",
                 GraphInput::Facebook => "Social network",
@@ -97,7 +94,11 @@ pub fn table2(cfg: &EvalConfig) -> Vec<Table2Row> {
             Table2Row {
                 name: input.label(),
                 kind,
-                role: if input == GraphInput::Google { "training input" } else { "reference input" },
+                role: if input == GraphInput::Google {
+                    "training input"
+                } else {
+                    "reference input"
+                },
                 nodes: g.n,
                 edges: g.edge_count(),
                 max_degree: g.max_degree(),
@@ -184,7 +185,7 @@ pub fn fig07(runs: &[WorkloadRun], cfg: &EvalConfig) -> Vec<Fig07Row> {
             let mut srs_err = 0.0;
             let mut simprof_err = 0.0;
             for rep in 0..cfg.fig7_reps {
-                let seed = split_seed(cfg.simprof.seed, 0xF16_7 + rep);
+                let seed = split_seed(cfg.simprof.seed, 0xF167 + rep);
                 srs_err += relative_error(srs_points(trace, n, seed).predicted_cpi, oracle);
                 let sp = baselines::simprof_points(&r.analysis.model, trace, n, seed);
                 simprof_err += relative_error(sp.predicted_cpi, oracle);

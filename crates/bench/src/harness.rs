@@ -62,16 +62,14 @@ pub struct WorkloadRun {
 
 /// Profiles and analyzes all twelve workloads, in parallel.
 pub fn run_all_workloads(cfg: &EvalConfig) -> Vec<WorkloadRun> {
-    WorkloadId::all()
-        .into_par_iter()
-        .map(|id| run_workload(id, cfg))
-        .collect()
+    WorkloadId::all().into_par_iter().map(|id| run_workload(id, cfg)).collect()
 }
 
 /// Profiles and analyzes one workload.
 pub fn run_workload(id: WorkloadId, cfg: &EvalConfig) -> WorkloadRun {
     let output = id.run_full(&cfg.workload);
-    let analysis = SimProf::new(cfg.simprof).analyze(&output.trace);
+    let analysis =
+        SimProf::new(cfg.simprof).analyze(&output.trace).expect("workload trace is valid");
     WorkloadRun { id, label: id.label(), output, analysis }
 }
 

@@ -80,9 +80,9 @@ pub fn render_scatter(cpis: &[f64], phases: &[usize], width: usize, height: usiz
     out.push('\n');
     out.push_str("        phases: ");
     let mut last = usize::MAX;
-    for b in 0..width {
-        out.push(if ps[b] != last { char::from_digit((ps[b] % 10) as u32, 10).unwrap() } else { '.' });
-        last = ps[b];
+    for &p in ps.iter().take(width) {
+        out.push(if p != last { char::from_digit((p % 10) as u32, 10).unwrap() } else { '.' });
+        last = p;
     }
     out.push('\n');
     out

@@ -27,11 +27,7 @@ pub fn grouped_bars(
     let plot_w = width - margin_left - 20.0;
     let plot_h = height - margin_top - margin_bottom;
 
-    let max = series
-        .iter()
-        .flat_map(|(_, vs)| vs.iter().copied())
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max = series.iter().flat_map(|(_, vs)| vs.iter().copied()).fold(0.0f64, f64::max).max(1e-9);
 
     let mut svg = format!(
         r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="12">"##
@@ -100,11 +96,7 @@ pub fn grouped_bars(
             y - 10.0,
             PALETTE[si % PALETTE.len()]
         ));
-        svg.push_str(&format!(
-            r##"<text x="{:.1}" y="{y:.1}">{}</text>"##,
-            x + 16.0,
-            escape(name)
-        ));
+        svg.push_str(&format!(r##"<text x="{:.1}" y="{y:.1}">{}</text>"##, x + 16.0, escape(name)));
     }
     svg.push_str("</svg>");
     svg
@@ -159,7 +151,9 @@ pub fn phase_scatter(title: &str, cpis: &[f64], phases: &[usize]) -> String {
         path.push_str(&format!("{x:.1},{y:.1} L"));
     }
     path.pop();
-    svg.push_str(&format!(r##"<path d="{path}" stroke="#d65f5f" fill="none" stroke-width="1.5"/>"##));
+    svg.push_str(&format!(
+        r##"<path d="{path}" stroke="#d65f5f" fill="none" stroke-width="1.5"/>"##
+    ));
     svg.push_str(&format!(
         r##"<text x="{:.1}" y="{:.1}" fill="#d65f5f">phase id</text>"##,
         margin_left + plot_w + 4.0,
@@ -212,8 +206,7 @@ mod tests {
     fn bars_handle_empty_and_zero() {
         let svg = grouped_bars("empty", &[], &[], "y");
         assert!(balanced(&svg));
-        let svg =
-            grouped_bars("zeros", &["a".into()], &[("s", vec![0.0])], "y");
+        let svg = grouped_bars("zeros", &["a".into()], &[("s", vec![0.0])], "y");
         assert!(balanced(&svg));
     }
 

@@ -59,24 +59,21 @@ impl Options {
         let mut opts = Options::default();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().cloned().ok_or_else(|| format!("{name} requires a value"))
-            };
+            let mut value =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} requires a value"));
             match flag.as_str() {
                 "-w" | "--workload" => opts.workload = Some(value(flag)?),
                 "-i" | "--input" => opts.input = Some(value(flag)?),
                 "-o" | "--output" => opts.output = Some(value(flag)?),
                 "-n" | "--points" => {
-                    opts.points = value(flag)?
-                        .parse()
-                        .map_err(|e| format!("invalid --points: {e}"))?;
+                    opts.points =
+                        value(flag)?.parse().map_err(|e| format!("invalid --points: {e}"))?;
                     if opts.points == 0 {
                         return Err("--points must be at least 1".into());
                     }
                 }
                 "--seed" => {
-                    opts.seed =
-                        value(flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?;
+                    opts.seed = value(flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?;
                 }
                 "--scale" => {
                     opts.scale = match value(flag)?.as_str() {
@@ -99,9 +96,8 @@ impl Options {
                     }
                 }
                 "--threshold" => {
-                    opts.threshold = value(flag)?
-                        .parse()
-                        .map_err(|e| format!("invalid --threshold: {e}"))?;
+                    opts.threshold =
+                        value(flag)?.parse().map_err(|e| format!("invalid --threshold: {e}"))?;
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -118,9 +114,7 @@ impl Options {
 
     /// The input flag, or an error naming the command that needs it.
     pub fn require_input(&self, command: &str) -> Result<&str, String> {
-        self.input
-            .as_deref()
-            .ok_or_else(|| format!("`{command}` requires -i/--input <trace.json>"))
+        self.input.as_deref().ok_or_else(|| format!("`{command}` requires -i/--input <trace.json>"))
     }
 }
 

@@ -28,7 +28,7 @@ fn pipeline(opts: &Options) -> SimProf {
 
 /// `simprof list` — the Table I matrix.
 pub fn list(_opts: &Options) -> Result<(), String> {
-    println!("{:<10} {:<20} {}", "label", "benchmark", "framework");
+    println!("{:<10} {:<20} framework", "label", "benchmark");
     for w in WorkloadId::all() {
         println!("{:<10} {:<20} {:?}", w.label(), w.benchmark.abbrev(), w.framework);
     }
@@ -72,7 +72,7 @@ pub fn profile(opts: &Options) -> Result<(), String> {
 /// `simprof analyze -i trace.json`.
 pub fn analyze(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("analyze")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     println!(
         "{}: {} units, oracle CPI {:.4}, {} phases",
         bundle.label,
@@ -100,7 +100,7 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
 /// `simprof select -i trace.json -n 20 [-o points.json]`.
 pub fn select(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("select")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
     let est = analysis.estimate(&points, opts.z);
     let oracle = analysis.oracle_cpi();
@@ -127,8 +127,9 @@ pub fn select(opts: &Options) -> Result<(), String> {
             "allocation": points.allocation,
             "estimate": est,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&json).unwrap())
-            .map_err(|e| format!("write {path}: {e}"))?;
+        let text =
+            serde_json::to_string_pretty(&json).map_err(|e| format!("encode points: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -137,7 +138,7 @@ pub fn select(opts: &Options) -> Result<(), String> {
 /// `simprof size -i trace.json --error 0.05 [--z 3]`.
 pub fn size(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("size")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let n = analysis.required_size(opts.z, opts.error);
     println!(
         "{}: {} of {} units needed for {:.1}% relative error at z = {}",
@@ -153,7 +154,7 @@ pub fn size(opts: &Options) -> Result<(), String> {
 /// `simprof report -i trace.json` — phases with their characteristic methods.
 pub fn report(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("report")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     println!("{}: {} phases", bundle.label, analysis.k());
     for h in 0..analysis.k() {
         let s = &analysis.stats[h];
@@ -181,7 +182,7 @@ pub fn validate(opts: &Options) -> Result<(), String> {
         "tiny" => WorkloadConfig::tiny(bundle.seed),
         _ => WorkloadConfig::paper(bundle.seed),
     };
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let n = opts.points.min(8); // each replay re-runs the job
     let points = analysis.select_points(n, split_seed(opts.seed, 0x5E1E));
     let unit_instrs = bundle.trace.unit_instrs;
@@ -202,10 +203,7 @@ pub fn validate(opts: &Options) -> Result<(), String> {
                 let delta = (replayed - profiled).abs() / profiled;
                 total += delta;
                 count += 1.0;
-                println!(
-                    "{unit:>7} {profiled:>10.4} {replayed:>10.4} {:>7.1}%",
-                    delta * 100.0
-                );
+                println!("{unit:>7} {profiled:>10.4} {replayed:>10.4} {:>7.1}%", delta * 100.0);
             }
             None => println!("{unit:>7} {profiled:>10.4} {:>10} {:>8}", "-", "n/a"),
         }
@@ -221,9 +219,10 @@ pub fn validate(opts: &Options) -> Result<(), String> {
 /// intervals, warm-up, phase weights for re-aggregation).
 pub fn export(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("export")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
-    let manifest = simprof_core::SimulationManifest::build(&analysis, &bundle.trace, &points);
+    let manifest = simprof_core::SimulationManifest::build(&analysis, &bundle.trace, &points)
+        .map_err(|e| format!("export: {e}"))?;
     println!(
         "{}: {} points → {} instructions of detailed simulation ({:.1}% of the job)",
         bundle.label,
@@ -245,8 +244,9 @@ pub fn export(opts: &Options) -> Result<(), String> {
         println!("  ... and {} more", manifest.points.len() - 5);
     }
     if let Some(path) = &opts.output {
-        std::fs::write(path, serde_json::to_string_pretty(&manifest).unwrap())
-            .map_err(|e| format!("write {path}: {e}"))?;
+        let text =
+            serde_json::to_string_pretty(&manifest).map_err(|e| format!("encode manifest: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
         println!("wrote {path}");
     }
     Ok(())
@@ -259,20 +259,23 @@ pub fn compare(opts: &Options) -> Result<(), String> {
         baselines, relative_error, second_points_by_cycles, srs_points, systematic_points,
     };
     let bundle = TraceBundle::load(opts.require_input("compare")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let oracle = analysis.oracle_cpi();
     let n = opts.points;
-    println!("{}: oracle CPI {:.4}, {} units, {} phases", bundle.label, oracle, bundle.trace.units.len(), analysis.k());
+    println!(
+        "{}: oracle CPI {:.4}, {} units, {} phases",
+        bundle.label,
+        oracle,
+        bundle.trace.units.len(),
+        analysis.k()
+    );
     println!("{:<12} {:>8} {:>10} {:>8}", "approach", "points", "CPI", "error");
 
     let budget = bundle.trace.total_cycles() / 5;
     let second = second_points_by_cycles(&bundle.trace, budget);
     let reps = 20u64;
-    let mut rows: Vec<(&str, usize, f64)> = vec![(
-        "SECOND",
-        second.points.len(),
-        second.predicted_cpi,
-    )];
+    let mut rows: Vec<(&str, usize, f64)> =
+        vec![("SECOND", second.points.len(), second.predicted_cpi)];
     let sys = systematic_points(&bundle.trace, n, 0);
     rows.push(("SYSTEMATIC", sys.points.len(), sys.predicted_cpi));
     let mut srs_cpi = 0.0;
@@ -303,7 +306,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
 /// stride needs.
 pub fn hybrid(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("hybrid")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace);
+    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let oracle = analysis.oracle_cpi();
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
     println!(
@@ -353,12 +356,8 @@ pub fn sensitivity(opts: &Options) -> Result<(), String> {
     cfg.graph_degree += 2;
 
     let train = id.run_full(&cfg);
-    let analysis = pipeline(opts).analyze(&train.trace);
-    println!(
-        "training input Google: {} units, {} phases",
-        train.trace.units.len(),
-        analysis.k()
-    );
+    let analysis = pipeline(opts).analyze(&train.trace).map_err(|e| format!("analyze: {e}"))?;
+    println!("training input Google: {} units, {} phases", train.trace.units.len(), analysis.k());
 
     let mut references = Vec::new();
     let mut names = Vec::new();
@@ -374,13 +373,8 @@ pub fn sensitivity(opts: &Options) -> Result<(), String> {
     let rep = input_sensitivity(&analysis.model, &train.trace, &refs, opts.threshold);
 
     for h in 0..analysis.k() {
-        let movers: Vec<&str> = rep
-            .per_reference
-            .iter()
-            .zip(&names)
-            .filter(|(p, _)| p[h])
-            .map(|(_, &n)| n)
-            .collect();
+        let movers: Vec<&str> =
+            rep.per_reference.iter().zip(&names).filter(|(p, _)| p[h]).map(|(_, &n)| n).collect();
         println!(
             "phase {h} (weight {:.1}%): {}",
             analysis.weights[h] * 100.0,
@@ -396,11 +390,7 @@ pub fn sensitivity(opts: &Options) -> Result<(), String> {
     if !methods.is_empty() {
         println!("input-sensitive methods:");
         for (h, m, w) in methods {
-            println!(
-                "  phase {h}: {:.2}  {}",
-                w,
-                train.registry.name(MethodId(m as u32))
-            );
+            println!("  phase {h}: {:.2}  {}", w, train.registry.name(MethodId(m as u32)));
         }
     }
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));

@@ -7,9 +7,11 @@ fn main() -> ExitCode {
     // (`simprof list | head`) is hostile for a CLI; exit quietly instead.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
-        let msg = info.payload().downcast_ref::<String>().map(String::as_str).or_else(|| {
-            info.payload().downcast_ref::<&str>().copied()
-        });
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied());
         if msg.is_some_and(|m| m.contains("Broken pipe")) {
             std::process::exit(0);
         }

@@ -146,6 +146,8 @@ mod tests {
                     snapshots: 10,
                     counters: Counters { instructions: 1000, cycles, ..Default::default() },
                     slices: Vec::new(),
+                    truncated: false,
+                    dropped_snapshots: 0,
                 }
             })
             .collect();
@@ -192,8 +194,7 @@ mod tests {
         let b = srs_points(&t, 10, 7);
         assert_eq!(a.points, b.points);
         let oracle = t.oracle_cpi();
-        let avg: f64 =
-            (0..300).map(|s| srs_points(&t, 10, s).predicted_cpi).sum::<f64>() / 300.0;
+        let avg: f64 = (0..300).map(|s| srs_points(&t, 10, s).predicted_cpi).sum::<f64>() / 300.0;
         assert!((avg - oracle).abs() / oracle < 0.05, "{avg} vs {oracle}");
     }
 

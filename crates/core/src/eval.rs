@@ -112,6 +112,8 @@ mod tests {
             snapshots: 10,
             counters: Counters { instructions: 1000, cycles, ..Default::default() },
             slices: Vec::new(),
+            truncated: false,
+            dropped_snapshots: 0,
         };
         let mut units: Vec<SamplingUnit> =
             (0..24).map(|i| mk(i, map, 900 + (i % 3) * 10)).collect();

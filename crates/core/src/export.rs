@@ -58,19 +58,71 @@ pub struct SimulationManifest {
     pub points: Vec<ManifestPoint>,
 }
 
+/// Why a manifest cannot be built from a selection.
+///
+/// A selection made on one analysis can be replayed against a different
+/// trace (stale points file, re-profiled workload); these used to panic on
+/// out-of-bounds indexing instead of reporting the mismatch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExportError {
+    /// A selected unit id lies beyond the trace/analysis.
+    PointOutOfRange {
+        /// The offending unit id.
+        unit: u64,
+        /// Number of units the analysis actually covers.
+        units: usize,
+    },
+    /// The selection references more phases than the analysis has.
+    PhaseOutOfRange {
+        /// The offending phase index.
+        phase: usize,
+        /// Number of phases in the analysis.
+        phases: usize,
+    },
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PointOutOfRange { unit, units } => write!(
+                f,
+                "simulation point {unit} is outside the analyzed trace ({units} units) — \
+                 was the selection made on a different trace?"
+            ),
+            Self::PhaseOutOfRange { phase, phases } => {
+                write!(f, "selection references phase {phase} but the analysis has only {phases}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
+
 impl SimulationManifest {
     /// Builds the manifest from an analysis and a selection made on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExportError`] when the selection does not fit the analysis
+    /// (a unit id or phase index out of range — typically a selection replayed
+    /// against the wrong trace).
     pub fn build(
         analysis: &Analysis,
         trace: &ProfileTrace,
         points: &SimulationPoints,
-    ) -> SimulationManifest {
+    ) -> Result<SimulationManifest, ExportError> {
         let model: &PhaseModel = &analysis.model;
         let unit_instrs = trace.unit_instrs;
         let mut out = Vec::with_capacity(points.points.len());
         for (phase, ids) in points.per_phase.iter().enumerate() {
+            if phase >= analysis.k() {
+                return Err(ExportError::PhaseOutOfRange { phase, phases: analysis.k() });
+            }
             let dominant = model.top_methods(phase, 1).first().map(|&(m, _)| m as u32);
             for &unit in ids {
+                if unit as usize >= analysis.cpis.len() {
+                    return Err(ExportError::PointOutOfRange { unit, units: analysis.cpis.len() });
+                }
                 out.push(ManifestPoint {
                     unit,
                     start_instr: unit * unit_instrs,
@@ -85,7 +137,7 @@ impl SimulationManifest {
             }
         }
         out.sort_by_key(|p| p.unit);
-        SimulationManifest { unit_instrs, total_units: trace.units.len(), points: out }
+        Ok(SimulationManifest { unit_instrs, total_units: trace.units.len(), points: out })
     }
 
     /// Re-aggregates per-point simulated CPIs into the job-level stratified
@@ -124,13 +176,16 @@ mod tests {
         let units = (0..30u64)
             .map(|i| {
                 let first = i < 20;
-                let (m, cycles) = if first { (1, 1000 + (i % 4) * 20) } else { (2, 3000 + (i % 4) * 30) };
+                let (m, cycles) =
+                    if first { (1, 1000 + (i % 4) * 20) } else { (2, 3000 + (i % 4) * 30) };
                 SamplingUnit {
                     id: i,
                     histogram: vec![(MethodId(0), 10), (MethodId(m), 9)],
                     snapshots: 10,
                     counters: Counters { instructions: 1000, cycles, ..Default::default() },
                     slices: Vec::new(),
+                    truncated: false,
+                    dropped_snapshots: 0,
                 }
             })
             .collect();
@@ -139,7 +194,7 @@ mod tests {
 
     fn setup() -> (ProfileTrace, Analysis, SimulationPoints) {
         let t = trace();
-        let a = SimProf::new(SimProfConfig { seed: 3, ..Default::default() }).analyze(&t);
+        let a = SimProf::new(SimProfConfig { seed: 3, ..Default::default() }).analyze(&t).unwrap();
         let pts = a.select_points(8, 5);
         (t, a, pts)
     }
@@ -147,7 +202,7 @@ mod tests {
     #[test]
     fn manifest_positions_points_in_instruction_stream() {
         let (t, a, pts) = setup();
-        let m = SimulationManifest::build(&a, &t, &pts);
+        let m = SimulationManifest::build(&a, &t, &pts).unwrap();
         assert_eq!(m.points.len(), pts.len());
         assert_eq!(m.simulated_instrs(), 8 * 1000);
         for p in &m.points {
@@ -169,7 +224,7 @@ mod tests {
     #[test]
     fn aggregate_reproduces_stratified_estimate() {
         let (t, a, pts) = setup();
-        let m = SimulationManifest::build(&a, &t, &pts);
+        let m = SimulationManifest::build(&a, &t, &pts).unwrap();
         // A perfect simulator returns exactly the profiled CPIs.
         let results: HashMap<u64, f64> =
             m.points.iter().map(|p| (p.unit, p.profiled_cpi)).collect();
@@ -181,7 +236,7 @@ mod tests {
     #[test]
     fn aggregate_reports_missing_points() {
         let (t, a, pts) = setup();
-        let m = SimulationManifest::build(&a, &t, &pts);
+        let m = SimulationManifest::build(&a, &t, &pts).unwrap();
         let missing = m.aggregate(&HashMap::new()).unwrap_err();
         assert_eq!(missing, m.points[0].unit);
     }
@@ -189,9 +244,21 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let (t, a, pts) = setup();
-        let m = SimulationManifest::build(&a, &t, &pts);
+        let m = SimulationManifest::build(&a, &t, &pts).unwrap();
         let json = serde_json::to_string(&m).unwrap();
         let back: SimulationManifest = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn mismatched_selection_is_rejected_typed() {
+        let (t, a, mut pts) = setup();
+        // A selection replayed against a shorter trace used to panic on
+        // indexing; now it reports which point fell outside.
+        pts.points.push(999);
+        pts.per_phase[0].push(999);
+        let err = SimulationManifest::build(&a, &t, &pts).unwrap_err();
+        assert_eq!(err, ExportError::PointOutOfRange { unit: 999, units: 30 });
+        assert!(err.to_string().contains("999"));
     }
 }

@@ -91,6 +91,8 @@ mod tests {
             snapshots,
             counters: Counters { instructions: 1000, cycles, ..Default::default() },
             slices: Vec::new(),
+            truncated: false,
+            dropped_snapshots: 0,
         }
     }
 
@@ -130,9 +132,9 @@ mod tests {
         let units = (0..12)
             .map(|i| {
                 let slow = i % 2 == 0;
-                let cycles = if slow { 3000 + (i as u64 % 3) * 10 } else { 900 + (i as u64 % 3) * 10 };
-                let hist =
-                    if slow { vec![(0, 10), (2, 9)] } else { vec![(0, 10), (1, 9)] };
+                let cycles =
+                    if slow { 3000 + (i as u64 % 3) * 10 } else { 900 + (i as u64 % 3) * 10 };
+                let hist = if slow { vec![(0, 10), (2, 9)] } else { vec![(0, 10), (1, 9)] };
                 unit(i as u64, hist, 10, cycles)
             })
             .collect();

@@ -73,7 +73,7 @@ pub fn estimate_hybrid(
     let mut sizes = Vec::with_capacity(k);
     let mut simulated = 0u64;
     let mut full = 0u64;
-    for h in 0..k {
+    for (h, stratum) in strata.iter().enumerate() {
         let sample: Vec<f64> = points.per_phase[h]
             .iter()
             .map(|&id| {
@@ -83,10 +83,10 @@ pub fn estimate_hybrid(
                 unit.sliced_cpi(stride, id as usize)
             })
             .collect();
-        let w = strata[h].units as f64 / total_units.max(1) as f64;
+        let w = stratum.units as f64 / total_units.max(1) as f64;
         est += w * mean(&sample);
-        let s_h = if sample.len() >= 2 { stddev(&sample) } else { strata[h].stddev };
-        se_strata.push(StratumStats { units: strata[h].units, stddev: s_h });
+        let s_h = if sample.len() >= 2 { stddev(&sample) } else { stratum.stddev };
+        se_strata.push(StratumStats { units: stratum.units, stddev: s_h });
         sizes.push(sample.len());
     }
     let se = stratified_se(&se_strata, &sizes);
@@ -131,6 +131,8 @@ mod tests {
                 snapshots: 10,
                 counters: Counters { instructions: 1000, cycles, ..Default::default() },
                 slices,
+                truncated: false,
+                dropped_snapshots: 0,
             });
             assignments.push(usize::from(!first));
         }

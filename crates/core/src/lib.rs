@@ -38,13 +38,13 @@ pub use baselines::{
     SamplerKind,
 };
 pub use eval::{phase_type_distribution, phase_types, relative_error, PhaseTypeShare};
+pub use export::{ExportError, ManifestPoint, SimulationManifest};
 pub use features::{vectorize, vectorize_with_dim, FeatureSpace};
-pub use export::{ManifestPoint, SimulationManifest};
 pub use hybrid::{estimate_hybrid, HybridEstimate};
 pub use phases::{
     classify_units, form_phases, homogeneity, phase_stats, phase_weights, PhaseModel,
 };
-pub use pipeline::{Analysis, SimProf, SimProfConfig};
+pub use pipeline::{validate_trace, Analysis, SimProf, SimProfConfig, TraceError};
 pub use sampling::{
     estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
 };

@@ -154,6 +154,8 @@ mod tests {
                 snapshots: 10,
                 counters: Counters { instructions: 1000, cycles, ..Default::default() },
                 slices: Vec::new(),
+                truncated: false,
+                dropped_snapshots: 0,
             });
         }
         ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }

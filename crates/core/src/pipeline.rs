@@ -33,6 +33,54 @@ impl Default for SimProfConfig {
     }
 }
 
+/// Why a [`ProfileTrace`] cannot be analyzed.
+///
+/// Degenerate traces used to slip through and poison the analysis with
+/// NaN/∞ CPIs; validation now rejects them up front with a typed error.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceError {
+    /// The trace holds no sampling units (nothing ran on the profiled core,
+    /// or every unit was a discarded partial tail).
+    EmptyTrace,
+    /// A sampling unit retired zero instructions, so its CPI is undefined.
+    ZeroInstructionUnit {
+        /// The offending unit's id.
+        unit: u64,
+    },
+    /// The trace's declared unit size is zero, which breaks every
+    /// instruction-budget computation downstream.
+    ZeroUnitSize,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::EmptyTrace => write!(f, "profile trace contains no sampling units"),
+            Self::ZeroInstructionUnit { unit } => {
+                write!(f, "sampling unit {unit} retired zero instructions (CPI undefined)")
+            }
+            Self::ZeroUnitSize => write!(f, "trace declares a zero sampling-unit size"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Validates that `trace` is analyzable: non-empty, positive unit size, and
+/// every unit retired at least one instruction.
+pub fn validate_trace(trace: &ProfileTrace) -> Result<(), TraceError> {
+    if trace.unit_instrs == 0 {
+        return Err(TraceError::ZeroUnitSize);
+    }
+    if trace.units.is_empty() {
+        return Err(TraceError::EmptyTrace);
+    }
+    if let Some(u) = trace.units.iter().find(|u| u.counters.instructions == 0) {
+        return Err(TraceError::ZeroInstructionUnit { unit: u.id });
+    }
+    Ok(())
+}
+
 /// The SimProf pipeline.
 #[derive(Debug, Clone, Default)]
 pub struct SimProf {
@@ -51,15 +99,17 @@ impl SimProf {
     }
 
     /// Runs phase formation + homogeneity analysis on a trace and returns a
-    /// self-contained [`Analysis`].
-    pub fn analyze(&self, trace: &ProfileTrace) -> Analysis {
+    /// self-contained [`Analysis`], or a [`TraceError`] if the trace is
+    /// degenerate (empty, zero unit size, or a zero-instruction unit).
+    pub fn analyze(&self, trace: &ProfileTrace) -> Result<Analysis, TraceError> {
+        validate_trace(trace)?;
         let model = form_phases(trace, &self.config);
         let cpis = trace.cpis();
         let k = model.k();
         let stats = phase_stats(&cpis, &model.assignments, k);
         let weights = phase_weights(&model.assignments, k);
         let cov = homogeneity(&cpis, &model.assignments);
-        Analysis { config: self.config, model, cpis, stats, weights, cov }
+        Ok(Analysis { config: self.config, model, cpis, stats, weights, cov })
     }
 }
 
@@ -130,6 +180,8 @@ mod tests {
                     snapshots: 10,
                     counters: Counters { instructions: 1000, cycles, ..Default::default() },
                     slices: Vec::new(),
+                    truncated: false,
+                    dropped_snapshots: 0,
                 }
             })
             .collect();
@@ -139,7 +191,8 @@ mod tests {
     #[test]
     fn analyze_end_to_end() {
         let t = trace();
-        let analysis = SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t);
+        let analysis =
+            SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t).unwrap();
         assert_eq!(analysis.k(), 2);
         assert_eq!(analysis.weights.iter().sum::<f64>(), 1.0);
         assert!(analysis.cov.weighted < analysis.cov.population);
@@ -159,11 +212,31 @@ mod tests {
     #[test]
     fn analysis_serde_roundtrip() {
         let t = trace();
-        let analysis = SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t);
+        let analysis =
+            SimProf::new(SimProfConfig { seed: 4, ..Default::default() }).analyze(&t).unwrap();
         let json = serde_json::to_string(&analysis).unwrap();
         let back: Analysis = serde_json::from_str(&json).unwrap();
         assert_eq!(back.k(), analysis.k());
         assert_eq!(back.cpis, analysis.cpis);
+    }
+
+    #[test]
+    fn degenerate_traces_are_rejected_typed() {
+        let sp = SimProf::default();
+        let empty =
+            ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units: vec![] };
+        assert!(matches!(sp.analyze(&empty), Err(TraceError::EmptyTrace)));
+        let mut zero_unit = trace();
+        zero_unit.unit_instrs = 0;
+        assert!(matches!(sp.analyze(&zero_unit), Err(TraceError::ZeroUnitSize)));
+        let mut dead = trace();
+        dead.units[3].counters.instructions = 0;
+        assert!(matches!(sp.analyze(&dead), Err(TraceError::ZeroInstructionUnit { unit: 3 })));
+        // Errors render human-readable messages and serde-roundtrip.
+        let e = TraceError::ZeroInstructionUnit { unit: 3 };
+        assert!(e.to_string().contains("unit 3"));
+        let back: TraceError = serde_json::from_str(&serde_json::to_string(&e).unwrap()).unwrap();
+        assert_eq!(back, e);
     }
 
     #[test]

@@ -132,17 +132,17 @@ pub fn estimate_stratified(
     let mut est = 0.0;
     let mut se_strata = Vec::with_capacity(k);
     let mut sizes = Vec::with_capacity(k);
-    for h in 0..k {
+    for (h, stratum) in strata.iter().enumerate() {
         let sample: Vec<f64> = points.per_phase[h].iter().map(|&id| cpis[id as usize]).collect();
-        let w = strata[h].units as f64 / total_units.max(1) as f64;
+        let w = stratum.units as f64 / total_units.max(1) as f64;
         est += w * mean(&sample);
         let sample_sd = stddev(&sample);
-        let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * strata[h].stddev {
+        let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * stratum.stddev {
             sample_sd
         } else {
-            strata[h].stddev
+            stratum.stddev
         };
-        se_strata.push(StratumStats { units: strata[h].units, stddev: s_h });
+        se_strata.push(StratumStats { units: stratum.units, stddev: s_h });
         sizes.push(sample.len());
     }
     let se = stratified_se(&se_strata, &sizes);
@@ -172,7 +172,11 @@ pub fn required_sample_size(
 /// median-index unit among the tied set: picking the first would
 /// systematically select each phase's earliest units, which carry cold-start
 /// and ramp-top behaviour and would bias the baseline.
-pub fn central_units(features: &Matrix, centers: &Matrix, assignments: &[usize]) -> Vec<Option<u64>> {
+pub fn central_units(
+    features: &Matrix,
+    centers: &Matrix,
+    assignments: &[usize],
+) -> Vec<Option<u64>> {
     let k = centers.rows();
     const EPS: f64 = 1e-12;
     let mut min_d: Vec<f64> = vec![f64::INFINITY; k];

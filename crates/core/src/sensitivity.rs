@@ -147,7 +147,7 @@ impl SensitivityReport {
 /// #                           else { (2, ((3000 + jitter) as f64 * scale) as u64) };
 /// #         SamplingUnit { id: i, histogram: vec![(MethodId(0), 10), (MethodId(m), 9)],
 /// #             snapshots: 10, counters: Counters { instructions: 1000, cycles,
-/// #             ..Default::default() }, slices: Vec::new() }
+/// #             ..Default::default() }, slices: Vec::new(), truncated: false, dropped_snapshots: 0 }
 /// #     }).collect();
 /// #     ProfileTrace { unit_instrs: 1000, snapshot_instrs: 100, core: 0, units }
 /// # }
@@ -171,9 +171,8 @@ pub fn input_sensitivity(
     for r in references {
         let assignments = classify_units(model, r);
         let ref_stats = trimmed_phase_stats(&r.cpis(), &assignments, k);
-        let passes: Vec<bool> = (0..k)
-            .map(|h| phase_sensitive(&train_stats[h], &ref_stats[h], threshold))
-            .collect();
+        let passes: Vec<bool> =
+            (0..k).map(|h| phase_sensitive(&train_stats[h], &ref_stats[h], threshold)).collect();
         for (h, &p) in passes.iter().enumerate() {
             sensitive[h] |= p;
         }
@@ -241,6 +240,8 @@ mod tests {
                     snapshots: 10,
                     counters: Counters { instructions: 1000, cycles, ..Default::default() },
                     slices: Vec::new(),
+                    truncated: false,
+                    dropped_snapshots: 0,
                 }
             })
             .collect();

@@ -52,30 +52,26 @@ impl HadoopMethods {
     /// Interns the whole catalog.
     pub fn intern(reg: &mut MethodRegistry) -> Self {
         Self {
-            yarn_child_main: reg.intern("org.apache.hadoop.mapred.YarnChild.main", OpClass::Framework),
+            yarn_child_main: reg
+                .intern("org.apache.hadoop.mapred.YarnChild.main", OpClass::Framework),
             map_task_run: reg.intern("org.apache.hadoop.mapred.MapTask.run", OpClass::Framework),
-            reduce_task_run: reg.intern("org.apache.hadoop.mapred.ReduceTask.run", OpClass::Framework),
+            reduce_task_run: reg
+                .intern("org.apache.hadoop.mapred.ReduceTask.run", OpClass::Framework),
             line_record_reader_next: reg.intern(
                 "org.apache.hadoop.mapreduce.lib.input.LineRecordReader.nextKeyValue",
                 OpClass::Io,
             ),
-            map_output_buffer_collect: reg.intern(
-                "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect",
-                OpClass::Map,
-            ),
+            map_output_buffer_collect: reg
+                .intern("org.apache.hadoop.mapred.MapTask$MapOutputBuffer.collect", OpClass::Map),
             sort_and_spill: reg.intern(
                 "org.apache.hadoop.mapred.MapTask$MapOutputBuffer.sortAndSpill",
                 OpClass::Sort,
             ),
             quick_sort: reg.intern("org.apache.hadoop.util.QuickSort.sort", OpClass::Sort),
-            combiner_combine: reg.intern(
-                "org.apache.hadoop.mapred.Task$NewCombinerRunner.combine",
-                OpClass::Reduce,
-            ),
-            codec_compress: reg.intern(
-                "org.apache.hadoop.io.compress.DefaultCodec.compress",
-                OpClass::Io,
-            ),
+            combiner_combine: reg
+                .intern("org.apache.hadoop.mapred.Task$NewCombinerRunner.combine", OpClass::Reduce),
+            codec_compress: reg
+                .intern("org.apache.hadoop.io.compress.DefaultCodec.compress", OpClass::Io),
             fetcher_copy: reg.intern(
                 "org.apache.hadoop.mapreduce.task.reduce.Fetcher.copyMapOutput",
                 OpClass::Io,
@@ -83,7 +79,8 @@ impl HadoopMethods {
             // Classified Io, not Sort: the reduce-side merge streams spilled
             // runs from disk; the paper's "sort" phase type is key sorting
             // (quicksort), which sort_hp and grep_hp lack (Fig. 10).
-            merger_merge: reg.intern("org.apache.hadoop.mapred.Merger$MergeQueue.merge", OpClass::Io),
+            merger_merge: reg
+                .intern("org.apache.hadoop.mapred.Merger$MergeQueue.merge", OpClass::Io),
             ifile_writer_append: reg
                 .intern("org.apache.hadoop.mapred.IFile$Writer.append", OpClass::Io),
             dfs_read: reg.intern("org.apache.hadoop.hdfs.DFSInputStream.read", OpClass::Io),

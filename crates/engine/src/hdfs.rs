@@ -37,25 +37,40 @@ impl Default for Hdfs {
 }
 
 impl Hdfs {
-    /// Stall cycles to read `bytes` from HDFS.
+    /// Stall cycles to read `bytes` from HDFS. Saturates at `u64::MAX`
+    /// instead of overflowing for pathological byte counts or rates.
     pub fn read_stall(&self, bytes: u64) -> u64 {
-        self.blocks(bytes) * self.seek_cycles + bytes * self.read_mcycles_per_byte / 1000
+        self.blocks(bytes)
+            .saturating_mul(self.seek_cycles)
+            .saturating_add(stream_cycles(bytes, self.read_mcycles_per_byte))
     }
 
     /// Stall cycles to write `bytes` to HDFS (includes replication cost).
+    /// Saturates at `u64::MAX` instead of overflowing.
     pub fn write_stall(&self, bytes: u64) -> u64 {
-        self.blocks(bytes) * self.seek_cycles + bytes * self.write_mcycles_per_byte / 1000
+        self.blocks(bytes)
+            .saturating_mul(self.seek_cycles)
+            .saturating_add(stream_cycles(bytes, self.write_mcycles_per_byte))
     }
 
-    /// Stall cycles to spill `bytes` to local disk.
+    /// Stall cycles to spill `bytes` to local disk. Saturates at `u64::MAX`
+    /// instead of overflowing.
     pub fn spill_stall(&self, bytes: u64) -> u64 {
-        self.seek_cycles / 4 + bytes * self.spill_mcycles_per_byte / 1000
+        (self.seek_cycles / 4).saturating_add(stream_cycles(bytes, self.spill_mcycles_per_byte))
     }
 
-    /// Number of block operations `bytes` requires (at least 1).
+    /// Number of block operations `bytes` requires (at least 1). A zero
+    /// `block_bytes` is treated as one byte per block rather than dividing
+    /// by zero.
     pub fn blocks(&self, bytes: u64) -> u64 {
-        bytes.div_ceil(self.block_bytes).max(1)
+        bytes.div_ceil(self.block_bytes.max(1)).max(1)
     }
+}
+
+/// Streaming cost of `bytes` at `mcycles_per_byte`, widened through `u128`
+/// so the product cannot overflow, then saturated back into `u64`.
+fn stream_cycles(bytes: u64, mcycles_per_byte: u64) -> u64 {
+    u64::try_from(bytes as u128 * mcycles_per_byte as u128 / 1000).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -88,5 +103,33 @@ mod tests {
     fn zero_bytes_still_costs_a_seek() {
         let h = Hdfs::default();
         assert_eq!(h.read_stall(0), h.seek_cycles);
+    }
+
+    #[test]
+    fn extreme_inputs_saturate_instead_of_overflowing() {
+        let h = Hdfs::default();
+        // u64::MAX bytes overflows both the block×seek and byte×rate products
+        // under plain arithmetic; every stall must saturate, not wrap.
+        // Default rates shrink below u64::MAX after the ÷1000, so the
+        // widened path stays exact: blocks×seek plus bytes×rate/1000.
+        let exact = |rate: u64| {
+            h.blocks(u64::MAX) * h.seek_cycles + (u64::MAX as u128 * rate as u128 / 1000) as u64
+        };
+        assert_eq!(h.read_stall(u64::MAX), exact(h.read_mcycles_per_byte));
+        assert_eq!(h.write_stall(u64::MAX), exact(h.write_mcycles_per_byte));
+        assert_eq!(
+            h.spill_stall(u64::MAX),
+            h.seek_cycles / 4 + (u64::MAX as u128 * h.spill_mcycles_per_byte as u128 / 1000) as u64
+        );
+        let hostile = Hdfs {
+            block_bytes: 0, // would divide by zero unguarded
+            seek_cycles: u64::MAX,
+            read_mcycles_per_byte: u64::MAX,
+            write_mcycles_per_byte: u64::MAX,
+            spill_mcycles_per_byte: u64::MAX,
+        };
+        assert_eq!(hostile.blocks(7), 7);
+        assert_eq!(hostile.read_stall(u64::MAX), u64::MAX);
+        assert_eq!(hostile.spill_stall(u64::MAX), u64::MAX);
     }
 }

@@ -20,7 +20,10 @@
 //!   reduce / sort / IO / framework).
 //! * [`work`] — work items, tasks, stages, jobs.
 //! * [`sched`] — the quantum scheduler: round-robin executor threads pinned
-//!   to cores, migration-noise polling, listener hooks.
+//!   to cores, migration-noise polling, listener hooks, runtime fault
+//!   recovery (crash re-queue, speculative twins, lost-fetch re-charging).
+//! * [`faults`] — seeded runtime fault injection: the [`faults::FaultPlan`]
+//!   the scheduler consults and the [`faults::FaultLog`] it returns.
 //! * [`ops`] — instrumented kernels (tokenize, hash combine, quicksort,
 //!   k-way merge, graph gather) that run real algorithms and emit cost items.
 //! * [`hdfs`] — block-granularity distributed-filesystem cost model.
@@ -29,6 +32,7 @@
 //! * [`hadoop`] — Hadoop-flavoured job assembly: per-task executors, map →
 //!   sort/spill → combine pipeline, reduce with k-way merge.
 
+pub mod faults;
 pub mod hadoop;
 pub mod hdfs;
 pub mod methods;
@@ -38,8 +42,9 @@ pub mod sched;
 pub mod spark;
 pub mod work;
 
+pub use faults::{FaultEvent, FaultLog, FaultPlan};
 pub use hdfs::Hdfs;
-pub use net::Network;
 pub use methods::{MethodId, MethodRegistry, OpClass};
+pub use net::Network;
 pub use sched::{ExecListener, SchedConfig, Scheduler};
 pub use work::{inject_task_retries, Job, Stage, Task, WorkItem};

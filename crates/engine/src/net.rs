@@ -27,12 +27,14 @@ impl Default for Network {
 
 impl Network {
     /// Stall cycles to move `bytes` across the network (zero bytes → zero:
-    /// no transfer happens at all).
+    /// no transfer happens at all). Saturates at `u64::MAX` instead of
+    /// overflowing for pathological byte counts or rates.
     pub fn transfer_stall(&self, bytes: u64) -> u64 {
         if bytes == 0 {
             0
         } else {
-            self.rtt_cycles + bytes * self.mcycles_per_byte / 1000
+            let streaming = (bytes as u128 * self.mcycles_per_byte as u128) / 1000;
+            self.rtt_cycles.saturating_add(u64::try_from(streaming).unwrap_or(u64::MAX))
         }
     }
 
@@ -64,6 +66,21 @@ mod tests {
         let two = n.transfer_stall(2 << 20);
         assert!(two > one);
         assert!(two < 2 * one + n.rtt_cycles, "rtt paid once per transfer");
+    }
+
+    #[test]
+    fn extreme_inputs_saturate_instead_of_overflowing() {
+        let n = Network::default();
+        // u64::MAX bytes × 3500 mcycles/byte overflows u64 ~200×; the widened
+        // path must saturate, not wrap to a tiny stall.
+        assert_eq!(n.transfer_stall(u64::MAX), u64::MAX);
+        let hostile = Network { rtt_cycles: u64::MAX, mcycles_per_byte: u64::MAX };
+        assert_eq!(hostile.transfer_stall(1), u64::MAX);
+        assert_eq!(hostile.shuffle_stall(u64::MAX, 1.0), u64::MAX);
+        // Just below the old overflow boundary the exact value still holds.
+        let bytes = u64::MAX / n.mcycles_per_byte;
+        let exact = n.rtt_cycles + (bytes as u128 * n.mcycles_per_byte as u128 / 1000) as u64;
+        assert_eq!(n.transfer_stall(bytes), exact);
     }
 
     #[test]

@@ -51,12 +51,12 @@ pub mod costs {
 
 /// Tokenizes lines into whitespace-separated words, returning the real
 /// tokens and the cost item for the scan.
-pub fn tokenize<'a>(
-    lines: &'a [String],
+pub fn tokenize(
+    lines: &[String],
     path: Vec<MethodId>,
     input_region: Region,
     seed: u64,
-) -> (Vec<&'a str>, WorkItem) {
+) -> (Vec<&str>, WorkItem) {
     let bytes: u64 = lines.iter().map(|l| l.len() as u64).sum();
     let tokens: Vec<&str> = lines.iter().flat_map(|l| l.split_whitespace()).collect();
     let instrs = bytes * costs::TOKENIZE_PER_BYTE + tokens.len() as u64 * costs::TOKEN_EMIT;
@@ -108,6 +108,7 @@ pub fn scan_match(
 /// routing is deterministic regardless of `HashMap` iteration order — and
 /// the cost items. `entry_bytes` is the modelled in-memory footprint of one
 /// map entry.
+#[allow(clippy::too_many_arguments)]
 pub fn hash_combine<K, V, I, F>(
     pairs: I,
     mut merge: F,
@@ -324,7 +325,8 @@ pub fn kway_merge<T: Ord + Clone>(
 
     let mut out = Vec::with_capacity(total);
     let mut items = Vec::new();
-    let per_elem = costs::MERGE_BASE + costs::MERGE_LOG * (k as u64).next_power_of_two().trailing_zeros() as u64;
+    let per_elem = costs::MERGE_BASE
+        + costs::MERGE_LOG * (k as u64).next_power_of_two().trailing_zeros() as u64;
     let mut since_item = 0usize;
     let mut emitted = 0u64;
     while let Some(Reverse((v, ri, pos))) = heap.pop() {
@@ -378,10 +380,7 @@ mod tests {
         let lines = vec!["the quick brown fox".to_owned(), "jumps  over".to_owned()];
         let (tokens, item) = tokenize(&lines, path(), region(1024), 1);
         assert_eq!(tokens, vec!["the", "quick", "brown", "fox", "jumps", "over"]);
-        assert_eq!(
-            item.instrs,
-            (19 + 11) * costs::TOKENIZE_PER_BYTE + 6 * costs::TOKEN_EMIT
-        );
+        assert_eq!(item.instrs, (19 + 11) * costs::TOKENIZE_PER_BYTE + 6 * costs::TOKEN_EMIT);
         assert_eq!(item.pattern, AccessPattern::Sequential);
     }
 
@@ -461,7 +460,8 @@ mod tests {
 
     #[test]
     fn kway_merge_chunking() {
-        let runs: Vec<Vec<u64>> = (0..4).map(|r| (0..5000u64).map(|i| i * 4 + r).collect()).collect();
+        let runs: Vec<Vec<u64>> =
+            (0..4).map(|r| (0..5000u64).map(|i| i * 4 + r).collect()).collect();
         let (out, items) = kway_merge(&runs, 8, region(20_000 * 8), path(), 1);
         assert_eq!(out.len(), 20_000);
         assert!(out.windows(2).all(|w| w[0] <= w[1]));

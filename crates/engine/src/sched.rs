@@ -13,21 +13,35 @@
 //! profiler crate implements the listener to cut sampling units and take
 //! stack snapshots (the JVMTI + `perf_event` analog).
 
+use std::collections::VecDeque;
+
 use simprof_sim::perturb::MigrationClock;
 use simprof_sim::{AccessCursor, CoreId, Machine, Perturbations};
 
+use crate::faults::{FaultEvent, FaultLog, FaultPlan};
 use crate::methods::MethodId;
-use crate::work::{Job, Task};
+use crate::work::{Job, Stage, Task};
 
 /// Observer of scheduler progress. Implemented by the profiler.
 pub trait ExecListener {
     /// Called after each executed quantum on `core`. `core_instrs` is the
     /// core's cumulative retired-instruction count, `stack` the call stack
     /// that was active during the quantum.
-    fn on_progress(&mut self, core: CoreId, core_instrs: u64, stack: &[MethodId], machine: &Machine);
+    fn on_progress(
+        &mut self,
+        core: CoreId,
+        core_instrs: u64,
+        stack: &[MethodId],
+        machine: &Machine,
+    );
 
     /// Called when a stage's barrier is reached.
     fn on_stage_end(&mut self, _stage: &str, _machine: &Machine) {}
+
+    /// Called when a runtime fault fires or is recovered (executor crash,
+    /// straggler detection, lost shuffle fetch, …), before the event is
+    /// appended to the run's [`FaultLog`]. Default: ignore.
+    fn on_fault(&mut self, _event: &FaultEvent, _machine: &Machine) {}
 }
 
 /// A listener that ignores everything (for cost-only runs).
@@ -75,6 +89,9 @@ pub struct SchedConfig {
     /// arbitrary simulation point and starts with cold microarchitectural
     /// state. Used by the cold-start/warm-up validation experiment.
     pub cold_restart: Option<(usize, u64)>,
+    /// Runtime fault-injection plan. The default ([`FaultPlan::none`]) is
+    /// quiet: execution is byte-identical to a fault-free run.
+    pub faults: FaultPlan,
 }
 
 impl Default for SchedConfig {
@@ -84,6 +101,7 @@ impl Default for SchedConfig {
             perturbations: Perturbations::default(),
             gc: None,
             cold_restart: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -94,10 +112,27 @@ pub struct Scheduler {
     config: SchedConfig,
 }
 
+/// One task attempt waiting for an executor.
+#[derive(Debug, Clone, Copy)]
+struct Attempt {
+    task: usize,
+    attempt: u32,
+}
+
 struct Running<'a> {
     task: &'a Task,
+    /// Index of the task within its stage.
+    task_idx: usize,
+    /// Attempt number (0 = original; crashes and speculation bump it).
+    attempt: u32,
     item_idx: usize,
     done_in_item: u64,
+    /// Task-relative retired instructions across this attempt.
+    done_in_task: u64,
+    /// If set, the executor crashes when `done_in_task` reaches this.
+    crash_at: Option<u64>,
+    /// Straggler slowdown multiple (1 = healthy).
+    factor: u32,
     cursor: AccessCursor,
     access_credit: u64,
     stall_charged: u64,
@@ -105,12 +140,27 @@ struct Running<'a> {
 }
 
 impl<'a> Running<'a> {
-    fn new(task: &'a Task) -> Self {
+    fn new(
+        task: &'a Task,
+        task_idx: usize,
+        attempt: u32,
+        crash_at: Option<u64>,
+        factor: u32,
+    ) -> Self {
         let mut r = Self {
             task,
+            task_idx,
+            attempt,
             item_idx: 0,
             done_in_item: 0,
-            cursor: AccessCursor::new(task.items[0].region, task.items[0].pattern, task.items[0].seed),
+            done_in_task: 0,
+            crash_at,
+            factor,
+            cursor: AccessCursor::new(
+                task.items[0].region,
+                task.items[0].pattern,
+                task.items[0].seed,
+            ),
             access_credit: 0,
             stall_charged: 0,
             stack: Vec::new(),
@@ -147,25 +197,55 @@ impl Scheduler {
         Self { config }
     }
 
-    /// Runs `job` to completion on `machine`, reporting to `listener`.
+    /// Runs `job` to completion on `machine`, reporting to `listener`, and
+    /// returns the log of every runtime fault injected and recovered.
     ///
     /// Tasks that contain no items are skipped. Stages execute in order with
     /// a barrier between them; within a stage, task `i` goes to the first
     /// thread that becomes idle, in deterministic round-robin order.
-    pub fn run(&self, machine: &mut Machine, job: &Job, listener: &mut dyn ExecListener) {
+    ///
+    /// Fault recovery (driven by [`SchedConfig::faults`]):
+    /// * **Executor crashes** discard the attempt's progress (its machine
+    ///   cost stays charged — lost work is still work) and re-queue the task
+    ///   at the back of the stage, up to `max_retries` times.
+    /// * **Stragglers** run with a reduced per-turn budget and pay extra
+    ///   stall cycles; if speculation is on, a twin attempt races them and
+    ///   the first finisher wins, killing the other copy.
+    /// * **Lost shuffle fetches** re-charge the fetch through the plan's
+    ///   network + disk cost models.
+    pub fn run(
+        &self,
+        machine: &mut Machine,
+        job: &Job,
+        listener: &mut dyn ExecListener,
+    ) -> FaultLog {
         let cores = machine.core_count();
+        let plan = self.config.faults;
+        let mut log = FaultLog::new();
         let mut migration = MigrationClock::new(self.config.perturbations, cores);
         let mut turn_counter = 0u64;
         let mut cold_restart = self.config.cold_restart;
 
-        for stage in &job.stages {
-            let mut queue = stage.tasks.iter().filter(|t| !t.items.is_empty());
+        for (stage_idx, stage) in job.stages.iter().enumerate() {
+            let mut state = StageState {
+                pending: stage
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !t.items.is_empty())
+                    .map(|(i, _)| Attempt { task: i, attempt: 0 })
+                    .collect(),
+                completed: vec![false; stage.tasks.len()],
+                speculated: vec![false; stage.tasks.len()],
+            };
             let mut running: Vec<Option<Running>> = (0..cores).map(|_| None).collect();
             loop {
                 let mut idle = true;
                 for core in 0..cores {
                     if running[core].is_none() {
-                        running[core] = queue.next().map(Running::new);
+                        running[core] = self.dispatch(
+                            &mut state, stage, stage_idx, core, machine, listener, &mut log,
+                        );
                     }
                     if running[core].is_none() {
                         continue;
@@ -177,15 +257,47 @@ impl Scheduler {
                     // threads fair in virtual time regardless of item
                     // granularity. The stack reported to the listener is the
                     // one active at the end of the turn, which is exactly
-                    // what a sampling profiler would observe.
-                    let mut budget = self.config.quantum;
+                    // what a sampling profiler would observe. Stragglers get
+                    // a proportionally smaller budget: they fall behind
+                    // their peers in virtual time.
+                    let factor = running[core].as_ref().map_or(1, |r| r.factor).max(1) as u64;
+                    let mut budget = (self.config.quantum / factor).max(1);
                     let mut turn_stack: Vec<MethodId> = Vec::new();
                     while budget > 0 {
                         let Some(run) = running[core].as_mut() else {
                             break;
                         };
                         let item = &run.task.items[run.item_idx];
-                        let chunk = budget.min(item.instrs - run.done_in_item);
+
+                        // Lost shuffle fetch: decided once, as the item
+                        // starts; the recovery re-fetch stalls this core.
+                        if run.done_in_item == 0
+                            && item.shuffle_bytes > 0
+                            && plan.fetch_lost(
+                                stage_idx as u64,
+                                run.task_idx as u64,
+                                run.item_idx as u64,
+                                run.attempt,
+                            )
+                        {
+                            let penalty = plan.refetch_stall(item.shuffle_bytes);
+                            machine.io_stall(core, penalty);
+                            let ev = FaultEvent::ShuffleFetchLost {
+                                stage: stage_idx,
+                                task: run.task_idx,
+                                item: run.item_idx,
+                                core,
+                                bytes: item.shuffle_bytes,
+                                penalty_cycles: penalty,
+                            };
+                            listener.on_fault(&ev, machine);
+                            log.push(ev);
+                        }
+
+                        let mut chunk = budget.min(item.instrs - run.done_in_item);
+                        if let Some(at) = run.crash_at {
+                            chunk = chunk.min(at - run.done_in_task);
+                        }
                         machine.charge_instrs(core, chunk);
                         let streaming = matches!(
                             item.pattern,
@@ -212,15 +324,77 @@ impl Scheduler {
                             run.stall_charged = due;
                         }
 
+                        // A straggling executor retires the same instructions
+                        // but at a fraction of the speed; the lost cycles
+                        // surface as stall time, like iowait or contention.
+                        if run.factor > 1 {
+                            machine.io_stall(core, chunk * (run.factor as u64 - 1));
+                        }
+
                         run.done_in_item += chunk;
+                        run.done_in_task += chunk;
                         budget -= chunk;
                         turn_stack.clear();
                         turn_stack.extend_from_slice(&run.stack);
 
+                        // Executor crash: progress is lost, the task goes
+                        // back in the queue (bounded by the retry budget),
+                        // and the rest of this turn dies with the executor.
+                        if run.crash_at == Some(run.done_in_task) {
+                            let (t, a, lost) = (run.task_idx, run.attempt, run.done_in_task);
+                            running[core] = None;
+                            let ev = FaultEvent::ExecutorCrash {
+                                stage: stage_idx,
+                                task: t,
+                                attempt: a,
+                                core,
+                                lost_instrs: lost,
+                            };
+                            listener.on_fault(&ev, machine);
+                            log.push(ev);
+                            if !state.completed[t] {
+                                if a < plan.max_retries {
+                                    state.pending.push_back(Attempt { task: t, attempt: a + 1 });
+                                } else {
+                                    let ev = FaultEvent::RetriesExhausted {
+                                        stage: stage_idx,
+                                        task: t,
+                                        attempts: a + 1,
+                                    };
+                                    listener.on_fault(&ev, machine);
+                                    log.push(ev);
+                                }
+                            }
+                            break;
+                        }
+
                         if run.done_in_item >= item.instrs && !run.advance() {
-                            // Task finished; a fresh task (if any) continues
+                            // Attempt finished. First finisher completes the
+                            // task; a losing speculative twin is killed on
+                            // the spot. A fresh task (if any) continues
                             // within the same turn budget.
-                            running[core] = queue.next().map(Running::new);
+                            let (t, a) = (run.task_idx, run.attempt);
+                            running[core] = None;
+                            if !state.completed[t] {
+                                state.completed[t] = true;
+                                if state.speculated[t] {
+                                    let ev = FaultEvent::SpeculativeWin {
+                                        stage: stage_idx,
+                                        task: t,
+                                        winner_attempt: a,
+                                    };
+                                    listener.on_fault(&ev, machine);
+                                    log.push(ev);
+                                    for slot in running.iter_mut() {
+                                        if slot.as_ref().is_some_and(|r| r.task_idx == t) {
+                                            *slot = None;
+                                        }
+                                    }
+                                }
+                            }
+                            running[core] = self.dispatch(
+                                &mut state, stage, stage_idx, core, machine, listener, &mut log,
+                            );
                         }
                     }
 
@@ -255,7 +429,73 @@ impl Scheduler {
             }
             listener.on_stage_end(&stage.name, machine);
         }
+        log
     }
+
+    /// Starts the next runnable attempt for `core`: pops pending attempts
+    /// (skipping tasks a twin already completed), rolls the attempt's crash
+    /// point and straggler factor, and — for a fresh straggler — enqueues a
+    /// speculative twin when the plan allows one.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<'a>(
+        &self,
+        state: &mut StageState,
+        stage: &'a Stage,
+        stage_idx: usize,
+        core: usize,
+        machine: &Machine,
+        listener: &mut dyn ExecListener,
+        log: &mut FaultLog,
+    ) -> Option<Running<'a>> {
+        let plan = &self.config.faults;
+        while let Some(att) = state.pending.pop_front() {
+            if state.completed[att.task] {
+                continue;
+            }
+            let task = &stage.tasks[att.task];
+            let crash_at = plan.crash_point(
+                stage_idx as u64,
+                att.task as u64,
+                att.attempt,
+                task.total_instrs(),
+            );
+            let factor = plan.straggler_factor_for(stage_idx as u64, att.task as u64, att.attempt);
+            if factor > 1 {
+                let ev = FaultEvent::Straggler {
+                    stage: stage_idx,
+                    task: att.task,
+                    attempt: att.attempt,
+                    core,
+                    factor,
+                };
+                listener.on_fault(&ev, machine);
+                log.push(ev);
+                if plan.speculative && !state.speculated[att.task] {
+                    state.speculated[att.task] = true;
+                    state.pending.push_back(Attempt { task: att.task, attempt: att.attempt + 1 });
+                    let ev = FaultEvent::SpeculativeClone {
+                        stage: stage_idx,
+                        task: att.task,
+                        original_attempt: att.attempt,
+                    };
+                    listener.on_fault(&ev, machine);
+                    log.push(ev);
+                }
+            }
+            return Some(Running::new(task, att.task, att.attempt, crash_at, factor));
+        }
+        None
+    }
+}
+
+/// Per-stage recovery bookkeeping.
+struct StageState {
+    /// Attempts waiting for an executor, in dispatch order.
+    pending: VecDeque<Attempt>,
+    /// Tasks whose work is done (first finisher wins under speculation).
+    completed: Vec<bool>,
+    /// Tasks that already have a speculative twin (at most one each).
+    speculated: Vec<bool>,
 }
 
 impl Default for Scheduler {
@@ -266,7 +506,8 @@ impl Default for Scheduler {
 
 /// SplitMix64-style mix for the per-turn GC decision.
 fn gc_hash(seed: u64, core: u64, turn: u64) -> u64 {
-    let mut z = seed ^ core.wrapping_mul(0xA24B_AED4_963E_E407) ^ turn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut z =
+        seed ^ core.wrapping_mul(0xA24B_AED4_963E_E407) ^ turn.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -304,11 +545,14 @@ mod tests {
     #[test]
     fn executes_all_instructions() {
         let (mut m, _r) = setup();
-        let job = Job::new(vec![Stage::new("s0", vec![
-            Task::new(vec![], vec![item(vec![], 10_000)]),
-            Task::new(vec![], vec![item(vec![], 6_000)]),
-            Task::new(vec![], vec![item(vec![], 4_000)]),
-        ])]);
+        let job = Job::new(vec![Stage::new(
+            "s0",
+            vec![
+                Task::new(vec![], vec![item(vec![], 10_000)]),
+                Task::new(vec![], vec![item(vec![], 6_000)]),
+                Task::new(vec![], vec![item(vec![], 4_000)]),
+            ],
+        )]);
         Scheduler::default().run(&mut m, &job, &mut NullListener);
         let total: u64 = (0..2).map(|c| m.counters(c).instructions).sum();
         assert_eq!(total, 20_000);
@@ -320,12 +564,13 @@ mod tests {
         let base = r.intern("Executor.run", OpClass::Framework);
         let map = r.intern("Mapper.map", OpClass::Map);
         let sort = r.intern("Sorter.sort", OpClass::Sort);
-        let job = Job::new(vec![Stage::new("s0", vec![Task::new(
-            vec![base],
-            vec![item(vec![map], 5_000), item(vec![sort], 5_000)],
-        )])]);
+        let job = Job::new(vec![Stage::new(
+            "s0",
+            vec![Task::new(vec![base], vec![item(vec![map], 5_000), item(vec![sort], 5_000)])],
+        )]);
         let mut rec = Recorder { progress: Vec::new(), stages: Vec::new() };
-        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() }).run(&mut m, &job, &mut rec);
+        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() })
+            .run(&mut m, &job, &mut rec);
         let stacks: Vec<&Vec<MethodId>> = rec.progress.iter().map(|(_, _, s)| s).collect();
         assert!(stacks.iter().any(|s| **s == vec![base, map]));
         assert!(stacks.iter().any(|s| **s == vec![base, sort]));
@@ -338,12 +583,16 @@ mod tests {
     #[test]
     fn tasks_interleave_round_robin_across_cores() {
         let (mut m, _r) = setup();
-        let job = Job::new(vec![Stage::new("s0", vec![
-            Task::new(vec![], vec![item(vec![], 4_000)]),
-            Task::new(vec![], vec![item(vec![], 4_000)]),
-        ])]);
+        let job = Job::new(vec![Stage::new(
+            "s0",
+            vec![
+                Task::new(vec![], vec![item(vec![], 4_000)]),
+                Task::new(vec![], vec![item(vec![], 4_000)]),
+            ],
+        )]);
         let mut rec = Recorder { progress: Vec::new(), stages: Vec::new() };
-        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() }).run(&mut m, &job, &mut rec);
+        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() })
+            .run(&mut m, &job, &mut rec);
         let cores: Vec<CoreId> = rec.progress.iter().map(|&(c, _, _)| c).collect();
         assert_eq!(cores, vec![0, 1, 0, 1, 0, 1, 0, 1]);
     }
@@ -358,7 +607,8 @@ mod tests {
             Stage::new("reduce", vec![Task::new(vec![], vec![item(vec![b], 3_000)])]),
         ]);
         let mut rec = Recorder { progress: Vec::new(), stages: Vec::new() };
-        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() }).run(&mut m, &job, &mut rec);
+        Scheduler::new(SchedConfig { quantum: 1_000, ..Default::default() })
+            .run(&mut m, &job, &mut rec);
         let first_b = rec.progress.iter().position(|(_, _, s)| s.contains(&b)).unwrap();
         assert!(rec.progress[..first_b].iter().all(|(_, _, s)| s.contains(&a)));
         assert_eq!(rec.stages, vec!["map", "reduce"]);
@@ -390,7 +640,8 @@ mod tests {
     #[test]
     fn more_tasks_than_cores_all_complete() {
         let (mut m, _r) = setup();
-        let tasks: Vec<Task> = (0..7).map(|_| Task::new(vec![], vec![item(vec![], 2_000)])).collect();
+        let tasks: Vec<Task> =
+            (0..7).map(|_| Task::new(vec![], vec![item(vec![], 2_000)])).collect();
         let job = Job::new(vec![Stage::new("s", tasks)]);
         Scheduler::default().run(&mut m, &job, &mut NullListener);
         let total: u64 = (0..2).map(|c| m.counters(c).instructions).sum();
@@ -401,7 +652,8 @@ mod tests {
     fn gc_noise_reports_gc_stacks_and_costs_cycles() {
         let (mut m, mut r) = setup();
         let gc_m = r.intern("jvm.GCTaskThread.run", OpClass::Framework);
-        let job = Job::new(vec![Stage::new("s", vec![Task::new(vec![], vec![item(vec![], 400_000)])])]);
+        let job =
+            Job::new(vec![Stage::new("s", vec![Task::new(vec![], vec![item(vec![], 400_000)])])]);
         let mut rec = Recorder { progress: Vec::new(), stages: Vec::new() };
         let cfg = SchedConfig {
             quantum: 1_000,
@@ -420,10 +672,8 @@ mod tests {
         let (mut m, _r) = setup();
         // One long streaming task: after warm-up, hits; at the restart point
         // the caches go cold and misses spike again.
-        let job = Job::new(vec![Stage::new("s", vec![Task::new(
-            vec![],
-            vec![item(vec![], 100_000)],
-        )])]);
+        let job =
+            Job::new(vec![Stage::new("s", vec![Task::new(vec![], vec![item(vec![], 100_000)])])]);
         struct MissWatch {
             at: u64,
             before: Option<u64>,
@@ -442,11 +692,8 @@ mod tests {
             }
         }
         let mut watch = MissWatch { at: 50_000, before: None, after: None };
-        let cfg = SchedConfig {
-            quantum: 1_000,
-            cold_restart: Some((0, 50_000)),
-            ..Default::default()
-        };
+        let cfg =
+            SchedConfig { quantum: 1_000, cold_restart: Some((0, 50_000)), ..Default::default() };
         Scheduler::new(cfg).run(&mut m, &job, &mut watch);
         let before = watch.before.unwrap();
         let final_misses = m.counters(0).l1_misses;

@@ -81,18 +81,14 @@ impl SparkMethods {
             ),
             combine_combiners_by_key: reg
                 .intern("org.apache.spark.Aggregator.combineCombinersByKey", OpClass::Reduce),
-            external_sorter_insert_all: reg.intern(
-                "org.apache.spark.util.collection.ExternalSorter.insertAll",
-                OpClass::Sort,
-            ),
+            external_sorter_insert_all: reg
+                .intern("org.apache.spark.util.collection.ExternalSorter.insertAll", OpClass::Sort),
             timsort_sort: reg
                 .intern("org.apache.spark.util.collection.TimSort.sort", OpClass::Sort),
             shuffle_writer_write: reg
                 .intern("org.apache.spark.shuffle.sort.SortShuffleWriter.write", OpClass::Io),
-            shuffle_fetcher_next: reg.intern(
-                "org.apache.spark.storage.ShuffleBlockFetcherIterator.next",
-                OpClass::Io,
-            ),
+            shuffle_fetcher_next: reg
+                .intern("org.apache.spark.storage.ShuffleBlockFetcherIterator.next", OpClass::Io),
             serialize_object: reg.intern(
                 "org.apache.spark.serializer.JavaSerializationStream.writeObject",
                 OpClass::Io,
@@ -103,10 +99,8 @@ impl SparkMethods {
                 "org.apache.spark.graphx.impl.VertexRDDImpl.aggregateUsingIndex",
                 OpClass::Reduce,
             ),
-            map_edge_partitions: reg.intern(
-                "org.apache.spark.graphx.impl.EdgeRDDImpl.mapEdgePartitions",
-                OpClass::Map,
-            ),
+            map_edge_partitions: reg
+                .intern("org.apache.spark.graphx.impl.EdgeRDDImpl.mapEdgePartitions", OpClass::Map),
             aggregate_messages: reg.intern(
                 "org.apache.spark.graphx.impl.GraphImpl.aggregateMessages",
                 OpClass::Reduce,

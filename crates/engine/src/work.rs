@@ -30,6 +30,10 @@ pub struct WorkItem {
     pub region: Region,
     /// IO stall cycles spread uniformly across the item's execution.
     pub io_stall_cycles: u64,
+    /// Shuffle bytes this item fetches (0 for non-fetch items). Lets the
+    /// fault layer price a lost-fetch recovery for exactly this item.
+    #[serde(default)]
+    pub shuffle_bytes: u64,
     /// Seed for the item's access-pattern randomness.
     pub seed: u64,
 }
@@ -52,6 +56,7 @@ impl WorkItem {
             pattern,
             region,
             io_stall_cycles: 0,
+            shuffle_bytes: 0,
             seed,
         }
     }
@@ -63,9 +68,22 @@ impl WorkItem {
         self
     }
 
+    /// Marks this item as a shuffle fetch of `bytes`, making it eligible
+    /// for lost-fetch fault injection, returning the modified item.
+    pub fn with_shuffle_bytes(mut self, bytes: u64) -> Self {
+        self.shuffle_bytes = bytes;
+        self
+    }
+
     /// Creates an IO item: a few instructions of buffer management plus a
     /// stall, streaming through `region`.
-    pub fn io(path: Vec<MethodId>, instrs: u64, stall_cycles: u64, region: Region, seed: u64) -> Self {
+    pub fn io(
+        path: Vec<MethodId>,
+        instrs: u64,
+        stall_cycles: u64,
+        region: Region,
+        seed: u64,
+    ) -> Self {
         Self {
             path,
             instrs: instrs.max(1),
@@ -73,6 +91,7 @@ impl WorkItem {
             pattern: AccessPattern::Sequential,
             region,
             io_stall_cycles: stall_cycles,
+            shuffle_bytes: 0,
             seed,
         }
     }

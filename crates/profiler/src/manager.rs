@@ -7,7 +7,7 @@
 //! [`ExecListener`], so profiling a job is just running the scheduler with
 //! the manager attached — the analog of attaching the JVMTI agent.
 
-use simprof_engine::{ExecListener, MethodId};
+use simprof_engine::{ExecListener, FaultEvent, FaultPlan, MethodId};
 use simprof_sim::{CoreId, Machine};
 
 use crate::collectors::{CallStackCollector, HwCounterCollector};
@@ -52,6 +52,10 @@ pub struct SamplingManager {
     next_unit: u64,
     units: Vec<SamplingUnit>,
     slices: Vec<(u64, u64)>,
+    faults: FaultPlan,
+    snapshot_in_unit: u64,
+    dropped_in_unit: u32,
+    unit_truncated: bool,
 }
 
 impl SamplingManager {
@@ -75,7 +79,20 @@ impl SamplingManager {
             next_unit: config.unit_instrs,
             units: Vec::new(),
             slices: Vec::new(),
+            faults: FaultPlan::none(),
+            snapshot_in_unit: 0,
+            dropped_in_unit: 0,
+            unit_truncated: false,
         }
+    }
+
+    /// Attaches a fault plan so the profiler mirrors the run's snapshot-drop
+    /// decisions. Pass the same plan given to the scheduler: drops are keyed
+    /// on `(unit, snapshot)` coordinates, so profiler degradation replays
+    /// bit-identically with the engine's faults.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// The configuration in use.
@@ -100,12 +117,29 @@ impl SamplingManager {
         let counters = self.hw.read_delta(machine, self.config.core);
         let id = self.units.len() as u64;
         let slices = std::mem::take(&mut self.slices);
-        self.units.push(SamplingUnit { id, histogram, snapshots, counters, slices });
+        let truncated = std::mem::take(&mut self.unit_truncated);
+        let dropped_snapshots = std::mem::take(&mut self.dropped_in_unit);
+        self.snapshot_in_unit = 0;
+        self.units.push(SamplingUnit {
+            id,
+            histogram,
+            snapshots,
+            counters,
+            slices,
+            truncated,
+            dropped_snapshots,
+        });
     }
 }
 
 impl ExecListener for SamplingManager {
-    fn on_progress(&mut self, core: CoreId, core_instrs: u64, stack: &[MethodId], machine: &Machine) {
+    fn on_progress(
+        &mut self,
+        core: CoreId,
+        core_instrs: u64,
+        stack: &[MethodId],
+        machine: &Machine,
+    ) {
         if core != self.config.core {
             return;
         }
@@ -113,7 +147,16 @@ impl ExecListener for SamplingManager {
         // attributed to every boundary crossed in this quantum — quanta are
         // much smaller than the snapshot period, so at most one in practice.
         while core_instrs >= self.next_snapshot {
-            self.stacks.snapshot(stack);
+            let unit_id = self.units.len() as u64;
+            if self.faults.snapshot_dropped(unit_id, self.snapshot_in_unit) {
+                // The stack observation is lost but the counter slice still
+                // exists — hardware counters keep ticking while the agent
+                // misses its sample.
+                self.dropped_in_unit += 1;
+            } else {
+                self.stacks.snapshot(stack);
+            }
+            self.snapshot_in_unit += 1;
             // Close the intra-unit counter slice ending at this snapshot.
             let d = self.slice_hw.read_delta(machine, self.config.core);
             self.slices.push((d.instructions, d.cycles));
@@ -122,6 +165,14 @@ impl ExecListener for SamplingManager {
         while core_instrs >= self.next_unit {
             self.close_unit(machine);
             self.next_unit += self.config.unit_instrs;
+        }
+    }
+
+    fn on_fault(&mut self, event: &FaultEvent, _machine: &Machine) {
+        if let FaultEvent::ExecutorCrash { core, .. } = event {
+            if *core == self.config.core {
+                self.unit_truncated = true;
+            }
         }
     }
 }
@@ -200,11 +251,65 @@ mod tests {
     #[test]
     #[should_panic(expected = "snapshot period cannot exceed")]
     fn rejects_bad_config() {
-        let _ = SamplingManager::new(ProfilerConfig {
-            unit_instrs: 10,
-            snapshot_instrs: 100,
-            core: 0,
-        });
+        let _ =
+            SamplingManager::new(ProfilerConfig { unit_instrs: 10, snapshot_instrs: 100, core: 0 });
+    }
+
+    #[test]
+    fn snapshot_drops_and_crashes_degrade_gracefully() {
+        use simprof_engine::{FaultPlan, SchedConfig, Scheduler};
+        let run = |plan: FaultPlan| {
+            let mut machine = Machine::new(MachineConfig::scaled(2));
+            let mut reg = MethodRegistry::new();
+            let m = reg.intern("Mapper.map", OpClass::Map);
+            let tasks = (0..8)
+                .map(|_| {
+                    Task::new(
+                        vec![],
+                        vec![WorkItem::compute(
+                            vec![m],
+                            40_000,
+                            50,
+                            AccessPattern::Sequential,
+                            Region::new(0x1000, 8192),
+                            1,
+                        )],
+                    )
+                })
+                .collect();
+            let job = Job::new(vec![Stage::new("s", tasks)]);
+            let mut mgr = SamplingManager::new(ProfilerConfig::with_unit(10_000)).with_faults(plan);
+            let sched = Scheduler::new(SchedConfig { faults: plan, ..SchedConfig::default() });
+            let log = sched.run(&mut machine, &job, &mut mgr);
+            (mgr.finish(), log)
+        };
+
+        // Heavy snapshot drops: every unit still accounts for all 10 snapshot
+        // boundaries, split between captured and dropped.
+        let plan = FaultPlan { snapshot_drop_ppm: 400_000, seed: 7, ..FaultPlan::none() };
+        let (trace, _) = run(plan);
+        assert!(trace.dropped_snapshots() > 0, "40% drop rate must drop something");
+        for u in &trace.units {
+            assert_eq!(u.snapshots + u.dropped_snapshots, 10);
+            assert_eq!(u.slices.len(), 10, "counter slices survive dropped stacks");
+        }
+
+        // Crashes on the profiled core flag the enclosing unit truncated.
+        let plan = FaultPlan { crash_ppm: 400_000, seed: 11, ..FaultPlan::none() };
+        let (trace, log) = run(plan);
+        let on_core0 = log
+            .events
+            .iter()
+            .filter(|e| matches!(e, simprof_engine::FaultEvent::ExecutorCrash { core: 0, .. }))
+            .count();
+        assert!(on_core0 > 0, "40% crash rate over 8 tasks must hit core 0");
+        assert!(trace.truncated_units() > 0);
+
+        // A quiet plan leaves the trace pristine.
+        let (trace, log) = run(FaultPlan::none());
+        assert!(log.is_empty());
+        assert_eq!(trace.truncated_units(), 0);
+        assert_eq!(trace.dropped_snapshots(), 0);
     }
 
     #[test]

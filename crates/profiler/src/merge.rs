@@ -53,8 +53,14 @@ mod tests {
                     id,
                     histogram: vec![],
                     snapshots: 1,
-                    counters: Counters { instructions: 100, cycles: 100 + core as u64, ..Default::default() },
+                    counters: Counters {
+                        instructions: 100,
+                        cycles: 100 + core as u64,
+                        ..Default::default()
+                    },
                     slices: Vec::new(),
+                    truncated: false,
+                    dropped_snapshots: 0,
                 })
                 .collect(),
         }

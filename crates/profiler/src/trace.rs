@@ -31,6 +31,16 @@ pub struct SamplingUnit {
     /// of a selected unit and still estimate the unit's CPI.
     #[serde(default)]
     pub slices: Vec<(u64, u64)>,
+    /// True when the profiled executor crashed inside this unit — the
+    /// unit's histogram mixes pre- and post-recovery execution, so phase
+    /// analyses may wish to weight it down.
+    #[serde(default)]
+    pub truncated: bool,
+    /// Call-stack snapshots the profiler failed to capture in this unit
+    /// (dropped under fault injection). The histogram covers only the
+    /// `snapshots` that succeeded.
+    #[serde(default)]
+    pub dropped_snapshots: u32,
 }
 
 impl SamplingUnit {
@@ -131,6 +141,16 @@ impl ProfileTrace {
     pub fn total_cycles(&self) -> u64 {
         self.units.iter().map(|u| u.counters.cycles).sum()
     }
+
+    /// Number of units whose profiled executor crashed mid-unit.
+    pub fn truncated_units(&self) -> usize {
+        self.units.iter().filter(|u| u.truncated).count()
+    }
+
+    /// Total call-stack snapshots dropped across all units.
+    pub fn dropped_snapshots(&self) -> u64 {
+        self.units.iter().map(|u| u.dropped_snapshots as u64).sum()
+    }
 }
 
 // A local mean to avoid a cyclic dependency on simprof-stats (the profiler is
@@ -155,6 +175,8 @@ mod tests {
             snapshots: 7,
             counters: Counters { instructions: instrs, cycles, ..Default::default() },
             slices: Vec::new(),
+            truncated: false,
+            dropped_snapshots: 0,
         }
     }
 
@@ -174,7 +196,12 @@ mod tests {
 
     #[test]
     fn method_universe_spans_max_id() {
-        let t = ProfileTrace { unit_instrs: 1, snapshot_instrs: 1, core: 0, units: vec![unit(0, 1, 1)] };
+        let t = ProfileTrace {
+            unit_instrs: 1,
+            snapshot_instrs: 1,
+            core: 0,
+            units: vec![unit(0, 1, 1)],
+        };
         assert_eq!(t.method_universe(), 4);
         let empty = ProfileTrace { unit_instrs: 1, snapshot_instrs: 1, core: 0, units: vec![] };
         assert_eq!(empty.method_universe(), 0);

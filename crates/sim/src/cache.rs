@@ -66,7 +66,14 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
         let ways = config.ways;
-        Self { config, sets, ways, tags: vec![INVALID; sets * ways], stamps: vec![0; sets * ways], clock: 0 }
+        Self {
+            config,
+            sets,
+            ways,
+            tags: vec![INVALID; sets * ways],
+            stamps: vec![0; sets * ways],
+            clock: 0,
+        }
     }
 
     /// The geometry this cache was built with.

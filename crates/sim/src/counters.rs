@@ -105,8 +105,24 @@ mod tests {
 
     #[test]
     fn delta_subtracts_fieldwise() {
-        let a = Counters { instructions: 10, cycles: 20, accesses: 5, l1_misses: 2, l2_misses: 1, llc_misses: 1, io_stall_cycles: 3 };
-        let b = Counters { instructions: 25, cycles: 60, accesses: 12, l1_misses: 6, l2_misses: 2, llc_misses: 1, io_stall_cycles: 10 };
+        let a = Counters {
+            instructions: 10,
+            cycles: 20,
+            accesses: 5,
+            l1_misses: 2,
+            l2_misses: 1,
+            llc_misses: 1,
+            io_stall_cycles: 3,
+        };
+        let b = Counters {
+            instructions: 25,
+            cycles: 60,
+            accesses: 12,
+            l1_misses: 6,
+            l2_misses: 2,
+            llc_misses: 1,
+            io_stall_cycles: 10,
+        };
         let d = b - a;
         assert_eq!(d.instructions, 15);
         assert_eq!(d.cycles, 40);

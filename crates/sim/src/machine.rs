@@ -121,11 +121,8 @@ impl Machine {
                 counters: Counters::default(),
             })
             .collect();
-        let cores_per_llc = if config.cores_per_llc == 0 {
-            config.cores
-        } else {
-            config.cores_per_llc
-        };
+        let cores_per_llc =
+            if config.cores_per_llc == 0 { config.cores } else { config.cores_per_llc };
         let domains = config.cores.div_ceil(cores_per_llc);
         let llcs = (0..domains).map(|_| Cache::new(config.llc)).collect();
         // Start the heap away from 0 so "null" never aliases data.

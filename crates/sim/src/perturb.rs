@@ -117,7 +117,11 @@ mod tests {
         }
         let warm = m.counters(0).l1_misses;
         let mut clock = MigrationClock::new(
-            Perturbations { migration_period_instrs: Some(1), migration_flush_fraction: 1.0, seed: 5 },
+            Perturbations {
+                migration_period_instrs: Some(1),
+                migration_flush_fraction: 1.0,
+                seed: 5,
+            },
             1,
         );
         clock.poll(&mut m, 0, 10);

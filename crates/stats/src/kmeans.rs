@@ -135,6 +135,7 @@ fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
                 *s += v;
             }
         }
+        #[allow(clippy::needless_range_loop)] // `c` also indexes `sums` rows
         for c in 0..k {
             if counts[c] == 0 {
                 // Empty cluster: reseed to the point farthest from its center.

@@ -167,12 +167,8 @@ mod tests {
     #[test]
     fn select_top_k_projects_matrix() {
         let y = vec![1.0, 2.0, 3.0, 4.0];
-        let x = Matrix::from_rows(&[
-            vec![9.0, 1.0],
-            vec![9.0, 2.0],
-            vec![9.0, 3.0],
-            vec![9.0, 4.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![9.0, 1.0], vec![9.0, 2.0], vec![9.0, 3.0], vec![9.0, 4.0]]);
         let (proj, keep) = select_top_k(&x, &y, 1);
         assert_eq!(keep, vec![1]);
         assert_eq!(proj.cols(), 1);

@@ -61,7 +61,11 @@ pub fn proportional_allocation(n: usize, strata: &[StratumStats]) -> Vec<usize> 
     allocate(n, strata, |s| s.units as f64)
 }
 
-fn allocate(n: usize, strata: &[StratumStats], weight: impl Fn(&StratumStats) -> f64) -> Vec<usize> {
+fn allocate(
+    n: usize,
+    strata: &[StratumStats],
+    weight: impl Fn(&StratumStats) -> f64,
+) -> Vec<usize> {
     let m = strata.len();
     if m == 0 || n == 0 {
         return vec![0; m];
@@ -262,7 +266,8 @@ mod tests {
 
     #[test]
     fn allocation_caps_at_stratum_size() {
-        let s = vec![StratumStats { units: 3, stddev: 10.0 }, StratumStats { units: 100, stddev: 0.1 }];
+        let s =
+            vec![StratumStats { units: 3, stddev: 10.0 }, StratumStats { units: 100, stddev: 0.1 }];
         let alloc = optimal_allocation(50, &s);
         assert!(alloc[0] <= 3);
         assert_eq!(alloc.iter().sum::<usize>(), 50);
@@ -270,14 +275,16 @@ mod tests {
 
     #[test]
     fn allocation_handles_total_oversubscription() {
-        let s = vec![StratumStats { units: 3, stddev: 1.0 }, StratumStats { units: 2, stddev: 1.0 }];
+        let s =
+            vec![StratumStats { units: 3, stddev: 1.0 }, StratumStats { units: 2, stddev: 1.0 }];
         let alloc = optimal_allocation(50, &s);
         assert_eq!(alloc, vec![3, 2]);
     }
 
     #[test]
     fn allocation_all_zero_variance_falls_back_proportional() {
-        let s = vec![StratumStats { units: 60, stddev: 0.0 }, StratumStats { units: 30, stddev: 0.0 }];
+        let s =
+            vec![StratumStats { units: 60, stddev: 0.0 }, StratumStats { units: 30, stddev: 0.0 }];
         let alloc = optimal_allocation(9, &s);
         assert_eq!(alloc.iter().sum::<usize>(), 9);
         assert!(alloc[0] > alloc[1]);

@@ -14,7 +14,9 @@ use simprof_engine::spark::SparkMethods;
 use simprof_engine::{ops, Job, MethodRegistry, OpClass, Stage, Task, WorkItem};
 use simprof_sim::{AccessPattern, Machine, Region};
 
-use super::{fetch_item, fnv1a, hdfs_write_item, overlap_stall, partition_ranges, route, spill_item};
+use super::{
+    fnv1a, hdfs_write_item, mark_shuffle_fetch, overlap_stall, partition_ranges, route, spill_item,
+};
 use crate::config::WorkloadConfig;
 use crate::synth::text::{LabeledCorpus, TextSynth};
 
@@ -200,6 +202,7 @@ pub fn spark(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegist
         );
         let mut combine_items = combine_items;
         overlap_stall(&mut combine_items, fetch_stall);
+        mark_shuffle_fetch(&mut combine_items, fetch_bytes);
         items.extend(combine_items);
         // Likelihood computation over this reducer's share of the model.
         items.push(WorkItem::compute(
@@ -235,7 +238,13 @@ pub fn spark(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegist
             seed,
         );
         items.extend(score_items);
-        items.push(hdfs_write_item(&cfg.hdfs, machine, (hi - lo) as u64 * 4, vec![sm.dfs_write], seed));
+        items.push(hdfs_write_item(
+            &cfg.hdfs,
+            machine,
+            (hi - lo) as u64 * 4,
+            vec![sm.dfs_write],
+            seed,
+        ));
         classify_tasks.push(Task::new(sm.result_base(), items));
     }
 
@@ -334,6 +343,7 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
         let (_m, mut merge_items) =
             ops::kway_merge(&runs, 16, merge_region, vec![hm.merger_merge], seed);
         overlap_stall(&mut merge_items, cfg.shuffle_fetch_stall(fetch_bytes));
+        mark_shuffle_fetch(&mut merge_items, fetch_bytes);
         items.extend(merge_items);
         items.push(WorkItem::compute(
             vec![reducer_m],
@@ -373,7 +383,13 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
             seed,
         );
         items.extend(score_items);
-        items.push(spill_item(&cfg.hdfs, machine, (hi - lo) as u64 * 4, vec![hm.ifile_writer_append], seed));
+        items.push(spill_item(
+            &cfg.hdfs,
+            machine,
+            (hi - lo) as u64 * 4,
+            vec![hm.ifile_writer_append],
+            seed,
+        ));
         classify_tasks.push(Task::new(hm.map_base(), items));
     }
 
@@ -392,6 +408,7 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
                     region,
                     seed,
                 )
+                .with_shuffle_bytes(bytes)
             },
             hdfs_write_item(&cfg.hdfs, machine, CLASSES as u64 * 16, vec![hm.dfs_write], seed),
         ],

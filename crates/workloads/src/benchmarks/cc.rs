@@ -15,13 +15,12 @@
 //! most phases in Fig. 9. **Hadoop**: one MapReduce job per superstep with
 //! the full map → sort → combine → spill pipeline.
 
-
 use simprof_engine::hadoop::HadoopMethods;
 use simprof_engine::spark::SparkMethods;
 use simprof_engine::{ops, Job, MethodRegistry, OpClass, Stage, Task, WorkItem};
 use simprof_sim::{AccessPattern, Machine, Region};
 
-use super::{hdfs_write_item, overlap_stall, partition_ranges, spill_item};
+use super::{hdfs_write_item, mark_shuffle_fetch, overlap_stall, partition_ranges, spill_item};
 use crate::config::WorkloadConfig;
 use crate::synth::kronecker::{GraphInput, Kronecker, SynthGraph};
 
@@ -139,7 +138,6 @@ mod gcosts {
     /// Per message in the Hadoop min/sum reduce.
     pub const HP_REDUCE: u64 = 12;
 }
-
 
 /// Shared per-graph regions allocated once per job.
 pub(crate) struct GraphRegions {
@@ -515,6 +513,7 @@ pub(crate) fn hadoop_superstep_stages(
         let (_m, mut merge_items) =
             ops::kway_merge(&runs, 16, merge_region, vec![hm.merger_merge], seed);
         overlap_stall(&mut merge_items, cfg.shuffle_fetch_stall(bytes));
+        mark_shuffle_fetch(&mut merge_items, bytes);
         items.extend(merge_items);
         items.push(WorkItem::compute(
             vec![reducer_m],
@@ -567,8 +566,8 @@ mod tests {
         }
         // Canonical min-vertex label per component.
         let mut label = vec![0u32; und.n];
-        for v in 0..und.n {
-            label[v] = find(&mut parent, v as u32);
+        for (v, l) in label.iter_mut().enumerate() {
+            *l = find(&mut parent, v as u32);
         }
         label
     }
@@ -613,7 +612,10 @@ mod tests {
         let mut reg = MethodRegistry::new();
         let job = spark(&cfg, &mut m, &mut reg);
         // load + init-degrees + 3 per superstep (gather/apply/ship) + write.
-        assert!(job.stages.len() >= 1 + 1 + 3 + 1, "{}", job.stages.len());
+        #[allow(clippy::int_plus_one)] // load + init-degrees + 3 per superstep + write
+        {
+            assert!(job.stages.len() >= 1 + 1 + 3 + 1, "{}", job.stages.len());
+        }
         assert_eq!((job.stages.len() - 3) % 3, 0, "stage triples: {}", job.stages.len());
         assert!(job.total_instrs() > 100_000);
     }

@@ -79,8 +79,13 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
         let bytes: u64 = slice.iter().map(|l| l.len() as u64 + 1).sum();
         let mut items = Vec::new();
         let in_region = machine.alloc(bytes.max(64));
-        let (matches, scan) =
-            ops::scan_match(slice, &needle, vec![mapper, hm.map_output_buffer_collect], in_region, seed);
+        let (matches, scan) = ops::scan_match(
+            slice,
+            &needle,
+            vec![mapper, hm.map_output_buffer_collect],
+            in_region,
+            seed,
+        );
         items.push(scan.with_io_stall(cfg.hdfs.read_stall(bytes)));
         let out: u64 = matches.iter().map(|&i| slice[i].len() as u64 + 1).sum();
         total_match_bytes += out;
@@ -105,7 +110,8 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
             cfg.shuffle_fetch_stall(total_match_bytes),
             region,
             seed,
-        ),
+        )
+        .with_shuffle_bytes(total_match_bytes),
     );
     items.push(hdfs_write_item(
         &cfg.hdfs,

@@ -153,10 +153,19 @@ pub fn overlap_stall(items: &mut [WorkItem], stall: u64) {
     let mut charged = 0u64;
     let last = items.len() - 1;
     for (idx, item) in items.iter_mut().enumerate() {
-        let share =
-            if idx == last { stall - charged } else { stall * item.instrs / total };
+        let share = if idx == last { stall - charged } else { stall * item.instrs / total };
         item.io_stall_cycles += share;
         charged += share;
+    }
+}
+
+/// Marks the first of `items` as the consumer of a shuffle fetch of
+/// `bytes`. The benchmarks overlap fetch stalls into the compute that
+/// consumes them; tagging the first consumer makes the fetch visible to
+/// the engine's lost-fetch fault injection.
+pub fn mark_shuffle_fetch(items: &mut [WorkItem], bytes: u64) {
+    if let Some(first) = items.first_mut() {
+        first.shuffle_bytes = bytes;
     }
 }
 
@@ -170,6 +179,7 @@ pub fn fetch_item(
 ) -> WorkItem {
     let region = machine.alloc(bytes.max(64));
     WorkItem::io(path, bytes / 6 + 1, hdfs.read_stall(bytes) / 2, region, seed)
+        .with_shuffle_bytes(bytes)
 }
 
 #[cfg(test)]
@@ -229,17 +239,10 @@ mod tests {
             3 + 1,
             "one spill per fill + the merged output write"
         );
-        assert!(items.is_empty() == false);
-        assert!(map_side_sort_spill(
-            vec![],
-            &hdfs,
-            &mut machine,
-            vec![],
-            vec![],
-            vec![],
-            1
-        )
-        .is_empty());
+        assert!(!items.is_empty());
+        assert!(
+            map_side_sort_spill(vec![], &hdfs, &mut machine, vec![], vec![], vec![], 1).is_empty()
+        );
     }
 
     #[test]

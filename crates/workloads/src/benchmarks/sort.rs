@@ -18,7 +18,9 @@ use simprof_engine::spark::SparkMethods;
 use simprof_engine::{ops, Job, MethodRegistry, OpClass, Stage, Task, WorkItem};
 use simprof_sim::{AccessPattern, Machine};
 
-use super::{fnv1a, hdfs_write_item, overlap_stall, partition_ranges, spill_item};
+use super::{
+    fnv1a, hdfs_write_item, mark_shuffle_fetch, overlap_stall, partition_ranges, spill_item,
+};
 use crate::config::WorkloadConfig;
 use crate::synth::text::TextSynth;
 
@@ -34,7 +36,8 @@ fn key_of(line: &str) -> u64 {
 
 /// Range boundaries from a deterministic sample of keys.
 fn boundaries(keys: &[u64], reducers: usize) -> Vec<u64> {
-    let mut sample: Vec<u64> = keys.iter().step_by(16.max(keys.len() / 1024 + 1)).copied().collect();
+    let mut sample: Vec<u64> =
+        keys.iter().step_by(16.max(keys.len() / 1024 + 1)).copied().collect();
     sample.sort_unstable();
     (1..reducers)
         .map(|r| sample.get(r * sample.len() / reducers).copied().unwrap_or(u64::MAX))
@@ -107,12 +110,16 @@ pub fn spark(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegist
             seed,
         );
         overlap_stall(&mut sort_items, cfg.shuffle_fetch_stall(reducer_bytes[r]));
+        mark_shuffle_fetch(&mut sort_items, reducer_bytes[r]);
         items.extend(sort_items);
         items.push(hdfs_write_item(&cfg.hdfs, machine, reducer_bytes[r], vec![sm.dfs_write], seed));
         reduce_tasks.push(Task::new(sm.result_base(), items));
     }
 
-    Job::new(vec![Stage::new("sort-sp-stage0", map_tasks), Stage::new("sort-sp-stage1", reduce_tasks)])
+    Job::new(vec![
+        Stage::new("sort-sp-stage0", map_tasks),
+        Stage::new("sort-sp-stage1", reduce_tasks),
+    ])
 }
 
 /// Builds the Hadoop Sort job (identity map, framework merge).
@@ -175,6 +182,7 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
         let (_merged, mut merge_items) =
             ops::kway_merge(&runs, 16, merge_region, vec![hm.merger_merge], seed);
         overlap_stall(&mut merge_items, cfg.shuffle_fetch_stall(reducer_bytes[r]));
+        mark_shuffle_fetch(&mut merge_items, reducer_bytes[r]);
         items.extend(merge_items);
         items.push(hdfs_write_item(&cfg.hdfs, machine, reducer_bytes[r], vec![hm.dfs_write], seed));
         reduce_tasks.push(Task::new(hm.reduce_base(), items));
@@ -194,7 +202,8 @@ mod tests {
 
     #[test]
     fn boundaries_split_key_space() {
-        let keys: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let keys: Vec<u64> =
+            (0..10_000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
         let b = boundaries(&keys, 4);
         assert_eq!(b.len(), 3);
         assert!(b.windows(2).all(|w| w[0] <= w[1]));

@@ -22,7 +22,9 @@ use simprof_engine::spark::SparkMethods;
 use simprof_engine::{ops, Job, MethodRegistry, OpClass, Stage, Task, WorkItem};
 use simprof_sim::{AccessPattern, Machine};
 
-use super::{fnv1a, hdfs_write_item, overlap_stall, partition_ranges, route, spill_item};
+use super::{
+    fnv1a, hdfs_write_item, mark_shuffle_fetch, overlap_stall, partition_ranges, route, spill_item,
+};
 use crate::config::WorkloadConfig;
 use crate::synth::text::TextSynth;
 
@@ -81,9 +83,10 @@ fn fused_scan_combine(
         // Scan chunk: record-reader + tokenizer pulled by the combiner. The
         // observed leaf frame varies chunk to chunk, as it would under a
         // real sampling profiler walking deep JVM stacks.
-        let scan_leaf = leaves.scan[(i.wrapping_mul(2654435761) ^ seed as usize) % leaves.scan.len()];
+        let scan_leaf =
+            leaves.scan[(i.wrapping_mul(2654435761) ^ seed as usize) % leaves.scan.len()];
         let scan_instrs = bytes * costs::TOKENIZE_PER_BYTE + tokens * costs::TOKEN_EMIT;
-        let stall = if total_bytes == 0 { 0 } else { read_stall * bytes / total_bytes };
+        let stall = (read_stall * bytes).checked_div(total_bytes).unwrap_or(0);
         items.push(
             WorkItem::compute(
                 vec![sm.combine_values_by_key, sm.map_partitions_with_index, scan_leaf],
@@ -96,7 +99,8 @@ fn fused_scan_combine(
             .with_io_stall(stall),
         );
         // Probe chunk over the map as grown so far.
-        let probe_leaf = leaves.probe[(i.wrapping_mul(40503) ^ (seed as usize >> 3)) % leaves.probe.len()];
+        let probe_leaf =
+            leaves.probe[(i.wrapping_mul(40503) ^ (seed as usize >> 3)) % leaves.probe.len()];
         let live = simprof_sim::Region::new(map_region.base, (distinct * ENTRY_BYTES).max(64));
         items.push(WorkItem::compute(
             vec![sm.combine_values_by_key, sm.append_only_map_change_value, probe_leaf],
@@ -129,11 +133,20 @@ impl FusedLeaves {
                 reg.intern("scala.collection.Iterator$$anon$12.hasNext", OpClass::Map),
             ],
             probe: vec![
-                reg.intern("org.apache.spark.util.collection.AppendOnlyMap.incrementSize", OpClass::Reduce),
-                reg.intern("org.apache.spark.unsafe.hash.Murmur3_x86_32.hashUnsafeWords", OpClass::Reduce),
+                reg.intern(
+                    "org.apache.spark.util.collection.AppendOnlyMap.incrementSize",
+                    OpClass::Reduce,
+                ),
+                reg.intern(
+                    "org.apache.spark.unsafe.hash.Murmur3_x86_32.hashUnsafeWords",
+                    OpClass::Reduce,
+                ),
                 reg.intern("scala.collection.Iterator$$anon$11.next", OpClass::Reduce),
                 reg.intern("java.lang.String.equals", OpClass::Reduce),
-                reg.intern("org.apache.spark.util.collection.SizeTracker.afterUpdate", OpClass::Reduce),
+                reg.intern(
+                    "org.apache.spark.util.collection.SizeTracker.afterUpdate",
+                    OpClass::Reduce,
+                ),
             ],
         }
     }
@@ -214,6 +227,7 @@ pub fn spark_with_corpus(
         );
         let mut combine_items = combine_items;
         overlap_stall(&mut combine_items, fetch_stall);
+        mark_shuffle_fetch(&mut combine_items, fetch_bytes);
         items.extend(combine_items);
         let out = final_map.len() as u64 * 14;
         items.push(hdfs_write_item(&cfg.hdfs, machine, out, vec![sm.dfs_write], seed));
@@ -313,6 +327,7 @@ pub fn hadoop(cfg: &WorkloadConfig, machine: &mut Machine, reg: &mut MethodRegis
         let (_merged, mut merge_items) =
             ops::kway_merge(&runs, 16, merge_region, vec![hm.merger_merge], seed);
         overlap_stall(&mut merge_items, cfg.shuffle_fetch_stall(fetch_bytes));
+        mark_shuffle_fetch(&mut merge_items, fetch_bytes);
         items.extend(merge_items);
 
         // The real reduce: sum counts per word (sequential over sorted runs).
@@ -348,7 +363,6 @@ mod tests {
         let cfg = WorkloadConfig::tiny(11);
         (cfg, Machine::new(MachineConfig::scaled(2)), MethodRegistry::new())
     }
-
 
     #[test]
     fn spark_job_has_two_stages() {

@@ -95,7 +95,12 @@ impl Benchmark {
         let mut registry = MethodRegistry::new();
         let job = self.build(framework, cfg, &mut machine, &mut registry);
         let trace = profile_job(&job, cfg, &mut machine, &mut registry);
-        RunOutput { trace, registry, total_tasks: job.total_tasks(), total_instrs: job.total_instrs() }
+        RunOutput {
+            trace,
+            registry,
+            total_tasks: job.total_tasks(),
+            total_instrs: job.total_instrs(),
+        }
     }
 
     /// Convenience: run and return just the trace.
@@ -128,7 +133,12 @@ impl Benchmark {
         let mut registry = MethodRegistry::new();
         let job = wordcount::spark_with_corpus(cfg, &mut machine, &mut registry, lines);
         let trace = profile_job(&job, cfg, &mut machine, &mut registry);
-        RunOutput { trace, registry, total_tasks: job.total_tasks(), total_instrs: job.total_instrs() }
+        RunOutput {
+            trace,
+            registry,
+            total_tasks: job.total_tasks(),
+            total_instrs: job.total_instrs(),
+        }
     }
 
     /// Runs a *graph* benchmark on either framework with an explicit input
@@ -164,7 +174,12 @@ impl Benchmark {
             _ => unreachable!(),
         };
         let trace = profile_job(&job, cfg, &mut machine, &mut registry);
-        RunOutput { trace, registry, total_tasks: job.total_tasks(), total_instrs: job.total_instrs() }
+        RunOutput {
+            trace,
+            registry,
+            total_tasks: job.total_tasks(),
+            total_instrs: job.total_instrs(),
+        }
     }
 }
 
@@ -205,7 +220,9 @@ impl WorkloadId {
     pub fn all() -> Vec<WorkloadId> {
         Benchmark::ALL
             .iter()
-            .flat_map(|&b| Framework::ALL.iter().map(move |&f| WorkloadId { benchmark: b, framework: f }))
+            .flat_map(|&b| {
+                Framework::ALL.iter().map(move |&f| WorkloadId { benchmark: b, framework: f })
+            })
             .collect()
     }
 
@@ -281,7 +298,8 @@ impl WorkloadId {
         let start = unit * unit_instrs;
         let mut sched = cfg.sched;
         sched.cold_restart = Some((0, start.saturating_sub(warmup)));
-        let mut probe = WindowProbe { start, end: start + unit_instrs, at_start: None, at_end: None };
+        let mut probe =
+            WindowProbe { start, end: start + unit_instrs, at_start: None, at_end: None };
         Scheduler::new(sched).run(&mut machine, &job, &mut probe);
         match (probe.at_start, probe.at_end) {
             (Some(a), Some(b)) => Some((b - a).cpi()),

@@ -9,7 +9,7 @@
 //! seconds while preserving the working-set-vs-cache relationships that
 //! produce the phase behaviour.
 
-use simprof_engine::{Hdfs, Network, SchedConfig};
+use simprof_engine::{FaultPlan, Hdfs, Network, SchedConfig};
 use simprof_profiler::ProfilerConfig;
 use simprof_sim::{MachineConfig, Perturbations};
 
@@ -61,6 +61,7 @@ impl WorkloadConfig {
                 perturbations: Perturbations::with_period(6_000_000, seed ^ 0x0511),
                 gc: None, // set per run by the catalog from `gc_noise_ppm`
                 cold_restart: None,
+                faults: FaultPlan::none(),
             },
             profiler: ProfilerConfig::with_unit(50_000),
             hdfs: Hdfs::default(),
@@ -99,6 +100,7 @@ impl WorkloadConfig {
                 perturbations: Perturbations::default(),
                 gc: None, // set per run by the catalog from `gc_noise_ppm`
                 cold_restart: None,
+                faults: FaultPlan::none(),
             },
             profiler: ProfilerConfig::with_unit(20_000),
             hdfs: Hdfs::default(),
@@ -182,10 +184,7 @@ mod tests {
         // Single node never pays network cost.
         let single = WorkloadConfig::paper(1);
         assert_eq!(single.remote_fraction(), 0.0);
-        assert_eq!(
-            single.shuffle_fetch_stall(1 << 20),
-            single.hdfs.read_stall(1 << 20) / 2
-        );
+        assert_eq!(single.shuffle_fetch_stall(1 << 20), single.hdfs.read_stall(1 << 20) / 2);
         assert!(c.shuffle_fetch_stall(1 << 20) > single.shuffle_fetch_stall(1 << 20));
     }
 

@@ -29,8 +29,7 @@ impl TextSynth {
     /// Builds a generator with a `vocab`-word synthetic vocabulary.
     pub fn new(vocab: usize, exponent: f64, words_per_line: usize, seed: u64) -> Self {
         assert!(vocab > 0, "vocabulary must be non-empty");
-        let mut weights: Vec<f64> =
-            (1..=vocab).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+        let mut weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
         let total: f64 = weights.iter().sum();
         let mut acc = 0.0;
         for w in &mut weights {
@@ -232,7 +231,12 @@ mod tests {
         let mut freqs: Vec<usize> = counts.values().copied().collect();
         freqs.sort_unstable_by(|a, b| b.cmp(a));
         // Top word should be far more frequent than the median word.
-        assert!(freqs[0] > 20 * freqs[freqs.len() / 2], "{} vs {}", freqs[0], freqs[freqs.len() / 2]);
+        assert!(
+            freqs[0] > 20 * freqs[freqs.len() / 2],
+            "{} vs {}",
+            freqs[0],
+            freqs[freqs.len() / 2]
+        );
         // But the distribution has a long tail of distinct words.
         assert!(counts.len() > 300, "{}", counts.len());
     }
@@ -258,11 +262,7 @@ mod tests {
         use std::collections::HashSet;
         let distinct = |input: TextInput| {
             let lines = input.lines(400_000, 3);
-            lines
-                .iter()
-                .flat_map(|l| l.split_whitespace())
-                .collect::<HashSet<_>>()
-                .len()
+            lines.iter().flat_map(|l| l.split_whitespace()).collect::<HashSet<_>>().len()
         };
         let base = distinct(TextInput::Base);
         assert!(distinct(TextInput::SmallVocab) < base / 2);

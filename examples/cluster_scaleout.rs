@@ -23,7 +23,7 @@ fn main() {
     for nodes in [1usize, 2, 4] {
         let cfg = WorkloadConfig::cluster(42, nodes);
         let out = Benchmark::WordCount.run_full(Framework::Hadoop, &cfg);
-        let analysis = simprof.analyze(&out.trace);
+        let analysis = simprof.analyze(&out.trace).expect("valid trace");
         let stall: u64 = out.trace.units.iter().map(|u| u.counters.io_stall_cycles).sum();
         let cycles: u64 = out.trace.units.iter().map(|u| u.counters.cycles).sum();
         let n5 = analysis.required_size(3.0, 0.05);

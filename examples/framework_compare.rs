@@ -20,7 +20,7 @@ fn main() {
 
     for framework in [Framework::Spark, Framework::Hadoop] {
         let out = Benchmark::WordCount.run_full(framework, &cfg);
-        let analysis = simprof.analyze(&out.trace);
+        let analysis = simprof.analyze(&out.trace).expect("valid trace");
         let label = match framework {
             Framework::Spark => "wc_sp (Fig. 14)",
             Framework::Hadoop => "wc_hp (Fig. 15)",

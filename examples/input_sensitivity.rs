@@ -21,12 +21,8 @@ fn main() {
     let google = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
         .generate(cfg.sub_seed(1000));
     let train = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &google);
-    let analysis = simprof.analyze(&train.trace);
-    println!(
-        "training input Google: {} units, {} phases",
-        train.trace.units.len(),
-        analysis.k()
-    );
+    let analysis = simprof.analyze(&train.trace).expect("valid trace");
+    println!("training input Google: {} units, {} phases", train.trace.units.len(), analysis.k());
 
     // Profile the seven reference inputs.
     let mut references = Vec::new();
@@ -73,11 +69,7 @@ fn main() {
     // Fig. 12: the reference-input simulation budget.
     let points = analysis.select_points(20, 7);
     let frac = report.sensitive_point_fraction(&points);
-    println!(
-        "\n{} of {} phases are input sensitive",
-        report.sensitive_count(),
-        analysis.k()
-    );
+    println!("\n{} of {} phases are input sensitive", report.sensitive_count(), analysis.k());
     println!(
         "of {} simulation points, {:.0}% lie in sensitive phases → {:.0}% of the \
          simulation budget can be skipped for each new input",

@@ -27,7 +27,9 @@ fn main() {
 
     // 2. Form phases: vectorize call stacks, select the top-K methods most
     //    correlated with IPC, k-means cluster, pick k by silhouette (§III-B).
-    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() }).analyze(&out.trace);
+    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() })
+        .analyze(&out.trace)
+        .expect("valid trace");
     println!("phases: {}", analysis.k());
     for h in 0..analysis.k() {
         let s = &analysis.stats[h];

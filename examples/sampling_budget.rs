@@ -19,7 +19,9 @@ use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
 fn main() {
     let cfg = WorkloadConfig::paper(42);
     let out = Benchmark::ConnectedComponents.run_full(Framework::Spark, &cfg);
-    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() }).analyze(&out.trace);
+    let analysis = SimProf::new(SimProfConfig { seed: 42, ..Default::default() })
+        .analyze(&out.trace)
+        .expect("valid trace");
     let oracle = analysis.oracle_cpi();
     let total = out.trace.units.len();
     println!("cc_sp: {} units, oracle CPI {:.4}, {} phases\n", total, oracle, analysis.k());

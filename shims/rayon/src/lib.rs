@@ -1,0 +1,73 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace builds hermetically without crates.io, so this crate maps
+//! the `into_par_iter()` / `par_iter()` entry points onto plain sequential
+//! iterators. Results are identical (the workspace only uses order-preserving
+//! `map`/`collect`/`sum` pipelines); only wall-clock parallelism is lost,
+//! which keeps hermetic builds deterministic and dependency-free.
+
+/// The rayon prelude: import to get `into_par_iter()`/`par_iter()`.
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type returned.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+
+        /// Returns the underlying sequential iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The (sequential) iterator type returned.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a reference).
+        type Item: 'a;
+
+        /// Returns a borrowing sequential iterator.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = core::slice::Iter<'a, T>;
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = core::slice::Iter<'a, T>;
+        type Item = &'a T;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_pipelines_match_sequential() {
+        let doubled: Vec<usize> = (0..10).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(doubled, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let v = vec![1.0f64, 2.0, 3.0];
+        let s: f64 = v.par_iter().sum();
+        assert_eq!(s, 6.0);
+    }
+}

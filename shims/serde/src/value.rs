@@ -1,0 +1,126 @@
+//! The in-memory JSON value model shared by the `serde` and `serde_json`
+//! stand-ins.
+
+/// Object representation: insertion-ordered key/value pairs. Struct fields
+/// keep declaration order; map serializers sort their keys.
+pub type Map = Vec<(String, Value)>;
+
+/// A JSON number, kept tagged so `u64`/`i64` round-trip bit-exactly (an
+/// `f64`-only model would corrupt counters above 2^53).
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (always < 0; non-negative parses as `U64`).
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::U64(a), Number::U64(b)) => a == b,
+            (Number::I64(a), Number::I64(b)) => a == b,
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (Number::U64(a), Number::I64(b)) | (Number::I64(b), Number::U64(a)) => {
+                i64::try_from(*a).is_ok_and(|a| a == *b)
+            }
+            (Number::F64(a), Number::U64(b)) | (Number::U64(b), Number::F64(a)) => *a == *b as f64,
+            (Number::F64(a), Number::I64(b)) | (Number::I64(b), Number::F64(a)) => *a == *b as f64,
+        }
+    }
+}
+
+/// An in-memory JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered entries).
+    Object(Map),
+}
+
+impl Value {
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as a `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(n)) => Some(*n),
+            Value::Number(Number::I64(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(n)) => Some(*n),
+            Value::Number(Number::U64(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::F64(f))
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(f)) => Some(*f),
+            Value::Number(Number::U64(n)) => Some(*n as f64),
+            Value::Number(Number::I64(n)) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as object entries.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as array elements.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}

@@ -35,7 +35,7 @@
 //! let trace = Benchmark::WordCount.run(Framework::Spark, &cfg);
 //!
 //! // Form phases and pick 20 simulation points.
-//! let analysis = SimProf::new(SimProfConfig::default()).analyze(&trace);
+//! let analysis = SimProf::new(SimProfConfig::default()).analyze(&trace).expect("valid trace");
 //! let points = analysis.select_points(20, 42);
 //! assert!(!points.points.is_empty());
 //! ```

@@ -17,7 +17,7 @@ fn every_workload_through_full_pipeline() {
         let out = id.run_full(&cfg);
         assert!(out.trace.units.len() >= 10, "{}: {} units", id.label(), out.trace.units.len());
 
-        let analysis = pipeline().analyze(&out.trace);
+        let analysis = pipeline().analyze(&out.trace).expect("valid trace");
         assert!(analysis.k() >= 1, "{}", id.label());
         assert_eq!(analysis.cpis.len(), out.trace.units.len());
         assert!(
@@ -50,7 +50,7 @@ fn every_workload_through_full_pipeline() {
 fn full_enumeration_recovers_oracle_exactly() {
     let cfg = WorkloadConfig::tiny(11);
     let out = Benchmark::WordCount.run_full(Framework::Hadoop, &cfg);
-    let analysis = pipeline().analyze(&out.trace);
+    let analysis = pipeline().analyze(&out.trace).expect("valid trace");
     let all = analysis.select_points(out.trace.units.len(), 1);
     let est = analysis.estimate(&all, 3.0);
     assert!((est.mean_cpi - analysis.oracle_cpi()).abs() < 1e-9);
@@ -64,7 +64,7 @@ fn stratified_beats_srs_on_staged_workload() {
     // than simple random sampling.
     let cfg = WorkloadConfig::tiny(13);
     let out = Benchmark::Sort.run_full(Framework::Spark, &cfg);
-    let analysis = pipeline().analyze(&out.trace);
+    let analysis = pipeline().analyze(&out.trace).expect("valid trace");
     let oracle = analysis.oracle_cpi();
     let n = 12;
     let reps = 60;
@@ -83,7 +83,7 @@ fn confidence_interval_covers_oracle() {
     // 99.7 % CI should cover the oracle in almost all draws.
     let cfg = WorkloadConfig::tiny(17);
     let out = Benchmark::NaiveBayes.run_full(Framework::Spark, &cfg);
-    let analysis = pipeline().analyze(&out.trace);
+    let analysis = pipeline().analyze(&out.trace).expect("valid trace");
     let oracle = analysis.oracle_cpi();
     let reps: u64 = 50;
     let covered = (0..reps)
@@ -111,14 +111,14 @@ fn second_is_contiguous_and_biased_on_staged_jobs() {
 fn input_sensitivity_full_cycle_on_graphs() {
     use simprof::workloads::{GraphInput, Kronecker};
     let cfg = WorkloadConfig::tiny(23);
-    let google = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
-        .generate(1);
+    let google =
+        Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree).generate(1);
     let road =
         Kronecker::for_input(GraphInput::Road, cfg.graph_scale, cfg.graph_degree).generate(2);
 
     let train = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &google);
     let reference = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &road);
-    let analysis = pipeline().analyze(&train.trace);
+    let analysis = pipeline().analyze(&train.trace).expect("valid trace");
 
     let report = input_sensitivity(&analysis.model, &train.trace, &[&reference.trace], 0.10);
     assert_eq!(report.sensitive.len(), analysis.k());
@@ -137,7 +137,7 @@ fn whole_pipeline_is_deterministic() {
     let run = || {
         let cfg = WorkloadConfig::tiny(29);
         let out = Benchmark::PageRank.run_full(Framework::Spark, &cfg);
-        let analysis = pipeline().analyze(&out.trace);
+        let analysis = pipeline().analyze(&out.trace).expect("valid trace");
         let points = analysis.select_points(10, 4);
         (out.trace, analysis.model.assignments.clone(), points.points)
     };

@@ -1,0 +1,58 @@
+//! Determinism under fault injection: the whole point of a *seeded*
+//! `FaultPlan` is that a faulty run is exactly reproducible, and that a
+//! plan with all rates at zero is indistinguishable from no plan at all.
+
+use proptest::prelude::*;
+
+use simprof::engine::{FaultLog, FaultPlan, MethodRegistry, SchedConfig, Scheduler};
+use simprof::profiler::{ProfileTrace, SamplingManager};
+use simprof::sim::Machine;
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+
+/// One profiled WordCount/Hadoop run at test scale under `plan`
+/// (`None` = the plain fault-free path, no fault plumbing at all).
+fn run(cfg: &WorkloadConfig, plan: Option<FaultPlan>) -> (ProfileTrace, FaultLog) {
+    let mut machine = Machine::new(cfg.machine);
+    let mut registry = MethodRegistry::new();
+    let job = Benchmark::WordCount.build(Framework::Hadoop, cfg, &mut machine, &mut registry);
+    let mut manager = SamplingManager::new(cfg.profiler);
+    let mut sched = cfg.sched;
+    if let Some(plan) = plan {
+        manager = manager.with_faults(plan);
+        sched.faults = plan;
+    }
+    let log = Scheduler::new(SchedConfig { ..sched }).run(&mut machine, &job, &mut manager);
+    (manager.finish(), log)
+}
+
+#[test]
+fn zero_rate_plan_is_byte_identical_to_fault_free_run() {
+    let cfg = WorkloadConfig::tiny(7);
+    let (plain_trace, plain_log) = run(&cfg, None);
+    let (zero_trace, zero_log) = run(&cfg, Some(FaultPlan::uniform(0, 99)));
+    assert_eq!(zero_trace, plain_trace, "zero-rate plan must not perturb the run");
+    assert_eq!(zero_log, plain_log);
+    assert!(zero_log.events.is_empty(), "zero rates inject nothing");
+    assert_eq!(zero_trace.truncated_units(), 0);
+    assert_eq!(zero_trace.dropped_snapshots(), 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Same seed + same plan ⇒ bit-identical trace *and* fault log, at any
+    /// fault rate.
+    #[test]
+    fn same_seed_and_plan_reproduce_exactly(
+        ppm in 0u32..300_000,
+        plan_seed in any::<u64>(),
+        cfg_seed in 1u64..50,
+    ) {
+        let cfg = WorkloadConfig::tiny(cfg_seed);
+        let plan = FaultPlan::uniform(ppm, plan_seed);
+        let (trace_a, log_a) = run(&cfg, Some(plan));
+        let (trace_b, log_b) = run(&cfg, Some(plan));
+        prop_assert_eq!(trace_a, trace_b);
+        prop_assert_eq!(log_a, log_b);
+    }
+}

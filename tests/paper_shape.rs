@@ -20,7 +20,7 @@ fn paper_runs() -> Vec<(String, simprof::core::Analysis)> {
         .into_iter()
         .map(|id| {
             let out = id.run_full(&cfg);
-            (id.label(), simprof.analyze(&out.trace))
+            (id.label(), simprof.analyze(&out.trace).expect("valid trace"))
         })
         .collect()
 }
@@ -51,7 +51,7 @@ fn fig7_simprof_error_smallest_on_average() {
     let mut count = 0.0;
     for id in WorkloadId::all() {
         let out = id.run_full(&cfg);
-        let a = simprof.analyze(&out.trace);
+        let a = simprof.analyze(&out.trace).expect("valid trace");
         let oracle = a.oracle_cpi();
         sums[0] +=
             relative_error(second_points_by_cycles(&out.trace, 6_000_000).predicted_cpi, oracle);
@@ -111,7 +111,7 @@ fn fig10_sort_phases_match_paper() {
     let simprof = SimProf::new(SimProfConfig { seed: 42, ..Default::default() });
     for b in Benchmark::ALL {
         let out = b.run_full(Framework::Hadoop, &cfg);
-        let a = simprof.analyze(&out.trace);
+        let a = simprof.analyze(&out.trace).expect("valid trace");
         let dist = phase_type_distribution(&a.model, &out.trace, &out.registry);
         let sort = dist.iter().find(|d| d.class == OpClass::Sort).map_or(0.0, |d| d.share);
         match b {
@@ -130,11 +130,14 @@ fn fig10_sort_phases_match_paper() {
 fn fig14_wc_sp_fused_phase() {
     let cfg = WorkloadConfig::paper(42);
     let out = Benchmark::WordCount.run_full(Framework::Spark, &cfg);
-    let a = SimProf::new(SimProfConfig { seed: 42, ..Default::default() }).analyze(&out.trace);
+    let a = SimProf::new(SimProfConfig { seed: 42, ..Default::default() })
+        .analyze(&out.trace)
+        .expect("valid trace");
     let mut weights = a.weights.clone();
     weights.sort_by(|x, y| y.partial_cmp(x).unwrap());
     assert!(weights[0] >= 0.90, "dominant fused phase: {weights:?}");
-    let dominant = (0..a.k()).max_by(|&x, &y| a.weights[x].partial_cmp(&a.weights[y]).unwrap()).unwrap();
+    let dominant =
+        (0..a.k()).max_by(|&x, &y| a.weights[x].partial_cmp(&a.weights[y]).unwrap()).unwrap();
     assert!(a.stats[dominant].cov < 0.2, "fused phase is stable: {}", a.stats[dominant].cov);
 }
 
@@ -152,17 +155,17 @@ fn fig12_sensitivity_reduces_budget() {
     cfg.graph_degree += 2;
     let simprof = SimProf::new(SimProfConfig { seed: 42, ..Default::default() });
 
-    let google = Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree)
-        .generate(11);
+    let google =
+        Kronecker::for_input(GraphInput::Google, cfg.graph_scale, cfg.graph_degree).generate(11);
     let train = Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &google);
-    let a = simprof.analyze(&train.trace);
+    let a = simprof.analyze(&train.trace).expect("valid trace");
 
     let refs: Vec<_> = GraphInput::ALL
         .iter()
         .filter(|&&i| i != GraphInput::Google)
         .map(|&i| {
-            let g = Kronecker::for_input(i, cfg.graph_scale, cfg.graph_degree)
-                .generate(12 + i as u64);
+            let g =
+                Kronecker::for_input(i, cfg.graph_scale, cfg.graph_degree).generate(12 + i as u64);
             Benchmark::ConnectedComponents.run_spark_on_graph(&cfg, &g).trace
         })
         .collect();

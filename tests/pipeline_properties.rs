@@ -12,12 +12,7 @@ use simprof::sim::Counters;
 /// Strategy: a synthetic trace with 3–80 units, 1–6 latent behaviours, each
 /// behaviour with its own method set and CPI level, plus per-unit noise.
 fn trace_strategy() -> impl Strategy<Value = ProfileTrace> {
-    (
-        3usize..80,
-        1usize..6,
-        proptest::collection::vec((200u64..4000, 0u64..400), 6),
-        any::<u64>(),
-    )
+    (3usize..80, 1usize..6, proptest::collection::vec((200u64..4000, 0u64..400), 6), any::<u64>())
         .prop_map(|(n, behaviours, levels, seed)| {
             let units = (0..n as u64)
                 .map(|i| {
@@ -40,6 +35,8 @@ fn trace_strategy() -> impl Strategy<Value = ProfileTrace> {
                             ..Default::default()
                         },
                         slices: Vec::new(),
+                        truncated: false,
+                        dropped_snapshots: 0,
                     }
                 })
                 .collect();
@@ -55,7 +52,7 @@ proptest! {
     #[test]
     fn pipeline_invariants(trace in trace_strategy(), seed in any::<u64>()) {
         let analysis =
-            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace);
+            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace).expect("valid trace");
         let k = analysis.k();
         prop_assert!(k >= 1);
         prop_assert!(k <= 20);
@@ -78,7 +75,7 @@ proptest! {
     #[test]
     fn selection_invariants(trace in trace_strategy(), seed in any::<u64>(), n in 1usize..40) {
         let analysis =
-            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace);
+            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace).expect("valid trace");
         let n = n.min(trace.units.len());
         let pts = analysis.select_points(n, seed ^ 0x5EED);
         // The ≥1-point-per-phase floor can push the total above n when n < k.
@@ -104,10 +101,10 @@ proptest! {
     #[test]
     fn manifest_invariants(trace in trace_strategy(), seed in any::<u64>()) {
         let analysis =
-            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace);
+            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace).expect("valid trace");
         let n = 6.min(trace.units.len());
         let pts = analysis.select_points(n, seed);
-        let manifest = SimulationManifest::build(&analysis, &trace, &pts);
+        let manifest = SimulationManifest::build(&analysis, &trace, &pts).expect("selection fits");
         prop_assert_eq!(manifest.points.len(), pts.len());
         let results: std::collections::HashMap<u64, f64> =
             manifest.points.iter().map(|p| (p.unit, p.profiled_cpi)).collect();
@@ -120,7 +117,7 @@ proptest! {
     #[test]
     fn required_size_invariants(trace in trace_strategy(), seed in any::<u64>()) {
         let analysis =
-            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace);
+            SimProf::new(SimProfConfig { seed, ..Default::default() }).analyze(&trace).expect("valid trace");
         let n10 = analysis.required_size(3.0, 0.10);
         let n05 = analysis.required_size(3.0, 0.05);
         let n02 = analysis.required_size(3.0, 0.02);
