@@ -1,0 +1,162 @@
+//! Pipeline-throughput benchmark: the `choose_k` phase-formation sweep on a
+//! synthetic clustered trace, optimized path vs the pre-optimization
+//! sequential baseline.
+//!
+//! The baseline replicates the pipeline before the parallel substrate and
+//! the distance cache landed: one worker thread, a fresh 4-restart cold
+//! k-means per candidate k, and the naive `O(n²·d)` silhouette per
+//! candidate. The optimized path is today's [`choose_k`]: shared distance
+//! cache, warm-started sweep, all parallel regions live.
+//!
+//! ```text
+//! cargo run --release -p simprof-bench --bin bench_pipeline -- \
+//!     [--quick] [--units N] [--features D] [--kmax K] [--seed S] \
+//!     [--threads N] [-o BENCH_pipeline.json]
+//! ```
+//!
+//! With `-o`, writes a JSON record (units analyzed/sec, sweep wall-clock,
+//! thread count, speedup) that CI uploads as the `BENCH_pipeline.json`
+//! artifact to track the perf trajectory.
+
+use std::time::Instant;
+
+use rand::RngExt;
+use simprof_bench::apply_thread_flag;
+use simprof_stats::{choose_k, kmeans, seeded, silhouette_score, KMeans, Matrix};
+
+struct Args {
+    units: usize,
+    features: usize,
+    k_max: usize,
+    seed: u64,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv = apply_thread_flag(std::env::args().skip(1).collect())?;
+    let mut args = Args { units: 2000, features: 100, k_max: 20, seed: 42, output: None };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--quick" => {
+                args.units = 400;
+                args.features = 40;
+                args.k_max = 10;
+            }
+            "--units" => {
+                args.units = value(&flag)?.parse().map_err(|e| format!("invalid --units: {e}"))?
+            }
+            "--features" => {
+                args.features =
+                    value(&flag)?.parse().map_err(|e| format!("invalid --features: {e}"))?
+            }
+            "--kmax" => {
+                args.k_max = value(&flag)?.parse().map_err(|e| format!("invalid --kmax: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value(&flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?
+            }
+            "-o" | "--output" => args.output = Some(value(&flag)?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.units < 3 || args.features == 0 || args.k_max < 2 {
+        return Err("need --units ≥ 3, --features ≥ 1, --kmax ≥ 2".into());
+    }
+    Ok(args)
+}
+
+/// A synthetic phase-structured trace: 6 latent behaviours, each a distinct
+/// sparse method signature, plus per-unit jitter — the shape `form_phases`
+/// sees after feature selection.
+fn synthetic_trace(units: usize, features: usize, seed: u64) -> Matrix {
+    const BEHAVIOURS: usize = 6;
+    let mut rng = seeded(seed);
+    let mut rows = Vec::with_capacity(units);
+    for i in 0..units {
+        let b = i % BEHAVIOURS;
+        let mut row = vec![0.0f64; features];
+        for (j, v) in row.iter_mut().enumerate() {
+            // Behaviour b is loud on its own band of features, quiet elsewhere.
+            let base = if j % BEHAVIOURS == b { 8.0 } else { 0.5 };
+            *v = base + rng.random::<f64>() * 0.6;
+        }
+        rows.push(row);
+    }
+    Matrix::from_rows(&rows)
+}
+
+/// The pre-PR sweep: cold 4-restart k-means + naive silhouette per k,
+/// sequential (the caller pins the worker count to 1 around this).
+fn baseline_sweep(data: &Matrix, k_max: usize, seed: u64) -> (usize, Vec<(usize, f64)>) {
+    let scores: Vec<(usize, f64)> = (2..=k_max.min(data.rows()))
+        .map(|k| {
+            let r = kmeans(data, KMeans::new(k, seed));
+            (k, silhouette_score(data, &r.assignments))
+        })
+        .collect();
+    let best = scores.iter().map(|&(_, s)| s).fold(f64::NEG_INFINITY, f64::max);
+    let chosen = scores.iter().find(|&&(_, s)| s >= 0.9 * best).map_or(1, |&(k, _)| k);
+    (chosen, scores)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let threads = rayon::current_threads();
+    let data = synthetic_trace(args.units, args.features, args.seed);
+    println!(
+        "pipeline throughput: {} units × {} features, k ≤ {}, {} thread(s)",
+        args.units, args.features, args.k_max, threads
+    );
+
+    // Pre-PR baseline: sequential + naive. Warm both paths once first so
+    // neither timing pays first-touch costs.
+    let _ = kmeans(&data, KMeans::new(2, args.seed));
+    rayon::set_threads(1);
+    let t0 = Instant::now();
+    let (baseline_k, _) = baseline_sweep(&data, args.k_max, args.seed);
+    let baseline_secs = t0.elapsed().as_secs_f64();
+    rayon::set_threads(threads);
+
+    let t1 = Instant::now();
+    let sel = choose_k(&data, args.k_max, 0.9, 0.25, args.seed);
+    let optimized_secs = t1.elapsed().as_secs_f64();
+
+    let speedup = baseline_secs / optimized_secs.max(1e-12);
+    let ups_base = args.units as f64 / baseline_secs.max(1e-12);
+    let ups_opt = args.units as f64 / optimized_secs.max(1e-12);
+    println!("  baseline  (1 thread, naive):  {baseline_secs:>8.3} s  ({ups_base:>9.1} units/s)  k = {baseline_k}");
+    println!("  optimized ({threads} thread(s), cached): {optimized_secs:>8.3} s  ({ups_opt:>9.1} units/s)  k = {}", sel.k);
+    println!("  speedup: {speedup:.2}×");
+
+    if let Some(path) = &args.output {
+        let record = serde_json::json!({
+            "bench": "pipeline_throughput/choose_k_sweep",
+            "units": args.units,
+            "features": args.features,
+            "k_max": args.k_max,
+            "seed": args.seed,
+            "threads": threads,
+            "baseline_sweep_secs": baseline_secs,
+            "optimized_sweep_secs": optimized_secs,
+            "units_per_sec_baseline": ups_base,
+            "units_per_sec_optimized": ups_opt,
+            "speedup": speedup,
+            "chosen_k_baseline": baseline_k,
+            "chosen_k_optimized": sel.k,
+        });
+        let text = serde_json::to_string_pretty(&record).expect("record encodes");
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+}

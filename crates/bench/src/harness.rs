@@ -1,6 +1,12 @@
 //! Shared evaluation harness: runs the 12-workload matrix, attaches the
 //! SimProf analysis to each run, and caches everything for the figure
 //! computations.
+//!
+//! The workload fan-out in [`run_all_workloads`] is the outermost parallel
+//! region: the parallel k-means/silhouette calls inside each analysis then
+//! run sequentially on their worker (the substrate's nested-region guard),
+//! so the twelve workloads parallelize without multiplying threads. Results
+//! are bit-identical at every worker count (DESIGN.md §10).
 
 use rayon::prelude::*;
 
@@ -73,6 +79,28 @@ pub fn run_workload(id: WorkloadId, cfg: &EvalConfig) -> WorkloadRun {
     WorkloadRun { id, label: id.label(), output, analysis }
 }
 
+/// Strips a `--threads N` flag from `args`, installs the worker-count
+/// override (taking precedence over `SIMPROF_THREADS`), and returns the
+/// remaining arguments. Shared by the figure/bench binaries so reproduction
+/// runs are schedulable on shared machines.
+pub fn apply_thread_flag(args: Vec<String>) -> Result<Vec<String>, String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it.next().ok_or("--threads requires a value")?;
+            let t: usize = v.parse().map_err(|e| format!("invalid --threads: {e}"))?;
+            if t == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            rayon::set_threads(t);
+        } else {
+            rest.push(a);
+        }
+    }
+    Ok(rest)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +113,16 @@ mod tests {
             assert!(!r.output.trace.units.is_empty(), "{}", r.label);
             assert!(r.analysis.k() >= 1, "{}", r.label);
         }
+    }
+
+    #[test]
+    fn thread_flag_is_stripped_and_validated() {
+        let args = |s: &str| s.split_whitespace().map(str::to_owned).collect::<Vec<_>>();
+        let rest = apply_thread_flag(args("out.md --threads 2 --quick")).unwrap();
+        assert_eq!(rest, args("out.md --quick"));
+        rayon::set_threads(0); // restore the default
+        assert!(apply_thread_flag(args("--threads")).is_err());
+        assert!(apply_thread_flag(args("--threads 0")).is_err());
+        assert!(apply_thread_flag(args("--threads x")).is_err());
     }
 }

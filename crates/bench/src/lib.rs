@@ -12,4 +12,4 @@ pub mod harness;
 pub mod report;
 pub mod svg;
 
-pub use harness::{run_all_workloads, EvalConfig, WorkloadRun};
+pub use harness::{apply_thread_flag, run_all_workloads, EvalConfig, WorkloadRun};

@@ -1,0 +1,35 @@
+//! The bench harness must produce bit-identical profiles and analyses at
+//! every worker count (own process: these tests pin the global worker-count
+//! override).
+
+use simprof_bench::harness::run_workload;
+use simprof_bench::EvalConfig;
+use simprof_workloads::WorkloadId;
+
+#[test]
+fn harness_results_bit_identical_across_thread_counts() {
+    let cfg = EvalConfig::tiny(7);
+    for id in WorkloadId::all().into_iter().take(2) {
+        rayon::set_threads(1);
+        let one = run_workload(id, &cfg);
+        rayon::set_threads(3);
+        let many = run_workload(id, &cfg);
+        rayon::set_threads(0);
+
+        assert_eq!(one.label, many.label);
+        assert_eq!(one.analysis.k(), many.analysis.k(), "{}", one.label);
+        assert_eq!(
+            one.analysis.model.assignments, many.analysis.model.assignments,
+            "{}",
+            one.label
+        );
+        assert_eq!(one.analysis.model.centers, many.analysis.model.centers, "{}", one.label);
+        assert_eq!(one.analysis.model.k_scores.len(), many.analysis.model.k_scores.len());
+        for (a, b) in one.analysis.model.k_scores.iter().zip(&many.analysis.model.k_scores) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "{} k = {}", one.label, a.0);
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&one.analysis.cpis), bits(&many.analysis.cpis), "{}", one.label);
+    }
+}

@@ -26,6 +26,9 @@ pub struct Options {
     pub z: f64,
     /// `--threshold`.
     pub threshold: f64,
+    /// `--threads` (worker count for parallel regions; overrides the
+    /// `SIMPROF_THREADS` environment variable).
+    pub threads: Option<usize>,
 }
 
 /// Workload scale preset.
@@ -49,6 +52,7 @@ impl Default for Options {
             error: 0.05,
             z: 3.0,
             threshold: 0.10,
+            threads: None,
         }
     }
 }
@@ -98,6 +102,14 @@ impl Options {
                 "--threshold" => {
                     opts.threshold =
                         value(flag)?.parse().map_err(|e| format!("invalid --threshold: {e}"))?;
+                }
+                "--threads" => {
+                    let t: usize =
+                        value(flag)?.parse().map_err(|e| format!("invalid --threads: {e}"))?;
+                    if t == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    opts.threads = Some(t);
                 }
                 other => return Err(format!("unknown option `{other}`")),
             }
@@ -164,6 +176,14 @@ mod tests {
         assert!(parse("--error 0").is_err());
         assert!(parse("--z -1").is_err());
         assert!(parse("--wat 1").is_err());
+        assert!(parse("--threads 0").is_err(), "zero threads rejected");
+        assert!(parse("--threads x").is_err());
+    }
+
+    #[test]
+    fn threads_flag() {
+        assert_eq!(parse("").unwrap().threads, None);
+        assert_eq!(parse("--threads 4").unwrap().threads, Some(4));
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub fn run(argv: &[String]) -> ExitCode {
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or_else(usage)?;
     let opts = args::Options::parse(rest)?;
+    if let Some(threads) = opts.threads {
+        rayon::set_threads(threads);
+    }
     match command.as_str() {
         "list" => commands::list(&opts),
         "profile" => commands::profile(&opts),
@@ -90,6 +93,8 @@ OPTIONS:
         --error <FRAC>       Target relative error for `size` [default: 0.05]
         --z <Z>              z-score for confidence intervals [default: 3]
         --threshold <FRAC>   Sensitivity threshold for Eq. 6 [default: 0.10]
+        --threads <N>        Worker threads for parallel analysis [default:
+                             SIMPROF_THREADS env var, else all cores]
 "
     .to_string()
 }

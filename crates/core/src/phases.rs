@@ -6,7 +6,16 @@
 //! k ≤ 20). The resulting [`PhaseModel`] carries the centers — which are
 //! also what the input-sensitivity test classifies reference inputs against
 //! — and per-phase CPI statistics.
+//!
+//! Phase formation is the pipeline's hot path. The `choose_k` sweep inside
+//! [`form_phases`] builds one pairwise-distance cache shared by every
+//! candidate scoring and warm-starts each k from the previous solution (see
+//! `simprof_stats::distcache`), and both the sweep and
+//! [`classify_units`] run on the workspace's deterministic parallel
+//! substrate — output is bit-identical at every thread count (DESIGN.md
+//! §10).
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use simprof_profiler::ProfileTrace;
@@ -95,10 +104,13 @@ pub fn form_phases(trace: &ProfileTrace, config: &SimProfConfig) -> PhaseModel {
 }
 
 /// Classifies a (reference) trace's units into the model's phases by nearest
-/// center (§III-D-1). Ties break toward the lower phase id.
+/// center (§III-D-1). Ties break toward the lower phase id. Parallel over
+/// units; the per-unit decisions are independent, so output order and
+/// content match the sequential scan.
 pub fn classify_units(model: &PhaseModel, trace: &ProfileTrace) -> Vec<usize> {
     let projected = model.space.project(trace);
     (0..projected.rows())
+        .into_par_iter()
         .map(|i| Matrix::nearest_row(&model.centers, projected.row(i)).unwrap_or(0))
         .collect()
 }

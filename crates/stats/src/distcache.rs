@@ -1,0 +1,138 @@
+//! Shared pairwise-distance cache for the k-selection sweep.
+//!
+//! `choose_k` scores up to 19 candidate clusterings of the *same* data with
+//! the silhouette coefficient, and every score needs all `n·(n−1)/2`
+//! pairwise distances. Recomputing them per candidate costs
+//! `O(k_max · n² · d)`; building the matrix once turns the sweep into one
+//! `O(n² · d)` build plus `O(k_max · n²)` cache scans.
+//!
+//! The build uses the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2·x·y` with the
+//! row-norm cache from [`Matrix::row_sq_norms`] and the auto-vectorizing
+//! chunked dot kernel [`Matrix::dot`]. Rows are computed independently (each
+//! row does its own full `n`-column pass), so the parallel build is
+//! deterministic at any worker count, and — because `dot` and `+` are
+//! bitwise commutative — the matrix is exactly symmetric.
+//!
+//! Memory is `n² × 8` bytes (a 2,000-unit trace caches 32 MB); the sweep in
+//! [`crate::choose_k`] is the intended scope, building once per call and
+//! dropping the cache with it.
+
+use rayon::prelude::*;
+
+use crate::matrix::Matrix;
+
+/// A dense `n × n` matrix of Euclidean distances between the rows of one
+/// [`Matrix`].
+#[derive(Debug, Clone)]
+pub struct DistCache {
+    d: Vec<f64>,
+    n: usize,
+}
+
+impl DistCache {
+    /// Builds the full pairwise-distance matrix for `data`'s rows
+    /// (parallel over rows; deterministic at any worker count).
+    pub fn build(data: &Matrix) -> Self {
+        let n = data.rows();
+        let norms = data.row_sq_norms();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let xi = data.row(i);
+                let ni = norms[i];
+                let mut row = vec![0.0f64; n];
+                for (j, out) in row.iter_mut().enumerate() {
+                    if j == i {
+                        continue; // exact zero on the diagonal
+                    }
+                    // Cancellation can drive the identity slightly negative
+                    // for near-coincident points; clamp before the sqrt.
+                    let sq = ni + norms[j] - 2.0 * Matrix::dot(xi, data.row(j));
+                    *out = if sq > 0.0 { sq.sqrt() } else { 0.0 };
+                }
+                row
+            })
+            .collect();
+        let mut d = Vec::with_capacity(n * n);
+        for row in rows {
+            d.extend_from_slice(&row);
+        }
+        Self { d, n }
+    }
+
+    /// Number of rows (= points) the cache covers.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// All distances from point `i`, as a slice of length `n`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.n);
+        &self.d[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Distance between points `i` and `j`.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.d[i * self.n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wavy(n: usize, d: usize) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) as f64 * 0.13).sin() * 3.0).collect())
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn matches_naive_distance() {
+        let m = wavy(17, 5);
+        let c = DistCache::build(&m);
+        for i in 0..17 {
+            for j in 0..17 {
+                let naive = Matrix::dist(m.row(i), m.row(j));
+                assert!(
+                    (c.dist(i, j) - naive).abs() <= 1e-12 * naive.max(1.0),
+                    "({i},{j}): {} vs {naive}",
+                    c.dist(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_with_zero_diagonal() {
+        let m = wavy(11, 7);
+        let c = DistCache::build(&m);
+        for i in 0..11 {
+            assert_eq!(c.dist(i, i), 0.0);
+            for j in 0..11 {
+                assert_eq!(c.dist(i, j).to_bits(), c.dist(j, i).to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_points_clamp_to_zero() {
+        let m = Matrix::from_rows(&vec![vec![1e8, -1e8, 3.0]; 4]);
+        let c = DistCache::build(&m);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.dist(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = DistCache::build(&Matrix::zeros(0, 3));
+        assert_eq!(c.n(), 0);
+    }
+}

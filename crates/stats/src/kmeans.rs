@@ -4,7 +4,12 @@
 //! k-means. The implementation is deterministic given a seed: k-means++
 //! initialization draws from a seeded RNG, Lloyd iterations are synchronous,
 //! ties in assignment break toward the lower center index, and empty clusters
-//! are reseeded to the point farthest from its current center.
+//! are reseeded to the farthest points from their current centers (distinct
+//! points when several clusters empty in one iteration).
+//!
+//! [`kmeans_from_centers`] runs the Lloyd loop from explicit initial centers;
+//! the `choose_k` sweep uses it to warm-start each k from the previous
+//! solution.
 //!
 //! Distance computations over all points are parallelized with rayon; results
 //! are identical to the sequential computation because each point's
@@ -109,11 +114,44 @@ fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
     }
 
     let mut rng = seeded(config.seed);
-    let mut centers = plus_plus_init(data, k, &mut rng);
+    let centers = plus_plus_init(data, k, &mut rng);
+    lloyd(data, centers, config.max_iter)
+}
+
+/// Runs synchronous Lloyd iterations from the given initial `centers` until
+/// the assignment stabilizes (or `max_iter`).
+///
+/// This is the warm-start entry point of the `choose_k` sweep: seeding with
+/// the previous k's converged centers plus one fresh center typically
+/// converges in a handful of iterations instead of a full cold run.
+///
+/// # Panics
+///
+/// Panics if `centers` has more rows than `data` or a different column count
+/// (a center per point is the densest meaningful clustering).
+pub fn kmeans_from_centers(data: &Matrix, centers: Matrix, max_iter: usize) -> KMeansResult {
+    assert!(centers.rows() <= data.rows(), "more centers than points");
+    assert_eq!(centers.cols(), data.cols(), "center/point dimension mismatch");
+    if centers.rows() == 0 || data.rows() == 0 {
+        return KMeansResult {
+            centers: Matrix::zeros(0, data.cols()),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    lloyd(data, centers, max_iter)
+}
+
+/// The Lloyd loop shared by cold (k-means++) and warm starts. `k ≥ 1` and
+/// `n ≥ k` are the caller's invariants.
+fn lloyd(data: &Matrix, mut centers: Matrix, max_iter: usize) -> KMeansResult {
+    let n = data.rows();
+    let k = centers.rows();
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
 
-    for iter in 0..config.max_iter.max(1) {
+    for iter in 0..max_iter.max(1) {
         iterations = iter + 1;
         // Assignment step (parallel; deterministic tie-break to lower index).
         let new_assignments: Vec<usize> = (0..n)
@@ -135,17 +173,24 @@ fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
                 *s += v;
             }
         }
+        // Empty clusters reseed to the farthest point from its current
+        // center; `reseeded` keeps the picks distinct when several clusters
+        // go empty in the same iteration (reusing one point would collapse
+        // them right back together). At most k−1 clusters can be empty and
+        // k ≤ n, so a distinct point always exists.
+        let mut reseeded: Vec<usize> = Vec::new();
         #[allow(clippy::needless_range_loop)] // `c` also indexes `sums` rows
         for c in 0..k {
             if counts[c] == 0 {
-                // Empty cluster: reseed to the point farthest from its center.
                 let far = (0..n)
+                    .filter(|i| !reseeded.contains(i))
                     .max_by(|&a, &b| {
                         let da = Matrix::sq_dist(data.row(a), centers.row(assignments[a]));
                         let db = Matrix::sq_dist(data.row(b), centers.row(assignments[b]));
                         da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                     })
-                    .expect("n >= 1");
+                    .expect("more points than empty clusters");
+                reseeded.push(far);
                 sums.row_mut(c).copy_from_slice(data.row(far));
                 counts[c] = 1;
             }
@@ -293,5 +338,46 @@ mod tests {
         let data = two_blobs();
         let r = kmeans(&data, KMeans::new(4, 9));
         assert_eq!(r.cluster_sizes().iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn simultaneous_empty_clusters_reseed_to_distinct_points() {
+        // Initial centers: center 0 sits on the data, centers 1–3 are so far
+        // away that every point assigns to center 0 — three clusters go
+        // empty in the same iteration. The reseed must hand each a
+        // *different* point or they collapse into duplicates.
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let init = Matrix::from_rows(&[vec![0.0], vec![1000.0], vec![2000.0], vec![3000.0]]);
+        let r = kmeans_from_centers(&data, init, 50);
+        let sizes = r.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 1), "each point its own cluster: {sizes:?}");
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                assert_ne!(r.centers.row(a), r.centers.row(b), "centers {a} and {b} collapsed");
+            }
+        }
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn warm_start_converges_and_matches_quality() {
+        let data = two_blobs();
+        let cold = kmeans(&data, KMeans::new(2, 42));
+        // Warm-start from slightly perturbed converged centers.
+        let mut init = cold.centers.clone();
+        for v in init.row_mut(0) {
+            *v += 0.05;
+        }
+        let warm = kmeans_from_centers(&data, init, 100);
+        assert_eq!(warm.assignments, cold.assignments);
+        assert!(warm.iterations <= cold.iterations);
+        assert!((warm.inertia - cold.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_centers_rejects_mismatched_dims() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let init = Matrix::from_rows(&[vec![1.0]]);
+        assert!(std::panic::catch_unwind(|| kmeans_from_centers(&data, init, 10)).is_err());
     }
 }

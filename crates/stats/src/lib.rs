@@ -10,7 +10,10 @@
 //! * [`kmeans`] — k-means clustering with k-means++ seeding (phase formation,
 //!   §III-B of the paper).
 //! * [`silhouette`] — silhouette-coefficient model selection implementing the
-//!   paper's "smallest k with at least 90 % of the best score" rule.
+//!   paper's "smallest k with at least 90 % of the best score" rule, with a
+//!   distance-cached scoring path and a warm-started sweep.
+//! * [`distcache`] — the pairwise-distance matrix built once per `choose_k`
+//!   sweep and shared across all candidate scorings.
 //! * [`bic`] — SimPoint/X-means BIC model selection, the related-work
 //!   alternative the ablations compare against.
 //! * [`regression`] — univariate linear-regression (F-test) feature scoring
@@ -24,6 +27,7 @@
 
 pub mod bic;
 pub mod descriptive;
+pub mod distcache;
 pub mod kmeans;
 pub mod matrix;
 pub mod regression;
@@ -36,12 +40,13 @@ pub use bic::{bic_score, choose_k_bic, BicSelection};
 pub use descriptive::{
     cov, cov_triple, mean, population_variance, sample_variance, stddev, CovTriple, Summary,
 };
-pub use kmeans::{kmeans, KMeans, KMeansResult};
+pub use distcache::DistCache;
+pub use kmeans::{kmeans, kmeans_from_centers, KMeans, KMeansResult};
 pub use matrix::Matrix;
 pub use regression::{f_regression, select_top_k, top_k_features};
 pub use rng::{seeded, split_seed, SeedRng};
 pub use sampling::{srs_indices, srs_indices_seeded, systematic_indices};
-pub use silhouette::{choose_k, silhouette_score, KSelection};
+pub use silhouette::{choose_k, silhouette_score, silhouette_score_cached, KSelection};
 pub use stratified::{
     confidence_interval, optimal_allocation, proportional_allocation, required_sample_size,
     stratified_se, StratumStats,

@@ -126,6 +126,39 @@ impl Matrix {
         a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
     }
 
+    /// Dot product of two equally sized slices, computed with a fixed 8-lane
+    /// chunked kernel.
+    ///
+    /// The independent lane accumulators let the compiler auto-vectorize the
+    /// inner loop; the lanes are reduced in a fixed tree order plus a scalar
+    /// tail, so the result is deterministic for a given input length.
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        const LANES: usize = 8;
+        let split = a.len() - a.len() % LANES;
+        let mut acc = [0.0f64; LANES];
+        for (xa, xb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+            for l in 0..LANES {
+                acc[l] += xa[l] * xb[l];
+            }
+        }
+        let mut tail = 0.0;
+        for (x, y) in a[split..].iter().zip(&b[split..]) {
+            tail += x * y;
+        }
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+    }
+
+    /// Squared Euclidean norm of every row (`‖x_i‖²`), via [`Matrix::dot`].
+    ///
+    /// Cached by [`crate::DistCache`] so pairwise distances reduce to
+    /// `‖x‖² + ‖y‖² − 2·x·y` — one dot product instead of a subtract-square
+    /// pass per pair.
+    pub fn row_sq_norms(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| Self::dot(self.row(i), self.row(i))).collect()
+    }
+
     /// Euclidean distance between two equally sized slices.
     #[inline]
     pub fn dist(a: &[f64], b: &[f64]) -> f64 {
@@ -189,6 +222,32 @@ mod tests {
     fn distances() {
         assert_eq!(Matrix::sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
         assert_eq!(Matrix::dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dot_kernel_matches_naive_at_every_length() {
+        // Cover the tail path (len % 8 ≠ 0) and multi-chunk lengths.
+        for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.71).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let kernel = Matrix::dot(&a, &b);
+            assert!((kernel - naive).abs() <= 1e-12 * naive.abs().max(1.0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_is_bitwise_symmetric() {
+        let a: Vec<f64> = (0..23).map(|i| (i as f64 * 0.9).tan()).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i as f64 * 1.3).sin()).collect();
+        assert_eq!(Matrix::dot(&a, &b).to_bits(), Matrix::dot(&b, &a).to_bits());
+    }
+
+    #[test]
+    fn row_sq_norms_match_sq_dist_to_origin() {
+        let m = Matrix::from_rows(&[vec![3.0, 4.0], vec![1.0, 1.0], vec![0.0, 0.0]]);
+        let norms = m.row_sq_norms();
+        assert_eq!(norms, vec![25.0, 2.0, 0.0]);
     }
 
     #[test]

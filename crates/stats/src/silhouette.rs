@@ -11,62 +11,147 @@
 //! present only when the best silhouette over `k ≥ 2` reaches a minimum
 //! (`min_structure`, default 0.25). Below that — or when the data has no
 //! variance at all — the selector returns `k = 1`.
+//!
+//! # Performance
+//!
+//! `choose_k` builds one [`DistCache`] (the `O(n²·d)` part) and shares it
+//! across all candidate scorings ([`silhouette_score_cached`], `O(n²)` per
+//! candidate), and warm-starts each k's Lloyd run from the previous k's
+//! centers plus one ++-seeded center. Scoring walks the points in fixed
+//! [`SIL_CHUNK`]-sized chunks with one reused per-cluster buffer per chunk
+//! (not one allocation per point) and folds the per-chunk partial sums in
+//! chunk order, so the score is bit-identical at every worker count.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use crate::kmeans::{kmeans, KMeans, KMeansResult};
+use crate::distcache::DistCache;
+use crate::kmeans::{kmeans, kmeans_from_centers, KMeans, KMeansResult};
 use crate::matrix::Matrix;
+use crate::rng::{seeded, split_seed};
 
-/// Mean silhouette coefficient of a clustering.
+/// Points per silhouette chunk: fixed (never derived from the worker count)
+/// so the partial-sum association — and therefore the score bits — is the
+/// same at every thread count.
+const SIL_CHUNK: usize = 64;
+
+/// Cold k-means++ restarts per candidate k when a warm start is also
+/// available; the first k of the sweep (no warm start yet) uses the full
+/// [`KMeans::new`] default.
+const SWEEP_COLD_RESTARTS: usize = 2;
+
+/// Per-cluster point counts, sized by the largest label in `assignments`.
+fn cluster_sizes(assignments: &[usize]) -> Vec<usize> {
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    sizes
+}
+
+/// The silhouette of point `i` given its row of distances to all points.
+/// `dist_sum` is the caller's scratch buffer (one per chunk, reused).
+#[inline]
+fn point_silhouette(
+    row: impl Fn(usize) -> f64,
+    i: usize,
+    n: usize,
+    assignments: &[usize],
+    sizes: &[usize],
+    dist_sum: &mut [f64],
+) -> f64 {
+    let own = assignments[i];
+    if sizes[own] <= 1 {
+        return 0.0; // singleton convention
+    }
+    dist_sum.fill(0.0);
+    for j in 0..n {
+        if i == j {
+            continue;
+        }
+        dist_sum[assignments[j]] += row(j);
+    }
+    let a = dist_sum[own] / (sizes[own] - 1) as f64;
+    let b = (0..sizes.len())
+        .filter(|&c| c != own && sizes[c] > 0)
+        .map(|c| dist_sum[c] / sizes[c] as f64)
+        .fold(f64::INFINITY, f64::min);
+    let denom = a.max(b);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (b - a) / denom
+    }
+}
+
+/// Mean silhouette over all points, parallel over fixed-size point chunks.
+/// `row_of(i)(j)` yields the distance from `i` to `j`.
+fn silhouette_chunked<R, D>(n: usize, assignments: &[usize], sizes: &[usize], row_of: R) -> f64
+where
+    R: Fn(usize) -> D + Sync,
+    D: Fn(usize) -> f64,
+{
+    let k = sizes.len();
+    let partials: Vec<f64> = (0..n.div_ceil(SIL_CHUNK))
+        .into_par_iter()
+        .map(|c| {
+            let mut dist_sum = vec![0.0f64; k];
+            let mut partial = 0.0;
+            for i in c * SIL_CHUNK..((c + 1) * SIL_CHUNK).min(n) {
+                partial += point_silhouette(row_of(i), i, n, assignments, sizes, &mut dist_sum);
+            }
+            partial
+        })
+        .collect();
+    partials.iter().sum::<f64>() / n as f64
+}
+
+/// Mean silhouette coefficient of a clustering, computing distances on the
+/// fly.
 ///
 /// Returns `0.0` when the clustering has fewer than 2 non-empty clusters or
 /// fewer than 2 points. Singleton clusters contribute a silhouette of `0` for
 /// their point, per the standard convention.
+///
+/// This is the reference implementation (`O(n²·d)` per call); the `choose_k`
+/// sweep scores through a shared [`DistCache`] with
+/// [`silhouette_score_cached`] instead.
 pub fn silhouette_score(data: &Matrix, assignments: &[usize]) -> f64 {
     let n = data.rows();
     assert_eq!(assignments.len(), n, "assignment length mismatch");
     if n < 2 {
         return 0.0;
     }
-    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
-    let mut sizes = vec![0usize; k];
-    for &a in assignments {
-        sizes[a] += 1;
-    }
+    let sizes = cluster_sizes(assignments);
     if sizes.iter().filter(|&&s| s > 0).count() < 2 {
         return 0.0;
     }
+    silhouette_chunked(n, assignments, &sizes, |i| {
+        let xi = data.row(i);
+        move |j| Matrix::dist(xi, data.row(j))
+    })
+}
 
-    let total: f64 = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            if sizes[assignments[i]] <= 1 {
-                return 0.0;
-            }
-            // Mean distance from i to every cluster.
-            let mut dist_sum = vec![0.0f64; k];
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                dist_sum[assignments[j]] += Matrix::dist(data.row(i), data.row(j));
-            }
-            let own = assignments[i];
-            let a = dist_sum[own] / (sizes[own] - 1) as f64;
-            let b = (0..k)
-                .filter(|&c| c != own && sizes[c] > 0)
-                .map(|c| dist_sum[c] / sizes[c] as f64)
-                .fold(f64::INFINITY, f64::min);
-            let denom = a.max(b);
-            if denom == 0.0 {
-                0.0
-            } else {
-                (b - a) / denom
-            }
-        })
-        .sum();
-    total / n as f64
+/// Mean silhouette coefficient read from a prebuilt [`DistCache`] —
+/// `O(n²)` instead of `O(n²·d)`.
+///
+/// Same conventions as [`silhouette_score`]; the two agree to floating-point
+/// noise (the cache computes distances via the norm identity).
+pub fn silhouette_score_cached(cache: &DistCache, assignments: &[usize]) -> f64 {
+    let n = cache.n();
+    assert_eq!(assignments.len(), n, "assignment length mismatch");
+    if n < 2 {
+        return 0.0;
+    }
+    let sizes = cluster_sizes(assignments);
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return 0.0;
+    }
+    silhouette_chunked(n, assignments, &sizes, |i| {
+        let row = cache.row(i);
+        move |j| row[j]
+    })
 }
 
 /// Outcome of the k-selection sweep.
@@ -80,12 +165,55 @@ pub struct KSelection {
     pub scores: Vec<(usize, f64)>,
 }
 
+/// Extends a converged `(k−1)`-center solution to `k` centers with one
+/// ++-seeded addition: the new center is drawn with probability proportional
+/// to squared distance from the nearest existing center.
+fn extend_centers(data: &Matrix, prev: &Matrix, seed: u64) -> Matrix {
+    use rand::RngExt;
+    let n = data.rows();
+    let d2: Vec<f64> = (0..n)
+        .map(|i| {
+            (0..prev.rows())
+                .map(|c| Matrix::sq_dist(data.row(i), prev.row(c)))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let mut rng = seeded(seed);
+    let total: f64 = d2.iter().sum();
+    let pick = if total <= 0.0 {
+        rng.random_range(0..n)
+    } else {
+        let mut target = rng.random::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            target -= d;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        chosen
+    };
+    let mut centers = Matrix::zeros(prev.rows() + 1, prev.cols());
+    for c in 0..prev.rows() {
+        centers.row_mut(c).copy_from_slice(prev.row(c));
+    }
+    centers.row_mut(prev.rows()).copy_from_slice(data.row(pick));
+    centers
+}
+
 /// Sweeps `k ∈ 2..=k_max`, scores each clustering with the silhouette
 /// coefficient, and applies the paper's rule: the smallest `k` whose score is
 /// at least `threshold` (e.g. 0.9) times the best score.
 ///
 /// Falls back to `k = 1` when the data shows no cluster structure (best
 /// silhouette below `min_structure`) or has fewer than 3 rows.
+///
+/// Pairwise distances are computed once into a [`DistCache`] shared by every
+/// candidate's scoring, and each `k > 2` runs both a warm start (previous
+/// centers + one ++-seeded center) and [`SWEEP_COLD_RESTARTS`] cold
+/// restarts, keeping whichever converges to the lower inertia. Everything is
+/// deterministic in `seed` and bit-identical at every worker count.
 pub fn choose_k(
     data: &Matrix,
     k_max: usize,
@@ -99,13 +227,29 @@ pub fn choose_k(
         return KSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores: Vec::new() };
     }
 
-    let candidates: Vec<(usize, KMeansResult, f64)> = (2..=k_max)
-        .map(|k| {
-            let r = kmeans(data, KMeans::new(k, seed));
-            let s = silhouette_score(data, &r.assignments);
-            (k, r, s)
-        })
-        .collect();
+    let cache = DistCache::build(data);
+    let mut candidates: Vec<(usize, KMeansResult, f64)> = Vec::with_capacity(k_max - 1);
+    let mut prev_centers: Option<Matrix> = None;
+    for k in 2..=k_max {
+        let mut config = KMeans::new(k, seed);
+        let result = match &prev_centers {
+            None => kmeans(data, config),
+            Some(prev) => {
+                config.n_init = SWEEP_COLD_RESTARTS;
+                let cold = kmeans(data, config);
+                let init = extend_centers(data, prev, split_seed(seed, 0x3A9E ^ k as u64));
+                let warm = kmeans_from_centers(data, init, config.max_iter);
+                if warm.inertia < cold.inertia {
+                    warm
+                } else {
+                    cold
+                }
+            }
+        };
+        let s = silhouette_score_cached(&cache, &result.assignments);
+        prev_centers = Some(result.centers.clone());
+        candidates.push((k, result, s));
+    }
 
     let best = candidates.iter().map(|&(_, _, s)| s).fold(f64::NEG_INFINITY, f64::max);
     let scores: Vec<(usize, f64)> = candidates.iter().map(|&(k, _, s)| (k, s)).collect();
@@ -206,5 +350,42 @@ mod tests {
         let sel = choose_k(&data, 5, 0.9, 0.25, 3);
         let ks: Vec<usize> = sel.scores.iter().map(|&(k, _)| k).collect();
         assert_eq!(ks, vec![2, 3, 4, 5]);
+    }
+
+    /// Regression: the distance-cache scoring path must match the naive
+    /// implementation to 1e-12 (the cache computes distances via the norm
+    /// identity, so exact bit equality is not expected).
+    #[test]
+    fn cached_silhouette_matches_naive_to_1e12() {
+        for (centers, per, k) in [
+            (vec![(0.0, 0.0), (10.0, 10.0)], 15usize, 2usize),
+            (vec![(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)], 11, 3),
+            (vec![(1.0, 2.0), (1.5, 2.5), (9.0, -4.0), (20.0, 20.0)], 7, 4),
+        ] {
+            let data = blobs(&centers, per);
+            let n = data.rows();
+            let assignments: Vec<usize> = (0..n).map(|i| i % k).collect();
+            let naive = silhouette_score(&data, &assignments);
+            let cached = silhouette_score_cached(&DistCache::build(&data), &assignments);
+            assert!((naive - cached).abs() <= 1e-12, "naive {naive} vs cached {cached} (k = {k})");
+        }
+    }
+
+    #[test]
+    fn cached_silhouette_degenerate_cases_match_naive() {
+        let data = blobs(&[(0.0, 0.0)], 10);
+        let cache = DistCache::build(&data);
+        assert_eq!(silhouette_score_cached(&cache, &[0usize; 10]), 0.0);
+        let tiny = Matrix::from_rows(&[vec![1.0]]);
+        assert_eq!(silhouette_score_cached(&DistCache::build(&tiny), &[0]), 0.0);
+    }
+
+    #[test]
+    fn warm_started_sweep_still_finds_structure() {
+        // A sweep deep enough that warm starts kick in for most candidates.
+        let data = blobs(&[(0.0, 0.0), (12.0, 0.0), (0.0, 12.0), (12.0, 12.0)], 9);
+        let sel = choose_k(&data, 10, 0.9, 0.25, 13);
+        assert_eq!(sel.k, 4, "scores: {:?}", sel.scores);
+        assert_eq!(sel.result.assignments.len(), 36);
     }
 }

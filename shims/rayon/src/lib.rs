@@ -1,59 +1,260 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` with *real* parallelism.
 //!
-//! The workspace builds hermetically without crates.io, so this crate maps
-//! the `into_par_iter()` / `par_iter()` entry points onto plain sequential
-//! iterators. Results are identical (the workspace only uses order-preserving
-//! `map`/`collect`/`sum` pipelines); only wall-clock parallelism is lost,
-//! which keeps hermetic builds deterministic and dependency-free.
+//! The workspace builds hermetically without crates.io, so this crate keeps
+//! the `into_par_iter()` / `par_iter()` entry points but executes them on a
+//! chunked, order-preserving pool of scoped threads (`std::thread::scope`)
+//! instead of mapping them onto sequential iterators.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical** for every worker count, including 1:
+//!
+//! * `map`/`collect` preserve input order, so any chunking produces the same
+//!   output vector.
+//! * `sum` is *always* computed as fixed-size chunk partials folded in chunk
+//!   order ([`SUM_CHUNK`] items per partial, independent of the worker
+//!   count), because floating-point addition is not associative. The
+//!   single-threaded fallback uses the exact same chunking, so a 1-thread
+//!   run and an N-thread run associate additions identically.
+//!
+//! # Worker-count resolution
+//!
+//! 1. A programmatic override installed with [`set_threads`] (the CLI's
+//!    `--threads` flag lands here);
+//! 2. the `SIMPROF_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested parallel regions run sequentially on the worker that encounters
+//! them (a thread-local depth guard), so a parallel outer loop over
+//! workloads does not multiply threads with the parallel k-means inside it.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Items per summation chunk. Fixed (never derived from the worker count) so
+/// that `sum` associates floating-point additions identically at every
+/// thread count.
+pub const SUM_CHUNK: usize = 256;
+
+/// Below this many items a parallel call runs sequentially: spawning scoped
+/// worker threads costs more than the work can recoup.
+const PAR_THRESHOLD: usize = 4;
+
+/// Programmatic worker-count override; `0` means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Worker count resolved from the environment, computed once.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Set while the current thread is executing inside a parallel region;
+    /// nested regions then run sequentially instead of spawning again.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs a workspace-wide worker-count override (the CLI `--threads`
+/// flag). Passing `0` clears the override, restoring the
+/// `SIMPROF_THREADS`-then-`available_parallelism` resolution.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The worker count parallel regions will currently use (≥ 1).
+pub fn current_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if overridden > 0 {
+        return overridden;
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("SIMPROF_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Runs `f` over `items` chunk by chunk on scoped worker threads, returning
+/// per-chunk outputs in chunk order. `chunk_size` controls only scheduling
+/// granularity for `collect`; summation callers pass [`SUM_CHUNK`] so the
+/// partials are thread-count independent.
+///
+/// Chunks are assigned to workers round-robin (chunk `c` → worker
+/// `c % workers`), each worker maps its chunks sequentially, and the main
+/// thread reassembles outputs by chunk index — order preserving by
+/// construction.
+fn run_chunks<I, T, F>(items: Vec<I>, chunk_size: usize, f: &F) -> Vec<Vec<T>>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let chunk_size = chunk_size.max(1);
+    let workers = current_threads();
+    let sequential = workers <= 1 || n < PAR_THRESHOLD || IN_PARALLEL.with(Cell::get);
+
+    // Split into owned chunks; chunk boundaries depend only on `chunk_size`.
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(n.div_ceil(chunk_size));
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<I> = it.by_ref().take(chunk_size).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+
+    if sequential {
+        return chunks.into_iter().map(|c| c.into_iter().map(f).collect()).collect();
+    }
+
+    let n_chunks = chunks.len();
+    let mut per_worker: Vec<Vec<(usize, Vec<I>)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (ci, c) in chunks.into_iter().enumerate() {
+        per_worker[ci % workers].push((ci, c));
+    }
+
+    let mut out: Vec<Option<Vec<T>>> = (0..n_chunks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .filter(|mine| !mine.is_empty())
+            .map(|mine| {
+                s.spawn(move || {
+                    IN_PARALLEL.with(|flag| flag.set(true));
+                    mine.into_iter()
+                        .map(|(ci, c)| (ci, c.into_iter().map(f).collect::<Vec<T>>()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (ci, r) in h.join().expect("parallel worker panicked") {
+                out[ci] = Some(r);
+            }
+        }
+    });
+    out.into_iter().map(|c| c.expect("every chunk produced")).collect()
+}
+
+/// An order-preserving parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps every item through `f` in parallel; order is preserved.
+    pub fn map<T, F>(self, f: F) -> ParMap<I, F>
+    where
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Sums the items directly (equivalent to `.map(|x| x).sum()`).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I> + std::iter::Sum<S> + Send,
+    {
+        self.map(|x| x).sum()
+    }
+
+    /// Collects the items into `C` (identity map).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I>,
+    {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A mapped parallel iterator: the terminal `collect`/`sum` runs the pool.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParMap<I, F> {
+    /// Runs the map on the pool and collects outputs in input order.
+    pub fn collect<T, C>(self) -> C
+    where
+        T: Send,
+        F: Fn(I) -> T + Sync,
+        C: FromIterator<T>,
+    {
+        let n = self.items.len();
+        // Scheduling-only granularity: ~4 chunks per worker amortizes spawn
+        // cost while keeping round-robin assignment balanced.
+        let chunk = n.div_ceil(current_threads().max(1) * 4).max(1);
+        run_chunks(self.items, chunk, &self.f).into_iter().flatten().collect()
+    }
+
+    /// Runs the map on the pool and sums outputs via fixed-size chunk
+    /// partials folded in chunk order (see the crate-level determinism
+    /// contract).
+    pub fn sum<T, S>(self) -> S
+    where
+        T: Send,
+        F: Fn(I) -> T + Sync,
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let partials: Vec<S> = run_chunks(self.items, SUM_CHUNK, &self.f)
+            .into_iter()
+            .map(|c| c.into_iter().sum::<S>())
+            .collect();
+        partials.into_iter().sum()
+    }
+}
 
 /// The rayon prelude: import to get `into_par_iter()`/`par_iter()`.
 pub mod prelude {
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// The (sequential) iterator type returned.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item;
+    pub use super::{ParIter, ParMap};
 
-        /// Returns the underlying sequential iterator.
-        fn into_par_iter(self) -> Self::Iter;
+    /// Parallel stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item: Send;
+
+        /// Converts into an order-preserving parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
+    impl<I: IntoIterator> IntoParallelIterator for I
+    where
+        I::Item: Send,
+    {
         type Item = I::Item;
 
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter { items: self.into_iter().collect() }
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    /// Parallel stand-in for `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'a> {
-        /// The (sequential) iterator type returned.
-        type Iter: Iterator<Item = Self::Item>;
         /// The element type (a reference).
-        type Item: 'a;
+        type Item: Send + 'a;
 
-        /// Returns a borrowing sequential iterator.
-        fn par_iter(&'a self) -> Self::Iter;
+        /// Returns a borrowing parallel iterator.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-        type Iter = core::slice::Iter<'a, T>;
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
         type Item = &'a T;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
         }
     }
 
-    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-        type Iter = core::slice::Iter<'a, T>;
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
         type Item = &'a T;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.as_slice().iter()
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
         }
     }
 }
@@ -61,6 +262,19 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the global thread override.
+    static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        set_threads(n);
+        let r = f();
+        set_threads(0);
+        r
+    }
 
     #[test]
     fn par_pipelines_match_sequential() {
@@ -69,5 +283,56 @@ mod tests {
         let v = vec![1.0f64, 2.0, 3.0];
         let s: f64 = v.par_iter().sum();
         assert_eq!(s, 6.0);
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let expect: Vec<u64> = (0..10_000u64).map(|i| i.wrapping_mul(i)).collect();
+        for threads in [1, 2, 3, 8] {
+            let got: Vec<u64> = with_threads(threads, || {
+                (0..10_000u64).into_par_iter().map(|i| i.wrapping_mul(i)).collect()
+            });
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sum_is_bit_identical_across_thread_counts() {
+        // Values chosen so the sum is sensitive to association order.
+        let f = |i: u64| ((i as f64) * 1e-3).sin() * 1e8 + 1e-7 * (i as f64);
+        let one: f64 = with_threads(1, || (0..50_000u64).into_par_iter().map(f).sum());
+        for threads in [2, 3, 5, 16] {
+            let many: f64 = with_threads(threads, || (0..50_000u64).into_par_iter().map(f).sum());
+            assert_eq!(one.to_bits(), many.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_regions_do_not_explode() {
+        let got: Vec<usize> = with_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| (0..32usize).into_par_iter().map(move |j| i + j).sum())
+                .collect()
+        });
+        let expect: Vec<usize> = (0..64).map(|i| (0..32).map(|j| i + j).sum()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let got: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(got.is_empty());
+        let s: f64 = Vec::<f64>::new().into_par_iter().sum();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn override_beats_environment() {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        set_threads(3);
+        assert_eq!(current_threads(), 3);
+        set_threads(0);
+        assert!(current_threads() >= 1);
     }
 }

@@ -1,0 +1,97 @@
+//! Parallel/sequential equivalence: the threaded substrate must produce
+//! **bit-identical** results to 1-thread mode for every analysis entry point
+//! (DESIGN.md §10's determinism contract), across random data and seeds.
+//!
+//! These tests mutate the process-wide worker-count override, so they all
+//! live in this one integration-test binary (its own process) and serialize
+//! on a lock.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use simprof::stats::{choose_k, silhouette_score, silhouette_score_cached, DistCache, Matrix};
+
+/// Serializes tests that flip the global worker-count override.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` twice — pinned to 1 worker and to `threads` workers — and
+/// returns both results, restoring the default afterwards.
+fn one_vs_many<R>(threads: usize, f: impl Fn() -> R) -> (R, R) {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    rayon::set_threads(1);
+    let one = f();
+    rayon::set_threads(threads);
+    let many = f();
+    rayon::set_threads(0);
+    (one, many)
+}
+
+/// Strategy: a feature matrix with latent block structure — `rows` points,
+/// `cols` features, values loud on one band per latent behaviour.
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (3usize..60, 1usize..8, 2usize..5, any::<u64>()).prop_map(|(rows, cols, bands, seed)| {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|i| {
+                (0..cols)
+                    .map(|j| {
+                        let loud = j % bands == i % bands;
+                        let noise =
+                            ((i * 31 + j * 7) as u64 ^ seed).wrapping_mul(0x9E37_79B9) % 1000;
+                        if loud {
+                            5.0 + noise as f64 * 1e-3
+                        } else {
+                            noise as f64 * 1e-3
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Matrix::from_rows(&data)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `choose_k` — the whole phase-formation sweep, including the distance
+    /// cache, warm starts, and the parallel Lloyd iterations — is
+    /// bit-identical between 1-thread and N-thread runs.
+    #[test]
+    fn choose_k_bit_identical_across_thread_counts(
+        m in matrix_strategy(),
+        seed in any::<u64>(),
+        threads in 2usize..6,
+    ) {
+        let (one, many) = one_vs_many(threads, || choose_k(&m, 8, 0.9, 0.25, seed));
+        prop_assert_eq!(one.k, many.k);
+        prop_assert_eq!(&one.result.assignments, &many.result.assignments);
+        prop_assert_eq!(&one.result.centers, &many.result.centers);
+        prop_assert_eq!(one.result.inertia.to_bits(), many.result.inertia.to_bits());
+        prop_assert_eq!(one.scores.len(), many.scores.len());
+        for (&(ka, sa), &(kb, sb)) in one.scores.iter().zip(&many.scores) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(sa.to_bits(), sb.to_bits(), "score bits differ at k = {}", ka);
+        }
+    }
+
+    /// Both silhouette paths (naive and distance-cached) are bit-identical
+    /// across thread counts, and the cached path tracks the naive one to
+    /// 1e-12.
+    #[test]
+    fn silhouette_bit_identical_across_thread_counts(
+        m in matrix_strategy(),
+        k in 2usize..5,
+        threads in 2usize..6,
+    ) {
+        let assignments: Vec<usize> = (0..m.rows()).map(|i| i % k).collect();
+        let (one, many) = one_vs_many(threads, || {
+            let naive = silhouette_score(&m, &assignments);
+            let cached = silhouette_score_cached(&DistCache::build(&m), &assignments);
+            (naive, cached)
+        });
+        prop_assert_eq!(one.0.to_bits(), many.0.to_bits());
+        prop_assert_eq!(one.1.to_bits(), many.1.to_bits());
+        prop_assert!((one.0 - one.1).abs() <= 1e-12, "naive {} vs cached {}", one.0, one.1);
+    }
+}
