@@ -11,18 +11,24 @@
 //! ```text
 //! cargo run --release -p simprof-bench --bin bench_pipeline -- \
 //!     [--quick] [--units N] [--features D] [--kmax K] [--seed S] \
-//!     [--threads N] [-o BENCH_pipeline.json]
+//!     [--threads N] [-o BENCH_pipeline.json] [--report REPORT.json]
 //! ```
 //!
 //! With `-o`, writes a JSON record (units analyzed/sec, sweep wall-clock,
 //! thread count, speedup) that CI uploads as the `BENCH_pipeline.json`
-//! artifact to track the perf trajectory.
+//! artifact to track the perf trajectory. With `--report`, the optimized
+//! run executes under an observability session and writes the versioned
+//! run report (span tree, metrics, Eq. 1 allocation table), which CI
+//! schema-checks with the `report_check` bin.
 
 use std::time::Instant;
 
 use rand::RngExt;
 use simprof_bench::apply_thread_flag;
-use simprof_stats::{choose_k, kmeans, seeded, silhouette_score, KMeans, Matrix};
+use simprof_stats::{
+    choose_k, kmeans, optimal_allocation, seeded, silhouette_score, stddev, KMeans, Matrix,
+    StratumStats,
+};
 
 struct Args {
     units: usize,
@@ -30,11 +36,13 @@ struct Args {
     k_max: usize,
     seed: u64,
     output: Option<String>,
+    report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv = apply_thread_flag(std::env::args().skip(1).collect())?;
-    let mut args = Args { units: 2000, features: 100, k_max: 20, seed: 42, output: None };
+    let mut args =
+        Args { units: 2000, features: 100, k_max: 20, seed: 42, output: None, report: None };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -58,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = value(&flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?
             }
             "-o" | "--output" => args.output = Some(value(&flag)?),
+            "--report" => args.report = Some(value(&flag)?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -110,7 +119,12 @@ fn main() {
         }
     };
     let threads = rayon::current_threads();
-    let data = synthetic_trace(args.units, args.features, args.seed);
+    // Observability stays disabled (and free) unless a report was requested.
+    let session = args.report.as_ref().map(|_| simprof_obs::Session::begin());
+    let data = {
+        let _span = simprof_obs::span!("bench.synthesize");
+        synthetic_trace(args.units, args.features, args.seed)
+    };
     println!(
         "pipeline throughput: {} units × {} features, k ≤ {}, {} thread(s)",
         args.units, args.features, args.k_max, threads
@@ -126,8 +140,27 @@ fn main() {
     rayon::set_threads(threads);
 
     let t1 = Instant::now();
-    let sel = choose_k(&data, args.k_max, 0.9, 0.25, args.seed);
+    let sel = {
+        let _span = simprof_obs::span!("bench.phase_formation");
+        choose_k(&data, args.k_max, 0.9, 0.25, args.seed)
+    };
     let optimized_secs = t1.elapsed().as_secs_f64();
+
+    // Synthetic sampling stage: treat each unit's feature-row mean as the
+    // measured quantity and run the Eq. 1 allocator over the chosen phases,
+    // so a bench run exercises (and reports on) all three pipeline stages.
+    let (strata, allocation) = {
+        let _span = simprof_obs::span!("bench.sampling");
+        let mut by_phase: Vec<Vec<f64>> = vec![Vec::new(); sel.k.max(1)];
+        for (i, &h) in sel.result.assignments.iter().enumerate() {
+            let row = data.row(i);
+            by_phase[h].push(row.iter().sum::<f64>() / row.len() as f64);
+        }
+        let strata: Vec<StratumStats> =
+            by_phase.iter().map(|v| StratumStats { units: v.len(), stddev: stddev(v) }).collect();
+        let allocation = optimal_allocation(50.min(args.units), &strata);
+        (strata, allocation)
+    };
 
     let speedup = baseline_secs / optimized_secs.max(1e-12);
     let ups_base = args.units as f64 / baseline_secs.max(1e-12);
@@ -154,6 +187,57 @@ fn main() {
         });
         let text = serde_json::to_string_pretty(&record).expect("record encodes");
         if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+
+    if let (Some(session), Some(path)) = (session, args.report.as_ref()) {
+        let total: usize = strata.iter().map(|s| s.units).sum();
+        let rows: Vec<serde_json::Value> = strata
+            .iter()
+            .zip(&allocation)
+            .enumerate()
+            .map(|(h, (s, &n_h))| {
+                serde_json::json!({
+                    "phase": h,
+                    "units": s.units,
+                    "weight": s.units as f64 / total.max(1) as f64,
+                    "stddev": s.stddev,
+                    "allocated": n_h,
+                })
+            })
+            .collect();
+        let report = session
+            .finish()
+            .with_section(
+                "config",
+                serde_json::json!({
+                    "units": args.units,
+                    "features": args.features,
+                    "k_max": args.k_max,
+                    "seed": args.seed,
+                    "threads": threads,
+                }),
+            )
+            .with_section(
+                "bench",
+                serde_json::json!({
+                    "baseline_sweep_secs": baseline_secs,
+                    "optimized_sweep_secs": optimized_secs,
+                    "speedup": speedup,
+                }),
+            )
+            .with_section(
+                "phases",
+                serde_json::json!({
+                    "chosen_k": sel.k,
+                    "scores": serde_json::to_value(&sel.scores),
+                }),
+            )
+            .with_section("allocation", serde_json::to_value(&rows));
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
             eprintln!("error: write {path}: {e}");
             std::process::exit(1);
         }

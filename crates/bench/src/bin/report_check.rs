@@ -1,0 +1,74 @@
+//! Schema validator for observability run reports.
+//!
+//! ```text
+//! cargo run -p simprof-bench --bin report_check -- run.json BENCH_report.json
+//! ```
+//!
+//! Checks every path argument against the report schema this build emits
+//! ([`simprof_obs::REPORT_VERSION`]): the document must parse as a
+//! [`simprof_obs::RunReport`], carry the current version, a non-empty span
+//! tree, a non-empty metrics snapshot, and an `allocation` section that is
+//! a non-empty array of rows each holding the Eq. 1 columns. Exits nonzero
+//! naming the first violated requirement per file, so CI can gate report
+//! artifacts without external JSON tooling.
+
+use simprof_obs::{RunReport, REPORT_VERSION};
+
+/// Validates one report file, returning the first violated requirement.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let report: RunReport =
+        serde_json::from_str(&text).map_err(|e| format!("not a run report: {e}"))?;
+    if report.version != REPORT_VERSION {
+        return Err(format!(
+            "schema version {} (this build checks version {REPORT_VERSION})",
+            report.version
+        ));
+    }
+    if report.spans.is_empty() {
+        return Err("span tree is empty".into());
+    }
+    let m = &report.metrics;
+    if m.counters.is_empty() && m.gauges.is_empty() && m.histograms.is_empty() {
+        return Err("metrics snapshot is empty".into());
+    }
+    let alloc = report
+        .sections
+        .get("allocation")
+        .ok_or_else(|| "missing `allocation` section".to_owned())?;
+    let rows = alloc.as_array().ok_or_else(|| "`allocation` section is not an array".to_owned())?;
+    if rows.is_empty() {
+        return Err("`allocation` table has no rows".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let entries =
+            row.as_object().ok_or_else(|| format!("allocation row {i} is not an object"))?;
+        for key in ["phase", "units", "weight", "stddev", "allocated"] {
+            if !entries.iter().any(|(k, _)| k == key) {
+                return Err(format!("allocation row {i} lacks the `{key}` column"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: report_check <report.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check(path) {
+            Ok(()) => println!("{path}: ok (schema v{REPORT_VERSION})"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

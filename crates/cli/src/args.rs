@@ -29,6 +29,9 @@ pub struct Options {
     /// `--threads` (worker count for parallel regions; overrides the
     /// `SIMPROF_THREADS` environment variable).
     pub threads: Option<usize>,
+    /// `--report` (path the observability run report is written to; absent
+    /// means observability stays disabled and costs nothing).
+    pub report: Option<String>,
 }
 
 /// Workload scale preset.
@@ -53,6 +56,7 @@ impl Default for Options {
             z: 3.0,
             threshold: 0.10,
             threads: None,
+            report: None,
         }
     }
 }
@@ -111,6 +115,7 @@ impl Options {
                     }
                     opts.threads = Some(t);
                 }
+                "--report" => opts.report = Some(value(flag)?),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -184,6 +189,13 @@ mod tests {
     fn threads_flag() {
         assert_eq!(parse("").unwrap().threads, None);
         assert_eq!(parse("--threads 4").unwrap().threads, Some(4));
+    }
+
+    #[test]
+    fn report_flag() {
+        assert_eq!(parse("").unwrap().report, None);
+        assert_eq!(parse("--report run.json").unwrap().report.as_deref(), Some("run.json"));
+        assert!(parse("--report").is_err(), "missing value");
     }
 
     #[test]

@@ -135,6 +135,100 @@ pub fn select(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `simprof run -w <label> [-n 20] [--report run.json] [-o points.json]` —
+/// the whole pipeline end to end: profile the workload on the simulated
+/// substrate, form phases, select simulation points, and estimate.
+///
+/// With `--report`, the pipeline executes inside an observability session
+/// and the versioned JSON run report (span tree, metrics, phase summary,
+/// Eq. 1 allocation table, estimate) is written to the given path. Without
+/// it, no session starts and every instrumentation hook stays a single
+/// relaxed atomic load; either way the numeric output is identical —
+/// reports carry timings out, nothing feeds back in.
+pub fn run_workload(opts: &Options) -> Result<(), String> {
+    let label = opts.require_workload("run")?;
+    let id = find_workload(label)?;
+    let cfg = workload_config(opts);
+
+    let session = opts.report.as_ref().map(|_| simprof_obs::Session::begin());
+
+    let out = {
+        let _span = simprof_obs::span!("cli.profile");
+        id.run_full(&cfg)
+    };
+    println!(
+        "profiled {label}: {} sampling units × {} instructions",
+        out.trace.units.len(),
+        out.trace.unit_instrs
+    );
+    let analysis = {
+        let _span = simprof_obs::span!("cli.phase_formation");
+        pipeline(opts).analyze(&out.trace).map_err(|e| format!("analyze: {e}"))?
+    };
+    let points = {
+        let _span = simprof_obs::span!("cli.sampling");
+        analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E))
+    };
+    let est = analysis.estimate(&points, opts.z);
+    let oracle = analysis.oracle_cpi();
+    println!(
+        "{} phases; selected {} points (allocation {:?})",
+        analysis.k(),
+        points.len(),
+        points.allocation
+    );
+    println!(
+        "estimated CPI {:.4} ± {:.4} (z = {}), oracle {:.4}, error {:.2}%",
+        est.mean_cpi,
+        opts.z * est.se,
+        opts.z,
+        oracle,
+        simprof_core::relative_error(est.mean_cpi, oracle) * 100.0
+    );
+
+    if let Some(path) = &opts.output {
+        let json = serde_json::json!({
+            "label": label,
+            "points": points.points,
+            "per_phase": points.per_phase,
+            "allocation": points.allocation,
+            "estimate": est,
+        });
+        let text =
+            serde_json::to_string_pretty(&json).map_err(|e| format!("encode points: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if let (Some(session), Some(path)) = (session, opts.report.as_ref()) {
+        let report = session
+            .finish()
+            .with_section(
+                "config",
+                serde_json::json!({
+                    "workload": label,
+                    "scale": match opts.scale { Scale::Paper => "paper", Scale::Tiny => "tiny" },
+                    "seed": opts.seed,
+                    "points": opts.points,
+                    "z": opts.z,
+                }),
+            )
+            .with_section(
+                "phases",
+                serde_json::json!({
+                    "stats": serde_json::to_value(&analysis.stats),
+                    "homogeneity": serde_json::to_value(&analysis.cov),
+                    "k_scores": serde_json::to_value(&analysis.model.k_scores),
+                }),
+            )
+            .with_section("allocation", serde_json::to_value(&analysis.allocation_table(&points)))
+            .with_section("estimate", serde_json::to_value(&est));
+        std::fs::write(path, report.to_json_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote run report {path}");
+    }
+    Ok(())
+}
+
 /// `simprof size -i trace.json --error 0.05 [--z 3]`.
 pub fn size(opts: &Options) -> Result<(), String> {
     let bundle = TraceBundle::load(opts.require_input("size")?)?;
@@ -445,6 +539,43 @@ mod tests {
         assert!(std::fs::read_to_string(manifest_path).unwrap().contains("warmup_instrs"));
         let _ = std::fs::remove_file(manifest_path);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_emits_versioned_report_with_required_sections() {
+        let dir = std::env::temp_dir().join("simprof_cli_run_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("run_report.json");
+        let report_path = report_path.to_str().unwrap();
+
+        run_workload(&opts(&format!(
+            "-w grep_sp --scale tiny --seed 5 -n 5 --report {report_path}"
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(report_path).unwrap();
+        let report: simprof_obs::RunReport = serde_json::from_str(text.trim_end()).unwrap();
+        assert_eq!(report.version, simprof_obs::REPORT_VERSION);
+        // The span tree covers the three pipeline stages, with the engine
+        // and phase-formation internals nested beneath them.
+        for stage in ["cli.profile", "cli.phase_formation", "cli.sampling"] {
+            assert!(report.find_span(stage).is_some(), "missing span {stage}");
+        }
+        assert!(report.find_span("cli.profile").unwrap().find("engine.run").is_some());
+        assert!(report
+            .find_span("cli.phase_formation")
+            .unwrap()
+            .find("core.form_phases")
+            .is_some());
+        assert!(report.find_span("cli.sampling").unwrap().find("core.select_points").is_some());
+        // Metrics and the caller-attached sections made it through.
+        assert!(report.metrics.counters.contains_key("profiler.units"));
+        for section in ["config", "phases", "allocation", "estimate"] {
+            assert!(report.sections.contains_key(section), "missing section {section}");
+        }
+        let _ = std::fs::remove_file(report_path);
+
+        // Without --report, the same invocation runs sessionless.
+        run_workload(&opts("-w grep_sp --scale tiny --seed 5 -n 5")).unwrap();
     }
 
     #[test]

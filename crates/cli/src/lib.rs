@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! simprof list                                   # the 12-workload matrix
+//! simprof run -w wc_sp --report run.json         # whole pipeline + run report
 //! simprof profile -w wc_sp -o wc.json            # run + profile a workload
 //! simprof analyze -i wc.json                     # phases + homogeneity
 //! simprof select  -i wc.json -n 20               # simulation points + CI
@@ -43,6 +44,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
     match command.as_str() {
         "list" => commands::list(&opts),
+        "run" => commands::run_workload(&opts),
         "profile" => commands::profile(&opts),
         "analyze" => commands::analyze(&opts),
         "select" => commands::select(&opts),
@@ -71,6 +73,7 @@ USAGE:
 
 COMMANDS:
     list          List the available workloads (Table I matrix)
+    run           Profile → phases → points end to end (--report for a run report)
     profile       Run a workload on the simulated substrate and save a trace
     analyze       Form phases on a trace and print the homogeneity analysis
     select        Select simulation points by stratified random sampling
@@ -95,6 +98,8 @@ OPTIONS:
         --threshold <FRAC>   Sensitivity threshold for Eq. 6 [default: 0.10]
         --threads <N>        Worker threads for parallel analysis [default:
                              SIMPROF_THREADS env var, else all cores]
+        --report <FILE>      Write the observability run report (span tree,
+                             metrics, allocation table) as versioned JSON
 "
     .to_string()
 }

@@ -9,10 +9,19 @@ use simprof_profiler::ProfileTrace;
 use crate::phases::PhaseModel;
 
 /// Relative error of a predicted CPI against the oracle (|pred − oracle| /
-/// oracle). Returns `0` when the oracle is zero.
+/// oracle).
+///
+/// A zero oracle makes the ratio undefined: a nonzero prediction against it
+/// returns `f64::INFINITY` so the wrong prediction is loud in any Fig. 7
+/// aggregate (an earlier version returned `0.0` here, silently scoring it as
+/// perfect). Only an exactly-right prediction of a zero oracle returns `0.0`.
 pub fn relative_error(predicted: f64, oracle: f64) -> f64 {
     if oracle == 0.0 {
-        0.0
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         (predicted - oracle).abs() / oracle
     }
@@ -99,7 +108,15 @@ mod tests {
     fn relative_error_basic() {
         assert_eq!(relative_error(1.1, 1.0), 0.10000000000000009);
         assert_eq!(relative_error(0.9, 1.0), 0.09999999999999998);
-        assert_eq!(relative_error(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_zero_oracle_is_loud() {
+        // A nonzero prediction against a zero oracle must not score as
+        // perfect: it used to return 0.0 and vanish inside error averages.
+        assert_eq!(relative_error(5.0, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert!(relative_error(5.0, 0.0) + 0.03 > 1e9, "sentinel dominates aggregates");
     }
 
     fn typed_trace(registry: &mut MethodRegistry) -> ProfileTrace {

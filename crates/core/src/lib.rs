@@ -44,7 +44,7 @@ pub use hybrid::{estimate_hybrid, HybridEstimate};
 pub use phases::{
     classify_units, form_phases, homogeneity, phase_stats, phase_weights, PhaseModel,
 };
-pub use pipeline::{validate_trace, Analysis, SimProf, SimProfConfig, TraceError};
+pub use pipeline::{validate_trace, AllocationRow, Analysis, SimProf, SimProfConfig, TraceError};
 pub use sampling::{
     estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
 };

@@ -87,7 +87,11 @@ impl PhaseModel {
 /// silhouette selection. Returns a model even for degenerate traces (a trace
 /// with < 3 units gets a single phase).
 pub fn form_phases(trace: &ProfileTrace, config: &SimProfConfig) -> PhaseModel {
-    let (space, projected) = FeatureSpace::fit(trace, config.top_k);
+    let _span = simprof_obs::span!("core.form_phases");
+    let (space, projected) = {
+        let _span = simprof_obs::span!("core.feature_fit");
+        FeatureSpace::fit(trace, config.top_k)
+    };
     let selection = choose_k(
         &projected,
         config.k_max,

@@ -102,6 +102,7 @@ impl SimProf {
     /// self-contained [`Analysis`], or a [`TraceError`] if the trace is
     /// degenerate (empty, zero unit size, or a zero-instruction unit).
     pub fn analyze(&self, trace: &ProfileTrace) -> Result<Analysis, TraceError> {
+        let _span = simprof_obs::span!("core.analyze");
         validate_trace(trace)?;
         let model = form_phases(trace, &self.config);
         let cpis = trace.cpis();
@@ -109,6 +110,8 @@ impl SimProf {
         let stats = phase_stats(&cpis, &model.assignments, k);
         let weights = phase_weights(&model.assignments, k);
         let cov = homogeneity(&cpis, &model.assignments);
+        simprof_obs::gauge_set("core.phases", k as f64);
+        simprof_obs::counter_add("core.units_analyzed", cpis.len() as u64);
         Ok(Analysis { config: self.config, model, cpis, stats, weights, cov })
     }
 }
@@ -131,10 +134,42 @@ pub struct Analysis {
     pub cov: CovTriple,
 }
 
+/// One row of the Eq. 1 allocation table: how a phase's population size and
+/// CPI spread translated into simulation-point budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllocationRow {
+    /// Phase (stratum) id `h`.
+    pub phase: usize,
+    /// Population size `N_h` (sampling units in the phase).
+    pub units: usize,
+    /// Phase weight `N_h / N`.
+    pub weight: f64,
+    /// Population CPI standard deviation `σ_h`.
+    pub stddev: f64,
+    /// Allocated sample size `n_h` (Eq. 1, after floors and caps).
+    pub allocated: usize,
+}
+
 impl Analysis {
     /// Number of phases.
     pub fn k(&self) -> usize {
         self.model.k()
+    }
+
+    /// The Eq. 1 allocation table for a selected point set: one
+    /// [`AllocationRow`] per phase, pairing `N_h`/`σ_h` with the `n_h` the
+    /// allocator granted. Used verbatim as the `allocation` section of a run
+    /// report.
+    pub fn allocation_table(&self, points: &SimulationPoints) -> Vec<AllocationRow> {
+        (0..self.k())
+            .map(|h| AllocationRow {
+                phase: h,
+                units: self.stats[h].n,
+                weight: self.weights[h],
+                stddev: self.stats[h].stddev,
+                allocated: points.allocation.get(h).copied().unwrap_or(0),
+            })
+            .collect()
     }
 
     /// Oracle CPI (mean over all sampling units).

@@ -88,8 +88,10 @@ pub fn select_points(
     n: usize,
     rng: &mut SeedRng,
 ) -> SimulationPoints {
+    let _span = simprof_obs::span!("core.select_points");
     let strata = strata_of(cpis, assignments, k);
     let allocation = optimal_allocation(n, &strata);
+    simprof_obs::counter_add("core.points_selected", allocation.iter().sum::<usize>() as u64);
 
     // Unit ids per phase.
     let mut members: Vec<Vec<u64>> = vec![Vec::new(); k];

@@ -249,6 +249,20 @@ pub enum FaultEvent {
     },
 }
 
+impl FaultEvent {
+    /// The metrics-registry counter this event kind tallies under.
+    pub fn metric_name(&self) -> &'static str {
+        match self {
+            FaultEvent::ExecutorCrash { .. } => "engine.faults.executor_crash",
+            FaultEvent::RetriesExhausted { .. } => "engine.faults.retries_exhausted",
+            FaultEvent::Straggler { .. } => "engine.faults.straggler",
+            FaultEvent::SpeculativeClone { .. } => "engine.faults.speculative_clone",
+            FaultEvent::SpeculativeWin { .. } => "engine.faults.speculative_win",
+            FaultEvent::ShuffleFetchLost { .. } => "engine.faults.shuffle_fetch_lost",
+        }
+    }
+}
+
 /// Everything that went wrong (and was recovered) during one run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultLog {
@@ -262,8 +276,10 @@ impl FaultLog {
         Self::default()
     }
 
-    /// Records an event.
+    /// Records an event, tallying it under `engine.faults.<kind>` in the
+    /// observability metrics registry (a no-op without an active session).
     pub fn push(&mut self, event: FaultEvent) {
+        simprof_obs::counter_add(event.metric_name(), 1);
         self.events.push(event);
     }
 

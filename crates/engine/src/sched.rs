@@ -219,6 +219,7 @@ impl Scheduler {
         job: &Job,
         listener: &mut dyn ExecListener,
     ) -> FaultLog {
+        let _span = simprof_obs::span!("engine.run");
         let cores = machine.core_count();
         let plan = self.config.faults;
         let mut log = FaultLog::new();
@@ -227,6 +228,7 @@ impl Scheduler {
         let mut cold_restart = self.config.cold_restart;
 
         for (stage_idx, stage) in job.stages.iter().enumerate() {
+            let _stage_span = simprof_obs::span!(&stage.name);
             let mut state = StageState {
                 pending: stage
                     .tasks
@@ -429,6 +431,10 @@ impl Scheduler {
             }
             listener.on_stage_end(&stage.name, machine);
         }
+        // Aggregated locally, recorded once: hot-loop turns never touch the
+        // registry.
+        simprof_obs::counter_add("engine.quanta", turn_counter);
+        simprof_obs::counter_add("engine.fault_events", log.len() as u64);
         log
     }
 
@@ -482,6 +488,7 @@ impl Scheduler {
                     log.push(ev);
                 }
             }
+            simprof_obs::counter_add("engine.attempts_dispatched", 1);
             return Some(Running::new(task, att.task, att.attempt, crash_at, factor));
         }
         None

@@ -1,0 +1,215 @@
+//! Observability substrate for SimProf.
+//!
+//! A profiling run used to be a black box: wall-clock went *somewhere*,
+//! stages processed *some* number of units, and fault/retry events only
+//! existed inside the trace. This crate makes a run inspectable without
+//! changing what it computes:
+//!
+//! * [`span`] — hierarchical RAII span timing on monotonic clocks. Spans
+//!   nest through a thread-local stack, so each thread (including the
+//!   parallel substrate's workers) gets its own correctly attributed
+//!   subtree, tagged with a stable per-thread id.
+//! * [`metrics`] — a registry of named counters, gauges and histograms
+//!   (units profiled, snapshots dropped, k-means iterations, fault events,
+//!   …).
+//! * [`report`] — a single versioned JSON document assembling the span
+//!   tree, the metric snapshot, and caller-supplied sections (phase
+//!   summary, Eq. 1 allocation table).
+//!
+//! # The determinism contract
+//!
+//! Observability is strictly *read-only*: spans and metrics record what the
+//! pipeline did, and **nothing downstream ever reads them back**. Reports
+//! carry timings; they never feed into sampling decisions. With no
+//! [`Session`] active, every hook is a single relaxed atomic load and the
+//! pipeline's outputs are bit-identical to an uninstrumented build
+//! (`tests/obs_determinism.rs` pins this).
+//!
+//! # Usage
+//!
+//! ```
+//! use simprof_obs as obs;
+//!
+//! let session = obs::Session::begin();
+//! {
+//!     let _outer = obs::span!("analyze");
+//!     let _inner = obs::span!("choose_k");
+//!     obs::counter_add("kmeans.iterations", 12);
+//! }
+//! let report = session.finish();
+//! assert_eq!(report.version, obs::REPORT_VERSION);
+//! assert!(report.find_span("choose_k").is_some());
+//! ```
+
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use metrics::{counter_add, gauge_set, histogram_observe, HistogramSummary, MetricsSnapshot};
+pub use report::{RunReport, SpanNode, REPORT_VERSION};
+pub use span::{SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Whether a [`Session`] is currently collecting. Every instrumentation
+/// hook checks this first; when `false` the hook is a single relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Serializes sessions: reports from concurrent sessions would interleave
+/// arbitrarily, so only one can be live at a time (later `begin` calls
+/// block until the current session finishes or drops).
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+/// True while a [`Session`] is collecting spans and metrics.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn gate_lock() -> MutexGuard<'static, ()> {
+    SESSION_GATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An active collection window. While a session is live, [`span!`] guards
+/// and the [`metrics`] registry record; [`Session::finish`] drains
+/// everything collected into a [`RunReport`].
+///
+/// Sessions are exclusive process-wide: a second [`Session::begin`] blocks
+/// until the first ends. Dropping a session without finishing discards the
+/// collected data.
+#[must_use = "a session that is immediately dropped collects nothing"]
+pub struct Session {
+    _gate: MutexGuard<'static, ()>,
+}
+
+impl Session {
+    /// Starts collecting. Clears any residue from a previous session.
+    pub fn begin() -> Self {
+        let gate = gate_lock();
+        span::reset();
+        metrics::reset();
+        ENABLED.store(true, Ordering::SeqCst);
+        Self { _gate: gate }
+    }
+
+    /// Stops collecting and assembles the report skeleton (span tree +
+    /// metric snapshot, no sections). Callers attach their own sections
+    /// with [`RunReport::with_section`].
+    pub fn finish(self) -> RunReport {
+        ENABLED.store(false, Ordering::SeqCst);
+        let spans = span::drain();
+        let metrics = metrics::snapshot();
+        RunReport::assemble(spans, metrics)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_guards_are_noops() {
+        // No session: spans and metrics must not record. (Sessions are
+        // process-exclusive, so take the gate to keep parallel tests out.)
+        let _gate = gate_lock();
+        assert!(!enabled());
+        let g = SpanGuard::enter("never");
+        assert!(!g.is_recording());
+        drop(g);
+        counter_add("never.counter", 3);
+        assert!(span::drain().is_empty());
+        assert!(metrics::snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn session_collects_nested_spans_and_metrics() {
+        let session = Session::begin();
+        {
+            let _outer = span!("outer");
+            {
+                let _inner = span!("inner");
+                counter_add("work.items", 7);
+                counter_add("work.items", 5);
+                gauge_set("work.level", 2.5);
+                histogram_observe("work.size", 10.0);
+                histogram_observe("work.size", 30.0);
+            }
+        }
+        let report = session.finish();
+        assert!(!enabled(), "finish disables collection");
+        assert_eq!(report.version, REPORT_VERSION);
+
+        let outer = report.find_span("outer").expect("outer span recorded");
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert!(outer.elapsed_us >= outer.children[0].elapsed_us);
+
+        assert_eq!(report.metrics.counters["work.items"], 12);
+        assert_eq!(report.metrics.gauges["work.level"], 2.5);
+        let h = &report.metrics.histograms["work.size"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 30.0);
+        assert_eq!(h.mean, 20.0);
+    }
+
+    #[test]
+    fn sessions_do_not_leak_between_runs() {
+        let session = Session::begin();
+        {
+            let _a = span!("first_run");
+            counter_add("first.counter", 1);
+        }
+        let first = session.finish();
+        assert!(first.find_span("first_run").is_some());
+
+        let session = Session::begin();
+        {
+            let _b = span!("second_run");
+        }
+        let second = session.finish();
+        assert!(second.find_span("first_run").is_none(), "prior session cleared");
+        assert!(second.find_span("second_run").is_some());
+        assert!(!second.metrics.counters.contains_key("first.counter"));
+    }
+
+    #[test]
+    fn worker_thread_spans_root_at_their_thread() {
+        let session = Session::begin();
+        {
+            let _main = span!("driver");
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _w = span!("worker_task");
+                });
+            });
+        }
+        let report = session.finish();
+        let driver = report.find_span("driver").expect("driver span");
+        let worker = report.find_span("worker_task").expect("worker span");
+        // The worker's span is attributed to its own thread, not nested
+        // under the driver's stack.
+        assert_ne!(driver.thread, worker.thread);
+        assert!(driver.children.iter().all(|c| c.name != "worker_task"));
+    }
+
+    #[test]
+    fn dropped_session_discards_collection() {
+        let session = Session::begin();
+        {
+            let _s = span!("doomed");
+        }
+        drop(session);
+        assert!(!enabled());
+        let session = Session::begin();
+        let report = session.finish();
+        assert!(report.find_span("doomed").is_none());
+    }
+}

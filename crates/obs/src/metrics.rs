@@ -1,0 +1,159 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Metrics are write-only from the pipeline's point of view: hot paths
+//! record (`counter_add`, `gauge_set`, `histogram_observe`) and only the
+//! session-ending report ever reads. Nothing in the sampling pipeline
+//! consults a metric, which is what keeps the determinism contract intact
+//! (DESIGN.md §11).
+//!
+//! With no active session every call is a single relaxed atomic load.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram { count: u64, sum: f64, min: f64, max: f64 },
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry_lock() -> MutexGuard<'static, BTreeMap<String, Metric>> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Adds `delta` to the named counter (creating it at zero first).
+/// Counters are monotone event tallies: units profiled, faults injected….
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry_lock();
+    match reg.get_mut(name) {
+        Some(Metric::Counter(v)) => *v += delta,
+        _ => {
+            reg.insert(name.to_owned(), Metric::Counter(delta));
+        }
+    }
+}
+
+/// Sets the named gauge to `value` (last write wins). Gauges are
+/// point-in-time levels: chosen k, worker count, trace size….
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    registry_lock().insert(name.to_owned(), Metric::Gauge(value));
+}
+
+/// Folds `value` into the named histogram (count / sum / min / max).
+/// Histograms summarize per-event magnitudes: iterations per k-means run,
+/// instructions per task….
+pub fn histogram_observe(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = registry_lock();
+    match reg.get_mut(name) {
+        Some(Metric::Histogram { count, sum, min, max }) => {
+            *count += 1;
+            *sum += value;
+            *min = min.min(value);
+            *max = max.max(value);
+        }
+        _ => {
+            reg.insert(
+                name.to_owned(),
+                Metric::Histogram { count: 1, sum: value, min: value, max: value },
+            );
+        }
+    }
+}
+
+/// Aggregated view of one histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of observations folded in.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// `sum / count`.
+    pub mean: f64,
+}
+
+/// A point-in-time copy of the whole registry, grouped by metric kind.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// All histograms, by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Clears the registry (session start).
+pub(crate) fn reset() {
+    registry_lock().clear();
+}
+
+/// Copies the registry into a serializable snapshot (session finish).
+pub(crate) fn snapshot() -> MetricsSnapshot {
+    let reg = registry_lock();
+    let mut snap = MetricsSnapshot::default();
+    for (name, metric) in reg.iter() {
+        match *metric {
+            Metric::Counter(v) => {
+                snap.counters.insert(name.clone(), v);
+            }
+            Metric::Gauge(v) => {
+                snap.gauges.insert(name.clone(), v);
+            }
+            Metric::Histogram { count, sum, min, max } => {
+                snap.histograms.insert(
+                    name.clone(),
+                    HistogramSummary { count, sum, min, max, mean: sum / count.max(1) as f64 },
+                );
+            }
+        }
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("a.count".into(), 42);
+        snap.gauges.insert("b.level".into(), 1.5);
+        snap.histograms.insert(
+            "c.sizes".into(),
+            HistogramSummary { count: 3, sum: 6.0, min: 1.0, max: 3.0, mean: 2.0 },
+        );
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn metric_kind_change_replaces_cleanly() {
+        // A name reused with a different kind must not corrupt the
+        // registry (last kind wins). Run inside a private session window.
+        let session = crate::Session::begin();
+        counter_add("shape.shift", 2);
+        gauge_set("shape.shift", 9.0);
+        let snap = session.finish();
+        assert!(!snap.metrics.counters.contains_key("shape.shift"));
+        assert_eq!(snap.metrics.gauges["shape.shift"], 9.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Hierarchical RAII span timing on monotonic clocks.
+//!
+//! A [`SpanGuard`] measures the wall-clock between its creation and drop
+//! with [`Instant`] (monotonic — wall-clock adjustments cannot produce
+//! negative or skewed durations). Guards nest through a thread-local stack:
+//! a span entered while another is open on the *same thread* becomes its
+//! child. Spans opened on other threads — the parallel substrate's workers
+//! — root at their own thread instead of mis-nesting under whatever the
+//! driver thread happened to have open, and carry a stable small integer
+//! thread id so the report can attribute worker time correctly.
+//!
+//! When no session is active ([`crate::enabled`] is false), entering a
+//! span is one relaxed atomic load: no clock read, no allocation, no lock.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Completed-span storage. Guards append on drop; [`drain`] empties it.
+static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+/// Monotonic span-id source. Ids order spans by *entry* (creation) time,
+/// which the report uses to keep sibling order stable even though records
+/// are appended at completion.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small sequential thread ids (0 = first thread that ever opened a span).
+static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide monotonic epoch; all span start offsets are relative to it.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, innermost last.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's small id, assigned on first span entry.
+    static THREAD_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn thread_id() -> usize {
+    THREAD_ID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            id
+        }
+    })
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span, as stored in the collector.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Entry-ordered id (unique within the process).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// The span's label.
+    pub name: String,
+    /// Small sequential id of the thread the span ran on.
+    pub thread: usize,
+    /// Microseconds between the process epoch and span entry.
+    pub start_us: u64,
+    /// Microseconds between span entry and span drop (monotonic).
+    pub elapsed_us: u64,
+}
+
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    thread: usize,
+    start: Instant,
+}
+
+/// An open span. Created by [`SpanGuard::enter`] (or the [`crate::span!`]
+/// macro); the measured interval closes when the guard drops.
+#[must_use = "a span measures the interval until the guard drops"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name`. When no session is collecting, this is a
+    /// no-op costing one atomic load; the label is not even copied.
+    pub fn enter(name: &str) -> Self {
+        if !crate::enabled() {
+            return Self { active: None };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let thread = thread_id();
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        Self {
+            active: Some(ActiveSpan {
+                id,
+                parent,
+                name: name.to_owned(),
+                thread,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Whether this guard is actually recording (a session is active).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        let elapsed_us = active.start.elapsed().as_micros() as u64;
+        let start_us = active.start.duration_since(epoch()).as_micros() as u64;
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards drop in LIFO order per thread, so the top is ours; be
+            // defensive anyway (a guard moved across threads would desync).
+            if s.last() == Some(&active.id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&x| x == active.id) {
+                s.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name,
+            thread: active.thread,
+            start_us,
+            elapsed_us,
+        };
+        records_lock().push(record);
+    }
+}
+
+fn records_lock() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
+    RECORDS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Opens a [`SpanGuard`] named by the expression. Bind it to keep the span
+/// open: `let _guard = obs::span!("choose_k");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+/// Clears all completed spans (session start).
+pub(crate) fn reset() {
+    records_lock().clear();
+    // Pin the epoch before any span of the session starts, so start
+    // offsets are meaningful from the first span on.
+    let _ = epoch();
+}
+
+/// Removes and returns all completed spans (session finish).
+pub(crate) fn drain() -> Vec<SpanRecord> {
+    std::mem::take(&mut *records_lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Session-driven behaviour is covered in `crate::tests`; these pin the
+    // guard mechanics that do not need a live session.
+
+    #[test]
+    fn disabled_guard_never_touches_the_stack() {
+        // Regardless of other tests' sessions, a guard that recorded
+        // nothing must not pop anything on drop.
+        let g = SpanGuard { active: None };
+        SPAN_STACK.with(|s| s.borrow_mut().push(999));
+        drop(g);
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            assert_eq!(s.pop(), Some(999));
+        });
+    }
+
+    #[test]
+    fn thread_ids_are_stable_within_a_thread() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+}

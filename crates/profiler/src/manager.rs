@@ -104,6 +104,21 @@ impl SamplingManager {
     /// (fewer instructions than `unit_instrs`) is discarded, as its CPI is
     /// not comparable with full units.
     pub fn finish(self) -> ProfileTrace {
+        // Single metrics flush at the end of profiling: the per-quantum
+        // listener path stays registry-free.
+        simprof_obs::counter_add("profiler.units", self.units.len() as u64);
+        simprof_obs::counter_add(
+            "profiler.snapshots",
+            self.units.iter().map(|u| u.snapshots as u64).sum(),
+        );
+        simprof_obs::counter_add(
+            "profiler.snapshots_dropped",
+            self.units.iter().map(|u| u.dropped_snapshots as u64).sum(),
+        );
+        simprof_obs::counter_add(
+            "profiler.units_truncated",
+            self.units.iter().filter(|u| u.truncated).count() as u64,
+        );
         ProfileTrace {
             unit_instrs: self.config.unit_instrs,
             snapshot_instrs: self.config.snapshot_instrs,

@@ -84,29 +84,68 @@ pub struct CovTriple {
     pub max: f64,
 }
 
+/// Parallel slices passed to [`try_cov_triple`] had different lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthMismatch {
+    /// Length of the `values` slice.
+    pub values: usize,
+    /// Length of the `groups` slice.
+    pub groups: usize,
+}
+
+impl std::fmt::Display for LengthMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "values/groups length mismatch: {} values vs {} group ids",
+            self.values, self.groups
+        )
+    }
+}
+
+impl std::error::Error for LengthMismatch {}
+
 /// Computes the population / weighted / max CoV triple for `values` grouped
 /// by `groups` (parallel slices; `groups[i]` is the group id of `values[i]`).
+///
+/// Group ids are arbitrary labels: they need not be dense or start at zero.
+/// Buckets are keyed by id in a map, so a sparse id like `usize::MAX` costs
+/// one map entry instead of a `max(id) + 1`-element table (which would
+/// attempt to allocate the entire address space).
+///
+/// Returns [`LengthMismatch`] when the slices have different lengths.
+pub fn try_cov_triple(values: &[f64], groups: &[usize]) -> Result<CovTriple, LengthMismatch> {
+    if values.len() != groups.len() {
+        return Err(LengthMismatch { values: values.len(), groups: groups.len() });
+    }
+    let population = cov(values);
+    let mut buckets: std::collections::BTreeMap<usize, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for (&v, &g) in values.iter().zip(groups) {
+        buckets.entry(g).or_default().push(v);
+    }
+    let total = values.len() as f64;
+    let mut weighted = 0.0;
+    let mut max = 0.0f64;
+    for b in buckets.values() {
+        let c = cov(b);
+        weighted += c * b.len() as f64 / total;
+        max = max.max(c);
+    }
+    Ok(CovTriple { population, weighted, max })
+}
+
+/// Panicking convenience wrapper around [`try_cov_triple`] for callers that
+/// construct the slices together and know the lengths agree.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn cov_triple(values: &[f64], groups: &[usize]) -> CovTriple {
-    assert_eq!(values.len(), groups.len(), "values/groups length mismatch");
-    let population = cov(values);
-    let n_groups = groups.iter().copied().max().map_or(0, |g| g + 1);
-    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_groups];
-    for (&v, &g) in values.iter().zip(groups) {
-        buckets[g].push(v);
+    match try_cov_triple(values, groups) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
     }
-    let total = values.len() as f64;
-    let mut weighted = 0.0;
-    let mut max = 0.0f64;
-    for b in buckets.iter().filter(|b| !b.is_empty()) {
-        let c = cov(b);
-        weighted += c * b.len() as f64 / total;
-        max = max.max(c);
-    }
-    CovTriple { population, weighted, max }
 }
 
 #[cfg(test)]
@@ -183,5 +222,26 @@ mod tests {
         // Group 1 unused: must not contribute or panic.
         let t = cov_triple(&[1.0, 2.0], &[0, 2]);
         assert_eq!(t.weighted, 0.0); // singleton groups have zero stddev
+    }
+
+    #[test]
+    fn cov_triple_sparse_group_ids_do_not_allocate_a_table() {
+        // Ids are labels, not indices: `usize::MAX` used to size a
+        // `max(id) + 1` bucket table, i.e. an attempt to allocate the whole
+        // address space. Map bucketing makes it one entry.
+        let values = [1.0, 1.0, 10.0, 10.0];
+        let groups = [7, 7, usize::MAX, usize::MAX];
+        let t = cov_triple(&values, &groups);
+        assert!(t.population > 0.5);
+        assert_eq!(t.weighted, 0.0, "both groups internally constant");
+        assert_eq!(t.max, 0.0);
+    }
+
+    #[test]
+    fn try_cov_triple_reports_length_mismatch() {
+        let err = try_cov_triple(&[1.0, 2.0], &[0]).unwrap_err();
+        assert_eq!(err, LengthMismatch { values: 2, groups: 1 });
+        assert!(err.to_string().contains("length mismatch"));
+        assert_eq!(try_cov_triple(&[1.0, 2.0], &[0, 1]).unwrap(), cov_triple(&[1.0, 2.0], &[0, 1]));
     }
 }

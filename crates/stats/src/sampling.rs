@@ -37,6 +37,19 @@ pub fn srs_indices_seeded(n: usize, k: usize, seed: u64) -> Vec<usize> {
 /// (SMARTS-style periodic selection). Returns ascending indices.
 ///
 /// When `k >= n`, returns all indices; when `k == 0`, returns an empty vector.
+///
+/// Strides are computed in pure integer arithmetic — index `i` is
+/// `start + ⌊i·n/k⌋` with `start = offset % ⌊n/k⌋`. Consecutive indices
+/// differ by at least `⌊n/k⌋ ≥ 1` and the last lands at
+/// `start + ⌊(k−1)·n/k⌋ ≤ start + n − ⌈n/k⌉ < n`, so the output is
+/// strictly ascending, duplicate-free, and in range for every
+/// `(n, k, offset)` — including unit counts past 2³² where the previous
+/// float formulation (`trunc(start + i·(n/k))` with a `.min(n − 1)` clamp)
+/// ran out of mantissa and could collide indices near the end of the
+/// range. The float version also wrapped the start at `⌈n/k⌉` instead of
+/// the true period `⌊n/k⌋`, so equivalent offsets produced different,
+/// unevenly distributed patterns; offsets now wrap canonically
+/// (`offset` and `offset + ⌊n/k⌋` select the same indices).
 pub fn systematic_indices(n: usize, k: usize, offset: usize) -> Vec<usize> {
     if k == 0 || n == 0 {
         return Vec::new();
@@ -44,9 +57,10 @@ pub fn systematic_indices(n: usize, k: usize, offset: usize) -> Vec<usize> {
     if k >= n {
         return (0..n).collect();
     }
-    let stride = n as f64 / k as f64;
-    let start = offset % stride.ceil().max(1.0) as usize;
-    (0..k).map(|i| ((start as f64 + i as f64 * stride) as usize).min(n - 1)).collect()
+    let start = offset % (n / k);
+    // u128 intermediate: `i · n` stays exact even for unit counts that
+    // would overflow 64-bit multiplication.
+    (0..k).map(|i| start + (i as u128 * n as u128 / k as u128) as usize).collect()
 }
 
 #[cfg(test)]
@@ -108,5 +122,35 @@ mod tests {
         let b = systematic_indices(100, 10, 3);
         assert_eq!(b[0], 3);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn systematic_offset_wraps_canonically() {
+        // `offset` and `offset + ⌊n/k⌋` are the same phase of the period and
+        // must select identical indices. The pre-integer-arithmetic version
+        // wrapped at ⌈n/k⌉, so e.g. (95, 10, offset 9) started at index 9 —
+        // outside the first period [0, 9) — instead of wrapping to 0.
+        assert_eq!(systematic_indices(95, 10, 9), systematic_indices(95, 10, 0));
+        assert_eq!(systematic_indices(10, 3, 3), systematic_indices(10, 3, 0));
+        for offset in 0..40 {
+            let s = systematic_indices(95, 10, offset);
+            assert!(s[0] < 95 / 10, "first index {} outside first period (offset {offset})", s[0]);
+            assert_eq!(
+                s,
+                systematic_indices(95, 10, offset + 9),
+                "period-9 wrap (offset {offset})"
+            );
+        }
+    }
+
+    #[test]
+    fn systematic_exact_past_f64_mantissa() {
+        // Unit counts beyond 2^53 would collide under float truncation; the
+        // integer form must stay strictly ascending, distinct, and in range.
+        let n = (1u64 << 60) as usize;
+        let s = systematic_indices(n, 7, 123);
+        assert_eq!(s.len(), 7);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.last().unwrap() < n);
     }
 }

@@ -221,13 +221,18 @@ pub fn choose_k(
     min_structure: f64,
     seed: u64,
 ) -> KSelection {
+    let _span = simprof_obs::span!("stats.choose_k");
     let n = data.rows();
     let k_max = k_max.min(n);
     if n < 3 || k_max < 2 {
+        simprof_obs::gauge_set("stats.chosen_k", 1.0);
         return KSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores: Vec::new() };
     }
 
-    let cache = DistCache::build(data);
+    let cache = {
+        let _span = simprof_obs::span!("stats.dist_cache");
+        DistCache::build(data)
+    };
     let mut candidates: Vec<(usize, KMeansResult, f64)> = Vec::with_capacity(k_max - 1);
     let mut prev_centers: Option<Matrix> = None;
     for k in 2..=k_max {
@@ -246,6 +251,7 @@ pub fn choose_k(
                 }
             }
         };
+        simprof_obs::histogram_observe("stats.kmeans.iterations", result.iterations as f64);
         let s = silhouette_score_cached(&cache, &result.assignments);
         prev_centers = Some(result.centers.clone());
         candidates.push((k, result, s));
@@ -255,6 +261,7 @@ pub fn choose_k(
     let scores: Vec<(usize, f64)> = candidates.iter().map(|&(k, _, s)| (k, s)).collect();
 
     if best < min_structure {
+        simprof_obs::gauge_set("stats.chosen_k", 1.0);
         return KSelection { k: 1, result: kmeans(data, KMeans::new(1, seed)), scores };
     }
 
@@ -262,6 +269,7 @@ pub fn choose_k(
         .into_iter()
         .find(|&(_, _, s)| s >= threshold * best)
         .expect("at least the best-scoring k satisfies the threshold");
+    simprof_obs::gauge_set("stats.chosen_k", chosen.0 as f64);
     KSelection { k: chosen.0, result: chosen.1, scores }
 }
 

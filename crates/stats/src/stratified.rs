@@ -75,6 +75,18 @@ fn allocate(
         return vec![0; m];
     }
 
+    // A non-finite or negative weight (NaN/∞ stddev from degenerate phase
+    // measurements) would poison every share through `total_w`; treat it as
+    // "no usable variance signal" — weight zero — so the stratum still gets
+    // its ≥1 floor but no variance-driven share.
+    let weight = |s: &StratumStats| -> f64 {
+        let w = weight(s);
+        if w.is_finite() && w > 0.0 {
+            w
+        } else {
+            0.0
+        }
+    };
     let total_w: f64 = nonempty.iter().map(|&h| weight(&strata[h])).sum();
     let mut alloc = vec![0usize; m];
     let mut frac = vec![0.0f64; m];
@@ -109,7 +121,7 @@ fn allocate(
 
     if current < target {
         let mut order: Vec<usize> = nonempty.clone();
-        order.sort_by(|&a, &b| frac[b].partial_cmp(&frac[a]).unwrap().then(a.cmp(&b)));
+        order.sort_by(|&a, &b| frac[b].total_cmp(&frac[a]).then(a.cmp(&b)));
         let mut i = 0;
         while current < target {
             let h = order[i % order.len()];
@@ -126,7 +138,7 @@ fn allocate(
         // Over-allocation only happens via the ≥1 floors; shrink the largest
         // allocations (smallest fractional remainder first) but never below 1.
         let mut order: Vec<usize> = nonempty.clone();
-        order.sort_by(|&a, &b| frac[a].partial_cmp(&frac[b]).unwrap().then(a.cmp(&b)));
+        order.sort_by(|&a, &b| frac[a].total_cmp(&frac[b]).then(a.cmp(&b)));
         let mut i = 0;
         while current > target && i < order.len() * (current + 1) {
             let h = order[i % order.len()];
@@ -288,6 +300,44 @@ mod tests {
         let alloc = optimal_allocation(9, &s);
         assert_eq!(alloc.iter().sum::<usize>(), 9);
         assert!(alloc[0] > alloc[1]);
+    }
+
+    #[test]
+    fn allocation_tolerates_non_finite_stddev() {
+        // A NaN stddev (degenerate phase measurement) used to poison every
+        // Neyman share through the weight sum and then panic inside the
+        // largest-remainder sort (`partial_cmp(..).unwrap()` on NaN
+        // fractions). It must instead act as a zero-variance stratum: keep
+        // the ≥1 floor, surrender the variance-driven share.
+        let s = vec![
+            StratumStats { units: 10, stddev: f64::NAN },
+            StratumStats { units: 10, stddev: 1.0 },
+        ];
+        let alloc = optimal_allocation(5, &s);
+        assert_eq!(alloc.iter().sum::<usize>(), 5, "{alloc:?}");
+        assert!(alloc[0] >= 1 && alloc[1] > alloc[0], "{alloc:?}");
+
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let s = vec![
+                StratumStats { units: 8, stddev: bad },
+                StratumStats { units: 8, stddev: 2.0 },
+                StratumStats { units: 4, stddev: 0.5 },
+            ];
+            let alloc = optimal_allocation(6, &s);
+            assert_eq!(alloc.iter().sum::<usize>(), 6, "stddev={bad}: {alloc:?}");
+            assert!(alloc.iter().all(|&a| a >= 1), "stddev={bad}: {alloc:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_all_non_finite_falls_back_proportional() {
+        let s = vec![
+            StratumStats { units: 60, stddev: f64::NAN },
+            StratumStats { units: 30, stddev: f64::INFINITY },
+        ];
+        let alloc = optimal_allocation(9, &s);
+        assert_eq!(alloc.iter().sum::<usize>(), 9, "{alloc:?}");
+        assert!(alloc[0] > alloc[1], "unit-proportional fallback: {alloc:?}");
     }
 
     #[test]

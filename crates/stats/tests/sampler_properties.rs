@@ -1,0 +1,83 @@
+//! Property-based tests for the samplers: systematic index generation and
+//! Neyman allocation must uphold their invariants on *any* input, including
+//! the degenerate and non-finite corners the bugfix sweep hardened.
+
+use proptest::prelude::*;
+
+use simprof_stats::{optimal_allocation, systematic_indices, StratumStats};
+
+proptest! {
+    /// Systematic picks are strictly ascending (hence distinct), in range,
+    /// start inside the first period, and never leave a gap wider than one
+    /// period — so the picks cover the whole span.
+    #[test]
+    fn systematic_invariants(n in 0usize..5000, k in 0usize..200, offset in any::<usize>()) {
+        let s = systematic_indices(n, k, offset);
+        if n == 0 || k == 0 {
+            prop_assert!(s.is_empty());
+        } else if k >= n {
+            prop_assert_eq!(s, (0..n).collect::<Vec<_>>());
+        } else {
+            let period = n / k;
+            prop_assert_eq!(s.len(), k);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+            prop_assert!(s.iter().all(|&i| i < n), "in range");
+            prop_assert!(s[0] < period, "start inside the first period");
+            prop_assert!(
+                s.windows(2).all(|w| w[1] - w[0] <= period + 1),
+                "no gap wider than one period"
+            );
+        }
+    }
+
+    /// Offsets only slide the start phase: shifting by a whole period
+    /// reproduces the same picks exactly.
+    #[test]
+    fn systematic_offset_is_periodic(
+        n in 1usize..3000,
+        k in 1usize..100,
+        offset in 0usize..1_000_000,
+    ) {
+        if k < n {
+            let period = n / k;
+            let a = systematic_indices(n, k, offset);
+            let b = systematic_indices(n, k, offset + period);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Neyman allocation never panics and keeps its budget accounting exact
+    /// even when stratum stddevs are NaN, infinite, or negative.
+    #[test]
+    fn allocation_survives_non_finite_strata(
+        shapes in proptest::collection::vec((0usize..200, 0usize..5), 1..10),
+        n in 0usize..300,
+    ) {
+        let strata: Vec<StratumStats> = shapes
+            .into_iter()
+            .map(|(units, shape)| {
+                let stddev = match shape {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    3 => -1.0,
+                    _ => 0.75,
+                };
+                StratumStats { units, stddev }
+            })
+            .collect();
+        let alloc = optimal_allocation(n, &strata);
+        prop_assert_eq!(alloc.len(), strata.len());
+        for (a, s) in alloc.iter().zip(&strata) {
+            prop_assert!(*a <= s.units, "allocation respects the stratum cap");
+            if n > 0 {
+                prop_assert!(s.units == 0 || *a >= 1, "non-empty strata keep their floor");
+            }
+        }
+        let cap: usize = strata.iter().map(|s| s.units).sum();
+        let nonempty = strata.iter().filter(|s| s.units > 0).count();
+        if n >= nonempty {
+            prop_assert_eq!(alloc.iter().sum::<usize>(), n.min(cap), "budget accounting exact");
+        }
+    }
+}

@@ -23,6 +23,8 @@
 //!   baselines, input-sensitivity analysis.
 //! * [`workloads`] — six BigDataBench-style benchmarks on both engines and
 //!   the data synthesizers (Zipfian text, Kronecker graphs).
+//! * [`obs`] — the observability layer: span timing, the metrics registry,
+//!   and versioned run reports (`simprof run --report out.json`).
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@
 
 pub use simprof_core as core;
 pub use simprof_engine as engine;
+pub use simprof_obs as obs;
 pub use simprof_profiler as profiler;
 pub use simprof_sim as sim;
 pub use simprof_stats as stats;

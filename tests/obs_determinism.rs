@@ -1,0 +1,51 @@
+//! The observability layer must be a pure observer: running the pipeline
+//! under a reporting session produces bit-identical results to running it
+//! with observability disabled, and the session's report still covers every
+//! pipeline stage.
+
+use simprof::core::{SimProf, SimProfConfig};
+use simprof::obs;
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
+
+/// Profile → phases → points → estimate, serialized canonically so any
+/// perturbation — a reordered tie-break, a consumed RNG draw, a rounded
+/// float — shows up as a byte difference.
+fn run_pipeline() -> String {
+    let cfg = WorkloadConfig::tiny(11);
+    let trace = Benchmark::Grep.run(Framework::Spark, &cfg);
+    let analysis = SimProf::new(SimProfConfig { seed: 3, ..Default::default() })
+        .analyze(&trace)
+        .expect("valid trace");
+    let points = analysis.select_points(8, 21);
+    let est = analysis.estimate(&points, 3.0);
+    format!(
+        "{}\n{}\n{}\n{}",
+        serde_json::to_string(&trace).unwrap(),
+        serde_json::to_string(&points).unwrap(),
+        serde_json::to_string(&est).unwrap(),
+        serde_json::to_string(&analysis.allocation_table(&points)).unwrap(),
+    )
+}
+
+#[test]
+fn reporting_session_does_not_perturb_the_pipeline() {
+    assert!(!obs::enabled(), "observability starts disabled");
+    let baseline = run_pipeline();
+
+    let session = obs::Session::begin();
+    assert!(obs::enabled(), "session enables collection");
+    let observed = run_pipeline();
+    let report = session.finish();
+    assert!(!obs::enabled(), "finish disables collection again");
+
+    assert_eq!(baseline, observed, "observed run must be bit-identical to the unobserved run");
+
+    // The session saw every pipeline stage while changing none of them.
+    for span in ["engine.run", "core.analyze", "core.form_phases", "core.select_points"] {
+        assert!(report.find_span(span).is_some(), "report lacks span `{span}`");
+    }
+    assert!(report.metrics.counters.contains_key("core.units_analyzed"));
+
+    // And a rerun after the session closed is still byte-identical.
+    assert_eq!(baseline, run_pipeline(), "pipeline output must not drift after a session");
+}
