@@ -11,7 +11,8 @@
 //! ```text
 //! cargo run --release -p simprof-bench --bin bench_pipeline -- \
 //!     [--quick] [--units N] [--features D] [--kmax K] [--seed S] \
-//!     [--threads N] [-o BENCH_pipeline.json] [--report REPORT.json]
+//!     [--threads N] [-o BENCH_pipeline.json] [--report REPORT.json] \
+//!     [--trace-stream BENCH_trace_stream.json] [--mem-cap-mb N]
 //! ```
 //!
 //! With `-o`, writes a JSON record (units analyzed/sec, sweep wall-clock,
@@ -20,29 +21,62 @@
 //! run executes under an observability session and writes the versioned
 //! run report (span tree, metrics, Eq. 1 allocation table), which CI
 //! schema-checks with the `report_check` bin.
+//!
+//! With `--trace-stream`, additionally runs the streamed-vs-batch memory
+//! comparison: a heavy synthetic trace is written in the chunked
+//! `simprof-trace` format, analyzed once fully materialized and once
+//! streamed chunk-by-chunk from disk, and the real peak heap of each path
+//! (measured by `simprof-obs`'s tracking allocator, installed here as the
+//! global allocator) is emitted as a JSON record. The two analyses must be
+//! bit-identical or the bench exits non-zero; `--mem-cap-mb` additionally
+//! fails the run when the *streamed* peak exceeds the cap (CI's large-trace
+//! memory smoke).
 
 use std::time::Instant;
 
 use rand::RngExt;
 use simprof_bench::apply_thread_flag;
+use simprof_core::SimProf;
+use simprof_engine::MethodId;
+use simprof_obs::TrackingAllocator;
+use simprof_profiler::{ProfileTrace, SamplingUnit};
+use simprof_sim::Counters;
 use simprof_stats::{
     choose_k, kmeans, optimal_allocation, seeded, silhouette_score, stddev, KMeans, Matrix,
     StratumStats,
 };
+use simprof_trace::{read_trace, TraceMeta, TraceReader, TraceWriter};
+
+/// Every allocation in this binary goes through the tracking allocator so
+/// the `--trace-stream` comparison reports real peak heap, not estimates.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
 
 struct Args {
     units: usize,
     features: usize,
     k_max: usize,
     seed: u64,
+    quick: bool,
     output: Option<String>,
     report: Option<String>,
+    trace_stream: Option<String>,
+    mem_cap_mb: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv = apply_thread_flag(std::env::args().skip(1).collect())?;
-    let mut args =
-        Args { units: 2000, features: 100, k_max: 20, seed: 42, output: None, report: None };
+    let mut args = Args {
+        units: 2000,
+        features: 100,
+        k_max: 20,
+        seed: 42,
+        quick: false,
+        output: None,
+        report: None,
+        trace_stream: None,
+        mem_cap_mb: None,
+    };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -51,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
                 args.units = 400;
                 args.features = 40;
                 args.k_max = 10;
+                args.quick = true;
             }
             "--units" => {
                 args.units = value(&flag)?.parse().map_err(|e| format!("invalid --units: {e}"))?
@@ -67,6 +102,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "-o" | "--output" => args.output = Some(value(&flag)?),
             "--report" => args.report = Some(value(&flag)?),
+            "--trace-stream" => args.trace_stream = Some(value(&flag)?),
+            "--mem-cap-mb" => {
+                args.mem_cap_mb =
+                    Some(value(&flag)?.parse().map_err(|e| format!("invalid --mem-cap-mb: {e}"))?)
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -110,6 +150,199 @@ fn baseline_sweep(data: &Matrix, k_max: usize, seed: u64) -> (usize, Vec<(usize,
     (chosen, scores)
 }
 
+/// Scale knobs for the streamed-vs-batch trace comparison. The point is a
+/// trace whose *units* are heavy (dense histograms, many slices) at a
+/// modest unit count — per-unit memory is what the streaming path saves,
+/// while the `choose_k` distance cache (n²·8 B) is paid by both paths.
+struct TraceScale {
+    units: usize,
+    hist_entries: usize,
+    slices: usize,
+    universe: usize,
+    chunk_units: usize,
+}
+
+impl TraceScale {
+    fn pick(quick: bool) -> Self {
+        if quick {
+            Self { units: 320, hist_entries: 1200, slices: 250, universe: 12000, chunk_units: 32 }
+        } else {
+            Self { units: 900, hist_entries: 1400, slices: 300, universe: 16000, chunk_units: 64 }
+        }
+    }
+}
+
+/// A heavy synthetic profile: 6 latent behaviours over a large method
+/// universe, with per-unit cycles correlated to the behaviour so feature
+/// selection has real signal. Histograms are sorted by method id, as the
+/// profiler emits them.
+fn heavy_trace(scale: &TraceScale, seed: u64) -> ProfileTrace {
+    const BEHAVIOURS: u64 = 6;
+    const SNAPSHOTS: u32 = 512;
+    const UNIT_INSTRS: u64 = 1_000_000;
+    let mut rng = seeded(seed);
+    let stride = (scale.universe / scale.hist_entries).max(1);
+    let units = (0..scale.units as u64)
+        .map(|i| {
+            let b = i % BEHAVIOURS;
+            let histogram: Vec<(MethodId, u32)> = (0..scale.hist_entries)
+                .map(|e| {
+                    // Offsets below `stride` keep ids strictly increasing.
+                    let m = e * stride + (i as usize + e) % stride;
+                    let loud = m as u64 % BEHAVIOURS == b;
+                    let count = if loud {
+                        200 + (rng.random::<u64>() % 56) as u32
+                    } else {
+                        1 + (rng.random::<u64>() % 9) as u32
+                    };
+                    (MethodId(m as u32), count.min(SNAPSHOTS))
+                })
+                .collect();
+            let cycles = UNIT_INSTRS * (10 + b * 3) / 10 + rng.random::<u64>() % (UNIT_INSTRS / 20);
+            let slices = (0..scale.slices as u64)
+                .map(|s| {
+                    let instrs = UNIT_INSTRS / scale.slices as u64;
+                    (instrs, instrs * (10 + (b + s) % BEHAVIOURS) / 10)
+                })
+                .collect();
+            SamplingUnit {
+                id: i,
+                histogram,
+                snapshots: SNAPSHOTS,
+                counters: Counters { instructions: UNIT_INSTRS, cycles, ..Counters::default() },
+                slices,
+                truncated: false,
+                dropped_snapshots: 0,
+            }
+        })
+        .collect();
+    ProfileTrace { unit_instrs: UNIT_INSTRS, snapshot_instrs: UNIT_INSTRS / 1000, core: 0, units }
+}
+
+/// Streamed-vs-batch comparison: write a heavy trace in the chunked
+/// format, analyze it fully materialized and then streamed from disk, and
+/// report the real peak heap of each path. Errors on any analysis
+/// divergence; the caller enforces `--mem-cap-mb`.
+fn trace_stream_bench(args: &Args, out_path: &str) -> Result<(), String> {
+    let scale = TraceScale::pick(args.quick);
+    let trace = heavy_trace(&scale, args.seed);
+    let n = trace.units.len();
+    let file = std::env::temp_dir().join(format!("simprof_bench_trace_{}.sptrc", args.seed));
+    let file = file.to_str().ok_or("temp path is not UTF-8")?.to_owned();
+
+    let meta = TraceMeta {
+        label: "bench_synthetic".into(),
+        seed: args.seed,
+        scale: if args.quick { "quick".into() } else { "full".into() },
+        unit_instrs: trace.unit_instrs,
+        snapshot_instrs: trace.snapshot_instrs,
+        core: trace.core,
+    };
+    let registry = simprof_engine::MethodRegistry::default();
+    let mut writer = TraceWriter::create(&file, &meta)?.with_chunk_units(scale.chunk_units);
+    for unit in &trace.units {
+        writer.push(unit);
+    }
+    let footer = writer.finish(&registry)?;
+    drop(trace);
+    let file_bytes = std::fs::metadata(&file).map_err(|e| format!("stat {file}: {e}"))?.len();
+
+    let cleanup = |r: Result<(serde_json::Value, usize), String>| {
+        let _ = std::fs::remove_file(&file);
+        r
+    };
+    let (record, streamed_peak) = cleanup((|| {
+        let sp = SimProf::default();
+
+        // Batch: materialize the whole trace, then analyze in memory.
+        let batch_base = simprof_obs::current_alloc_bytes();
+        simprof_obs::reset_peak();
+        let t0 = Instant::now();
+        let (materialized, _) = read_trace(&file)?;
+        let batch = sp.analyze(&materialized).map_err(|e| format!("batch analyze: {e}"))?;
+        let batch_secs = t0.elapsed().as_secs_f64();
+        let batch_peak = simprof_obs::peak_alloc_bytes().saturating_sub(batch_base);
+        drop(materialized);
+
+        // Streamed: two passes over the chunked file, one chunk in memory
+        // at a time.
+        let stream_base = simprof_obs::current_alloc_bytes();
+        simprof_obs::reset_peak();
+        let t1 = Instant::now();
+        let mut reader = TraceReader::open(&file)?;
+        let streamed =
+            sp.analyze_stream(&mut reader).map_err(|e| format!("streamed analyze: {e}"))?;
+        let streamed_secs = t1.elapsed().as_secs_f64();
+        let streamed_peak = simprof_obs::peak_alloc_bytes().saturating_sub(stream_base);
+        let _ = reader.rewind();
+
+        if batch.cpis != streamed.cpis
+            || batch.model.assignments != streamed.model.assignments
+            || batch.model.space != streamed.model.space
+            || batch.stats != streamed.stats
+        {
+            return Err("streamed analysis diverged from batch analysis".into());
+        }
+
+        let universe = footer.method_universe;
+        simprof_obs::gauge_set("mem.peak_alloc_bytes", batch_peak.max(streamed_peak) as f64);
+        println!(
+            "trace stream: {n} units × {} hist entries, universe {universe}",
+            scale.hist_entries
+        );
+        println!("  file: {:.1} MiB, chunk = {} units", file_bytes as f64 / MIB, scale.chunk_units);
+        println!("  batch:    {batch_secs:>7.3} s, peak heap {:>7.1} MiB", batch_peak as f64 / MIB);
+        println!(
+            "  streamed: {streamed_secs:>7.3} s, peak heap {:>7.1} MiB",
+            streamed_peak as f64 / MIB
+        );
+        println!(
+            "  streamed/batch peak ratio: {:.2}  (dense matrix would be {:.1} MiB)",
+            streamed_peak as f64 / batch_peak.max(1) as f64,
+            (n * universe * 8) as f64 / MIB
+        );
+
+        let record = serde_json::json!({
+            "bench": "trace_stream/streamed_vs_batch",
+            "units": n,
+            "hist_entries_per_unit": scale.hist_entries,
+            "slices_per_unit": scale.slices,
+            "method_universe": universe,
+            "chunk_units": scale.chunk_units,
+            "seed": args.seed,
+            "trace_file_bytes": file_bytes,
+            "batch_secs": batch_secs,
+            "streamed_secs": streamed_secs,
+            "peak_alloc_bytes_batch": batch_peak,
+            "peak_alloc_bytes_streamed": streamed_peak,
+            "stream_to_batch_peak_ratio": streamed_peak as f64 / batch_peak.max(1) as f64,
+            // What pass 2 would cost without top-K selection: n × universe
+            // doubles. Computed, never allocated.
+            "dense_matrix_bytes": n * universe * 8,
+            "bit_identical": true,
+            "mem_cap_mb": args.mem_cap_mb,
+        });
+        Ok((record, streamed_peak))
+    })())?;
+
+    if let Some(cap) = args.mem_cap_mb {
+        if streamed_peak as f64 > cap as f64 * MIB {
+            return Err(format!(
+                "streamed peak heap {:.1} MiB exceeds --mem-cap-mb {cap}",
+                streamed_peak as f64 / MIB
+            ));
+        }
+        println!("  memory smoke: streamed peak within {cap} MiB cap");
+    }
+
+    let text = serde_json::to_string_pretty(&record).expect("record encodes");
+    std::fs::write(out_path, text).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
+
+const MIB: f64 = 1024.0 * 1024.0;
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -139,12 +372,16 @@ fn main() {
     let baseline_secs = t0.elapsed().as_secs_f64();
     rayon::set_threads(threads);
 
+    let sweep_base = simprof_obs::current_alloc_bytes();
+    simprof_obs::reset_peak();
     let t1 = Instant::now();
     let sel = {
         let _span = simprof_obs::span!("bench.phase_formation");
         choose_k(&data, args.k_max, 0.9, 0.25, args.seed)
     };
     let optimized_secs = t1.elapsed().as_secs_f64();
+    let sweep_peak = simprof_obs::peak_alloc_bytes().saturating_sub(sweep_base);
+    simprof_obs::gauge_set("mem.peak_alloc_bytes", sweep_peak as f64);
 
     // Synthetic sampling stage: treat each unit's feature-row mean as the
     // measured quantity and run the Eq. 1 allocator over the chosen phases,
@@ -184,6 +421,7 @@ fn main() {
             "speedup": speedup,
             "chosen_k_baseline": baseline_k,
             "chosen_k_optimized": sel.k,
+            "peak_alloc_bytes_sweep": sweep_peak,
         });
         let text = serde_json::to_string_pretty(&record).expect("record encodes");
         if let Err(e) = std::fs::write(path, text) {
@@ -242,5 +480,12 @@ fn main() {
             std::process::exit(1);
         }
         println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.trace_stream {
+        if let Err(e) = trace_stream_bench(&args, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -1,5 +1,17 @@
-//! The on-disk trace format: a profile plus everything needed to interpret
-//! it later (method registry, provenance).
+//! The **legacy** on-disk trace format: one monolithic JSON blob holding a
+//! profile plus everything needed to interpret it later (method registry,
+//! provenance).
+//!
+//! This format predates the chunked streaming format in `simprof-trace` and
+//! is kept for compatibility: every trace-consuming command auto-detects
+//! which format a file uses (see [`crate::input::TraceInput`]), and
+//! `profile` still writes a bundle when the output path ends in `.json`.
+//! Prefer the chunked format for new traces — it is written while the
+//! engine runs and read without materializing the whole trace.
+//!
+//! Bundles are written as *compact* JSON; [`TraceBundle::load`] accepts
+//! both compact and the pretty-printed form older versions emitted (JSON
+//! parsing is whitespace-insensitive).
 
 use serde::{Deserialize, Serialize};
 
@@ -9,7 +21,7 @@ use simprof_profiler::ProfileTrace;
 /// Format version written into every bundle.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// A self-contained profiled run.
+/// A self-contained profiled run (legacy monolithic format).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceBundle {
     /// Format version for forward compatibility.
@@ -27,12 +39,15 @@ pub struct TraceBundle {
 }
 
 impl TraceBundle {
-    /// Serializes to pretty JSON.
+    /// Serializes to compact JSON (roughly half the bytes of the
+    /// pretty-printed form this format used to emit; traces dominated by
+    /// numeric arrays gain nothing from indentation).
     pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| format!("serialize bundle: {e}"))
+        serde_json::to_string(self).map_err(|e| format!("serialize bundle: {e}"))
     }
 
-    /// Parses a bundle, validating the format version.
+    /// Parses a bundle (compact or pretty JSON), validating the format
+    /// version.
     pub fn from_json(s: &str) -> Result<Self, String> {
         let bundle: TraceBundle =
             serde_json::from_str(s).map_err(|e| format!("parse bundle: {e}"))?;
@@ -83,6 +98,19 @@ mod tests {
         assert_eq!(back.label, "grep_sp");
         assert_eq!(back.trace, b.trace);
         assert_eq!(back.registry.len(), b.registry.len());
+    }
+
+    #[test]
+    fn compact_output_and_pretty_input_both_supported() {
+        let b = bundle();
+        let compact = b.to_json().unwrap();
+        assert!(!compact.contains('\n'), "bundles are written compact");
+        // Pretty JSON from older versions still loads.
+        let pretty = serde_json::to_string_pretty(&b).unwrap();
+        assert!(pretty.contains('\n'));
+        let back = TraceBundle::from_json(&pretty).unwrap();
+        assert_eq!(back.trace, b.trace);
+        assert!(pretty.len() > compact.len());
     }
 
     #[test]

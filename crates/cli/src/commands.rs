@@ -2,11 +2,14 @@
 
 use simprof_core::{input_sensitivity, SimProf, SimProfConfig};
 use simprof_engine::MethodId;
+use simprof_profiler::{SharedSink, UnitSink};
 use simprof_stats::split_seed;
+use simprof_trace::{TraceMeta, TraceWriter};
 use simprof_workloads::{GraphInput, Kronecker, WorkloadConfig, WorkloadId};
 
 use crate::args::{Options, Scale};
 use crate::bundle::{TraceBundle, FORMAT_VERSION};
+use crate::input::TraceInput;
 
 fn workload_config(opts: &Options) -> WorkloadConfig {
     match opts.scale {
@@ -35,12 +38,45 @@ pub fn list(_opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof profile -w <label> [-o trace.json]`.
+fn scale_name(opts: &Options) -> String {
+    match opts.scale {
+        Scale::Paper => "paper".into(),
+        Scale::Tiny => "tiny".into(),
+    }
+}
+
+/// `simprof profile -w <label> [-o trace.sptrc | -o trace.json]`.
+///
+/// The output format follows the extension: a `.json` path writes the
+/// legacy monolithic [`TraceBundle`]; any other path (conventionally
+/// `.sptrc`) streams the chunked format — the trace writer is attached to
+/// the profiler as a [`UnitSink`], so units hit the disk while the engine
+/// is still running instead of being serialized in one blob afterwards.
 pub fn profile(opts: &Options) -> Result<(), String> {
     let label = opts.require_workload("profile")?;
     let id = find_workload(label)?;
     let cfg = workload_config(opts);
-    let out = id.run_full(&cfg);
+
+    let streaming_out = match &opts.output {
+        Some(path) if !path.ends_with(".json") => {
+            let meta = TraceMeta {
+                label: label.to_owned(),
+                seed: opts.seed,
+                scale: scale_name(opts),
+                unit_instrs: cfg.profiler.unit_instrs,
+                snapshot_instrs: cfg.profiler.snapshot_instrs,
+                core: cfg.profiler.core,
+            };
+            Some((path.clone(), SharedSink::new(TraceWriter::create(path, &meta)?)))
+        }
+        _ => None,
+    };
+    let sinks: Vec<Box<dyn UnitSink>> = match &streaming_out {
+        Some((_, writer)) => vec![Box::new(writer.clone())],
+        None => Vec::new(),
+    };
+
+    let out = id.run_full_with_sinks(&cfg, sinks);
     println!(
         "profiled {label}: {} sampling units × {} instructions ({} methods, {} tasks)",
         out.trace.units.len(),
@@ -49,35 +85,39 @@ pub fn profile(opts: &Options) -> Result<(), String> {
         out.total_tasks
     );
     println!("oracle CPI {:.4}", out.trace.oracle_cpi());
-    let bundle = TraceBundle {
-        version: FORMAT_VERSION,
-        label: label.to_owned(),
-        seed: opts.seed,
-        scale: match opts.scale {
-            Scale::Paper => "paper".into(),
-            Scale::Tiny => "tiny".into(),
-        },
-        trace: out.trace,
-        registry: out.registry,
-    };
-    if let Some(path) = &opts.output {
-        bundle.save(path)?;
-        println!("wrote {path}");
-    } else {
-        println!("(no -o/--output given; trace not saved)");
+
+    match (&opts.output, streaming_out) {
+        (Some(_), Some((path, writer))) => {
+            let footer = writer.lock().finish(&out.registry)?;
+            println!("wrote {path} ({} units, chunked streaming format)", footer.unit_count);
+        }
+        (Some(path), None) => {
+            let bundle = TraceBundle {
+                version: FORMAT_VERSION,
+                label: label.to_owned(),
+                seed: opts.seed,
+                scale: scale_name(opts),
+                trace: out.trace,
+                registry: out.registry,
+            };
+            bundle.save(path)?;
+            println!("wrote {path} (legacy JSON bundle)");
+        }
+        _ => println!("(no -o/--output given; trace not saved)"),
     }
     Ok(())
 }
 
-/// `simprof analyze -i trace.json`.
+/// `simprof analyze -i trace.sptrc|trace.json` (format auto-detected; a
+/// chunked trace streams through the analysis without being materialized).
 pub fn analyze(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("analyze")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
+    let input = TraceInput::open(opts.require_input("analyze")?)?;
+    let analysis = input.analyze(&pipeline(opts))?;
     println!(
         "{}: {} units, oracle CPI {:.4}, {} phases",
-        bundle.label,
-        bundle.trace.units.len(),
-        bundle.trace.oracle_cpi(),
+        input.label,
+        analysis.cpis.len(),
+        analysis.oracle_cpi(),
         analysis.k()
     );
     println!(
@@ -97,10 +137,10 @@ pub fn analyze(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof select -i trace.json -n 20 [-o points.json]`.
+/// `simprof select -i trace.sptrc|trace.json -n 20 [-o points.json]`.
 pub fn select(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("select")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
+    let input = TraceInput::open(opts.require_input("select")?)?;
+    let analysis = input.analyze(&pipeline(opts))?;
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
     let est = analysis.estimate(&points, opts.z);
     let oracle = analysis.oracle_cpi();
@@ -121,7 +161,7 @@ pub fn select(opts: &Options) -> Result<(), String> {
     );
     if let Some(path) = &opts.output {
         let json = serde_json::json!({
-            "label": bundle.label,
+            "label": input.label,
             "points": points.points,
             "per_phase": points.per_phase,
             "allocation": points.allocation,
@@ -229,27 +269,28 @@ pub fn run_workload(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof size -i trace.json --error 0.05 [--z 3]`.
+/// `simprof size -i trace.sptrc|trace.json --error 0.05 [--z 3]`.
 pub fn size(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("size")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
+    let input = TraceInput::open(opts.require_input("size")?)?;
+    let analysis = input.analyze(&pipeline(opts))?;
     let n = analysis.required_size(opts.z, opts.error);
     println!(
         "{}: {} of {} units needed for {:.1}% relative error at z = {}",
-        bundle.label,
+        input.label,
         n,
-        bundle.trace.units.len(),
+        input.unit_count(),
         opts.error * 100.0,
         opts.z
     );
     Ok(())
 }
 
-/// `simprof report -i trace.json` — phases with their characteristic methods.
+/// `simprof report -i trace.sptrc|trace.json` — phases with their
+/// characteristic methods.
 pub fn report(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("report")?)?;
-    let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
-    println!("{}: {} phases", bundle.label, analysis.k());
+    let input = TraceInput::open(opts.require_input("report")?)?;
+    let analysis = input.analyze(&pipeline(opts))?;
+    println!("{}: {} phases", input.label, analysis.k());
     for h in 0..analysis.k() {
         let s = &analysis.stats[h];
         println!(
@@ -259,7 +300,7 @@ pub fn report(opts: &Options) -> Result<(), String> {
             s.cov
         );
         for (m, w) in analysis.model.top_methods(h, 3) {
-            println!("    {:.2}  {}", w, bundle.registry.name(MethodId(m as u32)));
+            println!("    {:.2}  {}", w, input.registry.name(MethodId(m as u32)));
         }
     }
     Ok(())
@@ -270,7 +311,7 @@ pub fn report(opts: &Options) -> Result<(), String> {
 /// compare replayed CPIs against the profile — the end-to-end check that
 /// the selected points are actually simulatable.
 pub fn validate(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("validate")?)?;
+    let bundle = TraceInput::open(opts.require_input("validate")?)?.into_bundle()?;
     let id = find_workload(&bundle.label)?;
     let cfg = match bundle.scale.as_str() {
         "tiny" => WorkloadConfig::tiny(bundle.seed),
@@ -312,7 +353,7 @@ pub fn validate(opts: &Options) -> Result<(), String> {
 /// simulation manifest a detailed simulator consumes (instruction
 /// intervals, warm-up, phase weights for re-aggregation).
 pub fn export(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("export")?)?;
+    let bundle = TraceInput::open(opts.require_input("export")?)?.into_bundle()?;
     let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
     let manifest = simprof_core::SimulationManifest::build(&analysis, &bundle.trace, &points)
@@ -352,7 +393,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
     use simprof_core::{
         baselines, relative_error, second_points_by_cycles, srs_points, systematic_points,
     };
-    let bundle = TraceBundle::load(opts.require_input("compare")?)?;
+    let bundle = TraceInput::open(opts.require_input("compare")?)?.into_bundle()?;
     let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let oracle = analysis.oracle_cpi();
     let n = opts.points;
@@ -399,7 +440,7 @@ pub fn compare(opts: &Options) -> Result<(), String> {
 /// estimator at strides 1/2/5/10, with the detailed-simulation budget each
 /// stride needs.
 pub fn hybrid(opts: &Options) -> Result<(), String> {
-    let bundle = TraceBundle::load(opts.require_input("hybrid")?)?;
+    let bundle = TraceInput::open(opts.require_input("hybrid")?)?.into_bundle()?;
     let analysis = pipeline(opts).analyze(&bundle.trace).map_err(|e| format!("analyze: {e}"))?;
     let oracle = analysis.oracle_cpi();
     let points = analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E));
@@ -430,6 +471,51 @@ pub fn hybrid(opts: &Options) -> Result<(), String> {
             h.simulated_instrs,
             h.slice_reduction() * 100.0
         );
+    }
+    Ok(())
+}
+
+/// `simprof trace-info -i trace.sptrc|trace.json` — trace metadata without
+/// an analysis pass.
+///
+/// For a chunked trace this is O(1) in trace size: the header frame is read
+/// from the front and the footer is located through the 12-byte trailer at
+/// the end — no unit chunk is ever decoded. Legacy bundles must be parsed
+/// whole (the format has no summary section), which is itself a reason to
+/// prefer the chunked format.
+pub fn trace_info(opts: &Options) -> Result<(), String> {
+    let path = opts.require_input("trace-info")?;
+    let input = TraceInput::open(path)?;
+    match input.footer() {
+        Some(footer) => {
+            println!("{path}: chunked trace (schema v{})", footer.version);
+            println!("  workload        {}", input.label);
+            println!("  seed            {}", input.seed);
+            println!("  scale           {}", input.scale);
+            println!("  units           {}", footer.unit_count);
+            println!("  unit size       {} instructions", input.unit_instrs());
+            println!("  method universe {}", footer.method_universe);
+            println!("  methods interned {}", footer.registry.len());
+            println!("  total instrs    {}", footer.total_instrs);
+            println!("  total cycles    {}", footer.total_cycles);
+            if footer.total_instrs > 0 {
+                println!(
+                    "  aggregate CPI   {:.4}",
+                    footer.total_cycles as f64 / footer.total_instrs as f64
+                );
+            }
+            println!("  truncated units {}", footer.truncated_units);
+            println!("  dropped snaps   {}", footer.dropped_snapshots);
+        }
+        None => {
+            println!("{path}: legacy JSON bundle (v{FORMAT_VERSION})");
+            println!("  workload        {}", input.label);
+            println!("  seed            {}", input.seed);
+            println!("  scale           {}", input.scale);
+            println!("  units           {}", input.unit_count());
+            println!("  unit size       {} instructions", input.unit_instrs());
+            println!("  methods interned {}", input.registry.len());
+        }
     }
     Ok(())
 }
@@ -536,9 +622,31 @@ mod tests {
         let manifest_path = manifest_path.to_str().unwrap();
         export(&opts(&format!("-i {path} -n 5 -o {manifest_path}"))).unwrap();
         validate(&opts(&format!("-i {path} -n 2"))).unwrap();
+        trace_info(&opts(&format!("-i {path}"))).unwrap();
         assert!(std::fs::read_to_string(manifest_path).unwrap().contains("warmup_instrs"));
         let _ = std::fs::remove_file(manifest_path);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn chunked_profile_feeds_every_trace_command() {
+        let dir = std::env::temp_dir().join("simprof_cli_chunked_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grep.sptrc");
+        let path = path.to_str().unwrap();
+
+        // A non-.json output streams the chunked format while profiling.
+        profile(&opts(&format!("-w grep_sp --scale tiny --seed 5 -o {path}"))).unwrap();
+        assert!(simprof_trace::is_chunked(path), "profile wrote the chunked format");
+        trace_info(&opts(&format!("-i {path}"))).unwrap();
+        analyze(&opts(&format!("-i {path}"))).unwrap();
+        select(&opts(&format!("-i {path} -n 5"))).unwrap();
+        size(&opts(&format!("-i {path} --error 0.10"))).unwrap();
+        report(&opts(&format!("-i {path}"))).unwrap();
+        hybrid(&opts(&format!("-i {path} -n 5"))).unwrap();
+        validate(&opts(&format!("-i {path} -n 2"))).unwrap();
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_dir(&dir);
     }
 
     #[test]

@@ -5,22 +5,29 @@
 //! ```text
 //! simprof list                                   # the 12-workload matrix
 //! simprof run -w wc_sp --report run.json         # whole pipeline + run report
-//! simprof profile -w wc_sp -o wc.json            # run + profile a workload
-//! simprof analyze -i wc.json                     # phases + homogeneity
-//! simprof select  -i wc.json -n 20               # simulation points + CI
-//! simprof size    -i wc.json --error 0.05        # required sample size
-//! simprof report  -i wc.json                     # per-phase method report
+//! simprof profile -w wc_sp -o wc.sptrc           # run + stream a trace to disk
+//! simprof trace-info -i wc.sptrc                 # footer metadata, no unit scan
+//! simprof analyze -i wc.sptrc                    # phases + homogeneity (streamed)
+//! simprof select  -i wc.sptrc -n 20              # simulation points + CI
+//! simprof size    -i wc.sptrc --error 0.05       # required sample size
+//! simprof report  -i wc.sptrc                    # per-phase method report
 //! simprof sensitivity -w cc_sp                   # Algorithm 1 over Table II
 //! ```
 //!
-//! Traces are stored as JSON [`bundle::TraceBundle`]s (profile + method
-//! registry + provenance), so an `analyze`/`select` run can happen on a
-//! different machine than the `profile` run — mirroring the paper's
-//! profile-on-hardware / simulate-elsewhere workflow.
+//! Two trace formats are supported, auto-detected on read (see
+//! [`input::TraceInput`]): the chunked streaming `.sptrc` format
+//! (`simprof-trace`), written while the engine runs and analyzed without
+//! materializing the trace, and the legacy JSON [`bundle::TraceBundle`]
+//! (written when `profile`'s output path ends in `.json`). Either way an
+//! `analyze`/`select` run can happen on a different machine than the
+//! `profile` run — mirroring the paper's profile-on-hardware /
+//! simulate-elsewhere workflow — and the analysis output is bit-identical
+//! across formats.
 
 pub mod args;
 pub mod bundle;
 pub mod commands;
+pub mod input;
 
 use std::process::ExitCode;
 
@@ -54,6 +61,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compare" => commands::compare(&opts),
         "export" => commands::export(&opts),
         "validate" => commands::validate(&opts),
+        "trace-info" => commands::trace_info(&opts),
         "sensitivity" => commands::sensitivity(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -83,13 +91,16 @@ COMMANDS:
     compare       All sampling approaches on one trace (a Fig. 7 row)
     export        Write a simulation manifest for a detailed simulator
     validate      Replay selected points in isolation and compare CPIs
+    trace-info    Print a trace file's metadata (footer read, no unit scan)
     sensitivity   Input-sensitivity study (Algorithm 1) over the Table II graphs
     help          Show this message
 
 OPTIONS:
     -w, --workload <LABEL>   Workload label (wc_sp, sort_hp, ...); see `list`
-    -i, --input <FILE>       Input trace bundle (JSON, from `profile`)
-    -o, --output <FILE>      Output file (trace bundle or points JSON)
+    -i, --input <FILE>       Input trace (chunked .sptrc or legacy JSON bundle,
+                             auto-detected; from `profile`)
+    -o, --output <FILE>      Output file (.json → legacy bundle; anything else
+                             streams the chunked trace format)
     -n, --points <N>         Number of simulation points [default: 20]
         --seed <N>           Master seed [default: 42]
         --scale <PRESET>     Workload scale: paper | tiny [default: paper]

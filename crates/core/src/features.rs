@@ -13,8 +13,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use simprof_profiler::ProfileTrace;
-use simprof_stats::{select_top_k, Matrix};
+use simprof_profiler::{ProfileTrace, SamplingUnit};
+use simprof_stats::{f_score_from_moments, top_k_features, ColumnMoments, Matrix};
 
 /// Vectorizes a trace into the full (unselected) feature matrix:
 /// `units × method_universe`.
@@ -45,6 +45,79 @@ pub fn vectorize_with_dim(trace: &ProfileTrace, dim: usize) -> Matrix {
     m
 }
 
+/// Streaming sufficient statistics for feature selection (pass 1 of the
+/// two-pass sparse pipeline).
+///
+/// Folding a unit updates only the columns present in its histogram (plus
+/// the global response moments), so memory is `O(method_universe)` — one
+/// [`ColumnMoments`] per method — instead of the dense `units × universe`
+/// matrix [`vectorize`] builds. Because the fold touches exactly the values
+/// the dense matrix would hold (absent methods contribute an exact `0.0` to
+/// every sum), a batch fit routed through this accumulator and a streaming
+/// fit over the same units produce bit-identical scores.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureStats {
+    n: usize,
+    sum_y: f64,
+    sum_yy: f64,
+    moments: Vec<ColumnMoments>,
+}
+
+impl FeatureStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one sampling unit: response `y` is the unit's IPC, features are
+    /// the unit's snapshot-normalized method frequencies.
+    pub fn push(&mut self, unit: &SamplingUnit) {
+        let y = unit.ipc();
+        self.n += 1;
+        self.sum_y += y;
+        self.sum_yy += y * y;
+        // The universe must cover every method seen, even in units whose
+        // snapshot count is zero (their feature row is all zeros but they
+        // still widen the dense matrix).
+        if let Some(max) = unit.histogram.iter().map(|&(m, _)| m.index()).max() {
+            if max >= self.moments.len() {
+                self.moments.resize(max + 1, ColumnMoments::default());
+            }
+        }
+        if unit.snapshots == 0 {
+            return;
+        }
+        let inv = 1.0 / unit.snapshots as f64;
+        for &(m, count) in &unit.histogram {
+            self.moments[m.index()].push(count as f64 * inv, y);
+        }
+    }
+
+    /// Units folded so far.
+    pub fn units(&self) -> usize {
+        self.n
+    }
+
+    /// Method-universe dimensionality observed so far.
+    pub fn full_dim(&self) -> usize {
+        self.moments.len()
+    }
+
+    /// F-score of every method column against IPC.
+    pub fn scores(&self) -> Vec<f64> {
+        self.moments
+            .iter()
+            .map(|m| f_score_from_moments(m, self.n, self.sum_y, self.sum_yy))
+            .collect()
+    }
+
+    /// Selects the top-`k` columns, consuming the accumulator.
+    pub fn into_space(self, k: usize) -> FeatureSpace {
+        let columns = top_k_features(&self.scores(), k);
+        FeatureSpace { full_dim: self.moments.len(), columns }
+    }
+}
+
 /// A fitted feature space: which method columns survived selection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureSpace {
@@ -57,18 +130,57 @@ pub struct FeatureSpace {
 impl FeatureSpace {
     /// Fits the space on a training trace: scores every method column
     /// against per-unit IPC and keeps the top `k`.
+    ///
+    /// Both this batch entry point and the streaming pipeline accumulate the
+    /// same [`FeatureStats`] in the same unit order, so a trace analyzed in
+    /// memory and the same trace streamed from disk select identical columns
+    /// and produce a bit-identical projected matrix.
     pub fn fit(trace: &ProfileTrace, k: usize) -> (Self, Matrix) {
-        let full = vectorize(trace);
-        let ipcs = trace.ipcs();
-        let (projected, columns) = select_top_k(&full, &ipcs, k);
-        (Self { full_dim: full.cols(), columns }, projected)
+        let mut stats = FeatureStats::new();
+        for unit in &trace.units {
+            stats.push(unit);
+        }
+        let space = stats.into_space(k);
+        let projected = space.project(trace);
+        (space, projected)
     }
 
     /// Projects a trace into this space (handles traces whose method
-    /// universe differs from the training run's).
+    /// universe differs from the training run's) by building the reduced
+    /// `units × dim()` matrix directly — the full-universe matrix is never
+    /// materialized (pass 2 of the two-pass pipeline).
     pub fn project(&self, trace: &ProfileTrace) -> Matrix {
-        let full = vectorize_with_dim(trace, self.full_dim);
-        full.select_columns(&self.columns)
+        let mut m = Matrix::zeros(trace.units.len(), self.columns.len());
+        for (i, unit) in trace.units.iter().enumerate() {
+            self.project_unit_into(unit, m.row_mut(i));
+        }
+        m
+    }
+
+    /// Writes one unit's reduced feature vector into `row` (length
+    /// [`dim()`](Self::dim)). Methods outside the fitted universe are
+    /// dropped, mirroring [`vectorize_with_dim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn project_unit_into(&self, unit: &SamplingUnit, row: &mut [f64]) {
+        assert_eq!(row.len(), self.columns.len(), "row length must match selected dim");
+        row.fill(0.0);
+        if unit.snapshots == 0 {
+            return;
+        }
+        let inv = 1.0 / unit.snapshots as f64;
+        for &(method, count) in &unit.histogram {
+            if method.index() >= self.full_dim {
+                continue;
+            }
+            // The selected column set is small (K ≤ 100), so a linear scan
+            // beats building a universe-sized lookup per call.
+            if let Some(j) = self.columns.iter().position(|&c| c == method.index()) {
+                row[j] = count as f64 * inv;
+            }
+        }
     }
 
     /// Number of selected features.

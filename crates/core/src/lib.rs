@@ -39,10 +39,11 @@ pub use baselines::{
 };
 pub use eval::{phase_type_distribution, phase_types, relative_error, PhaseTypeShare};
 pub use export::{ExportError, ManifestPoint, SimulationManifest};
-pub use features::{vectorize, vectorize_with_dim, FeatureSpace};
+pub use features::{vectorize, vectorize_with_dim, FeatureSpace, FeatureStats};
 pub use hybrid::{estimate_hybrid, HybridEstimate};
 pub use phases::{
-    classify_units, form_phases, homogeneity, phase_stats, phase_weights, PhaseModel,
+    classify_units, form_phases, form_phases_in_space, homogeneity, phase_stats, phase_weights,
+    PhaseModel,
 };
 pub use pipeline::{validate_trace, AllocationRow, Analysis, SimProf, SimProfConfig, TraceError};
 pub use sampling::{

@@ -92,8 +92,23 @@ pub fn form_phases(trace: &ProfileTrace, config: &SimProfConfig) -> PhaseModel {
         let _span = simprof_obs::span!("core.feature_fit");
         FeatureSpace::fit(trace, config.top_k)
     };
+    form_phases_in_space(space, &projected, config)
+}
+
+/// Forms phases on an already-fitted feature space and its projected unit
+/// matrix — the k-means sweep half of [`form_phases`].
+///
+/// The streaming pipeline calls this after its two passes produce `space`
+/// and `projected` without a dense matrix; [`form_phases`] calls it after a
+/// batch fit. Opens no spans of its own (callers own the `core.form_phases`
+/// / `core.feature_fit` structure; `choose_k` reports its own).
+pub fn form_phases_in_space(
+    space: FeatureSpace,
+    projected: &Matrix,
+    config: &SimProfConfig,
+) -> PhaseModel {
     let selection = choose_k(
-        &projected,
+        projected,
         config.k_max,
         config.silhouette_threshold,
         config.min_structure,

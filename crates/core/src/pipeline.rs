@@ -2,10 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
-use simprof_profiler::ProfileTrace;
-use simprof_stats::{seeded, CovTriple, Summary};
+use simprof_profiler::{MemStream, ProfileTrace, UnitStream};
+use simprof_stats::{seeded, CovTriple, Matrix, Summary};
 
-use crate::phases::{form_phases, homogeneity, phase_stats, phase_weights, PhaseModel};
+use crate::features::FeatureStats;
+use crate::phases::{form_phases_in_space, homogeneity, phase_stats, phase_weights, PhaseModel};
 use crate::sampling::{
     estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
 };
@@ -50,6 +51,11 @@ pub enum TraceError {
     /// The trace's declared unit size is zero, which breaks every
     /// instruction-budget computation downstream.
     ZeroUnitSize,
+    /// The unit stream failed mid-analysis (I/O error, corrupt chunk, …).
+    Stream {
+        /// The underlying stream error.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TraceError {
@@ -60,6 +66,7 @@ impl std::fmt::Display for TraceError {
                 write!(f, "sampling unit {unit} retired zero instructions (CPI undefined)")
             }
             Self::ZeroUnitSize => write!(f, "trace declares a zero sampling-unit size"),
+            Self::Stream { message } => write!(f, "trace stream failed: {message}"),
         }
     }
 }
@@ -101,11 +108,83 @@ impl SimProf {
     /// Runs phase formation + homogeneity analysis on a trace and returns a
     /// self-contained [`Analysis`], or a [`TraceError`] if the trace is
     /// degenerate (empty, zero unit size, or a zero-instruction unit).
+    ///
+    /// Routes through the same two-pass streaming pipeline as
+    /// [`analyze_stream`] (over a [`MemStream`]), so a trace analyzed in
+    /// memory and the same trace streamed from disk produce bit-identical
+    /// results.
     pub fn analyze(&self, trace: &ProfileTrace) -> Result<Analysis, TraceError> {
+        self.analyze_stream(&mut MemStream::new(trace))
+    }
+
+    /// Runs the full analysis over a rewindable unit stream without ever
+    /// materializing the trace: pass 1 accumulates per-method sufficient
+    /// statistics for feature selection (plus per-unit CPIs), pass 2 builds
+    /// only the reduced `units × K` matrix the k-means sweep needs.
+    pub fn analyze_stream(&self, stream: &mut dyn UnitStream) -> Result<Analysis, TraceError> {
         let _span = simprof_obs::span!("core.analyze");
-        validate_trace(trace)?;
-        let model = form_phases(trace, &self.config);
-        let cpis = trace.cpis();
+        if stream.unit_instrs() == 0 {
+            return Err(TraceError::ZeroUnitSize);
+        }
+        let _form_span = simprof_obs::span!("core.form_phases");
+        let (space, projected, cpis) = {
+            let _span = simprof_obs::span!("core.feature_fit");
+
+            // Pass 1: sufficient statistics (Σx, Σx², Σxy per method) and
+            // CPIs; the dense units × universe matrix is never built.
+            stream.rewind().map_err(|message| TraceError::Stream { message })?;
+            let mut stats = FeatureStats::new();
+            let mut cpis = Vec::new();
+            loop {
+                let unit = match stream.next_unit() {
+                    Ok(Some(u)) => u,
+                    Ok(None) => break,
+                    Err(message) => return Err(TraceError::Stream { message }),
+                };
+                if unit.counters.instructions == 0 {
+                    return Err(TraceError::ZeroInstructionUnit { unit: unit.id });
+                }
+                stats.push(unit);
+                cpis.push(unit.cpi());
+            }
+            if cpis.is_empty() {
+                return Err(TraceError::EmptyTrace);
+            }
+            let space = stats.into_space(self.config.top_k);
+
+            // Pass 2: project each unit straight into the reduced matrix.
+            stream.rewind().map_err(|message| TraceError::Stream { message })?;
+            let mut projected = Matrix::zeros(cpis.len(), space.dim());
+            let mut i = 0;
+            loop {
+                let unit = match stream.next_unit() {
+                    Ok(Some(u)) => u,
+                    Ok(None) => break,
+                    Err(message) => return Err(TraceError::Stream { message }),
+                };
+                if i >= cpis.len() {
+                    return Err(TraceError::Stream {
+                        message: format!(
+                            "stream yielded more units on pass 2 than pass 1 ({})",
+                            cpis.len()
+                        ),
+                    });
+                }
+                space.project_unit_into(unit, projected.row_mut(i));
+                i += 1;
+            }
+            if i != cpis.len() {
+                return Err(TraceError::Stream {
+                    message: format!(
+                        "stream yielded {i} units on pass 2, {} on pass 1",
+                        cpis.len()
+                    ),
+                });
+            }
+            (space, projected, cpis)
+        };
+        let model = form_phases_in_space(space, &projected, &self.config);
+        drop(_form_span);
         let k = model.k();
         let stats = phase_stats(&cpis, &model.assignments, k);
         let weights = phase_weights(&model.assignments, k);

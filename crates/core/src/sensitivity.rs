@@ -26,17 +26,22 @@ use crate::sampling::SimulationPoints;
 /// Trimming the top and bottom deciles before computing the summary keeps
 /// Eq. 6's comparison meaningful at small n while preserving its semantics
 /// at paper-scale n.
+/// Buckets, sorts, and trims *indices* into `cpis` rather than cloning the
+/// values into per-phase vectors. [`Summary::of_indices`] mirrors
+/// [`Summary::of`]'s arithmetic term for term and `sort_by` is stable, so
+/// the result is bit-identical to the value-bucket formulation while the
+/// evaluation path borrows the CPI slice instead of duplicating it.
 pub fn trimmed_phase_stats(cpis: &[f64], assignments: &[usize], k: usize) -> Vec<Summary> {
-    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
-    for (&c, &a) in cpis.iter().zip(assignments) {
-        buckets[a].push(c);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &a) in assignments.iter().enumerate().take(cpis.len()) {
+        buckets[a].push(i);
     }
     buckets
         .iter_mut()
         .map(|b| {
-            b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+            b.sort_by(|&x, &y| cpis[x].partial_cmp(&cpis[y]).unwrap_or(std::cmp::Ordering::Equal));
             let trim = if b.len() >= 5 { (b.len() / 10).max(1) } else { 0 };
-            Summary::of(&b[trim..b.len() - trim])
+            Summary::of_indices(cpis, &b[trim..b.len() - trim])
         })
         .collect()
 }
@@ -194,6 +199,33 @@ mod tests {
 
     fn s(n: usize, mean: f64, stddev: f64) -> Summary {
         Summary { n, mean, stddev, cov: if mean == 0.0 { 0.0 } else { stddev / mean } }
+    }
+
+    #[test]
+    fn trimmed_stats_match_value_bucket_formulation() {
+        // The index-based implementation must be bit-identical to bucketing
+        // the values themselves, sorting, trimming, and summarizing.
+        let cpis: Vec<f64> = (0..37).map(|i| 1.0 + ((i * 17 + 5) % 13) as f64 * 0.31).collect();
+        let assignments: Vec<usize> = (0..37).map(|i| (i * 7 + 2) % 3).collect();
+        let k = 3;
+        let got = trimmed_phase_stats(&cpis, &assignments, k);
+        let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+        for (&c, &a) in cpis.iter().zip(&assignments) {
+            buckets[a].push(c);
+        }
+        let expected: Vec<Summary> = buckets
+            .iter_mut()
+            .map(|b| {
+                b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+                let trim = if b.len() >= 5 { (b.len() / 10).max(1) } else { 0 };
+                Summary::of(&b[trim..b.len() - trim])
+            })
+            .collect();
+        assert_eq!(got, expected);
+        // Tiny phases (n < 5) are untrimmed; empty phases summarize to n=0.
+        let small = trimmed_phase_stats(&[2.0, 4.0], &[0, 0], 2);
+        assert_eq!(small[0], Summary::of(&[2.0, 4.0]));
+        assert_eq!(small[1].n, 0);
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl OpClass {
 }
 
 /// Interner mapping method names to dense ids with operation classes.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MethodRegistry {
     names: Vec<String>,
     classes: Vec<OpClass>,

@@ -1,0 +1,153 @@
+//! Peak-heap tracking allocator.
+//!
+//! [`TrackingAllocator`] wraps the system allocator and keeps two global
+//! atomic counters: bytes currently live and the high-water mark since the
+//! last [`reset_peak`]. It exists for the benchmark harness — installing it
+//! as the `#[global_allocator]` lets `bench_pipeline` report the real peak
+//! heap of streamed vs. batch analysis instead of estimating.
+//!
+//! The bookkeeping is two relaxed atomic ops per (de)allocation; the
+//! counters are observational only, so the usual determinism contract of
+//! this crate holds: nothing downstream reads them back into the pipeline.
+//!
+//! # Usage
+//!
+//! ```ignore
+//! use simprof_obs::alloc::TrackingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: TrackingAllocator = TrackingAllocator;
+//!
+//! simprof_obs::alloc::reset_peak();
+//! run_workload();
+//! let peak = simprof_obs::alloc::peak_alloc_bytes();
+//! ```
+//!
+//! Without the `#[global_allocator]` installation the counters simply stay
+//! at zero — code that *reads* them works in any build.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bytes currently allocated through the tracking allocator.
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`CURRENT`] since the last [`reset_peak`].
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and maintains the
+/// current/peak byte counters read by [`current_alloc_bytes`] and
+/// [`peak_alloc_bytes`].
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    fn record_alloc(size: usize) {
+        let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn record_dealloc(size: usize) {
+        CURRENT.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: delegates every allocation verbatim to `System`; the counter
+// updates have no effect on the returned pointers or layouts.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::record_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::record_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::record_dealloc(layout.size());
+            Self::record_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Bytes currently live. Zero unless [`TrackingAllocator`] is installed as
+/// the global allocator.
+pub fn current_alloc_bytes() -> usize {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`]. Zero unless
+/// [`TrackingAllocator`] is installed as the global allocator.
+pub fn peak_alloc_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current live size, so the next
+/// [`peak_alloc_bytes`] reading covers only allocations made after this
+/// call.
+pub fn reset_peak() {
+    PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does NOT install the allocator globally (that would
+    // perturb every other test's numbers), so exercise the bookkeeping
+    // through the GlobalAlloc impl directly. The counters are process
+    // globals, so these tests serialize on a lock.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn counters_track_alloc_and_dealloc() {
+        let _guard = LOCK.lock().unwrap();
+        let layout = Layout::from_size_align(4096, 8).unwrap();
+        let before_current = current_alloc_bytes();
+        reset_peak();
+        let p = unsafe { TrackingAllocator.alloc(layout) };
+        assert!(!p.is_null());
+        assert!(current_alloc_bytes() >= before_current + 4096);
+        assert!(peak_alloc_bytes() >= before_current + 4096);
+        unsafe { TrackingAllocator.dealloc(p, layout) };
+        assert!(current_alloc_bytes() <= peak_alloc_bytes());
+    }
+
+    #[test]
+    fn realloc_rebalances_current() {
+        let _guard = LOCK.lock().unwrap();
+        let layout = Layout::from_size_align(1024, 8).unwrap();
+        let p = unsafe { TrackingAllocator.alloc(layout) };
+        let mid = current_alloc_bytes();
+        let p2 = unsafe { TrackingAllocator.realloc(p, layout, 2048) };
+        assert!(!p2.is_null());
+        assert_eq!(current_alloc_bytes(), mid + 1024);
+        let grown = Layout::from_size_align(2048, 8).unwrap();
+        unsafe { TrackingAllocator.dealloc(p2, grown) };
+        assert_eq!(current_alloc_bytes(), mid - 1024);
+    }
+
+    #[test]
+    fn reset_peak_rebases_to_current() {
+        let _guard = LOCK.lock().unwrap();
+        let layout = Layout::from_size_align(512, 8).unwrap();
+        let p = unsafe { TrackingAllocator.alloc(layout) };
+        unsafe { TrackingAllocator.dealloc(p, layout) };
+        reset_peak();
+        assert_eq!(peak_alloc_bytes(), current_alloc_bytes());
+    }
+}

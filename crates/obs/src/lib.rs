@@ -41,10 +41,12 @@
 //! assert!(report.find_span("choose_k").is_some());
 //! ```
 
+pub mod alloc;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
+pub use alloc::{current_alloc_bytes, peak_alloc_bytes, reset_peak, TrackingAllocator};
 pub use metrics::{counter_add, gauge_set, histogram_observe, HistogramSummary, MetricsSnapshot};
 pub use report::{RunReport, SpanNode, REPORT_VERSION};
 pub use span::{SpanGuard, SpanRecord};

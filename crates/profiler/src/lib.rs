@@ -12,15 +12,24 @@
 //!   scheduler progress events and flushes completed sampling units.
 //! * [`trace`] — the output format: [`ProfileTrace`], a serializable vector
 //!   of [`SamplingUnit`]s with method histograms and counter deltas.
+//! * [`sink`] / [`stream`] — the streaming data path: the manager emits
+//!   each closed unit to registered [`UnitSink`]s while the engine runs,
+//!   and analyses consume units back through rewindable [`UnitStream`]s —
+//!   so traces never have to fit in memory (the chunked on-disk format
+//!   lives in the `simprof-trace` crate).
 //! * [`merge`] — merging per-core traces, the paper's treatment of Hadoop's
 //!   short-lived per-task executor threads.
 
 pub mod collectors;
 pub mod manager;
 pub mod merge;
+pub mod sink;
+pub mod stream;
 pub mod trace;
 
 pub use collectors::{CallStackCollector, HwCounterCollector};
 pub use manager::{ProfilerConfig, SamplingManager};
 pub use merge::merge_core_traces;
+pub use sink::{SharedSink, TraceCollector, UnitSink};
+pub use stream::{MemStream, UnitStream};
 pub use trace::{ProfileTrace, SamplingUnit};

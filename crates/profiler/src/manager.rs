@@ -11,6 +11,7 @@ use simprof_engine::{ExecListener, FaultEvent, FaultPlan, MethodId};
 use simprof_sim::{CoreId, Machine};
 
 use crate::collectors::{CallStackCollector, HwCounterCollector};
+use crate::sink::{ObsTally, TraceCollector, UnitSink};
 use crate::trace::{ProfileTrace, SamplingUnit};
 
 /// Profiler configuration.
@@ -42,7 +43,16 @@ impl ProfilerConfig {
 
 /// The sampling manager. Feed it to [`simprof_engine::Scheduler::run`] and
 /// call [`SamplingManager::finish`] afterwards.
-#[derive(Debug, Clone)]
+///
+/// Each closed sampling unit is *emitted*: the built-in obs tally and every
+/// registered [`UnitSink`] observe it (in registration order) the moment it
+/// closes, while the engine is still running — that is what lets an on-disk
+/// writer persist the trace incrementally. The default in-memory
+/// [`TraceCollector`] additionally buffers the unit so
+/// [`SamplingManager::finish`] can still materialize a [`ProfileTrace`];
+/// memory-bounded callers disable it with
+/// [`SamplingManager::without_collector`].
+#[derive(Debug)]
 pub struct SamplingManager {
     config: ProfilerConfig,
     stacks: CallStackCollector,
@@ -50,7 +60,10 @@ pub struct SamplingManager {
     slice_hw: HwCounterCollector,
     next_snapshot: u64,
     next_unit: u64,
-    units: Vec<SamplingUnit>,
+    collector: Option<TraceCollector>,
+    sinks: Vec<Box<dyn UnitSink>>,
+    obs: ObsTally,
+    emitted: u64,
     slices: Vec<(u64, u64)>,
     faults: FaultPlan,
     snapshot_in_unit: u64,
@@ -77,13 +90,36 @@ impl SamplingManager {
             slice_hw: HwCounterCollector::new(),
             next_snapshot: config.snapshot_instrs,
             next_unit: config.unit_instrs,
-            units: Vec::new(),
+            collector: Some(TraceCollector::new()),
+            sinks: Vec::new(),
+            obs: ObsTally::default(),
+            emitted: 0,
             slices: Vec::new(),
             faults: FaultPlan::none(),
             snapshot_in_unit: 0,
             dropped_in_unit: 0,
             unit_truncated: false,
         }
+    }
+
+    /// Registers a streaming sink; each closed unit is pushed to it while
+    /// the engine runs. Sinks observe units in registration order.
+    pub fn add_sink(&mut self, sink: Box<dyn UnitSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Builder form of [`SamplingManager::add_sink`].
+    pub fn with_sink(mut self, sink: Box<dyn UnitSink>) -> Self {
+        self.add_sink(sink);
+        self
+    }
+
+    /// Disables the built-in in-memory collector, making profiling
+    /// memory-bounded: units flow only to the registered sinks and
+    /// [`SamplingManager::finish`] returns an empty (header-only) trace.
+    pub fn without_collector(mut self) -> Self {
+        self.collector = None;
+        self
     }
 
     /// Attaches a fault plan so the profiler mirrors the run's snapshot-drop
@@ -103,39 +139,46 @@ impl SamplingManager {
     /// Finalizes profiling and returns the trace. The trailing partial unit
     /// (fewer instructions than `unit_instrs`) is discarded, as its CPI is
     /// not comparable with full units.
-    pub fn finish(self) -> ProfileTrace {
-        // Single metrics flush at the end of profiling: the per-quantum
-        // listener path stays registry-free.
-        simprof_obs::counter_add("profiler.units", self.units.len() as u64);
-        simprof_obs::counter_add(
-            "profiler.snapshots",
-            self.units.iter().map(|u| u.snapshots as u64).sum(),
-        );
-        simprof_obs::counter_add(
-            "profiler.snapshots_dropped",
-            self.units.iter().map(|u| u.dropped_snapshots as u64).sum(),
-        );
-        simprof_obs::counter_add(
-            "profiler.units_truncated",
-            self.units.iter().filter(|u| u.truncated).count() as u64,
-        );
-        ProfileTrace {
-            unit_instrs: self.config.unit_instrs,
-            snapshot_instrs: self.config.snapshot_instrs,
-            core: self.config.core,
-            units: self.units,
+    ///
+    /// Every registered sink's [`UnitSink::finish`] fires first (the single
+    /// end-of-profiling metrics flush lives on that path; the per-quantum
+    /// listener path stays registry-free). With the collector disabled the
+    /// returned trace carries the header but no units.
+    pub fn finish(mut self) -> ProfileTrace {
+        self.obs.finish();
+        for sink in &mut self.sinks {
+            sink.finish();
         }
+        match self.collector.take() {
+            Some(collector) => collector.into_trace(
+                self.config.unit_instrs,
+                self.config.snapshot_instrs,
+                self.config.core,
+            ),
+            None => ProfileTrace {
+                unit_instrs: self.config.unit_instrs,
+                snapshot_instrs: self.config.snapshot_instrs,
+                core: self.config.core,
+                units: Vec::new(),
+            },
+        }
+    }
+
+    /// Units emitted so far.
+    pub fn units_emitted(&self) -> u64 {
+        self.emitted
     }
 
     fn close_unit(&mut self, machine: &Machine) {
         let (histogram, snapshots) = self.stacks.flush();
         let counters = self.hw.read_delta(machine, self.config.core);
-        let id = self.units.len() as u64;
+        let id = self.emitted;
+        self.emitted += 1;
         let slices = std::mem::take(&mut self.slices);
         let truncated = std::mem::take(&mut self.unit_truncated);
         let dropped_snapshots = std::mem::take(&mut self.dropped_in_unit);
         self.snapshot_in_unit = 0;
-        self.units.push(SamplingUnit {
+        let unit = SamplingUnit {
             id,
             histogram,
             snapshots,
@@ -143,7 +186,16 @@ impl SamplingManager {
             slices,
             truncated,
             dropped_snapshots,
-        });
+        };
+        self.obs.accept(&unit);
+        for sink in &mut self.sinks {
+            sink.accept(&unit);
+        }
+        if let Some(collector) = &mut self.collector {
+            // By-move fast path: the built-in collector takes ownership, so
+            // the default whole-trace workflow stays clone-free.
+            collector.push(unit);
+        }
     }
 }
 
@@ -162,7 +214,7 @@ impl ExecListener for SamplingManager {
         // attributed to every boundary crossed in this quantum — quanta are
         // much smaller than the snapshot period, so at most one in practice.
         while core_instrs >= self.next_snapshot {
-            let unit_id = self.units.len() as u64;
+            let unit_id = self.emitted;
             if self.faults.snapshot_dropped(unit_id, self.snapshot_in_unit) {
                 // The stack observation is lost but the counter slice still
                 // exists — hardware counters keep ticking while the agent
@@ -188,6 +240,9 @@ impl ExecListener for SamplingManager {
             if *core == self.config.core {
                 self.unit_truncated = true;
             }
+        }
+        for sink in &mut self.sinks {
+            sink.on_fault(event);
         }
     }
 }
@@ -325,6 +380,69 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(trace.truncated_units(), 0);
         assert_eq!(trace.dropped_snapshots(), 0);
+    }
+
+    #[test]
+    fn sinks_observe_units_as_they_close() {
+        use crate::sink::SharedSink;
+        use crate::sink::TraceCollector;
+
+        // A sink that records the ids it saw, in order.
+        let mirror = SharedSink::new(TraceCollector::new());
+        let mut machine = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let m = reg.intern("Mapper.map", OpClass::Map);
+        let tasks = vec![Task::new(
+            vec![],
+            vec![WorkItem::compute(
+                vec![m],
+                40_000,
+                50,
+                AccessPattern::Sequential,
+                Region::new(0x1000, 8192),
+                1,
+            )],
+        )];
+        let job = Job::new(vec![Stage::new("s", tasks)]);
+        let mut mgr = SamplingManager::new(ProfilerConfig::with_unit(10_000))
+            .with_sink(Box::new(mirror.clone()));
+        Scheduler::default().run(&mut machine, &job, &mut mgr);
+        assert_eq!(mgr.units_emitted(), 4);
+        let trace = mgr.finish();
+        // The sink saw exactly the units the collector kept, in order.
+        let mirrored = mirror.lock().clone().into_trace(10_000, 1_000, 0);
+        assert_eq!(mirrored.units, trace.units);
+    }
+
+    #[test]
+    fn without_collector_is_memory_bounded_but_sinks_still_fed() {
+        use crate::sink::SharedSink;
+        use crate::sink::TraceCollector;
+
+        let mirror = SharedSink::new(TraceCollector::new());
+        let mut machine = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let m = reg.intern("Mapper.map", OpClass::Map);
+        let tasks = vec![Task::new(
+            vec![],
+            vec![WorkItem::compute(
+                vec![m],
+                30_000,
+                50,
+                AccessPattern::Sequential,
+                Region::new(0x1000, 8192),
+                1,
+            )],
+        )];
+        let job = Job::new(vec![Stage::new("s", tasks)]);
+        let mut mgr = SamplingManager::new(ProfilerConfig::with_unit(10_000))
+            .without_collector()
+            .with_sink(Box::new(mirror.clone()));
+        Scheduler::default().run(&mut machine, &job, &mut mgr);
+        let trace = mgr.finish();
+        assert!(trace.units.is_empty(), "collector disabled → header-only trace");
+        assert_eq!(trace.unit_instrs, 10_000);
+        assert_eq!(mirror.lock().len(), 3, "sinks still observed every unit");
     }
 
     #[test]

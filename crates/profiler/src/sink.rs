@@ -1,0 +1,200 @@
+//! Streaming unit sinks: where finished sampling units go.
+//!
+//! The sampling manager used to buffer every closed [`SamplingUnit`] in a
+//! `Vec` and hand the whole trace over at the end. That forces the profile
+//! to fit in memory, which the ROADMAP's production-scale goal rules out.
+//! [`UnitSink`] inverts the flow: the manager *emits* each unit as it
+//! closes, and any number of registered sinks consume it — an on-disk
+//! writer, a metrics tally, or the classic in-memory [`TraceCollector`]
+//! (which keeps `SamplingManager::finish` → `ProfileTrace` working).
+//!
+//! Sinks run on the profiling path, so they must never influence sampling
+//! decisions (the same contract the obs layer has, DESIGN.md §11): a sink
+//! observes units, it cannot reject or reorder them.
+
+use std::cell::{RefCell, RefMut};
+use std::rc::Rc;
+
+use simprof_engine::FaultEvent;
+
+use crate::trace::{ProfileTrace, SamplingUnit};
+
+/// A consumer of finished sampling units.
+///
+/// The manager calls [`UnitSink::accept`] once per closed unit, in unit-id
+/// order, while the engine is still running; [`UnitSink::on_fault`] forwards
+/// engine fault events (so persistence layers can record degradation as it
+/// happens); [`UnitSink::finish`] fires once when profiling ends.
+pub trait UnitSink: std::fmt::Debug {
+    /// Consumes one closed sampling unit. Units arrive in id order.
+    fn accept(&mut self, unit: &SamplingUnit);
+
+    /// Observes an engine fault event. Default: ignore.
+    fn on_fault(&mut self, _event: &FaultEvent) {}
+
+    /// Profiling ended; flush any buffered state. Default: no-op.
+    fn finish(&mut self) {}
+}
+
+/// The classic in-memory sink: buffers every unit and materializes a
+/// [`ProfileTrace`]. This is what `SamplingManager` uses by default, so
+/// whole-trace workflows are unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    units: Vec<SamplingUnit>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a unit by move (the manager's zero-copy path).
+    pub fn push(&mut self, unit: SamplingUnit) {
+        self.units.push(unit);
+    }
+
+    /// Number of collected units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True when no unit has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Materializes the collected units into a trace.
+    pub fn into_trace(self, unit_instrs: u64, snapshot_instrs: u64, core: usize) -> ProfileTrace {
+        ProfileTrace { unit_instrs, snapshot_instrs, core, units: self.units }
+    }
+}
+
+impl UnitSink for TraceCollector {
+    fn accept(&mut self, unit: &SamplingUnit) {
+        self.push(unit.clone());
+    }
+}
+
+/// The manager's built-in observability sink: tallies unit/snapshot/fault
+/// counts per unit and flushes them to the metrics registry once at
+/// `finish`, keeping the per-quantum listener path registry-free (the same
+/// single-flush timing the pre-sink manager had).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ObsTally {
+    units: u64,
+    snapshots: u64,
+    dropped: u64,
+    truncated: u64,
+}
+
+impl UnitSink for ObsTally {
+    fn accept(&mut self, unit: &SamplingUnit) {
+        self.units += 1;
+        self.snapshots += u64::from(unit.snapshots);
+        self.dropped += u64::from(unit.dropped_snapshots);
+        self.truncated += u64::from(unit.truncated);
+    }
+
+    fn finish(&mut self) {
+        simprof_obs::counter_add("profiler.units", self.units);
+        simprof_obs::counter_add("profiler.snapshots", self.snapshots);
+        simprof_obs::counter_add("profiler.snapshots_dropped", self.dropped);
+        simprof_obs::counter_add("profiler.units_truncated", self.truncated);
+    }
+}
+
+/// A shared handle around a sink, for callers that must keep access to the
+/// sink after handing it to a manager (e.g. the CLI finalizes an on-disk
+/// trace writer — with the method registry — after the run completes).
+///
+/// Cloning shares the underlying sink; profiling is single-threaded, so a
+/// plain `Rc<RefCell<_>>` suffices.
+pub struct SharedSink<S> {
+    inner: Rc<RefCell<S>>,
+}
+
+impl<S> SharedSink<S> {
+    /// Wraps `sink` in a shared handle.
+    pub fn new(sink: S) -> Self {
+        Self { inner: Rc::new(RefCell::new(sink)) }
+    }
+
+    /// Mutable access to the shared sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink is already borrowed (re-entrant use).
+    pub fn lock(&self) -> RefMut<'_, S> {
+        self.inner.borrow_mut()
+    }
+}
+
+impl<S> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        Self { inner: Rc::clone(&self.inner) }
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for SharedSink<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SharedSink").field(&self.inner).finish()
+    }
+}
+
+impl<S: UnitSink> UnitSink for SharedSink<S> {
+    fn accept(&mut self, unit: &SamplingUnit) {
+        self.inner.borrow_mut().accept(unit);
+    }
+
+    fn on_fault(&mut self, event: &FaultEvent) {
+        self.inner.borrow_mut().on_fault(event);
+    }
+
+    fn finish(&mut self) {
+        self.inner.borrow_mut().finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_engine::MethodId;
+    use simprof_sim::Counters;
+
+    fn unit(id: u64) -> SamplingUnit {
+        SamplingUnit {
+            id,
+            histogram: vec![(MethodId(0), 3)],
+            snapshots: 3,
+            counters: Counters { instructions: 100, cycles: 150, ..Default::default() },
+            slices: Vec::new(),
+            truncated: false,
+            dropped_snapshots: 0,
+        }
+    }
+
+    #[test]
+    fn collector_materializes_trace() {
+        let mut c = TraceCollector::new();
+        assert!(c.is_empty());
+        c.accept(&unit(0));
+        c.push(unit(1));
+        assert_eq!(c.len(), 2);
+        let t = c.into_trace(100, 10, 0);
+        assert_eq!(t.unit_instrs, 100);
+        assert_eq!(t.units.len(), 2);
+        assert_eq!(t.units[1].id, 1);
+    }
+
+    #[test]
+    fn shared_sink_forwards_and_keeps_handle() {
+        let shared = SharedSink::new(TraceCollector::new());
+        let mut as_sink = shared.clone();
+        as_sink.accept(&unit(0));
+        as_sink.accept(&unit(1));
+        as_sink.finish();
+        assert_eq!(shared.lock().len(), 2);
+    }
+}

@@ -118,7 +118,12 @@ impl ProfileTrace {
 
     /// The paper's oracle: the mean CPI over all sampling units (§IV-C).
     pub fn oracle_cpi(&self) -> f64 {
-        simprof_stats_mean(&self.cpis())
+        let cpis = self.cpis();
+        if cpis.is_empty() {
+            0.0
+        } else {
+            cpis.iter().sum::<f64>() / cpis.len() as f64
+        }
     }
 
     /// Highest method id appearing anywhere in the trace, plus one — the
@@ -150,17 +155,6 @@ impl ProfileTrace {
     /// Total call-stack snapshots dropped across all units.
     pub fn dropped_snapshots(&self) -> u64 {
         self.units.iter().map(|u| u.dropped_snapshots as u64).sum()
-    }
-}
-
-// A local mean to avoid a cyclic dependency on simprof-stats (the profiler is
-// below stats in no way, but keeping this crate's deps minimal keeps build
-// layering clean).
-fn simprof_stats_mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
     }
 }
 

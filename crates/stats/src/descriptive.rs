@@ -69,6 +69,30 @@ impl Summary {
         let s = stddev(xs);
         Self { n: xs.len(), mean: m, stddev: s, cov: if m == 0.0 { 0.0 } else { s / m } }
     }
+
+    /// Summarizes `values[i]` for each `i` in `idx` without materializing
+    /// the selected values.
+    ///
+    /// The arithmetic mirrors [`Summary::of`] term for term — same summation
+    /// order, same divisors, same guards — so `of_indices(v, idx)` is
+    /// bit-identical to `of(&idx.map(|i| v[i]).collect::<Vec<_>>())`. Callers
+    /// that bucket observations by group (e.g. per-phase CPI stats) can sort
+    /// and trim index buckets instead of cloning value buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds for `values`.
+    pub fn of_indices(values: &[f64], idx: &[usize]) -> Self {
+        let n = idx.len();
+        let m = if n == 0 { 0.0 } else { idx.iter().map(|&i| values[i]).sum::<f64>() / n as f64 };
+        let var = if n < 2 {
+            0.0
+        } else {
+            idx.iter().map(|&i| (values[i] - m) * (values[i] - m)).sum::<f64>() / (n - 1) as f64
+        };
+        let s = var.sqrt();
+        Self { n, mean: m, stddev: s, cov: if m == 0.0 { 0.0 } else { s / m } }
+    }
 }
 
 /// The paper's Fig. 6 triple for a clustering of observations into groups:
@@ -185,6 +209,16 @@ mod tests {
         assert!(close(s.mean, 2.5));
         assert!(close(s.stddev, sample_variance(&xs).sqrt()));
         assert!(close(s.cov, s.stddev / s.mean));
+    }
+
+    #[test]
+    fn of_indices_is_bit_identical_to_of() {
+        let values = [3.25, 1.5, 9.75, 0.125, 4.5, 2.0625, 7.875];
+        let idx = [4usize, 0, 6, 2];
+        let picked: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        assert_eq!(Summary::of_indices(&values, &idx), Summary::of(&picked));
+        assert_eq!(Summary::of_indices(&values, &[]), Summary::of(&[]));
+        assert_eq!(Summary::of_indices(&values, &[3]), Summary::of(&[0.125]));
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub use descriptive::{
 pub use distcache::DistCache;
 pub use kmeans::{kmeans, kmeans_from_centers, KMeans, KMeansResult};
 pub use matrix::Matrix;
-pub use regression::{f_regression, select_top_k, top_k_features};
+pub use regression::{
+    f_regression, f_score_from_moments, select_top_k, top_k_features, ColumnMoments,
+};
 pub use rng::{seeded, split_seed, SeedRng};
 pub use sampling::{srs_indices, srs_indices_seeded, systematic_indices};
 pub use silhouette::{choose_k, silhouette_score, silhouette_score_cached, KSelection};

@@ -80,6 +80,63 @@ pub fn f_regression(x: &Matrix, y: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Per-feature sufficient statistics for the streaming F-score: the raw
+/// moments `Σx`, `Σx²` and `Σxy` of one feature column against the response.
+///
+/// These are exactly the quantities a single pass over a unit stream can
+/// accumulate without materializing the dense `n × universe` matrix; combined
+/// with the global response moments (`n`, `Σy`, `Σy²`) they determine the
+/// same F statistic [`f_regression`] computes from centered sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ColumnMoments {
+    /// `Σ x_i` over all observations of this column.
+    pub sum_x: f64,
+    /// `Σ x_i²`.
+    pub sum_xx: f64,
+    /// `Σ x_i · y_i`.
+    pub sum_xy: f64,
+}
+
+impl ColumnMoments {
+    /// Folds one `(x, y)` observation into the moments.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.sum_x += x;
+        self.sum_xx += x * x;
+        self.sum_xy += x * y;
+    }
+}
+
+/// Computes the univariate regression F-score of one column from its raw
+/// moments and the global response moments.
+///
+/// Algebraically identical to [`f_regression`]'s statistic via
+/// `Σ(x-x̄)(y-ȳ) = Σxy − ΣxΣy/n` (and likewise for the squared sums), with
+/// the same degenerate-case contract: fewer than 3 observations, a constant
+/// column, or a constant response score `0.0`; perfect correlation scores
+/// `f64::INFINITY`. The raw-moment form can go slightly negative on constant
+/// columns through rounding, so centered sums are clamped at zero.
+pub fn f_score_from_moments(col: &ColumnMoments, n: usize, sum_y: f64, sum_yy: f64) -> f64 {
+    if n < 3 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let y_css = (sum_yy - sum_y * sum_y / nf).max(0.0);
+    if y_css == 0.0 {
+        return 0.0;
+    }
+    let sxx = (col.sum_xx - col.sum_x * col.sum_x / nf).max(0.0);
+    if sxx == 0.0 {
+        return 0.0;
+    }
+    let sxy = col.sum_xy - col.sum_x * sum_y / nf;
+    let r2 = ((sxy * sxy) / (sxx * y_css)).min(1.0);
+    if r2 >= 1.0 {
+        f64::INFINITY
+    } else {
+        r2 / (1.0 - r2) * (nf - 2.0)
+    }
+}
+
 /// Returns the indices of the `k` highest-scoring features, sorted by
 /// descending score (ties break toward the lower column index, keeping
 /// selection deterministic).
@@ -173,6 +230,68 @@ mod tests {
         assert_eq!(keep, vec![1]);
         assert_eq!(proj.cols(), 1);
         assert_eq!(proj.column(0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn moment_scores_agree_with_dense_f_regression() {
+        // Deterministic pseudo-data with varied magnitudes, a constant
+        // column, and a perfectly correlated column.
+        let n = 23usize;
+        let y: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 37 + 11) % 17) as f64 * 0.21).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    ((i * 13 + 5) % 9) as f64,  // weakly related
+                    y[i] * 3.0 - 1.0,           // perfectly correlated
+                    4.2,                        // constant
+                    ((i * 29 + 3) % 23) as f64, // unrelated-ish
+                ]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        let dense = f_regression(&x, &y);
+
+        let sum_y: f64 = y.iter().sum();
+        let sum_yy: f64 = y.iter().map(|v| v * v).sum();
+        for j in 0..x.cols() {
+            let mut m = ColumnMoments::default();
+            for (i, row) in x.iter_rows().enumerate() {
+                m.push(row[j], y[i]);
+            }
+            let s = f_score_from_moments(&m, n, sum_y, sum_yy);
+            if dense[j].is_infinite() || dense[j] > 1e12 {
+                // Perfect correlation: r² rounds differently in the two
+                // formulations, landing on either ∞ or an astronomically
+                // large finite F — both mean "keep this column first".
+                assert!(s.is_infinite() || s > 1e12, "col {j}: {s} vs {}", dense[j]);
+            } else {
+                assert!(
+                    (s - dense[j]).abs() < 1e-6 * (1.0 + dense[j].abs()),
+                    "col {j}: moments {s} vs dense {}",
+                    dense[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moment_score_degenerate_cases() {
+        let mut m = ColumnMoments::default();
+        m.push(1.0, 1.0);
+        m.push(2.0, 2.0);
+        assert_eq!(f_score_from_moments(&m, 2, 3.0, 5.0), 0.0, "n < 3");
+        // Constant response.
+        let mut m = ColumnMoments::default();
+        for x in [1.0, 2.0, 3.0] {
+            m.push(x, 5.0);
+        }
+        assert_eq!(f_score_from_moments(&m, 3, 15.0, 75.0), 0.0);
+        // Constant column.
+        let mut m = ColumnMoments::default();
+        for y in [1.0, 2.0, 3.0] {
+            m.push(7.0, y);
+        }
+        assert_eq!(f_score_from_moments(&m, 3, 6.0, 14.0), 0.0);
     }
 
     #[test]

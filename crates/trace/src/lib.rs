@@ -1,0 +1,602 @@
+//! The `.sptrc` chunked on-disk trace format (DESIGN.md §12).
+//!
+//! The legacy persistence format (`simprof-cli`'s JSON `TraceBundle`) is one
+//! monolithic blob: writing it needs the whole [`ProfileTrace`] in memory
+//! and reading it parses everything before the first unit is usable. This
+//! crate replaces that with a *streaming* format:
+//!
+//! * [`TraceWriter`] is a [`UnitSink`]: attach it to a `SamplingManager`
+//!   and units are framed to disk in fixed-size chunks while the engine is
+//!   still running. Peak memory is one chunk, not one trace.
+//! * [`TraceReader`] is a [`UnitStream`]: the two-pass analysis pipeline in
+//!   `simprof-core` reads units chunk by chunk, twice, without ever
+//!   materializing the trace.
+//! * [`TraceFooter`] carries the summary a consumer wants *before* (or
+//!   without) scanning units — unit count, method universe, totals, the
+//!   method registry — and is reachable by seeking to the file's tail.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [MAGIC: 8 bytes "SPTRC\x00v1"]
+//! [frame 'H'] header: TraceMeta as compact JSON
+//! [frame 'U']*       chunks: Vec<SamplingUnit> as compact JSON
+//! [frame 'F'] footer: TraceFooter as compact JSON
+//! [footer payload length: u32 LE] [MAGIC]            ← 12-byte trailer
+//! ```
+//!
+//! Every frame is `[kind: u8] [payload length: u32 LE] [payload]`. The
+//! trailer lets a reader locate the footer from the end of the file in
+//! three reads, so `trace-info` on a multi-gigabyte trace is O(1).
+//!
+//! ## Version negotiation
+//!
+//! The format version lives in two places on purpose: the magic's trailing
+//! `v1` (an incompatible layout change bumps it, and old readers reject the
+//! file at the first 8 bytes) and [`TraceFooter::version`] (compatible
+//! schema evolution inside frames; readers check it equals
+//! [`FORMAT_VERSION`]). Unknown frame kinds are an error — the format has
+//! no optional frames in v1.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+
+use serde::{Deserialize, Serialize};
+
+use simprof_engine::MethodRegistry;
+use simprof_profiler::sink::UnitSink;
+use simprof_profiler::stream::UnitStream;
+use simprof_profiler::trace::{ProfileTrace, SamplingUnit};
+
+/// Leading (and trailing) magic bytes; the `v1` suffix is the layout
+/// version.
+pub const MAGIC: &[u8; 8] = b"SPTRC\0v1";
+
+/// Schema version written into every footer.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Units buffered per on-disk chunk by default.
+pub const DEFAULT_CHUNK_UNITS: usize = 256;
+
+const FRAME_HEADER: u8 = b'H';
+const FRAME_UNITS: u8 = b'U';
+const FRAME_FOOTER: u8 = b'F';
+
+/// Trace provenance and profiler geometry, written as the header frame so
+/// readers know the unit size before the first unit arrives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Workload label (`wc_sp`, …).
+    pub label: String,
+    /// Seed the profiled run used.
+    pub seed: u64,
+    /// Scale preset name ("paper" / "tiny").
+    pub scale: String,
+    /// Sampling-unit size in instructions.
+    pub unit_instrs: u64,
+    /// Call-stack snapshot period in instructions.
+    pub snapshot_instrs: u64,
+    /// The core whose executor thread was profiled.
+    pub core: usize,
+}
+
+/// Trace summary written as the final frame, locatable from the file tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceFooter {
+    /// Schema version (see [`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Number of sampling units in the file.
+    pub unit_count: u64,
+    /// Highest method id in any unit's histogram, plus one.
+    pub method_universe: usize,
+    /// Total instructions across all units.
+    pub total_instrs: u64,
+    /// Total cycles across all units.
+    pub total_cycles: u64,
+    /// Units whose profiled executor crashed mid-unit.
+    pub truncated_units: u64,
+    /// Call-stack snapshots dropped across all units.
+    pub dropped_snapshots: u64,
+    /// Method names/classes for the trace's method ids.
+    pub registry: MethodRegistry,
+}
+
+/// True when the file at `path` starts with the chunked-trace magic — the
+/// sniff the CLI uses to auto-detect the input format.
+pub fn is_chunked(path: &str) -> bool {
+    let mut head = [0u8; 8];
+    match File::open(path) {
+        Ok(mut f) => f.read_exact(&mut head).is_ok() && &head == MAGIC,
+        Err(_) => false,
+    }
+}
+
+fn io_err(path: &str, what: &str, e: std::io::Error) -> String {
+    format!("{what} {path}: {e}")
+}
+
+fn write_frame(
+    out: &mut BufWriter<File>,
+    path: &str,
+    kind: u8,
+    payload: &[u8],
+) -> Result<(), String> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| format!("write {path}: frame over 4 GiB (shrink the chunk size)"))?;
+    out.write_all(&[kind]).map_err(|e| io_err(path, "write", e))?;
+    out.write_all(&len.to_le_bytes()).map_err(|e| io_err(path, "write", e))?;
+    out.write_all(payload).map_err(|e| io_err(path, "write", e))
+}
+
+/// A streaming [`UnitSink`] that frames sampling units to disk in chunks.
+///
+/// Units are buffered until a chunk fills, then written as one `'U'` frame;
+/// footer statistics accumulate incrementally, so nothing grows with trace
+/// length except the file. Because [`UnitSink::accept`] cannot fail, I/O
+/// errors are *latched*: the writer goes inert and the stored error
+/// surfaces from [`TraceWriter::finish`].
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    path: String,
+    buf: Vec<SamplingUnit>,
+    chunk_units: usize,
+    unit_count: u64,
+    method_universe: usize,
+    total_instrs: u64,
+    total_cycles: u64,
+    truncated_units: u64,
+    dropped_snapshots: u64,
+    error: Option<String>,
+    finished: bool,
+}
+
+impl TraceWriter {
+    /// Creates the file at `path` and writes the magic + header frame.
+    pub fn create(path: &str, meta: &TraceMeta) -> Result<Self, String> {
+        let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+        let mut out = BufWriter::new(file);
+        out.write_all(MAGIC).map_err(|e| io_err(path, "write", e))?;
+        let header =
+            serde_json::to_string(meta).map_err(|e| format!("encode trace header: {e}"))?;
+        write_frame(&mut out, path, FRAME_HEADER, header.as_bytes())?;
+        Ok(Self {
+            out,
+            path: path.to_owned(),
+            buf: Vec::new(),
+            chunk_units: DEFAULT_CHUNK_UNITS,
+            unit_count: 0,
+            method_universe: 0,
+            total_instrs: 0,
+            total_cycles: 0,
+            truncated_units: 0,
+            dropped_snapshots: 0,
+            error: None,
+            finished: false,
+        })
+    }
+
+    /// Overrides the chunk size (units per `'U'` frame); `n` is clamped to
+    /// at least 1.
+    pub fn with_chunk_units(mut self, n: usize) -> Self {
+        self.chunk_units = n.max(1);
+        self
+    }
+
+    /// Units pushed so far.
+    pub fn unit_count(&self) -> u64 {
+        self.unit_count
+    }
+
+    /// The latched I/O error, if writing has already failed.
+    pub fn error(&self) -> Option<&str> {
+        self.error.as_deref()
+    }
+
+    /// Buffers one unit, flushing a chunk frame when the buffer fills.
+    pub fn push(&mut self, unit: &SamplingUnit) {
+        if self.error.is_some() || self.finished {
+            return;
+        }
+        self.unit_count += 1;
+        for &(m, _) in &unit.histogram {
+            self.method_universe = self.method_universe.max(m.index() + 1);
+        }
+        self.total_instrs += unit.counters.instructions;
+        self.total_cycles += unit.counters.cycles;
+        self.truncated_units += u64::from(unit.truncated);
+        self.dropped_snapshots += u64::from(unit.dropped_snapshots);
+        self.buf.push(unit.clone());
+        if self.buf.len() >= self.chunk_units {
+            self.flush_chunk();
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.buf.is_empty() || self.error.is_some() {
+            return;
+        }
+        let payload = match serde_json::to_string(&self.buf) {
+            Ok(p) => p,
+            Err(e) => {
+                self.error = Some(format!("encode trace chunk: {e}"));
+                return;
+            }
+        };
+        self.buf.clear();
+        if let Err(e) = write_frame(&mut self.out, &self.path, FRAME_UNITS, payload.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Flushes the tail chunk, writes the footer frame + trailer, and syncs
+    /// the stream. Returns the footer it wrote. The registry arrives here —
+    /// not at `create` — because methods are interned while the profiled
+    /// job runs.
+    ///
+    /// Errors if writing already failed ([latched](TraceWriter::error)) or
+    /// `finish` was already called.
+    pub fn finish(&mut self, registry: &MethodRegistry) -> Result<TraceFooter, String> {
+        if self.finished {
+            return Err(format!("trace writer for {} already finished", self.path));
+        }
+        self.flush_chunk();
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        let footer = TraceFooter {
+            version: FORMAT_VERSION,
+            unit_count: self.unit_count,
+            method_universe: self.method_universe,
+            total_instrs: self.total_instrs,
+            total_cycles: self.total_cycles,
+            truncated_units: self.truncated_units,
+            dropped_snapshots: self.dropped_snapshots,
+            registry: registry.clone(),
+        };
+        let payload =
+            serde_json::to_string(&footer).map_err(|e| format!("encode trace footer: {e}"))?;
+        write_frame(&mut self.out, &self.path, FRAME_FOOTER, payload.as_bytes())?;
+        let len = payload.len() as u32;
+        self.out.write_all(&len.to_le_bytes()).map_err(|e| io_err(&self.path, "write", e))?;
+        self.out.write_all(MAGIC).map_err(|e| io_err(&self.path, "write", e))?;
+        self.out.flush().map_err(|e| io_err(&self.path, "flush", e))?;
+        self.finished = true;
+        Ok(footer)
+    }
+}
+
+impl UnitSink for TraceWriter {
+    fn accept(&mut self, unit: &SamplingUnit) {
+        self.push(unit);
+    }
+
+    fn finish(&mut self) {
+        // Sink-path finish has no registry; only the buffered chunk is
+        // flushed here. The owner still calls `TraceWriter::finish` with
+        // the registry to seal the file.
+        self.flush_chunk();
+    }
+}
+
+/// A streaming [`UnitStream`] over a chunked trace file: holds one decoded
+/// chunk at a time and rewinds by seeking back to the first unit frame.
+#[derive(Debug)]
+pub struct TraceReader {
+    file: BufReader<File>,
+    path: String,
+    meta: TraceMeta,
+    data_start: u64,
+    chunk: Vec<SamplingUnit>,
+    pos: usize,
+    done: bool,
+}
+
+impl TraceReader {
+    /// Opens `path`, validating the magic and reading the header frame.
+    pub fn open(path: &str) -> Result<Self, String> {
+        let file = File::open(path).map_err(|e| io_err(path, "open", e))?;
+        let mut file = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic).map_err(|e| io_err(path, "read", e))?;
+        if &magic != MAGIC {
+            return Err(format!(
+                "{path}: not a chunked simprof trace (bad magic {magic:?}; expected {MAGIC:?})"
+            ));
+        }
+        let (kind, payload) = read_frame(&mut file, path)?;
+        if kind != FRAME_HEADER {
+            return Err(format!("{path}: expected header frame, found {:?}", kind as char));
+        }
+        let meta: TraceMeta = parse_payload(path, "header", &payload)?;
+        let data_start = file.stream_position().map_err(|e| io_err(path, "seek", e))?;
+        Ok(Self {
+            file,
+            path: path.to_owned(),
+            meta,
+            data_start,
+            chunk: Vec::new(),
+            pos: 0,
+            done: false,
+        })
+    }
+
+    /// The header metadata.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Reads the footer via the 12-byte trailer (seek from end), leaving
+    /// the streaming position untouched.
+    pub fn footer(&mut self) -> Result<TraceFooter, String> {
+        let saved = self.file.stream_position().map_err(|e| io_err(&self.path, "seek", e))?;
+        let result = self.read_footer_at_tail();
+        self.file.seek(SeekFrom::Start(saved)).map_err(|e| io_err(&self.path, "seek", e))?;
+        result
+    }
+
+    fn read_footer_at_tail(&mut self) -> Result<TraceFooter, String> {
+        let path = self.path.clone();
+        self.file.seek(SeekFrom::End(-12)).map_err(|e| io_err(&path, "seek", e))?;
+        let mut trailer = [0u8; 12];
+        self.file.read_exact(&mut trailer).map_err(|e| io_err(&path, "read", e))?;
+        if &trailer[4..12] != MAGIC {
+            return Err(format!("{path}: missing footer trailer (file truncated or unfinished?)"));
+        }
+        let len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as i64;
+        self.file.seek(SeekFrom::End(-12 - len)).map_err(|e| io_err(&path, "seek", e))?;
+        let mut payload = vec![0u8; len as usize];
+        self.file.read_exact(&mut payload).map_err(|e| io_err(&path, "read", e))?;
+        let footer: TraceFooter = parse_payload(&path, "footer", &payload)?;
+        if footer.version != FORMAT_VERSION {
+            return Err(format!(
+                "{path}: unsupported trace schema version {} (expected {FORMAT_VERSION})",
+                footer.version
+            ));
+        }
+        Ok(footer)
+    }
+
+    /// Restarts streaming at the first unit.
+    pub fn rewind(&mut self) -> Result<(), String> {
+        self.file
+            .seek(SeekFrom::Start(self.data_start))
+            .map_err(|e| io_err(&self.path, "seek", e))?;
+        self.chunk.clear();
+        self.pos = 0;
+        self.done = false;
+        Ok(())
+    }
+
+    /// Yields the next unit, decoding the next chunk frame when the current
+    /// one is exhausted. Same operation as the [`UnitStream`] impl, callable
+    /// without the trait in scope.
+    pub fn next_unit(&mut self) -> Result<Option<&SamplingUnit>, String> {
+        if self.pos >= self.chunk.len() && !self.load_chunk()? {
+            return Ok(None);
+        }
+        let unit = &self.chunk[self.pos];
+        self.pos += 1;
+        Ok(Some(unit))
+    }
+
+    /// Loads the next non-empty unit chunk; returns `false` at the footer.
+    fn load_chunk(&mut self) -> Result<bool, String> {
+        loop {
+            if self.done {
+                return Ok(false);
+            }
+            let (kind, payload) = read_frame(&mut self.file, &self.path)?;
+            match kind {
+                FRAME_UNITS => {
+                    let units: Vec<SamplingUnit> = parse_payload(&self.path, "chunk", &payload)?;
+                    if units.is_empty() {
+                        continue;
+                    }
+                    self.chunk = units;
+                    self.pos = 0;
+                    return Ok(true);
+                }
+                FRAME_FOOTER => {
+                    self.done = true;
+                    return Ok(false);
+                }
+                other => {
+                    return Err(format!(
+                        "{}: unknown frame kind {:?} mid-stream",
+                        self.path, other as char
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl UnitStream for TraceReader {
+    fn unit_instrs(&self) -> u64 {
+        self.meta.unit_instrs
+    }
+
+    fn snapshot_instrs(&self) -> u64 {
+        self.meta.snapshot_instrs
+    }
+
+    fn core(&self) -> usize {
+        self.meta.core
+    }
+
+    fn rewind(&mut self) -> Result<(), String> {
+        TraceReader::rewind(self)
+    }
+
+    fn next_unit(&mut self) -> Result<Option<&SamplingUnit>, String> {
+        TraceReader::next_unit(self)
+    }
+}
+
+/// Convenience for whole-trace consumers: materializes the file into a
+/// [`ProfileTrace`] (one chunk in flight at a time) and returns the footer.
+pub fn read_trace(path: &str) -> Result<(ProfileTrace, TraceFooter), String> {
+    let mut reader = TraceReader::open(path)?;
+    let footer = reader.footer()?;
+    let mut units = Vec::new();
+    while let Some(unit) = reader.next_unit()? {
+        units.push(unit.clone());
+    }
+    let meta = reader.meta();
+    let trace = ProfileTrace {
+        unit_instrs: meta.unit_instrs,
+        snapshot_instrs: meta.snapshot_instrs,
+        core: meta.core,
+        units,
+    };
+    Ok((trace, footer))
+}
+
+fn read_frame(file: &mut BufReader<File>, path: &str) -> Result<(u8, Vec<u8>), String> {
+    let mut kind = [0u8; 1];
+    file.read_exact(&mut kind).map_err(|e| io_err(path, "read", e))?;
+    let mut len = [0u8; 4];
+    file.read_exact(&mut len).map_err(|e| io_err(path, "read", e))?;
+    let len = u32::from_le_bytes(len) as usize;
+    let mut payload = vec![0u8; len];
+    file.read_exact(&mut payload).map_err(|e| io_err(path, "read", e))?;
+    Ok((kind[0], payload))
+}
+
+fn parse_payload<T: Deserialize>(path: &str, what: &str, payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| format!("{path}: {what} frame is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("{path}: parse {what} frame: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simprof_engine::methods::OpClass;
+    use simprof_engine::MethodId;
+    use simprof_sim::Counters;
+
+    fn unit(id: u64) -> SamplingUnit {
+        SamplingUnit {
+            id,
+            histogram: vec![(MethodId((id % 5) as u32), 4), (MethodId(7), 2)],
+            snapshots: 6,
+            counters: Counters {
+                instructions: 1000 + id,
+                cycles: 1500 + 3 * id,
+                ..Default::default()
+            },
+            slices: vec![(500, 700), (500 + id, 800)],
+            truncated: id % 3 == 0,
+            dropped_snapshots: (id % 4) as u32,
+        }
+    }
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            label: "wc_sp".into(),
+            seed: 42,
+            scale: "tiny".into(),
+            unit_instrs: 1000,
+            snapshot_instrs: 100,
+            core: 0,
+        }
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(name).to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn writes_and_streams_back_across_chunk_boundaries() {
+        let path = tmp("simprof_trace_chunks.sptrc");
+        let mut reg = MethodRegistry::new();
+        reg.intern("Mapper.map", OpClass::Map);
+        let mut w = TraceWriter::create(&path, &meta()).unwrap().with_chunk_units(4);
+        for id in 0..11 {
+            w.push(&unit(id));
+        }
+        let footer = w.finish(&reg).unwrap();
+        assert_eq!(footer.unit_count, 11);
+        assert_eq!(footer.method_universe, 8);
+        assert_eq!(footer.total_instrs, (0..11).map(|i| 1000 + i).sum::<u64>());
+        assert_eq!(footer.truncated_units, 4);
+        assert_eq!(footer.registry.len(), 1);
+
+        assert!(is_chunked(&path));
+        let mut r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.meta().label, "wc_sp");
+        assert_eq!(r.footer().unwrap(), footer);
+        let mut ids = Vec::new();
+        while let Some(u) = r.next_unit().unwrap() {
+            ids.push(u.id);
+        }
+        assert_eq!(ids, (0..11).collect::<Vec<u64>>());
+        // Footer read mid-stream must not disturb the cursor.
+        r.rewind().unwrap();
+        let _ = r.next_unit().unwrap();
+        let _ = r.footer().unwrap();
+        assert_eq!(r.next_unit().unwrap().unwrap().id, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_trace_materializes_bit_identically() {
+        let path = tmp("simprof_trace_materialize.sptrc");
+        let expected: Vec<SamplingUnit> = (0..9).map(unit).collect();
+        let mut w = TraceWriter::create(&path, &meta()).unwrap().with_chunk_units(2);
+        for u in &expected {
+            w.push(u);
+        }
+        w.finish(&MethodRegistry::new()).unwrap();
+        let (trace, footer) = read_trace(&path).unwrap();
+        assert_eq!(trace.units, expected);
+        assert_eq!(trace.unit_instrs, 1000);
+        assert_eq!(footer.unit_count, 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let path = tmp("simprof_trace_empty.sptrc");
+        let mut w = TraceWriter::create(&path, &meta()).unwrap();
+        let footer = w.finish(&MethodRegistry::new()).unwrap();
+        assert_eq!(footer.unit_count, 0);
+        let (trace, _) = read_trace(&path).unwrap();
+        assert!(trace.units.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn double_finish_rejected() {
+        let path = tmp("simprof_trace_double_finish.sptrc");
+        let mut w = TraceWriter::create(&path, &meta()).unwrap();
+        w.finish(&MethodRegistry::new()).unwrap();
+        assert!(w.finish(&MethodRegistry::new()).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_trace_files_rejected() {
+        let path = tmp("simprof_trace_not_a_trace.json");
+        std::fs::write(&path, "{\"version\":1}").unwrap();
+        assert!(!is_chunked(&path));
+        let err = TraceReader::open(&path).unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+        assert!(!is_chunked("/nonexistent/simprof.sptrc"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unfinished_file_has_no_footer() {
+        let path = tmp("simprof_trace_unfinished.sptrc");
+        let mut w = TraceWriter::create(&path, &meta()).unwrap().with_chunk_units(1);
+        w.push(&unit(0));
+        // Drop without finish: units are on disk, the trailer is not.
+        drop(w);
+        let mut r = TraceReader::open(&path).unwrap();
+        assert!(r.footer().is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

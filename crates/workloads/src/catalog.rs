@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use simprof_engine::spark::SparkMethods;
 use simprof_engine::{Job, MethodRegistry, Scheduler};
-use simprof_profiler::{ProfileTrace, SamplingManager};
+use simprof_profiler::{ProfileTrace, SamplingManager, UnitSink};
 use simprof_sim::Machine;
 
 use crate::benchmarks::{bayes, cc, grep, pagerank, sort, wordcount};
@@ -91,10 +91,24 @@ impl Benchmark {
     /// Builds, schedules, and profiles the workload, returning trace +
     /// registry (+ machine end-state statistics).
     pub fn run_full(self, framework: Framework, cfg: &WorkloadConfig) -> RunOutput {
+        self.run_full_with_sinks(framework, cfg, Vec::new())
+    }
+
+    /// Like [`run_full`](Self::run_full), but attaches the given
+    /// [`UnitSink`]s to the profiler before the run: each sampling unit is
+    /// emitted to every sink the moment it closes, while the engine is still
+    /// executing — the hook the streaming trace writer uses to put units on
+    /// disk without a whole-trace buffer.
+    pub fn run_full_with_sinks(
+        self,
+        framework: Framework,
+        cfg: &WorkloadConfig,
+        sinks: Vec<Box<dyn UnitSink>>,
+    ) -> RunOutput {
         let mut machine = Machine::new(cfg.machine);
         let mut registry = MethodRegistry::new();
         let job = self.build(framework, cfg, &mut machine, &mut registry);
-        let trace = profile_job(&job, cfg, &mut machine, &mut registry);
+        let trace = profile_job_with_sinks(&job, cfg, &mut machine, &mut registry, sinks);
         RunOutput {
             trace,
             registry,
@@ -235,6 +249,16 @@ impl WorkloadId {
     pub fn run_full(self, cfg: &WorkloadConfig) -> RunOutput {
         self.benchmark.run_full(self.framework, cfg)
     }
+
+    /// Runs this workload with [`UnitSink`]s attached to the profiler (see
+    /// [`Benchmark::run_full_with_sinks`]).
+    pub fn run_full_with_sinks(
+        self,
+        cfg: &WorkloadConfig,
+        sinks: Vec<Box<dyn UnitSink>>,
+    ) -> RunOutput {
+        self.benchmark.run_full_with_sinks(self.framework, cfg, sinks)
+    }
 }
 
 /// Everything a benchmark run produces.
@@ -314,6 +338,16 @@ fn profile_job(
     machine: &mut Machine,
     registry: &mut MethodRegistry,
 ) -> ProfileTrace {
+    profile_job_with_sinks(job, cfg, machine, registry, Vec::new())
+}
+
+fn profile_job_with_sinks(
+    job: &Job,
+    cfg: &WorkloadConfig,
+    machine: &mut Machine,
+    registry: &mut MethodRegistry,
+    sinks: Vec<Box<dyn UnitSink>>,
+) -> ProfileTrace {
     let mut sched = cfg.sched;
     if cfg.gc_noise_ppm > 0 {
         // JVM runtime noise: GC safepoints observed by the profiler.
@@ -326,6 +360,9 @@ fn profile_job(
         });
     }
     let mut manager = SamplingManager::new(cfg.profiler);
+    for sink in sinks {
+        manager.add_sink(sink);
+    }
     Scheduler::new(sched).run(machine, job, &mut manager);
     manager.finish()
 }

@@ -17,8 +17,11 @@
 //! * [`sim`] — the machine model (cache hierarchy, CPI cost model, counters).
 //! * [`engine`] — Spark-like and Hadoop-like execution engines with
 //!   instrumented call stacks, plus the HDFS model.
-//! * [`profiler`] — the sampling manager and collectors producing
-//!   [`profiler::ProfileTrace`]s.
+//! * [`profiler`] — the sampling manager, unit sinks, and collectors
+//!   producing [`profiler::ProfileTrace`]s.
+//! * [`trace`] — the chunked on-disk trace format: streaming
+//!   [`trace::TraceWriter`]/[`trace::TraceReader`] so profiling writes while
+//!   the engine runs and analysis reads without materializing the trace.
 //! * [`core`] — the SimProf pipeline: phase formation, phase sampling,
 //!   baselines, input-sensitivity analysis.
 //! * [`workloads`] — six BigDataBench-style benchmarks on both engines and
@@ -48,4 +51,5 @@ pub use simprof_obs as obs;
 pub use simprof_profiler as profiler;
 pub use simprof_sim as sim;
 pub use simprof_stats as stats;
+pub use simprof_trace as trace;
 pub use simprof_workloads as workloads;
