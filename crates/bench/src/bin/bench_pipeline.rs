@@ -12,6 +12,7 @@
 //! cargo run --release -p simprof-bench --bin bench_pipeline -- \
 //!     [--quick] [--units N] [--features D] [--kmax K] [--seed S] \
 //!     [--threads N] [-o BENCH_pipeline.json] [--report REPORT.json] \
+//!     [--events EVENTS.jsonl] [--timeline TIMELINE.json] \
 //!     [--trace-stream BENCH_trace_stream.json] [--mem-cap-mb N]
 //! ```
 //!
@@ -20,7 +21,10 @@
 //! artifact to track the perf trajectory. With `--report`, the optimized
 //! run executes under an observability session and writes the versioned
 //! run report (span tree, metrics, Eq. 1 allocation table), which CI
-//! schema-checks with the `report_check` bin.
+//! schema-checks with the `report_check` bin. `--events` streams the
+//! structured JSONL event log while the bench runs and `--timeline`
+//! converts the finished span tree to Chrome-trace JSON; either implies a
+//! session, and `report_check` validates both formats too.
 //!
 //! With `--trace-stream`, additionally runs the streamed-vs-batch memory
 //! comparison: a heavy synthetic trace is written in the chunked
@@ -60,6 +64,8 @@ struct Args {
     quick: bool,
     output: Option<String>,
     report: Option<String>,
+    events: Option<String>,
+    timeline: Option<String>,
     trace_stream: Option<String>,
     mem_cap_mb: Option<usize>,
 }
@@ -74,6 +80,8 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         output: None,
         report: None,
+        events: None,
+        timeline: None,
         trace_stream: None,
         mem_cap_mb: None,
     };
@@ -102,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "-o" | "--output" => args.output = Some(value(&flag)?),
             "--report" => args.report = Some(value(&flag)?),
+            "--events" => args.events = Some(value(&flag)?),
+            "--timeline" => args.timeline = Some(value(&flag)?),
             "--trace-stream" => args.trace_stream = Some(value(&flag)?),
             "--mem-cap-mb" => {
                 args.mem_cap_mb =
@@ -352,8 +362,19 @@ fn main() {
         }
     };
     let threads = rayon::current_threads();
-    // Observability stays disabled (and free) unless a report was requested.
-    let session = args.report.as_ref().map(|_| simprof_obs::Session::begin());
+    // Observability stays disabled (and free) unless an obs output
+    // (report, event log, or timeline) was requested.
+    let wants_obs = args.report.is_some() || args.events.is_some() || args.timeline.is_some();
+    let session = wants_obs.then(simprof_obs::Session::begin);
+    if let Some(path) = &args.events {
+        match simprof_obs::JsonlEventWriter::create(std::path::Path::new(path)) {
+            Ok(sink) => simprof_obs::events::install(Box::new(sink)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let data = {
         let _span = simprof_obs::span!("bench.synthesize");
         synthetic_trace(args.units, args.features, args.seed)
@@ -431,7 +452,7 @@ fn main() {
         println!("wrote {path}");
     }
 
-    if let (Some(session), Some(path)) = (session, args.report.as_ref()) {
+    if let Some(session) = session {
         let total: usize = strata.iter().map(|s| s.units).sum();
         let rows: Vec<serde_json::Value> = strata
             .iter()
@@ -475,11 +496,26 @@ fn main() {
                 }),
             )
             .with_section("allocation", serde_json::to_value(&rows));
-        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
-            eprintln!("error: write {path}: {e}");
-            std::process::exit(1);
+        if let Some(path) = &args.report {
+            if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+                eprintln!("error: write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
         }
-        println!("wrote {path}");
+        if let Some(path) = &args.timeline {
+            if let Err(e) = simprof_obs::write_chrome_trace(&report, std::path::Path::new(path)) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} (chrome://tracing / Perfetto JSON)");
+        }
+        if let Some(path) = &args.events {
+            println!(
+                "wrote {path} (JSONL event log, schema v{})",
+                simprof_obs::EVENT_SCHEMA_VERSION
+            );
+        }
     }
 
     if let Some(path) = &args.trace_stream {

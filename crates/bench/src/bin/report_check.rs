@@ -1,24 +1,221 @@
-//! Schema validator for observability run reports.
+//! Schema validator for observability artifacts.
 //!
 //! ```text
-//! cargo run -p simprof-bench --bin report_check -- run.json BENCH_report.json
+//! cargo run -p simprof-bench --bin report_check -- \
+//!     run.json events.jsonl timeline.json
 //! ```
 //!
-//! Checks every path argument against the report schema this build emits
-//! ([`simprof_obs::REPORT_VERSION`]): the document must parse as a
-//! [`simprof_obs::RunReport`], carry the current version, a non-empty span
-//! tree, a non-empty metrics snapshot, and an `allocation` section that is
-//! a non-empty array of rows each holding the Eq. 1 columns. Exits nonzero
-//! naming the first violated requirement per file, so CI can gate report
-//! artifacts without external JSON tooling.
+//! Each path argument is validated against the schema this build emits,
+//! with the format picked per file:
+//!
+//! * `*.jsonl` — a streaming event log ([`simprof_obs::events`]): every
+//!   line must parse as a schema-v[`EVENT_SCHEMA_VERSION`] record with the
+//!   `v`/`seq`/`ts_us`/`kind` envelope, the first record must be the
+//!   `meta` header, `seq` must be strictly increasing and `ts_us`
+//!   non-decreasing over the file, and `span_open`/`span_close` records
+//!   must nest LIFO per thread with matching span ids.
+//! * JSON with a `traceEvents` key — a Chrome-trace timeline
+//!   ([`simprof_obs::timeline`]): non-empty event array, required
+//!   `name`/`ph`/`pid` keys, `ph` drawn from `B`/`E`/`X`/`C`/`M`, `B`/`E`
+//!   slices balanced per tid with matching names and non-decreasing
+//!   timestamps, counter samples non-decreasing in time per counter name.
+//! * anything else — a versioned run report: must parse as a
+//!   [`simprof_obs::RunReport`], carry [`simprof_obs::REPORT_VERSION`], a
+//!   non-empty span tree, a non-empty metrics snapshot, and an
+//!   `allocation` section whose rows hold the Eq. 1 columns.
+//!
+//! Exits nonzero naming the first violated requirement per file, so CI can
+//! gate all three artifact kinds without external JSON tooling.
 
-use simprof_obs::{RunReport, REPORT_VERSION};
+use std::collections::BTreeMap;
 
-/// Validates one report file, returning the first violated requirement.
-fn check(path: &str) -> Result<(), String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+use serde_json::Value;
+use simprof_obs::{RunReport, EVENT_SCHEMA_VERSION, REPORT_VERSION};
+
+/// What a file validated as (for the per-file success line).
+enum Checked {
+    Report,
+    EventLog { records: usize },
+    Timeline { events: usize },
+}
+
+/// Validates a streaming JSONL event log.
+fn check_event_log(text: &str) -> Result<Checked, String> {
+    let mut records = 0usize;
+    let mut last_seq: Option<u64> = None;
+    let mut last_ts: Option<u64> = None;
+    let mut open: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {lineno}: not a JSON record: {e}"))?;
+        let envelope = |key: &str| {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {lineno}: missing `{key}`"))
+        };
+        let ver = envelope("v")?;
+        if ver != u64::from(EVENT_SCHEMA_VERSION) {
+            return Err(format!(
+                "line {lineno}: event schema v{ver} (this build checks v{EVENT_SCHEMA_VERSION})"
+            ));
+        }
+        let seq = envelope("seq")?;
+        let ts = envelope("ts_us")?;
+        let kind = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {lineno}: missing `kind`"))?;
+        if records == 0 && kind != "meta" {
+            return Err(format!("line {lineno}: first record is `{kind}`, expected `meta`"));
+        }
+        if let Some(prev) = last_seq {
+            if seq <= prev {
+                return Err(format!(
+                    "line {lineno}: seq {seq} is not strictly increasing (previous {prev})"
+                ));
+            }
+        }
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!("line {lineno}: ts_us {ts} went backwards (previous {prev})"));
+            }
+        }
+        last_seq = Some(seq);
+        last_ts = Some(ts);
+        records += 1;
+
+        match kind {
+            "span_open" => {
+                let id = envelope("id")?;
+                let thread = envelope("thread")?;
+                open.entry(thread).or_default().push(id);
+            }
+            "span_close" => {
+                let id = envelope("id")?;
+                let thread = envelope("thread")?;
+                match open.entry(thread).or_default().pop() {
+                    Some(top) if top == id => {}
+                    Some(top) => {
+                        return Err(format!(
+                            "line {lineno}: span_close id {id} on thread {thread} \
+                             closes span {top} (not LIFO)"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: span_close id {id} with no open span on \
+                             thread {thread}"
+                        ));
+                    }
+                }
+            }
+            "meta" | "counter" | "gauge" | "hist" | "fault" | "unit_closed" => {}
+            other => return Err(format!("line {lineno}: unknown kind `{other}`")),
+        }
+    }
+    if records == 0 {
+        return Err("event log is empty".into());
+    }
+    for (thread, stack) in &open {
+        if !stack.is_empty() {
+            return Err(format!("thread {thread} has {} unclosed span(s)", stack.len()));
+        }
+    }
+    Ok(Checked::EventLog { records })
+}
+
+/// Validates a Chrome-trace timeline document.
+fn check_timeline(doc: &Value) -> Result<Checked, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "`traceEvents` is missing or not an array".to_owned())?;
+    if events.is_empty() {
+        return Err("`traceEvents` is empty".into());
+    }
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut counter_ts: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `name`"))?;
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing `ph`"))?;
+        e.get("pid").and_then(Value::as_u64).ok_or_else(|| format!("event {i}: missing `pid`"))?;
+        let field = |key: &str| {
+            e.get(key).and_then(Value::as_u64).ok_or_else(|| format!("event {i}: missing `{key}`"))
+        };
+        match ph {
+            "M" => {} // metadata (thread_name); no ts/tid requirements
+            "B" | "E" => {
+                let tid = field("tid")?;
+                let ts = field("ts")?;
+                let last = last_ts.entry(tid).or_insert(0);
+                if ts < *last {
+                    return Err(format!(
+                        "event {i}: ts {ts} on tid {tid} went backwards (previous {last})"
+                    ));
+                }
+                *last = ts;
+                let stack = stacks.entry(tid).or_default();
+                if ph == "B" {
+                    stack.push(name.to_owned());
+                } else {
+                    match stack.pop() {
+                        Some(top) if top == name => {}
+                        Some(top) => {
+                            return Err(format!(
+                                "event {i}: E `{name}` on tid {tid} closes `{top}`"
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "event {i}: E `{name}` with no open slice on tid {tid}"
+                            ));
+                        }
+                    }
+                }
+            }
+            "X" => {
+                field("tid")?;
+                field("ts")?;
+                field("dur")?;
+            }
+            "C" => {
+                let ts = field("ts")?;
+                let last = counter_ts.entry(name.to_owned()).or_insert(0);
+                if ts < *last {
+                    return Err(format!(
+                        "event {i}: counter `{name}` ts {ts} went backwards (previous {last})"
+                    ));
+                }
+                *last = ts;
+            }
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("tid {tid} has {} unclosed slice(s)", stack.len()));
+        }
+    }
+    Ok(Checked::Timeline { events: events.len() })
+}
+
+/// Validates a versioned run report.
+fn check_report(text: &str) -> Result<Checked, String> {
     let report: RunReport =
-        serde_json::from_str(&text).map_err(|e| format!("not a run report: {e}"))?;
+        serde_json::from_str(text).map_err(|e| format!("not a run report: {e}"))?;
     if report.version != REPORT_VERSION {
         return Err(format!(
             "schema version {} (this build checks version {REPORT_VERSION})",
@@ -49,19 +246,43 @@ fn check(path: &str) -> Result<(), String> {
             }
         }
     }
-    Ok(())
+    Ok(Checked::Report)
+}
+
+/// Validates one file, picking the schema from its shape: `*.jsonl` is an
+/// event log, JSON with `traceEvents` is a timeline, anything else must be
+/// a run report.
+fn check(path: &str) -> Result<Checked, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    if path.ends_with(".jsonl") {
+        return check_event_log(&text);
+    }
+    if let Ok(doc) = serde_json::from_str::<Value>(text.trim()) {
+        if doc.get("traceEvents").is_some() {
+            return check_timeline(&doc);
+        }
+    }
+    check_report(&text)
 }
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
     if paths.is_empty() {
-        eprintln!("usage: report_check <report.json>...");
+        eprintln!("usage: report_check <report.json|events.jsonl|timeline.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
     for path in &paths {
         match check(path) {
-            Ok(()) => println!("{path}: ok (schema v{REPORT_VERSION})"),
+            Ok(Checked::Report) => println!("{path}: ok (run report, schema v{REPORT_VERSION})"),
+            Ok(Checked::EventLog { records }) => {
+                println!(
+                    "{path}: ok (event log, schema v{EVENT_SCHEMA_VERSION}, {records} records)"
+                )
+            }
+            Ok(Checked::Timeline { events }) => {
+                println!("{path}: ok (chrome-trace timeline, {events} events)")
+            }
             Err(e) => {
                 eprintln!("{path}: {e}");
                 failed = true;

@@ -32,6 +32,13 @@ pub struct Options {
     /// `--report` (path the observability run report is written to; absent
     /// means observability stays disabled and costs nothing).
     pub report: Option<String>,
+    /// `--events` (path the streaming JSONL event log is written to).
+    pub events: Option<String>,
+    /// `--timeline` (path the Chrome-trace/Perfetto timeline JSON is
+    /// written to).
+    pub timeline: Option<String>,
+    /// `--reps` (seeded replications for `diagnose`).
+    pub reps: usize,
 }
 
 /// Workload scale preset.
@@ -57,6 +64,9 @@ impl Default for Options {
             threshold: 0.10,
             threads: None,
             report: None,
+            events: None,
+            timeline: None,
+            reps: 50,
         }
     }
 }
@@ -116,6 +126,14 @@ impl Options {
                     opts.threads = Some(t);
                 }
                 "--report" => opts.report = Some(value(flag)?),
+                "--events" => opts.events = Some(value(flag)?),
+                "--timeline" => opts.timeline = Some(value(flag)?),
+                "--reps" => {
+                    opts.reps = value(flag)?.parse().map_err(|e| format!("invalid --reps: {e}"))?;
+                    if opts.reps == 0 {
+                        return Err("--reps must be at least 1".into());
+                    }
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -196,6 +214,26 @@ mod tests {
         assert_eq!(parse("").unwrap().report, None);
         assert_eq!(parse("--report run.json").unwrap().report.as_deref(), Some("run.json"));
         assert!(parse("--report").is_err(), "missing value");
+    }
+
+    #[test]
+    fn events_and_timeline_flags() {
+        let o = parse("").unwrap();
+        assert_eq!(o.events, None);
+        assert_eq!(o.timeline, None);
+        let o = parse("--events e.jsonl --timeline t.json").unwrap();
+        assert_eq!(o.events.as_deref(), Some("e.jsonl"));
+        assert_eq!(o.timeline.as_deref(), Some("t.json"));
+        assert!(parse("--events").is_err(), "missing value");
+        assert!(parse("--timeline").is_err(), "missing value");
+    }
+
+    #[test]
+    fn reps_flag() {
+        assert_eq!(parse("").unwrap().reps, 50);
+        assert_eq!(parse("--reps 80").unwrap().reps, 80);
+        assert!(parse("--reps 0").is_err(), "zero reps rejected");
+        assert!(parse("--reps x").is_err());
     }
 
     #[test]

@@ -29,6 +29,42 @@ fn pipeline(opts: &Options) -> SimProf {
     SimProf::new(SimProfConfig { seed: opts.seed, ..Default::default() })
 }
 
+/// Begins an observability session when any obs output (`--report`,
+/// `--events`, `--timeline`) was requested, installing the streaming JSONL
+/// event sink when `--events` names a path. Returns `None` — and leaves
+/// every instrumentation hook a single relaxed atomic load — when no obs
+/// output was asked for.
+fn obs_session(opts: &Options) -> Result<Option<simprof_obs::Session>, String> {
+    if opts.report.is_none() && opts.events.is_none() && opts.timeline.is_none() {
+        return Ok(None);
+    }
+    let session = simprof_obs::Session::begin();
+    if let Some(path) = &opts.events {
+        let sink = simprof_obs::JsonlEventWriter::create(std::path::Path::new(path))?;
+        simprof_obs::events::install(Box::new(sink));
+    }
+    Ok(Some(session))
+}
+
+/// Writes the requested obs outputs from a finished report: `--report`
+/// (versioned run-report JSON) and `--timeline` (Chrome-trace JSON). The
+/// `--events` log was already streamed to disk during the run; this only
+/// confirms it.
+fn write_obs_outputs(opts: &Options, report: &simprof_obs::RunReport) -> Result<(), String> {
+    if let Some(path) = &opts.report {
+        std::fs::write(path, report.to_json_pretty()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote run report {path}");
+    }
+    if let Some(path) = &opts.timeline {
+        simprof_obs::write_chrome_trace(report, std::path::Path::new(path))?;
+        println!("wrote timeline {path} (chrome://tracing / Perfetto JSON)");
+    }
+    if let Some(path) = &opts.events {
+        println!("wrote event log {path} (JSONL, schema v{})", simprof_obs::EVENT_SCHEMA_VERSION);
+    }
+    Ok(())
+}
+
 /// `simprof list` — the Table I matrix.
 pub fn list(_opts: &Options) -> Result<(), String> {
     println!("{:<10} {:<20} framework", "label", "benchmark");
@@ -45,17 +81,24 @@ fn scale_name(opts: &Options) -> String {
     }
 }
 
-/// `simprof profile -w <label> [-o trace.sptrc | -o trace.json]`.
+/// `simprof profile -w <label> [-o trace.sptrc | -o trace.json]
+/// [--report r.json] [--events e.jsonl] [--timeline t.json]`.
 ///
 /// The output format follows the extension: a `.json` path writes the
 /// legacy monolithic [`TraceBundle`]; any other path (conventionally
 /// `.sptrc`) streams the chunked format — the trace writer is attached to
 /// the profiler as a [`UnitSink`], so units hit the disk while the engine
 /// is still running instead of being serialized in one blob afterwards.
+///
+/// Any of `--report`/`--events`/`--timeline` runs the profile inside an
+/// observability session: `--events` streams the JSONL event log while the
+/// engine runs, `--timeline` converts the finished span tree (including
+/// `parallel.worker` slices from the thread pool) to Chrome-trace JSON.
 pub fn profile(opts: &Options) -> Result<(), String> {
     let label = opts.require_workload("profile")?;
     let id = find_workload(label)?;
     let cfg = workload_config(opts);
+    let session = obs_session(opts)?;
 
     let streaming_out = match &opts.output {
         Some(path) if !path.ends_with(".json") => {
@@ -76,7 +119,10 @@ pub fn profile(opts: &Options) -> Result<(), String> {
         None => Vec::new(),
     };
 
-    let out = id.run_full_with_sinks(&cfg, sinks);
+    let out = {
+        let _span = simprof_obs::span!("cli.profile");
+        id.run_full_with_sinks(&cfg, sinks)
+    };
     println!(
         "profiled {label}: {} sampling units × {} instructions ({} methods, {} tasks)",
         out.trace.units.len(),
@@ -104,6 +150,18 @@ pub fn profile(opts: &Options) -> Result<(), String> {
             println!("wrote {path} (legacy JSON bundle)");
         }
         _ => println!("(no -o/--output given; trace not saved)"),
+    }
+
+    if let Some(session) = session {
+        let report = session.finish().with_section(
+            "config",
+            serde_json::json!({
+                "workload": label,
+                "scale": scale_name(opts),
+                "seed": opts.seed,
+            }),
+        );
+        write_obs_outputs(opts, &report)?;
     }
     Ok(())
 }
@@ -179,18 +237,20 @@ pub fn select(opts: &Options) -> Result<(), String> {
 /// the whole pipeline end to end: profile the workload on the simulated
 /// substrate, form phases, select simulation points, and estimate.
 ///
-/// With `--report`, the pipeline executes inside an observability session
-/// and the versioned JSON run report (span tree, metrics, phase summary,
-/// Eq. 1 allocation table, estimate) is written to the given path. Without
-/// it, no session starts and every instrumentation hook stays a single
-/// relaxed atomic load; either way the numeric output is identical —
-/// reports carry timings out, nothing feeds back in.
+/// With `--report` (or `--events`/`--timeline`), the pipeline executes
+/// inside an observability session: the versioned JSON run report (span
+/// tree, metrics, phase summary, Eq. 1 allocation table, estimate) goes to
+/// `--report`, the streaming JSONL event log to `--events`, and the
+/// Chrome-trace timeline to `--timeline`. Without any of them, no session
+/// starts and every instrumentation hook stays a single relaxed atomic
+/// load; either way the numeric output is identical — reports carry
+/// timings out, nothing feeds back in.
 pub fn run_workload(opts: &Options) -> Result<(), String> {
     let label = opts.require_workload("run")?;
     let id = find_workload(label)?;
     let cfg = workload_config(opts);
 
-    let session = opts.report.as_ref().map(|_| simprof_obs::Session::begin());
+    let session = obs_session(opts)?;
 
     let out = {
         let _span = simprof_obs::span!("cli.profile");
@@ -240,7 +300,7 @@ pub fn run_workload(opts: &Options) -> Result<(), String> {
         println!("wrote {path}");
     }
 
-    if let (Some(session), Some(path)) = (session, opts.report.as_ref()) {
+    if let Some(session) = session {
         let report = session
             .finish()
             .with_section(
@@ -263,8 +323,7 @@ pub fn run_workload(opts: &Options) -> Result<(), String> {
             )
             .with_section("allocation", serde_json::to_value(&analysis.allocation_table(&points)))
             .with_section("estimate", serde_json::to_value(&est));
-        std::fs::write(path, report.to_json_pretty()).map_err(|e| format!("write {path}: {e}"))?;
-        println!("wrote run report {path}");
+        write_obs_outputs(opts, &report)?;
     }
     Ok(())
 }
@@ -587,6 +646,116 @@ pub fn sensitivity(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// `simprof diagnose (-w <label> | -i trace) [-n 20] [--reps 50] [--z 3]
+/// [-o diag.json]` — estimator diagnostics: the convergence curve (overall
+/// and per-phase CI half-widths across a budget sweep) and the empirical
+/// CI coverage experiment (replay `--reps` seeded selections of `-n`
+/// points each, count how often the stated intervals cover the full-trace
+/// oracle, flag phases covering below the 90 % threshold).
+pub fn diagnose(opts: &Options) -> Result<(), String> {
+    let (label, analysis) = if let Some(path) = &opts.input {
+        let input = TraceInput::open(path)?;
+        let analysis = input.analyze(&pipeline(opts))?;
+        (input.label.clone(), analysis)
+    } else if let Some(label) = &opts.workload {
+        let id = find_workload(label)?;
+        let out = id.run_full(&workload_config(opts));
+        let analysis = pipeline(opts).analyze(&out.trace).map_err(|e| format!("analyze: {e}"))?;
+        (label.clone(), analysis)
+    } else {
+        return Err("`diagnose` requires -w/--workload or -i/--input".into());
+    };
+
+    let units = analysis.cpis.len();
+    println!(
+        "{label}: {} units, {} phases, oracle CPI {:.4}",
+        units,
+        analysis.k(),
+        analysis.oracle_cpi()
+    );
+
+    let budgets = simprof_core::default_budgets(analysis.k(), opts.points, units);
+    let curve =
+        simprof_core::convergence_curve(&analysis, &budgets, opts.z, split_seed(opts.seed, 0xD1A6));
+    println!("convergence (z = {}; independent seeded selection per budget):", opts.z);
+    println!("{:>8} {:>12} {:>12}  per-phase half-widths", "budget", "se", "half-width");
+    for p in &curve {
+        let widths: Vec<String> =
+            p.per_phase.iter().map(|w| format!("{}:{:.4}", w.phase, w.half_width)).collect();
+        println!("{:>8} {:>12.6} {:>12.6}  {}", p.budget, p.se, p.half_width, widths.join(" "));
+    }
+
+    let cov = simprof_core::coverage(
+        &analysis,
+        opts.points,
+        opts.z,
+        opts.reps,
+        split_seed(opts.seed, 0xC0FE),
+        simprof_core::FLAG_BELOW,
+    );
+    println!(
+        "coverage over {} replications of n = {}: overall {:.1}% (mean half-width {:.4})",
+        cov.reps,
+        cov.n,
+        cov.overall_coverage * 100.0,
+        cov.mean_half_width
+    );
+    println!(
+        "{:>6} {:>7} {:>8} {:>10} {:>6} {:>9} {:>12} {:>6}",
+        "phase", "units", "weight", "true CPI", "reps", "coverage", "half-width", "flag"
+    );
+    for p in &cov.per_phase {
+        println!(
+            "{:>6} {:>7} {:>7.1}% {:>10.4} {:>6} {:>8.1}% {:>12.4} {:>6}",
+            p.phase,
+            p.units,
+            p.weight * 100.0,
+            p.true_mean,
+            p.reps,
+            p.coverage * 100.0,
+            p.mean_half_width,
+            if p.flagged { "LOW" } else { "ok" }
+        );
+    }
+    let flagged = cov.flagged_phases();
+    if flagged.is_empty() {
+        println!("all phases at or above {:.0}% empirical coverage", cov.flag_below * 100.0);
+    } else {
+        println!("flagged phases (coverage below {:.0}%): {flagged:?}", cov.flag_below * 100.0);
+    }
+
+    if let Some(path) = &opts.output {
+        let json = serde_json::json!({
+            "label": label,
+            "units": units,
+            "convergence": serde_json::to_value(&curve),
+            "coverage": serde_json::to_value(&cov),
+        });
+        let text =
+            serde_json::to_string_pretty(&json).map_err(|e| format!("encode diagnostics: {e}"))?;
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `simprof timeline -i run_report.json -o timeline.json` — convert a
+/// previously written run report into Chrome-trace/Perfetto timeline JSON
+/// (load it at `chrome://tracing` or <https://ui.perfetto.dev>).
+pub fn timeline(opts: &Options) -> Result<(), String> {
+    let input = opts.require_input("timeline")?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+    let report: simprof_obs::RunReport = serde_json::from_str(text.trim())
+        .map_err(|e| format!("parse {input} as a run report: {e}"))?;
+    let out = opts
+        .output
+        .as_deref()
+        .ok_or_else(|| "`timeline` requires -o/--output <timeline.json>".to_string())?;
+    simprof_obs::write_chrome_trace(&report, std::path::Path::new(out))?;
+    println!("wrote {out} ({} root spans, chrome://tracing / Perfetto JSON)", report.spans.len());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -684,6 +853,111 @@ mod tests {
 
         // Without --report, the same invocation runs sessionless.
         run_workload(&opts("-w grep_sp --scale tiny --seed 5 -n 5")).unwrap();
+    }
+
+    #[test]
+    fn profile_streams_events_and_timeline_with_worker_slices() {
+        let dir = std::env::temp_dir().join("simprof_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let timeline_path = dir.join("timeline.json");
+        let report_path = dir.join("obs_report.json");
+        // Force a real pool: on a single-core host the parallel regions
+        // would otherwise run inline and never spawn worker threads.
+        rayon::set_threads(2);
+        let result = profile(&opts(&format!(
+            "-w grep_sp --scale tiny --seed 5 --events {} --timeline {} --report {}",
+            events.display(),
+            timeline_path.display(),
+            report_path.display()
+        )));
+        rayon::set_threads(0);
+        result.unwrap();
+
+        // Event log: meta header first, then span and unit-closed records.
+        let log = std::fs::read_to_string(&events).unwrap();
+        let first: serde_json::Value = serde_json::from_str(log.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("kind").and_then(|v| v.as_str()), Some("meta"));
+        assert_eq!(first.get("seq").and_then(|v| v.as_u64()), Some(0));
+        assert!(log.contains("span_open"), "event log records span opens");
+        assert!(log.contains("unit_closed"), "event log records closed units");
+
+        // Timeline: Chrome-trace JSON with slices on at least one worker tid.
+        let tl = std::fs::read_to_string(&timeline_path).unwrap();
+        assert!(tl.contains("traceEvents"));
+        assert!(tl.contains("\"B\""), "timeline has begin slices");
+        assert!(tl.contains("worker-"), "timeline names a worker thread");
+
+        // The run report carries the worker span off the driver thread.
+        let report: simprof_obs::RunReport =
+            serde_json::from_str(std::fs::read_to_string(&report_path).unwrap().trim()).unwrap();
+        let worker = report.find_span("parallel.worker").expect("worker span recorded");
+        assert_ne!(worker.thread, 0, "worker span attributed to a pool thread");
+
+        for p in [&events, &timeline_path, &report_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn run_accepts_events_and_timeline_without_report() {
+        let dir = std::env::temp_dir().join("simprof_cli_run_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("run_events.jsonl");
+        let timeline_path = dir.join("run_timeline.json");
+        run_workload(&opts(&format!(
+            "-w grep_sp --scale tiny --seed 5 -n 5 --events {} --timeline {}",
+            events.display(),
+            timeline_path.display()
+        )))
+        .unwrap();
+        assert!(std::fs::read_to_string(&events).unwrap().contains("span_close"));
+        assert!(std::fs::read_to_string(&timeline_path).unwrap().contains("traceEvents"));
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_file(&timeline_path);
+    }
+
+    #[test]
+    fn diagnose_reports_coverage_and_writes_json() {
+        let dir = std::env::temp_dir().join("simprof_cli_diag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("diag.json");
+        diagnose(&opts(&format!(
+            "-w grep_sp --scale tiny --seed 5 -n 5 --reps 8 -o {}",
+            out.display()
+        )))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        let json: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert!(json.get("convergence").is_some());
+        let cov = json.get("coverage").expect("coverage section");
+        assert_eq!(cov.get("reps").and_then(|v| v.as_u64()), Some(8));
+        assert!(cov.get("overall_coverage").is_some());
+        let _ = std::fs::remove_file(&out);
+
+        // Without -w or -i, diagnose refuses.
+        assert!(diagnose(&opts("--reps 3")).is_err());
+    }
+
+    #[test]
+    fn timeline_command_converts_a_run_report() {
+        let dir = std::env::temp_dir().join("simprof_cli_timeline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("tl_report.json");
+        let out = dir.join("tl_out.json");
+        run_workload(&opts(&format!(
+            "-w grep_sp --scale tiny --seed 5 -n 5 --report {}",
+            report_path.display()
+        )))
+        .unwrap();
+        timeline(&opts(&format!("-i {} -o {}", report_path.display(), out.display()))).unwrap();
+        let tl = std::fs::read_to_string(&out).unwrap();
+        assert!(tl.contains("traceEvents"));
+        assert!(tl.contains("thread_name"));
+        // Missing -o is an explicit error, not a silent no-op.
+        assert!(timeline(&opts(&format!("-i {}", report_path.display()))).is_err());
+        let _ = std::fs::remove_file(&report_path);
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

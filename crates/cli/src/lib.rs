@@ -12,6 +12,8 @@
 //! simprof size    -i wc.sptrc --error 0.05       # required sample size
 //! simprof report  -i wc.sptrc                    # per-phase method report
 //! simprof sensitivity -w cc_sp                   # Algorithm 1 over Table II
+//! simprof diagnose -w wc_sp --reps 50            # CI convergence + coverage
+//! simprof timeline -i run.json -o timeline.json  # Perfetto timeline export
 //! ```
 //!
 //! Two trace formats are supported, auto-detected on read (see
@@ -63,6 +65,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "validate" => commands::validate(&opts),
         "trace-info" => commands::trace_info(&opts),
         "sensitivity" => commands::sensitivity(&opts),
+        "diagnose" => commands::diagnose(&opts),
+        "timeline" => commands::timeline(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -93,6 +97,8 @@ COMMANDS:
     validate      Replay selected points in isolation and compare CPIs
     trace-info    Print a trace file's metadata (footer read, no unit scan)
     sensitivity   Input-sensitivity study (Algorithm 1) over the Table II graphs
+    diagnose      Estimator diagnostics: CI convergence curve + empirical coverage
+    timeline      Convert a run report to Chrome-trace/Perfetto timeline JSON
     help          Show this message
 
 OPTIONS:
@@ -111,6 +117,11 @@ OPTIONS:
                              SIMPROF_THREADS env var, else all cores]
         --report <FILE>      Write the observability run report (span tree,
                              metrics, allocation table) as versioned JSON
+        --events <FILE>      Stream the structured event log (JSONL, one
+                             record per span/counter/fault/unit event)
+        --timeline <FILE>    Write the Chrome-trace/Perfetto timeline JSON
+                             (open at chrome://tracing or ui.perfetto.dev)
+        --reps <N>           Seeded replications for `diagnose` [default: 50]
 "
     .to_string()
 }

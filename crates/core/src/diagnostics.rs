@@ -1,0 +1,367 @@
+//! Estimator diagnostics: is the Eq. 2–4 machinery actually trustworthy?
+//!
+//! Two monitors, both replaying the sampling stage against the full-trace
+//! oracle (which SimProf uniquely has — the native profiler measured every
+//! unit's CPI, so the "truth" the estimator targets is known exactly):
+//!
+//! * [`convergence_curve`] — per phase, the CI half-width as a function of
+//!   the simulated-points budget. A healthy estimator's half-width shrinks
+//!   roughly as `1/√n`; a phase whose curve plateaus high is the one to
+//!   spend budget on.
+//! * [`coverage`] — the paper's own validity check, automated: replay K
+//!   seeded point selections and count how often the stated confidence
+//!   interval actually contains the oracle value. A 95% interval that
+//!   covers in fewer than ~90% of replications ([`FLAG_BELOW`]) means the
+//!   error bars are lying, and the report flags the offending phases.
+//!
+//! Per-phase intervals use the same sd-floor guard as
+//! [`crate::sampling::estimate_stratified`] (population σ_h when a small
+//! sample's spread collapses) plus the finite-population correction, so
+//! what is being validated is exactly what the estimator ships.
+
+use serde::{Deserialize, Serialize};
+
+use simprof_stats::{mean, split_seed, stddev};
+
+use crate::pipeline::Analysis;
+
+/// Default coverage threshold below which a phase is flagged: a nominal
+/// 95% interval that covers less often than this is untrustworthy.
+pub const FLAG_BELOW: f64 = 0.90;
+
+/// Per-phase sample interval with the estimator's own `s_h` policy.
+/// Returns `None` when the phase drew no points.
+fn phase_interval(phase_cpis: &[f64], sample: &[f64], z: f64) -> Option<(f64, f64)> {
+    if sample.is_empty() {
+        return None;
+    }
+    let n_h = sample.len() as f64;
+    let pop_n = phase_cpis.len() as f64;
+    let m = mean(sample);
+    let sample_sd = stddev(sample);
+    let pop_sd = stddev(phase_cpis);
+    // Same guard as estimate_stratified: trust the sample spread only when
+    // it has ≥ 2 points and has not collapsed below a tenth of the known
+    // population spread.
+    let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * pop_sd { sample_sd } else { pop_sd };
+    // Finite-population correction: sampling half the phase (or all of it)
+    // carries less error than an infinite-population draw.
+    let fpc = (1.0 - n_h / pop_n.max(1.0)).max(0.0);
+    let se = (s_h * s_h / n_h * fpc).sqrt();
+    Some((m, z * se))
+}
+
+/// Groups the oracle CPIs by phase assignment.
+fn phase_populations(cpis: &[f64], assignments: &[usize], k: usize) -> Vec<Vec<f64>> {
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for (&c, &a) in cpis.iter().zip(assignments) {
+        buckets[a].push(c);
+    }
+    buckets
+}
+
+/// One phase's contribution to a [`ConvergencePoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseWidth {
+    /// Phase id.
+    pub phase: usize,
+    /// Points allocated to the phase at this budget.
+    pub allocated: usize,
+    /// `z · se_h` of the phase's sample mean (0 when nothing was drawn —
+    /// the overall estimator then leans entirely on the population σ_h).
+    pub half_width: f64,
+}
+
+/// The estimator's error bars at one simulated-points budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Total simulated-points budget.
+    pub budget: usize,
+    /// Overall stratified standard error (Eq. 4).
+    pub se: f64,
+    /// Overall CI half-width (`z · se`).
+    pub half_width: f64,
+    /// Per-phase half-widths.
+    pub per_phase: Vec<PhaseWidth>,
+}
+
+/// Sweeps the simulated-points budget and records how the overall and
+/// per-phase CI half-widths shrink. Each budget draws an independent
+/// seeded selection (`split_seed(seed, budget)`), so adjacent points are
+/// uncorrelated probes of the same estimator, not a single growing sample.
+pub fn convergence_curve(
+    analysis: &Analysis,
+    budgets: &[usize],
+    z: f64,
+    seed: u64,
+) -> Vec<ConvergencePoint> {
+    let k = analysis.k();
+    let pops = phase_populations(&analysis.cpis, &analysis.model.assignments, k);
+    budgets
+        .iter()
+        .map(|&budget| {
+            let points = analysis.select_points(budget, split_seed(seed, budget as u64));
+            let est = analysis.estimate(&points, z);
+            let per_phase = (0..k)
+                .map(|h| {
+                    let sample: Vec<f64> =
+                        points.per_phase[h].iter().map(|&id| analysis.cpis[id as usize]).collect();
+                    let half_width = phase_interval(&pops[h], &sample, z).map_or(0.0, |(_, hw)| hw);
+                    PhaseWidth { phase: h, allocated: sample.len(), half_width }
+                })
+                .collect();
+            ConvergencePoint { budget, se: est.se, half_width: z * est.se, per_phase }
+        })
+        .collect()
+}
+
+/// A sensible default budget sweep for [`convergence_curve`]: powers of
+/// two from `max(k, 2)` up to the trace size, always including `n`.
+pub fn default_budgets(k: usize, n: usize, units: usize) -> Vec<usize> {
+    let cap = units.max(1);
+    let mut budgets = Vec::new();
+    let mut b = k.max(2).min(cap);
+    while b < cap && budgets.len() < 16 {
+        budgets.push(b);
+        b *= 2;
+    }
+    budgets.push(cap.min(b));
+    budgets.push(n.clamp(1, cap));
+    budgets.sort_unstable();
+    budgets.dedup();
+    budgets
+}
+
+/// Empirical coverage of one phase's confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseCoverage {
+    /// Phase id.
+    pub phase: usize,
+    /// Units in the phase (population size).
+    pub units: usize,
+    /// Population weight `W_h`.
+    pub weight: f64,
+    /// The oracle phase mean the interval must cover.
+    pub true_mean: f64,
+    /// Replications in which the phase drew ≥ 1 point.
+    pub reps: usize,
+    /// Replications whose interval contained `true_mean`.
+    pub covered: usize,
+    /// `covered / reps` (1.0 when the phase never drew a point — there
+    /// was no interval to be wrong).
+    pub coverage: f64,
+    /// Mean CI half-width across counted replications.
+    pub mean_half_width: f64,
+    /// Whether `coverage` fell below the flag threshold.
+    pub flagged: bool,
+}
+
+/// Result of a [`coverage`] experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Seeded replications performed.
+    pub reps: usize,
+    /// Simulated-points budget per replication.
+    pub n: usize,
+    /// z-score of the intervals under test.
+    pub z: f64,
+    /// The full-trace oracle CPI.
+    pub oracle_cpi: f64,
+    /// Fraction of replications whose overall Eq. 2–3 interval covered
+    /// the oracle CPI.
+    pub overall_coverage: f64,
+    /// Mean overall CI half-width across replications.
+    pub mean_half_width: f64,
+    /// Per-phase coverage, by phase id.
+    pub per_phase: Vec<PhaseCoverage>,
+    /// The flag threshold used.
+    pub flag_below: f64,
+}
+
+impl CoverageReport {
+    /// Ids of the phases whose coverage fell below the threshold.
+    pub fn flagged_phases(&self) -> Vec<usize> {
+        self.per_phase.iter().filter(|p| p.flagged).map(|p| p.phase).collect()
+    }
+}
+
+/// Replays `reps` seeded point selections of `n` points each and measures
+/// how often the stated intervals cover the full-trace oracle — overall
+/// (Eq. 2–3 around the stratified mean) and per phase (sample mean ± z·se
+/// with the estimator's own sd-floor guard and the finite-population
+/// correction). Phases covering less than `flag_below` are flagged.
+pub fn coverage(
+    analysis: &Analysis,
+    n: usize,
+    z: f64,
+    reps: usize,
+    seed: u64,
+    flag_below: f64,
+) -> CoverageReport {
+    let k = analysis.k();
+    let total_units = analysis.cpis.len();
+    let pops = phase_populations(&analysis.cpis, &analysis.model.assignments, k);
+    let true_means: Vec<f64> = pops.iter().map(|p| mean(p)).collect();
+    let oracle = analysis.oracle_cpi();
+
+    let mut overall_covered = 0usize;
+    let mut width_sum = 0.0f64;
+    let mut phase_reps = vec![0usize; k];
+    let mut phase_covered = vec![0usize; k];
+    let mut phase_width_sum = vec![0.0f64; k];
+
+    for rep in 0..reps {
+        let points = analysis.select_points(n, split_seed(seed, rep as u64));
+        let est = analysis.estimate(&points, z);
+        if est.ci.0 <= oracle && oracle <= est.ci.1 {
+            overall_covered += 1;
+        }
+        width_sum += z * est.se;
+        for h in 0..k {
+            let sample: Vec<f64> =
+                points.per_phase[h].iter().map(|&id| analysis.cpis[id as usize]).collect();
+            if let Some((m, hw)) = phase_interval(&pops[h], &sample, z) {
+                phase_reps[h] += 1;
+                phase_width_sum[h] += hw;
+                if (m - true_means[h]).abs() <= hw {
+                    phase_covered[h] += 1;
+                }
+            }
+        }
+    }
+
+    let per_phase = (0..k)
+        .map(|h| {
+            let r = phase_reps[h];
+            let coverage = if r == 0 { 1.0 } else { phase_covered[h] as f64 / r as f64 };
+            PhaseCoverage {
+                phase: h,
+                units: pops[h].len(),
+                weight: pops[h].len() as f64 / total_units.max(1) as f64,
+                true_mean: true_means[h],
+                reps: r,
+                covered: phase_covered[h],
+                coverage,
+                mean_half_width: if r == 0 { 0.0 } else { phase_width_sum[h] / r as f64 },
+                flagged: r > 0 && coverage < flag_below,
+            }
+        })
+        .collect();
+
+    CoverageReport {
+        reps,
+        n,
+        z,
+        oracle_cpi: oracle,
+        overall_coverage: if reps == 0 { 1.0 } else { overall_covered as f64 / reps as f64 },
+        mean_half_width: if reps == 0 { 0.0 } else { width_sum / reps as f64 },
+        per_phase,
+        flag_below,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{SimProf, SimProfConfig};
+    use simprof_profiler::ProfileTrace;
+    use simprof_sim::Counters;
+
+    /// A synthetic trace with two clearly separated behaviours.
+    fn two_phase_trace(units: usize) -> ProfileTrace {
+        use simprof_engine::MethodId;
+        use simprof_profiler::SamplingUnit;
+        let mut out = Vec::with_capacity(units);
+        for i in 0..units {
+            let phase = i % 2;
+            let (method, cycles) = if phase == 0 { (0u32, 120u64) } else { (1u32, 300) };
+            out.push(SamplingUnit {
+                id: i as u64,
+                histogram: vec![(MethodId(method), 8)],
+                snapshots: 8,
+                counters: Counters {
+                    instructions: 100,
+                    cycles: cycles + (i as u64 % 3),
+                    ..Default::default()
+                },
+                slices: Vec::new(),
+                truncated: false,
+                dropped_snapshots: 0,
+            });
+        }
+        ProfileTrace { unit_instrs: 100, snapshot_instrs: 12, core: 0, units: out }
+    }
+
+    fn analysis() -> Analysis {
+        let trace = two_phase_trace(120);
+        SimProf::new(SimProfConfig { seed: 7, ..Default::default() })
+            .analyze(&trace)
+            .expect("analyzable trace")
+    }
+
+    #[test]
+    fn convergence_half_width_shrinks_with_budget() {
+        let a = analysis();
+        let budgets = default_budgets(a.k(), 16, a.cpis.len());
+        assert!(budgets.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        let curve = convergence_curve(&a, &budgets, 1.96, 11);
+        assert_eq!(curve.len(), budgets.len());
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert!(
+            last.half_width <= first.half_width,
+            "error bars must not grow with budget: {} -> {}",
+            first.half_width,
+            last.half_width
+        );
+        // At the full-trace budget the sample is the population: zero error.
+        assert!(last.half_width < 1e-9);
+        for p in &curve[0].per_phase {
+            assert!(p.half_width >= 0.0);
+        }
+    }
+
+    #[test]
+    fn coverage_of_honest_intervals_is_high() {
+        let a = analysis();
+        let report = coverage(&a, 12, 1.96, 60, 5, FLAG_BELOW);
+        assert_eq!(report.reps, 60);
+        assert!(
+            report.overall_coverage >= 0.9,
+            "guarded 95% intervals should cover ≥ 90% empirically, got {}",
+            report.overall_coverage
+        );
+        assert_eq!(report.per_phase.len(), a.k());
+        for p in &report.per_phase {
+            assert!(p.reps > 0, "every phase should draw points at n=12");
+            assert_eq!(p.flagged, p.coverage < FLAG_BELOW);
+        }
+        assert_eq!(
+            report.flagged_phases(),
+            report.per_phase.iter().filter(|p| p.flagged).map(|p| p.phase).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn coverage_is_deterministic_per_seed() {
+        let a = analysis();
+        let r1 = coverage(&a, 10, 3.0, 20, 42, FLAG_BELOW);
+        let r2 = coverage(&a, 10, 3.0, 20, 42, FLAG_BELOW);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn census_phase_interval_has_zero_width_and_covers() {
+        // A sample that IS the population: the finite-population correction
+        // zeroes the error and the interval degenerates to the true mean.
+        let pop = [1.0, 2.0, 3.0, 10.0];
+        let (m, hw) = phase_interval(&pop, &pop, 1.96).expect("non-empty sample");
+        assert_eq!(m, mean(&pop));
+        assert_eq!(hw, 0.0);
+    }
+
+    #[test]
+    fn empty_phase_sample_yields_no_interval() {
+        assert!(phase_interval(&[1.0, 2.0], &[], 1.96).is_none());
+    }
+}

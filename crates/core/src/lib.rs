@@ -24,6 +24,7 @@
 //! convenience façade ([`SimProf`]) tying it all together.
 
 pub mod baselines;
+pub mod diagnostics;
 pub mod eval;
 pub mod export;
 pub mod features;
@@ -36,6 +37,10 @@ pub mod sensitivity;
 pub use baselines::{
     code_points, second_points_by_cycles, simprof_points, srs_points, systematic_points, Sampler,
     SamplerKind,
+};
+pub use diagnostics::{
+    convergence_curve, coverage, default_budgets, ConvergencePoint, CoverageReport, PhaseCoverage,
+    PhaseWidth, FLAG_BELOW,
 };
 pub use eval::{phase_type_distribution, phase_types, relative_error, PhaseTypeShare};
 pub use export::{ExportError, ManifestPoint, SimulationManifest};

@@ -277,9 +277,15 @@ impl FaultLog {
     }
 
     /// Records an event, tallying it under `engine.faults.<kind>` in the
-    /// observability metrics registry (a no-op without an active session).
+    /// observability metrics registry (a no-op without an active session)
+    /// and, when an event sink is streaming, emitting the full typed
+    /// payload to the event log.
     pub fn push(&mut self, event: FaultEvent) {
         simprof_obs::counter_add(event.metric_name(), 1);
+        if simprof_obs::event_streaming() {
+            let detail = serde_json::to_value(&event);
+            simprof_obs::fault_event(event.metric_name(), detail);
+        }
         self.events.push(event);
     }
 

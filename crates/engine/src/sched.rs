@@ -430,6 +430,9 @@ impl Scheduler {
                 }
             }
             listener.on_stage_end(&stage.name, machine);
+            // One trajectory sample per stage: cumulative quanta so far
+            // (no-op without an active obs session).
+            simprof_obs::timeseries_push("engine.quanta_total", turn_counter as f64);
         }
         // Aggregated locally, recorded once: hot-loop turns never touch the
         // registry.

@@ -1,0 +1,415 @@
+//! The streaming event log: a live, ordered record of what a session did.
+//!
+//! Where the [`crate::report`] module assembles one post-hoc snapshot, an
+//! [`EventSink`] receives every span open/close, counter delta, gauge
+//! write, histogram observation, fault, and closed sampling unit *as it
+//! happens*. The stock sink is [`JsonlEventWriter`], which appends one
+//! compact JSON object per line (JSONL) so a run can be tailed while it
+//! executes.
+//!
+//! # Schema (version [`EVENT_SCHEMA_VERSION`])
+//!
+//! Every line is an object with four required keys:
+//!
+//! * `v` — schema version (bumped on any breaking change; new optional
+//!   payload fields do **not** bump it),
+//! * `seq` — strictly increasing per session, assigned under the sink
+//!   lock so file order equals `seq` order,
+//! * `ts_us` — microseconds since the process span epoch, stamped under
+//!   the same lock so it is non-decreasing in file order even when
+//!   multiple threads race to emit,
+//! * `kind` — the discriminator (`meta`, `span_open`, `span_close`,
+//!   `counter`, `gauge`, `hist`, `fault`, `unit_closed`),
+//!
+//! plus kind-specific payload fields (see [`EventKind`]). The first line
+//! of a [`JsonlEventWriter`] log is a `meta` record carrying the
+//! generator name.
+//!
+//! # Determinism contract
+//!
+//! Streaming follows the same rules as the rest of this crate: with no
+//! sink installed every emission site is one relaxed atomic load, sinks
+//! are write-only (nothing downstream reads events back), and
+//! `tests/obs_determinism.rs` pins that enabling the event log leaves
+//! pipeline output bit-identical.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::span;
+
+/// Version of the event-log schema emitted by this build.
+pub const EVENT_SCHEMA_VERSION: u32 = 1;
+
+/// Receives events as they are emitted. Implementations must be cheap:
+/// the emitter holds the process-wide sink lock while calling [`emit`].
+///
+/// [`emit`]: EventSink::emit
+pub trait EventSink: Send {
+    /// Handles one event. Called in strictly increasing `seq` order.
+    fn emit(&mut self, event: &Event);
+    /// Flushes buffered output; called when the sink is uninstalled.
+    fn flush(&mut self) {}
+}
+
+/// Whether an event sink is installed. Emission sites check this first;
+/// when `false` each site is a single relaxed load.
+static STREAMING: AtomicBool = AtomicBool::new(false);
+
+struct SinkState {
+    sink: Box<dyn EventSink>,
+    seq: u64,
+}
+
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+fn sink_lock() -> MutexGuard<'static, Option<SinkState>> {
+    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// True while an [`EventSink`] is installed and receiving events.
+#[inline]
+pub fn streaming() -> bool {
+    STREAMING.load(Ordering::Relaxed)
+}
+
+/// Installs `sink` as the process-wide event sink, replacing (and
+/// flushing) any previous one. Install after [`crate::Session::begin`];
+/// the session's `finish`/`Drop` uninstalls automatically.
+pub fn install(sink: Box<dyn EventSink>) {
+    let mut state = sink_lock();
+    if let Some(mut old) = state.take() {
+        old.sink.flush();
+    }
+    *state = Some(SinkState { sink, seq: 0 });
+    STREAMING.store(true, Ordering::SeqCst);
+}
+
+/// Removes and flushes the installed sink, if any. Returns whether a sink
+/// was installed.
+pub fn uninstall() -> bool {
+    let mut state = sink_lock();
+    STREAMING.store(false, Ordering::SeqCst);
+    match state.take() {
+        Some(mut s) => {
+            s.sink.flush();
+            true
+        }
+        None => false,
+    }
+}
+
+/// Stamps and delivers one event. `seq` and `ts_us` are both assigned
+/// under the sink lock, so file order, `seq` order and `ts_us` order all
+/// agree.
+pub(crate) fn emit(kind: EventKind) {
+    if !streaming() {
+        return;
+    }
+    let mut state = sink_lock();
+    let Some(s) = state.as_mut() else { return };
+    s.seq += 1;
+    let event = Event { v: EVENT_SCHEMA_VERSION, seq: s.seq, ts_us: span::now_us(), kind };
+    s.sink.emit(&event);
+}
+
+/// One event-log record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Schema version ([`EVENT_SCHEMA_VERSION`] for records this build
+    /// emits).
+    pub v: u32,
+    /// Strictly increasing per session; file order equals `seq` order.
+    pub seq: u64,
+    /// Microseconds since the process span epoch; non-decreasing in file
+    /// order.
+    pub ts_us: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// The kind-specific payload of an [`Event`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A span opened ([`crate::SpanGuard::enter`]).
+    SpanOpen {
+        /// Entry-ordered span id.
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// The span's label.
+        name: String,
+        /// Small sequential thread id.
+        thread: usize,
+    },
+    /// A span closed (guard dropped).
+    SpanClose {
+        /// Entry-ordered span id (matches the `SpanOpen`).
+        id: u64,
+        /// The span's label.
+        name: String,
+        /// Small sequential thread id.
+        thread: usize,
+        /// Microseconds the span covered.
+        elapsed_us: u64,
+    },
+    /// A counter was bumped ([`crate::counter_add`]).
+    Counter {
+        /// Metric name.
+        name: String,
+        /// The increment.
+        delta: u64,
+        /// Running total after the increment.
+        total: u64,
+    },
+    /// A gauge was written ([`crate::gauge_set`]).
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// The new level.
+        value: f64,
+    },
+    /// A histogram observation ([`crate::histogram_observe`]).
+    Hist {
+        /// Metric name.
+        name: String,
+        /// The observed value.
+        value: f64,
+    },
+    /// A runtime fault was injected (engine fault hooks).
+    Fault {
+        /// The fault's metric name (e.g. `engine.faults.crash`).
+        name: String,
+        /// Structured fault detail, as serialized by the engine.
+        detail: Value,
+    },
+    /// A sampling unit closed on the profiler path (`UnitSink`).
+    UnitClosed {
+        /// The unit's id.
+        unit: u64,
+        /// Instructions retired in the unit.
+        instrs: u64,
+        /// Cycles spent in the unit.
+        cycles: u64,
+        /// Snapshots captured for the unit.
+        snapshots: u64,
+        /// Whether fault degradation truncated the unit.
+        truncated: bool,
+    },
+}
+
+impl EventKind {
+    /// The schema discriminator string for this kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
+            EventKind::Hist { .. } => "hist",
+            EventKind::Fault { .. } => "fault",
+            EventKind::UnitClosed { .. } => "unit_closed",
+        }
+    }
+}
+
+impl Event {
+    /// Renders the event as one flat JSON object: the four envelope keys
+    /// plus the kind's payload fields (the on-disk JSONL schema).
+    pub fn to_json_value(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("v".to_owned(), Value::from(self.v as u64)),
+            ("seq".to_owned(), Value::from(self.seq)),
+            ("ts_us".to_owned(), Value::from(self.ts_us)),
+            ("kind".to_owned(), Value::from(self.kind.label())),
+        ];
+        let mut push = |k: &str, v: Value| fields.push((k.to_owned(), v));
+        match &self.kind {
+            EventKind::SpanOpen { id, parent, name, thread } => {
+                push("id", Value::from(*id));
+                if let Some(p) = parent {
+                    push("parent", Value::from(*p));
+                }
+                push("name", Value::from(name.as_str()));
+                push("thread", Value::from(*thread as u64));
+            }
+            EventKind::SpanClose { id, name, thread, elapsed_us } => {
+                push("id", Value::from(*id));
+                push("name", Value::from(name.as_str()));
+                push("thread", Value::from(*thread as u64));
+                push("elapsed_us", Value::from(*elapsed_us));
+            }
+            EventKind::Counter { name, delta, total } => {
+                push("name", Value::from(name.as_str()));
+                push("delta", Value::from(*delta));
+                push("total", Value::from(*total));
+            }
+            EventKind::Gauge { name, value } => {
+                push("name", Value::from(name.as_str()));
+                push("value", Value::from(*value));
+            }
+            EventKind::Hist { name, value } => {
+                push("name", Value::from(name.as_str()));
+                push("value", Value::from(*value));
+            }
+            EventKind::Fault { name, detail } => {
+                push("name", Value::from(name.as_str()));
+                push("detail", detail.clone());
+            }
+            EventKind::UnitClosed { unit, instrs, cycles, snapshots, truncated } => {
+                push("unit", Value::from(*unit));
+                push("instrs", Value::from(*instrs));
+                push("cycles", Value::from(*cycles));
+                push("snapshots", Value::from(*snapshots));
+                push("truncated", Value::from(*truncated));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Writes events as JSON Lines: one compact object per line, prefixed by
+/// a `meta` header line. I/O errors after creation are swallowed (the log
+/// is best-effort telemetry and must never fail the run).
+pub struct JsonlEventWriter {
+    out: BufWriter<File>,
+}
+
+impl JsonlEventWriter {
+    /// Creates (truncating) the log file at `path` and writes the `meta`
+    /// header line.
+    pub fn create(path: &Path) -> Result<Self, String> {
+        let file = File::create(path)
+            .map_err(|e| format!("cannot create event log {}: {e}", path.display()))?;
+        let mut writer = Self { out: BufWriter::new(file) };
+        let header = Value::Object(vec![
+            ("v".to_owned(), Value::from(EVENT_SCHEMA_VERSION as u64)),
+            ("seq".to_owned(), Value::from(0u64)),
+            ("ts_us".to_owned(), Value::from(0u64)),
+            ("kind".to_owned(), Value::from("meta")),
+            ("generator".to_owned(), Value::from("simprof-obs")),
+        ]);
+        writer.write_line(&header);
+        Ok(writer)
+    }
+
+    fn write_line(&mut self, value: &Value) {
+        if let Ok(line) = serde_json::to_string(value) {
+            let _ = self.out.write_all(line.as_bytes());
+            let _ = self.out.write_all(b"\n");
+        }
+    }
+}
+
+impl EventSink for JsonlEventWriter {
+    fn emit(&mut self, event: &Event) {
+        let line = event.to_json_value();
+        self.write_line(&line);
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Collects events into a shared `Vec` — for tests that need to inspect
+/// what was emitted after the session uninstalls the sink.
+pub struct CollectSink(pub Arc<Mutex<Vec<Event>>>);
+
+impl EventSink for CollectSink {
+    fn emit(&mut self, event: &Event) {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+}
+
+/// Emission hook for engine fault injection: records the fault's metric
+/// name plus its serialized detail. No-op unless [`streaming`].
+pub fn fault_event(name: &str, detail: Value) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::Fault { name: name.to_owned(), detail });
+}
+
+/// Emission hook for the profiler's unit-closed path. No-op unless
+/// [`streaming`].
+pub fn unit_closed(unit: u64, instrs: u64, cycles: u64, snapshots: u64, truncated: bool) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::UnitClosed { unit, instrs, cycles, snapshots, truncated });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_carry_increasing_seq_and_flat_schema() {
+        // Serialize the session/sink globals with the session gate.
+        let session = crate::Session::begin();
+        let store = Arc::new(Mutex::new(Vec::new()));
+        install(Box::new(CollectSink(Arc::clone(&store))));
+        {
+            let _s = crate::span!("evt.outer");
+            crate::counter_add("evt.count", 3);
+        }
+        assert!(uninstall());
+        drop(session);
+
+        let events = store.lock().unwrap();
+        assert!(events.len() >= 3, "open + counter + close");
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq, "seq strictly increasing");
+            assert!(w[1].ts_us >= w[0].ts_us, "ts non-decreasing");
+        }
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert!(kinds.contains(&"span_open"));
+        assert!(kinds.contains(&"span_close"));
+        assert!(kinds.contains(&"counter"));
+
+        let flat = events[0].to_json_value();
+        let obj = flat.as_object().expect("flat object");
+        for key in ["v", "seq", "ts_us", "kind"] {
+            assert!(obj.iter().any(|(k, _)| k == key), "missing envelope key {key}");
+        }
+    }
+
+    #[test]
+    fn no_sink_means_no_streaming() {
+        assert!(!streaming() || uninstall());
+        // fault/unit hooks are no-ops without a sink.
+        fault_event("engine.faults.crash", Value::Null);
+        unit_closed(1, 2, 3, 4, false);
+    }
+
+    #[test]
+    fn jsonl_writer_produces_parseable_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("simprof_events_test_{}.jsonl", std::process::id()));
+        let session = crate::Session::begin();
+        install(Box::new(JsonlEventWriter::create(&path).expect("create log")));
+        {
+            let _s = crate::span!("evt.jsonl");
+        }
+        drop(session);
+
+        let text = std::fs::read_to_string(&path).expect("read log");
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "meta + open + close, got {}", lines.len());
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        let obj = first.as_object().unwrap();
+        assert!(obj.iter().any(|(k, v)| k == "kind" && v.as_str() == Some("meta")));
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.as_object().is_some());
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Log2-bucket histograms with bounded-error quantiles.
+//!
+//! A [`Log2Histogram`] buckets positive observations by the floor of their
+//! base-2 logarithm, so bucket `e` covers `[2^e, 2^(e+1))` and costs one
+//! map entry regardless of how many observations land in it. Quantile
+//! queries walk the (sorted) buckets and return the selected bucket's
+//! upper edge clamped to the observed `[min, max]`, which bounds the error
+//! by one bucket width: for any `q`, `|quantile(q) − exact sorted-order
+//! quantile| ≤ 2^e` where `e` is the exact quantile's bucket exponent
+//! (`tests/quantile_properties.rs` proves this property-style).
+//!
+//! Non-positive observations fall into a single sentinel bucket below all
+//! exponents; exponents clamp to [[`MIN_EXP`], [`MAX_EXP`]] so subnormal
+//! and astronomically large values cannot grow the map without bound (the
+//! clamped edge buckets widen to cover the overflow, see
+//! [`Log2Histogram::bucket_width_of`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest tracked bucket exponent; values in `(0, 2^(MIN_EXP+1))` share
+/// the bucket `MIN_EXP`.
+pub const MIN_EXP: i32 = -32;
+/// Largest tracked bucket exponent; values `≥ 2^MAX_EXP` share the bucket
+/// `MAX_EXP`.
+pub const MAX_EXP: i32 = 127;
+
+/// A mergeable log2-bucket histogram (count / sum / min / max plus sparse
+/// per-exponent counts).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Observations `≤ 0` (they have no log2 bucket).
+    nonpos: u64,
+    /// `(clamped bucket exponent, count)` pairs for positive observations,
+    /// sorted ascending by exponent. At most `MAX_EXP − MIN_EXP + 1`
+    /// entries, so linear bumps stay cheap.
+    buckets: Vec<(i32, u64)>,
+}
+
+/// Clamped bucket exponent of a positive value.
+fn exponent(v: f64) -> i32 {
+    debug_assert!(v > 0.0);
+    (v.log2().floor() as i32).clamp(MIN_EXP, MAX_EXP)
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the bucket for exponent `e`, keeping `buckets` sorted.
+    fn bump(&mut self, e: i32, by: u64) {
+        match self.buckets.binary_search_by_key(&e, |&(exp, _)| exp) {
+            Ok(i) => self.buckets[i].1 += by,
+            Err(i) => self.buckets.insert(i, (e, by)),
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+        if value > 0.0 {
+            self.bump(exponent(value), 1);
+        } else {
+            self.nonpos += 1;
+        }
+    }
+
+    /// Merges `other` into `self`. Bucket counts, `count`, `min` and `max`
+    /// equal those of a histogram built from the concatenated inputs;
+    /// `sum` may differ by float-addition reassociation only.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.nonpos += other.nonpos;
+        for &(e, c) in &other.buckets {
+            self.bump(e, c);
+        }
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation (`sum / count`), or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`), or `0.0` when empty.
+    ///
+    /// Targets the `ceil(q·count)`-th smallest observation (1-based, so
+    /// `q = 0.5` on 4 observations targets the 2nd). The walk selects the
+    /// bucket that sorted-order indexing would select, and the returned
+    /// upper bucket edge (clamped to `[min, max]`) is therefore within one
+    /// bucket width of the exact value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = self.nonpos;
+        if cum >= target {
+            // The target lands among non-positive observations; 0.0 is
+            // their upper edge.
+            return 0.0f64.clamp(self.min, self.max);
+        }
+        for &(e, c) in &self.buckets {
+            cum += c;
+            if cum >= target {
+                let upper = if e >= MAX_EXP {
+                    // The clamped top bucket has no finite upper edge;
+                    // `max` is the tightest bound we track.
+                    self.max
+                } else {
+                    2f64.powi(e + 1)
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Width of the bucket the value `v` falls into: the quantile error
+    /// bound when the exact quantile is `v`. Non-positive values share the
+    /// zero-width sentinel bucket; the clamped bottom bucket spans
+    /// `(0, 2^(MIN_EXP+1))`; the clamped top bucket is unbounded.
+    pub fn bucket_width_of(v: f64) -> f64 {
+        if v <= 0.0 {
+            return 0.0;
+        }
+        let e = exponent(v);
+        if e >= MAX_EXP {
+            f64::INFINITY
+        } else if e <= MIN_EXP {
+            2f64.powi(MIN_EXP + 1)
+        } else {
+            2f64.powi(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(values: &[f64]) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantile_selects_sorted_order_bucket() {
+        // Values spread over distinct buckets: [1,2), [2,4), [8,16).
+        let h = hist(&[1.5, 3.0, 9.0, 9.5]);
+        // p50 targets the 2nd smallest (3.0, bucket 1): upper edge 4.
+        assert_eq!(h.quantile(0.5), 4.0);
+        // p99 targets the 4th (9.5, bucket 3): upper edge 16 clamps to max.
+        assert_eq!(h.quantile(0.99), 9.5);
+        // p-min targets the 1st (1.5, bucket 0): upper edge 2.
+        assert_eq!(h.quantile(0.01), 2.0);
+    }
+
+    #[test]
+    fn nonpositive_values_land_in_the_sentinel_bucket() {
+        let h = hist(&[-2.0, 0.0, 4.0]);
+        assert_eq!(h.count(), 3);
+        // p50 targets the 2nd smallest (0.0): sentinel upper edge 0,
+        // clamped into [min, max] = [-2, 4].
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), -2.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = hist(&[0.5, 10.0, 300.0]);
+        let b = hist(&[2.0, 2.5, 1e-12]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let whole = hist(&[0.5, 10.0, 300.0, 2.0, 2.5, 1e-12]);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_edge_buckets() {
+        let h = hist(&[1e-300, 1e300]);
+        // Both recorded, neither grew the map outside the clamp range.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 1e300, "top bucket clamps to max");
+        assert!(h.quantile(0.25) <= 2f64.powi(MIN_EXP + 1));
+        assert_eq!(Log2Histogram::bucket_width_of(1e300), f64::INFINITY);
+        assert_eq!(Log2Histogram::bucket_width_of(1e-300), 2f64.powi(MIN_EXP + 1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = hist(&[1.0, 2.0, 65.0]);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Log2Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -42,14 +42,32 @@
 //! ```
 
 pub mod alloc;
+pub mod events;
+pub mod hist;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod timeline;
 
 pub use alloc::{current_alloc_bytes, peak_alloc_bytes, reset_peak, TrackingAllocator};
-pub use metrics::{counter_add, gauge_set, histogram_observe, HistogramSummary, MetricsSnapshot};
+pub use events::{
+    fault_event, unit_closed, Event, EventKind, EventSink, JsonlEventWriter, EVENT_SCHEMA_VERSION,
+};
+pub use hist::Log2Histogram;
+pub use metrics::{
+    counter_add, gauge_set, histogram_observe, timeseries_push, HistogramSummary, MetricsSnapshot,
+    TimePoint, TimeSeries,
+};
 pub use report::{RunReport, SpanNode, REPORT_VERSION};
 pub use span::{SpanGuard, SpanRecord};
+pub use timeline::{chrome_trace, write_chrome_trace};
+
+/// True while an [`events::EventSink`] is installed (re-export of
+/// [`events::streaming`] for hook sites outside this crate).
+#[inline]
+pub fn event_streaming() -> bool {
+    events::streaming()
+}
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -86,20 +104,27 @@ pub struct Session {
 }
 
 impl Session {
-    /// Starts collecting. Clears any residue from a previous session.
+    /// Starts collecting. Clears any residue from a previous session
+    /// (including a stale event sink) and re-bases the peak-allocation
+    /// high-water mark, so back-to-back sessions in one process don't
+    /// inherit the previous run's peak.
     pub fn begin() -> Self {
         let gate = gate_lock();
+        events::uninstall();
         span::reset();
         metrics::reset();
+        alloc::reset_peak();
         ENABLED.store(true, Ordering::SeqCst);
         Self { _gate: gate }
     }
 
     /// Stops collecting and assembles the report skeleton (span tree +
     /// metric snapshot, no sections). Callers attach their own sections
-    /// with [`RunReport::with_section`].
+    /// with [`RunReport::with_section`]. Flushes and removes any
+    /// installed event sink.
     pub fn finish(self) -> RunReport {
         ENABLED.store(false, Ordering::SeqCst);
+        events::uninstall();
         let spans = span::drain();
         let metrics = metrics::snapshot();
         RunReport::assemble(spans, metrics)
@@ -109,6 +134,7 @@ impl Session {
 impl Drop for Session {
     fn drop(&mut self) {
         ENABLED.store(false, Ordering::SeqCst);
+        events::uninstall();
     }
 }
 

@@ -14,7 +14,12 @@ use crate::metrics::MetricsSnapshot;
 use crate::span::SpanRecord;
 
 /// Version of the report schema emitted by [`RunReport::assemble`].
-pub const REPORT_VERSION: u32 = 1;
+///
+/// Version history: 1 = span tree + counters/gauges/min-max histograms;
+/// 2 = histogram summaries gained p50/p95/p99 and the metrics snapshot
+/// gained the `timeseries` map (both ignorable by v1 readers; v1
+/// documents load under v2 via `serde(default)`).
+pub const REPORT_VERSION: u32 = 2;
 
 /// One node of the span tree: a completed span and the spans it enclosed
 /// on the same thread, in entry order.

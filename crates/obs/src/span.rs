@@ -53,6 +53,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds since the process span epoch (the shared clock for span
+/// start offsets, event-log timestamps, and time-series samples).
+pub(crate) fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
 /// One completed span, as stored in the collector.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
@@ -100,6 +106,14 @@ impl SpanGuard {
             s.push(id);
             parent
         });
+        if crate::events::streaming() {
+            crate::events::emit(crate::events::EventKind::SpanOpen {
+                id,
+                parent,
+                name: name.to_owned(),
+                thread,
+            });
+        }
         Self {
             active: Some(ActiveSpan {
                 id,
@@ -132,6 +146,14 @@ impl Drop for SpanGuard {
                 s.remove(pos);
             }
         });
+        if crate::events::streaming() {
+            crate::events::emit(crate::events::EventKind::SpanClose {
+                id: active.id,
+                name: active.name.clone(),
+                thread: active.thread,
+                elapsed_us,
+            });
+        }
         let record = SpanRecord {
             id: active.id,
             parent: active.parent,

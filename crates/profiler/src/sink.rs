@@ -95,6 +95,22 @@ impl UnitSink for ObsTally {
         self.snapshots += u64::from(unit.snapshots);
         self.dropped += u64::from(unit.dropped_snapshots);
         self.truncated += u64::from(unit.truncated);
+        if simprof_obs::event_streaming() {
+            simprof_obs::unit_closed(
+                unit.id,
+                unit.counters.instructions,
+                unit.counters.cycles,
+                u64::from(unit.snapshots),
+                unit.truncated,
+            );
+        }
+        // Trajectory series for the timeline's counter tracks (bounded
+        // ring buffers; no-ops without an active session).
+        simprof_obs::timeseries_push("profiler.units_total", self.units as f64);
+        simprof_obs::timeseries_push(
+            "mem.current_alloc_bytes",
+            simprof_obs::current_alloc_bytes() as f64,
+        );
     }
 
     fn finish(&mut self) {

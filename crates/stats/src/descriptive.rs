@@ -37,6 +37,22 @@ pub fn stddev(xs: &[f64]) -> f64 {
     sample_variance(xs).sqrt()
 }
 
+/// Exact `q`-quantile of an **ascending-sorted** slice, by rank selection:
+/// the `ceil(q·n)`-th smallest element (1-based, clamped to `[1, n]`).
+/// Returns `0.0` for an empty slice.
+///
+/// This is the ground truth the obs layer's log2-bucket histogram
+/// quantiles are property-tested against (estimate within one bucket
+/// width of this value).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let target = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[target - 1]
+}
+
 /// Coefficient of variation: `stddev / mean`.
 ///
 /// Returns `0.0` when the mean is zero (CPI data is strictly positive in

@@ -38,8 +38,8 @@ pub mod stratified;
 
 pub use bic::{bic_score, choose_k_bic, BicSelection};
 pub use descriptive::{
-    cov, cov_triple, mean, population_variance, sample_variance, stddev, try_cov_triple, CovTriple,
-    LengthMismatch, Summary,
+    cov, cov_triple, mean, population_variance, quantile_sorted, sample_variance, stddev,
+    try_cov_triple, CovTriple, LengthMismatch, Summary,
 };
 pub use distcache::DistCache;
 pub use kmeans::{kmeans, kmeans_from_centers, KMeans, KMeansResult};

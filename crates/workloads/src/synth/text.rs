@@ -8,6 +8,7 @@
 //! [`LabeledCorpus`] adds per-class vocabulary bias for NaiveBayes.
 
 use rand::RngExt;
+use rayon::prelude::*;
 
 use simprof_stats::{seeded, split_seed, SeedRng};
 
@@ -78,22 +79,40 @@ impl TextSynth {
     }
 
     /// Generates lines totalling approximately `bytes` of text.
+    ///
+    /// Two passes, bit-identical to the original single-pass generator at
+    /// any worker count: pass 1 draws Zipf ranks sequentially (consuming
+    /// the RNG stream in exactly the old order) and tracks produced bytes
+    /// from the known word lengths; pass 2 assembles the rank lists into
+    /// strings in parallel (pure lookups, order preserved by the pool).
     pub fn lines(&self, bytes: usize, seed: u64) -> Vec<String> {
         let mut rng = seeded(split_seed(seed, 0x11E5));
-        let mut out = Vec::new();
+        let mut line_ranks: Vec<Vec<usize>> = Vec::new();
         let mut produced = 0usize;
         while produced < bytes {
-            let mut line = String::with_capacity(self.words_per_line * 7);
+            let mut ranks = Vec::with_capacity(self.words_per_line);
+            let mut len = 0usize;
             for i in 0..self.words_per_line {
-                if i > 0 {
-                    line.push(' ');
-                }
-                line.push_str(self.word(&mut rng));
+                let r = self.draw_rank(&mut rng);
+                len += self.words[r].len() + usize::from(i > 0);
+                ranks.push(r);
             }
-            produced += line.len() + 1;
-            out.push(line);
+            produced += len + 1;
+            line_ranks.push(ranks);
         }
-        out
+        line_ranks
+            .into_par_iter()
+            .map(|ranks| {
+                let mut line = String::with_capacity(self.words_per_line * 7);
+                for (i, &r) in ranks.iter().enumerate() {
+                    if i > 0 {
+                        line.push(' ');
+                    }
+                    line.push_str(&self.words[r]);
+                }
+                line
+            })
+            .collect()
     }
 }
 

@@ -124,6 +124,10 @@ where
             .map(|mine| {
                 s.spawn(move || {
                     IN_PARALLEL.with(|flag| flag.set(true));
+                    // Attribute this worker's wall-clock to its own span
+                    // (and thread id) so timelines show pool activity; one
+                    // relaxed load when no obs session is active.
+                    let _span = simprof_obs::span!("parallel.worker");
                     mine.into_iter()
                         .map(|(ci, c)| (ci, c.into_iter().map(f).collect::<Vec<T>>()))
                         .collect::<Vec<_>>()

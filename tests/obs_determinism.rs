@@ -49,3 +49,69 @@ fn reporting_session_does_not_perturb_the_pipeline() {
     // And a rerun after the session closed is still byte-identical.
     assert_eq!(baseline, run_pipeline(), "pipeline output must not drift after a session");
 }
+
+#[test]
+fn event_streaming_and_timeline_export_do_not_perturb_the_pipeline() {
+    // Force a real worker pool so the run exercises the parallel regions
+    // (and their span hooks) even on a single-core host.
+    rayon::set_threads(2);
+    let baseline = run_pipeline();
+
+    let dir = std::env::temp_dir().join("simprof_obs_determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let events_path = dir.join("events.jsonl");
+    let timeline_path = dir.join("timeline.json");
+
+    // Full sink stack live: session + streaming JSONL event sink, with the
+    // Chrome-trace export run afterwards from the finished report.
+    let session = obs::Session::begin();
+    let sink = obs::JsonlEventWriter::create(&events_path).expect("create event log");
+    obs::events::install(Box::new(sink));
+    assert!(obs::event_streaming(), "sink installation enables streaming");
+    let observed = run_pipeline();
+    let report = session.finish();
+    assert!(!obs::event_streaming(), "finish uninstalls the sink");
+    obs::write_chrome_trace(&report, &timeline_path).expect("write timeline");
+    rayon::set_threads(0);
+
+    assert_eq!(
+        baseline, observed,
+        "run with event streaming must be bit-identical to the unobserved run"
+    );
+
+    // The streamed log is real: meta header first, then span and counter
+    // records with strictly increasing sequence numbers.
+    let log = std::fs::read_to_string(&events_path).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert!(lines.len() > 2, "event log captured the run");
+    assert!(lines[0].contains("\"meta\""), "first record is the meta header: {}", lines[0]);
+    assert!(log.contains("span_open"), "log carries span_open records");
+    assert!(log.contains("span_close"), "log carries span_close records");
+    assert!(log.contains("counter"), "log carries counter records");
+    let seqs: Vec<u64> = lines
+        .iter()
+        .map(|l| {
+            let v: serde_json::Value = serde_json::from_str(l).expect("record parses");
+            v.get("seq").and_then(serde_json::Value::as_u64).expect("record has seq")
+        })
+        .collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seq strictly increasing");
+
+    // Worker-thread attribution made it through: the report holds a
+    // parallel.worker span on a different thread than the driver's spans,
+    // and the timeline names the worker's tid. (Thread ids are assigned on
+    // first span entry, so the driver is identified by its engine.run span
+    // rather than assumed to be id 0.)
+    let worker = report.find_span("parallel.worker").expect("report records a worker span");
+    let driver = report.find_span("engine.run").expect("report records the engine span");
+    assert_ne!(worker.thread, driver.thread, "worker span is not on the driver thread");
+    let timeline = std::fs::read_to_string(&timeline_path).unwrap();
+    assert!(timeline.contains("traceEvents"));
+    assert!(timeline.contains("worker-"), "timeline names a worker thread");
+
+    let _ = std::fs::remove_file(&events_path);
+    let _ = std::fs::remove_file(&timeline_path);
+
+    // A rerun with everything torn down is still byte-identical.
+    assert_eq!(baseline, run_pipeline(), "pipeline output must not drift after streaming");
+}

@@ -1,0 +1,75 @@
+//! Property tests for the obs layer's log2-bucket histogram: quantile
+//! estimates stay within one bucket width of the exact sorted-order
+//! quantiles, and merging histograms is observationally identical to
+//! histogramming the concatenated inputs.
+
+use proptest::prelude::*;
+
+use simprof::obs::Log2Histogram;
+use simprof::stats::quantile_sorted;
+
+fn hist(values: &[f64]) -> Log2Histogram {
+    let mut h = Log2Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Log-uniform positive values spanning ~18 decades, so observations land
+/// across many log2 buckets instead of piling into the top one.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    (-6.0f64..12.0).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `|p50/p95/p99 − exact sorted quantile| ≤` one bucket width of the
+    /// exact value — the error bound the histogram's docs state.
+    #[test]
+    fn histogram_quantiles_within_one_bucket_width(
+        values in proptest::collection::vec(value_strategy(), 1..300)
+    ) {
+        let h = hist(&values);
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.5, 0.95, 0.99] {
+            let exact = quantile_sorted(&sorted, q);
+            let est = h.quantile(q);
+            let width = Log2Histogram::bucket_width_of(exact);
+            prop_assert!(
+                (est - exact).abs() <= width * (1.0 + 1e-12),
+                "q = {q}: estimate {est} vs exact {exact} (bucket width {width})"
+            );
+        }
+    }
+
+    /// `merge(h(A), h(B))` matches `h(A ++ B)`: identical count/min/max,
+    /// identical quantiles at every probe point (bucket counts agree), and
+    /// the same sum up to float-addition reassociation.
+    #[test]
+    fn merge_equals_histogram_of_concatenation(
+        a in proptest::collection::vec(value_strategy(), 0..120),
+        b in proptest::collection::vec(value_strategy(), 0..120),
+    ) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+        let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let whole = hist(&concat);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min(), whole.min());
+        prop_assert_eq!(merged.max(), whole.max());
+        for i in 1..=20u32 {
+            let q = f64::from(i) / 20.0;
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q), "q = {}", q);
+        }
+        let tol = 1e-9 * whole.sum().abs().max(1.0);
+        prop_assert!(
+            (merged.sum() - whole.sum()).abs() <= tol,
+            "sums diverged beyond reassociation: {} vs {}",
+            merged.sum(),
+            whole.sum()
+        );
+    }
+}
