@@ -114,7 +114,8 @@ fn check_event_log(text: &str) -> Result<Checked, String> {
                     }
                 }
             }
-            "meta" | "counter" | "gauge" | "hist" | "fault" | "unit_closed" => {}
+            "meta" | "counter" | "gauge" | "hist" | "fault" | "unit_closed" | "salvage"
+            | "sink_retry" | "sink_degraded" => {}
             other => return Err(format!("line {lineno}: unknown kind `{other}`")),
         }
     }

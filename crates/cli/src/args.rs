@@ -39,6 +39,9 @@ pub struct Options {
     pub timeline: Option<String>,
     /// `--reps` (seeded replications for `diagnose`).
     pub reps: usize,
+    /// `--salvage` (for `trace-info`: forward-scan a damaged chunked trace
+    /// instead of requiring an intact footer trailer).
+    pub salvage: bool,
 }
 
 /// Workload scale preset.
@@ -67,6 +70,7 @@ impl Default for Options {
             events: None,
             timeline: None,
             reps: 50,
+            salvage: false,
         }
     }
 }
@@ -134,6 +138,7 @@ impl Options {
                         return Err("--reps must be at least 1".into());
                     }
                 }
+                "--salvage" => opts.salvage = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -234,6 +239,16 @@ mod tests {
         assert_eq!(parse("--reps 80").unwrap().reps, 80);
         assert!(parse("--reps 0").is_err(), "zero reps rejected");
         assert!(parse("--reps x").is_err());
+    }
+
+    #[test]
+    fn salvage_flag() {
+        assert!(!parse("").unwrap().salvage, "salvage defaults off");
+        assert!(parse("--salvage").unwrap().salvage);
+        // Takes no value: the next token is parsed as its own flag.
+        let o = parse("--salvage -i t.sptrc").unwrap();
+        assert!(o.salvage);
+        assert_eq!(o.input.as_deref(), Some("t.sptrc"));
     }
 
     #[test]

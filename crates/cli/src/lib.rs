@@ -7,6 +7,8 @@
 //! simprof run -w wc_sp --report run.json         # whole pipeline + run report
 //! simprof profile -w wc_sp -o wc.sptrc           # run + stream a trace to disk
 //! simprof trace-info -i wc.sptrc                 # footer metadata, no unit scan
+//! simprof trace-info --salvage -i torn.sptrc     # damage report for a torn trace
+//! simprof trace-repair -i torn.sptrc -o ok.sptrc # salvage → sealed v2 file
 //! simprof analyze -i wc.sptrc                    # phases + homogeneity (streamed)
 //! simprof select  -i wc.sptrc -n 20              # simulation points + CI
 //! simprof size    -i wc.sptrc --error 0.05       # required sample size
@@ -64,6 +66,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "export" => commands::export(&opts),
         "validate" => commands::validate(&opts),
         "trace-info" => commands::trace_info(&opts),
+        "trace-repair" => commands::trace_repair(&opts),
         "sensitivity" => commands::sensitivity(&opts),
         "diagnose" => commands::diagnose(&opts),
         "timeline" => commands::timeline(&opts),
@@ -95,7 +98,9 @@ COMMANDS:
     compare       All sampling approaches on one trace (a Fig. 7 row)
     export        Write a simulation manifest for a detailed simulator
     validate      Replay selected points in isolation and compare CPIs
-    trace-info    Print a trace file's metadata (footer read, no unit scan)
+    trace-info    Print a trace file's metadata (footer read, no unit scan;
+                  --salvage forward-scans a damaged file instead)
+    trace-repair  Salvage a damaged/truncated trace into a sealed v2 file
     sensitivity   Input-sensitivity study (Algorithm 1) over the Table II graphs
     diagnose      Estimator diagnostics: CI convergence curve + empirical coverage
     timeline      Convert a run report to Chrome-trace/Perfetto timeline JSON
@@ -122,6 +127,9 @@ OPTIONS:
         --timeline <FILE>    Write the Chrome-trace/Perfetto timeline JSON
                              (open at chrome://tracing or ui.perfetto.dev)
         --reps <N>           Seeded replications for `diagnose` [default: 50]
+        --salvage            For `trace-info`: recover a damaged chunked trace
+                             by forward-scanning checksummed frames instead of
+                             requiring an intact footer trailer
 "
     .to_string()
 }

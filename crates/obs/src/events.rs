@@ -19,7 +19,8 @@
 //!   the same lock so it is non-decreasing in file order even when
 //!   multiple threads race to emit,
 //! * `kind` — the discriminator (`meta`, `span_open`, `span_close`,
-//!   `counter`, `gauge`, `hist`, `fault`, `unit_closed`),
+//!   `counter`, `gauge`, `hist`, `fault`, `unit_closed`, `salvage`,
+//!   `sink_retry`, `sink_degraded`),
 //!
 //! plus kind-specific payload fields (see [`EventKind`]). The first line
 //! of a [`JsonlEventWriter`] log is a `meta` record carrying the
@@ -202,6 +203,38 @@ pub enum EventKind {
         /// Whether fault degradation truncated the unit.
         truncated: bool,
     },
+    /// A damaged trace was salvaged (`simprof-trace` recovery path).
+    Salvage {
+        /// The salvaged file (or stream label).
+        path: String,
+        /// Units recovered from intact chunk frames.
+        recovered_units: u64,
+        /// Frames that failed validation.
+        bad_frames: u64,
+        /// Bytes skipped while resynchronizing.
+        skipped_bytes: u64,
+        /// Successful resynchronizations onto a later valid frame.
+        resyncs: u64,
+    },
+    /// A trace sink retried a transient I/O error.
+    SinkRetry {
+        /// The sink's target (file path or stream label).
+        target: String,
+        /// 1-based retry attempt number.
+        attempt: u64,
+        /// The transient error being retried.
+        error: String,
+    },
+    /// A trace sink exhausted its retries and degraded to memory-only
+    /// collection.
+    SinkDegraded {
+        /// The sink's target (file path or stream label).
+        target: String,
+        /// Retries performed before giving up.
+        retries: u64,
+        /// The final, fatal error.
+        error: String,
+    },
 }
 
 impl EventKind {
@@ -215,6 +248,9 @@ impl EventKind {
             EventKind::Hist { .. } => "hist",
             EventKind::Fault { .. } => "fault",
             EventKind::UnitClosed { .. } => "unit_closed",
+            EventKind::Salvage { .. } => "salvage",
+            EventKind::SinkRetry { .. } => "sink_retry",
+            EventKind::SinkDegraded { .. } => "sink_degraded",
         }
     }
 }
@@ -268,6 +304,23 @@ impl Event {
                 push("cycles", Value::from(*cycles));
                 push("snapshots", Value::from(*snapshots));
                 push("truncated", Value::from(*truncated));
+            }
+            EventKind::Salvage { path, recovered_units, bad_frames, skipped_bytes, resyncs } => {
+                push("path", Value::from(path.as_str()));
+                push("recovered_units", Value::from(*recovered_units));
+                push("bad_frames", Value::from(*bad_frames));
+                push("skipped_bytes", Value::from(*skipped_bytes));
+                push("resyncs", Value::from(*resyncs));
+            }
+            EventKind::SinkRetry { target, attempt, error } => {
+                push("target", Value::from(target.as_str()));
+                push("attempt", Value::from(*attempt));
+                push("error", Value::from(error.as_str()));
+            }
+            EventKind::SinkDegraded { target, retries, error } => {
+                push("target", Value::from(target.as_str()));
+                push("retries", Value::from(*retries));
+                push("error", Value::from(error.as_str()));
             }
         }
         Value::Object(fields)
@@ -344,6 +397,45 @@ pub fn unit_closed(unit: u64, instrs: u64, cycles: u64, snapshots: u64, truncate
         return;
     }
     emit(EventKind::UnitClosed { unit, instrs, cycles, snapshots, truncated });
+}
+
+/// Emission hook for trace salvage recovery: records what a salvage pass
+/// recovered and what it skipped. No-op unless [`streaming`].
+pub fn salvage_event(
+    path: &str,
+    recovered_units: u64,
+    bad_frames: u64,
+    skipped_bytes: u64,
+    resyncs: u64,
+) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::Salvage {
+        path: path.to_owned(),
+        recovered_units,
+        bad_frames,
+        skipped_bytes,
+        resyncs,
+    });
+}
+
+/// Emission hook for a trace sink retrying a transient I/O error. No-op
+/// unless [`streaming`].
+pub fn sink_retry(target: &str, attempt: u64, error: &str) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::SinkRetry { target: target.to_owned(), attempt, error: error.to_owned() });
+}
+
+/// Emission hook for a trace sink exhausting its retries and degrading.
+/// No-op unless [`streaming`].
+pub fn sink_degraded(target: &str, retries: u64, error: &str) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::SinkDegraded { target: target.to_owned(), retries, error: error.to_owned() });
 }
 
 #[cfg(test)]

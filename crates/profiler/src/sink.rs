@@ -34,6 +34,15 @@ pub trait UnitSink: std::fmt::Debug {
 
     /// Profiling ended; flush any buffered state. Default: no-op.
     fn finish(&mut self) {}
+
+    /// Whether the sink is still persisting what it accepts. A sink that
+    /// latched an unrecoverable I/O error reports `false`; accepting
+    /// stays infallible either way (degraded sinks swallow units), so
+    /// owners that care — e.g. the CLI's on-disk writer path — check this
+    /// to fall back to memory-only collection. Default: always healthy.
+    fn healthy(&self) -> bool {
+        true
+    }
 }
 
 /// The classic in-memory sink: buffers every unit and materializes a
@@ -170,6 +179,10 @@ impl<S: UnitSink> UnitSink for SharedSink<S> {
 
     fn finish(&mut self) {
         self.inner.borrow_mut().finish();
+    }
+
+    fn healthy(&self) -> bool {
+        self.inner.borrow().healthy()
     }
 }
 

@@ -1,0 +1,343 @@
+//! Seeded chaos I/O: deterministic fault injection for the trace format.
+//!
+//! [`ChaosWriter`] and [`ChaosReader`] wrap any `Write + Seek` / `Read +
+//! Seek` stream and inject the failures a real disk produces — transient
+//! write errors, short writes, flush errors, silent bit flips, and a hard
+//! truncation at an arbitrary byte offset (a crash mid-write) — according
+//! to a [`ChaosPlan`]. Every decision is a pure hash of `(seed, salt,
+//! op index)` in the same SplitMix64 style as the engine's `FaultPlan`
+//! (DESIGN.md §7), so a given plan replays the exact same fault sequence
+//! on every run: durability bugs found under chaos are reproducible from
+//! the seed alone.
+//!
+//! Rates are parts-per-million per I/O operation; `1_000_000` or more
+//! means "always". Injected errors use [`std::io::ErrorKind::Other`] —
+//! deliberately *not* `Interrupted`, which `write_all`/`read_exact`
+//! silently retry forever inside std, hiding the fault from the retry
+//! layer under test.
+
+use std::io::{Error, Read, Result as IoResult, Seek, SeekFrom, Write};
+
+use serde::Serialize;
+
+// Domain-separation salts, one per fault kind, so the per-op decisions
+// are independent draws from the same seed.
+const SALT_WRITE_ERR: u64 = 0x57_52_45_52_52;
+const SALT_SHORT: u64 = 0x53_48_4F_52_54;
+const SALT_FLUSH: u64 = 0x46_4C_55_53_48;
+const SALT_FLIP: u64 = 0x46_4C_49_50;
+const SALT_FLIP_POS: u64 = 0x46_50_4F_53;
+const SALT_READ_ERR: u64 = 0x52_44_45_52_52;
+
+/// SplitMix64-style stateless mix, the same idiom as the engine's fault
+/// plan: decisions depend only on the coordinates, never on call order
+/// elsewhere in the program.
+fn mix(seed: u64, salt: u64, a: u64, b: u64) -> u64 {
+    let mut z =
+        seed ^ salt ^ a.wrapping_mul(0xA24B_AED4_963E_E407) ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic fault schedule for a chaos-wrapped stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ChaosPlan {
+    /// Seed all per-op decisions derive from.
+    pub seed: u64,
+    /// Transient write-error rate (ppm per write op, fires before any
+    /// byte is consumed — a retry may safely re-issue the same bytes).
+    pub write_error_ppm: u32,
+    /// Short-write rate (ppm per write op; half the buffer is consumed).
+    pub short_write_ppm: u32,
+    /// Flush-error rate (ppm per flush op).
+    pub flush_error_ppm: u32,
+    /// Silent single-bit corruption rate (ppm per write/read op).
+    pub bit_flip_ppm: u32,
+    /// Transient read-error rate (ppm per read op).
+    pub read_error_ppm: u32,
+    /// Crash simulation: bytes at logical offsets `>= truncate_at` are
+    /// silently dropped while still being reported as written.
+    pub truncate_at: Option<u64>,
+}
+
+impl ChaosPlan {
+    /// A plan that injects nothing (pass-through wrapper).
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            write_error_ppm: 0,
+            short_write_ppm: 0,
+            flush_error_ppm: 0,
+            bit_flip_ppm: 0,
+            read_error_ppm: 0,
+            truncate_at: None,
+        }
+    }
+
+    fn fires(&self, salt: u64, op: u64, ppm: u32) -> bool {
+        ppm > 0 && mix(self.seed, salt, op, 0) % 1_000_000 < u64::from(ppm)
+    }
+}
+
+/// Tally of the faults a chaos wrapper actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ChaosCounts {
+    /// Write ops observed (including ones that errored).
+    pub writes: u64,
+    /// Transient write errors injected.
+    pub write_errors: u64,
+    /// Short writes injected.
+    pub short_writes: u64,
+    /// Flush errors injected.
+    pub flush_errors: u64,
+    /// Single-bit flips injected.
+    pub bit_flips: u64,
+    /// Transient read errors injected.
+    pub read_errors: u64,
+    /// Bytes silently dropped past the truncation point.
+    pub dropped_bytes: u64,
+}
+
+fn chaos_err(what: &str, op: u64) -> Error {
+    Error::other(format!("chaos: injected {what} (op {op})"))
+}
+
+/// A `Write + Seek` wrapper that injects seeded faults per [`ChaosPlan`].
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write + Seek> {
+    inner: W,
+    plan: ChaosPlan,
+    counts: ChaosCounts,
+    /// Logical stream position (what the caller believes was written).
+    pos: u64,
+    ops: u64,
+}
+
+impl<W: Write + Seek> ChaosWriter<W> {
+    /// Wraps `inner` under `plan`. The wrapper assumes the stream starts
+    /// at offset 0.
+    pub fn new(inner: W, plan: ChaosPlan) -> Self {
+        Self { inner, plan, counts: ChaosCounts::default(), pos: 0, ops: 0 }
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> ChaosCounts {
+        self.counts
+    }
+
+    /// Unwraps the underlying stream.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write + Seek> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> IoResult<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let op = self.ops;
+        self.ops += 1;
+        self.counts.writes += 1;
+        // Errors fire before any byte is consumed, so a retry layer can
+        // safely re-issue the exact same write.
+        if self.plan.fires(SALT_WRITE_ERR, op, self.plan.write_error_ppm) {
+            self.counts.write_errors += 1;
+            return Err(chaos_err("transient write error", op));
+        }
+        let mut n = buf.len();
+        if n > 1 && self.plan.fires(SALT_SHORT, op, self.plan.short_write_ppm) {
+            self.counts.short_writes += 1;
+            n /= 2;
+        }
+        let mut data = buf[..n].to_vec();
+        if self.plan.fires(SALT_FLIP, op, self.plan.bit_flip_ppm) {
+            let h = mix(self.plan.seed, SALT_FLIP_POS, op, self.pos);
+            let byte = (h as usize) % data.len();
+            let bit = ((h >> 32) % 8) as u32;
+            data[byte] ^= 1u8 << bit;
+            self.counts.bit_flips += 1;
+        }
+        // Crash simulation: the caller sees `n` bytes accepted, but bytes
+        // at or past the truncation offset never become durable.
+        let keep = match self.plan.truncate_at {
+            Some(t) if self.pos >= t => 0,
+            Some(t) => ((t - self.pos) as usize).min(data.len()),
+            None => data.len(),
+        };
+        self.counts.dropped_bytes += (data.len() - keep) as u64;
+        if keep > 0 {
+            self.inner.write_all(&data[..keep])?;
+        }
+        self.pos += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> IoResult<()> {
+        let op = self.ops;
+        self.ops += 1;
+        if self.plan.fires(SALT_FLUSH, op, self.plan.flush_error_ppm) {
+            self.counts.flush_errors += 1;
+            return Err(chaos_err("flush error", op));
+        }
+        self.inner.flush()
+    }
+}
+
+impl<W: Write + Seek> Seek for ChaosWriter<W> {
+    fn seek(&mut self, to: SeekFrom) -> IoResult<u64> {
+        match to {
+            SeekFrom::Start(p) => {
+                // Keep the inner stream clamped at the truncation point so
+                // post-crash writes behind the cut still land correctly.
+                let t = self.plan.truncate_at.unwrap_or(u64::MAX);
+                self.inner.seek(SeekFrom::Start(p.min(t)))?;
+                self.pos = p;
+                Ok(p)
+            }
+            other => {
+                let r = self.inner.seek(other)?;
+                self.pos = r;
+                Ok(r)
+            }
+        }
+    }
+}
+
+/// A `Read + Seek` wrapper that injects seeded faults per [`ChaosPlan`].
+#[derive(Debug)]
+pub struct ChaosReader<R: Read + Seek> {
+    inner: R,
+    plan: ChaosPlan,
+    counts: ChaosCounts,
+    ops: u64,
+}
+
+impl<R: Read + Seek> ChaosReader<R> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: R, plan: ChaosPlan) -> Self {
+        Self { inner, plan, counts: ChaosCounts::default(), ops: 0 }
+    }
+
+    /// Faults injected so far.
+    pub fn counts(&self) -> ChaosCounts {
+        self.counts
+    }
+
+    /// Unwraps the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read + Seek> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> IoResult<usize> {
+        let op = self.ops;
+        self.ops += 1;
+        if self.plan.fires(SALT_READ_ERR, op, self.plan.read_error_ppm) {
+            self.counts.read_errors += 1;
+            return Err(chaos_err("transient read error", op));
+        }
+        let n = self.inner.read(buf)?;
+        if n > 0 && self.plan.fires(SALT_FLIP, op, self.plan.bit_flip_ppm) {
+            let h = mix(self.plan.seed, SALT_FLIP_POS, op, n as u64);
+            let byte = (h as usize) % n;
+            let bit = ((h >> 32) % 8) as u32;
+            buf[byte] ^= 1u8 << bit;
+            self.counts.bit_flips += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl<R: Read + Seek> Seek for ChaosReader<R> {
+    fn seek(&mut self, to: SeekFrom) -> IoResult<u64> {
+        self.inner.seek(to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn pass_through_plan_is_transparent() {
+        let mut w = ChaosWriter::new(Cursor::new(Vec::new()), ChaosPlan::none(1));
+        w.write_all(b"hello").unwrap();
+        w.write_all(b" world").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.counts(), ChaosCounts { writes: 2, ..Default::default() });
+        assert_eq!(w.into_inner().into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn truncation_drops_bytes_silently() {
+        let plan = ChaosPlan { truncate_at: Some(7), ..ChaosPlan::none(1) };
+        let mut w = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+        w.write_all(b"0123456789").unwrap(); // reported fully written
+        w.write_all(b"abc").unwrap(); // entirely past the cut
+        assert_eq!(w.counts().dropped_bytes, 6);
+        assert_eq!(w.into_inner().into_inner(), b"0123456");
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let plan = ChaosPlan {
+            write_error_ppm: 300_000,
+            short_write_ppm: 300_000,
+            bit_flip_ppm: 200_000,
+            ..ChaosPlan::none(99)
+        };
+        let run = || {
+            let mut w = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+            for i in 0..200u32 {
+                let chunk = [i as u8; 16];
+                // Swallow injected errors; write_all retries nothing here.
+                let _ = w.write(&chunk);
+            }
+            (w.counts(), w.into_inner().into_inner())
+        };
+        let (c1, b1) = run();
+        let (c2, b2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(b1, b2);
+        assert!(c1.write_errors > 0 && c1.short_writes > 0 && c1.bit_flips > 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mk = |seed| {
+            let plan = ChaosPlan { bit_flip_ppm: 500_000, ..ChaosPlan::none(seed) };
+            let mut w = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+            for _ in 0..64 {
+                w.write_all(&[0u8; 8]).unwrap();
+            }
+            w.into_inner().into_inner()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn reader_injects_errors_and_flips() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let plan =
+            ChaosPlan { read_error_ppm: 400_000, bit_flip_ppm: 400_000, ..ChaosPlan::none(7) };
+        let mut r = ChaosReader::new(Cursor::new(data.clone()), plan);
+        let mut out = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.to_string().contains("chaos") => continue,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(out.len(), data.len());
+        assert!(r.counts().read_errors > 0);
+        assert!(r.counts().bit_flips > 0);
+        assert_ne!(out, data);
+    }
+}

@@ -1,4 +1,4 @@
-//! The `.sptrc` chunked on-disk trace format (DESIGN.md §12).
+//! The `.sptrc` chunked on-disk trace format (DESIGN.md §12, §14).
 //!
 //! The legacy persistence format (`simprof-cli`'s JSON `TraceBundle`) is one
 //! monolithic blob: writing it needs the whole [`ProfileTrace`] in memory
@@ -14,32 +14,52 @@
 //! * [`TraceFooter`] carries the summary a consumer wants *before* (or
 //!   without) scanning units — unit count, method universe, totals, the
 //!   method registry — and is reachable by seeking to the file's tail.
+//! * [`salvage_bytes`] / [`TraceReader::open_salvage`] recover every
+//!   intact chunk from a crashed or corrupted file (see [`salvage`]), and
+//!   [`chaos`] provides the seeded fault injection that keeps the
+//!   recovery path honest.
 //!
-//! ## Layout
+//! ## Layout (v2)
 //!
 //! ```text
-//! [MAGIC: 8 bytes "SPTRC\x00v1"]
+//! [MAGIC: 8 bytes "SPTRC\x00v2"]
 //! [frame 'H'] header: TraceMeta as compact JSON
 //! [frame 'U']*       chunks: Vec<SamplingUnit> as compact JSON
 //! [frame 'F'] footer: TraceFooter as compact JSON
 //! [footer payload length: u32 LE] [MAGIC]            ← 12-byte trailer
 //! ```
 //!
-//! Every frame is `[kind: u8] [payload length: u32 LE] [payload]`. The
+//! Every v2 frame is `[kind: u8] [payload length: u32 LE] [payload]
+//! [CRC32: u32 LE]`, where the checksum covers `kind | length | payload`
+//! (see [`crc32`](mod@crc32) — implemented in-crate, IEEE polynomial). The
 //! trailer lets a reader locate the footer from the end of the file in
-//! three reads, so `trace-info` on a multi-gigabyte trace is O(1).
+//! three reads, so `trace-info` on a multi-gigabyte trace is O(1). Frame
+//! lengths are capped at [`MAX_FRAME_LEN`]: the cap bounds reader
+//! allocation against corrupt or hostile length fields, and doubles as
+//! the cheap rejection test during salvage resync.
 //!
 //! ## Version negotiation
 //!
 //! The format version lives in two places on purpose: the magic's trailing
-//! `v1` (an incompatible layout change bumps it, and old readers reject the
-//! file at the first 8 bytes) and [`TraceFooter::version`] (compatible
-//! schema evolution inside frames; readers check it equals
-//! [`FORMAT_VERSION`]). Unknown frame kinds are an error — the format has
-//! no optional frames in v1.
+//! `v2` (an incompatible layout change bumps it; v1 files — identical but
+//! with no per-frame CRC — are still read transparently) and
+//! [`TraceFooter::version`] (compatible schema evolution inside frames;
+//! readers require it to match the magic's layout version and reject
+//! versions newer than [`FORMAT_VERSION`]). Unknown frame kinds are an
+//! error — the format has no optional frames.
+//!
+//! ## Durability
+//!
+//! Frames are committed as whole-buffer writes at an explicit offset
+//! (seek + write), so a failed write can be retried idempotently: the
+//! writer re-seeks and rewrites the same frame. [`RetryPolicy`] bounds
+//! those retries with doubling backoff; when a write fails persistently
+//! the error is latched, the sink reports itself unhealthy, and the
+//! profiler falls back to memory-only collection instead of panicking
+//! (DESIGN.md §14.4).
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Cursor, Read, Seek, SeekFrom, Write};
 
 use serde::{Deserialize, Serialize};
 
@@ -48,19 +68,42 @@ use simprof_profiler::sink::UnitSink;
 use simprof_profiler::stream::UnitStream;
 use simprof_profiler::trace::{ProfileTrace, SamplingUnit};
 
-/// Leading (and trailing) magic bytes; the `v1` suffix is the layout
+pub mod chaos;
+pub mod crc32;
+pub mod salvage;
+
+pub use chaos::{ChaosCounts, ChaosPlan, ChaosReader, ChaosWriter};
+pub use salvage::{salvage_bytes, Salvage, SalvageReport};
+
+/// Leading (and trailing) magic bytes; the `v2` suffix is the layout
 /// version.
-pub const MAGIC: &[u8; 8] = b"SPTRC\0v1";
+pub const MAGIC: &[u8; 8] = b"SPTRC\0v2";
+
+/// The previous layout's magic: same framing, no per-frame CRC. Still
+/// readable.
+pub const MAGIC_V1: &[u8; 8] = b"SPTRC\0v1";
 
 /// Schema version written into every footer.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Units buffered per on-disk chunk by default.
-pub const DEFAULT_CHUNK_UNITS: usize = 256;
+/// Units buffered per on-disk chunk by default. The chunk is the unit of
+/// durability as well as of reader memory: a crash (or torn tail) loses at
+/// most the units buffered since the last committed chunk frame, and
+/// salvage recovers whole intact chunks. 32 keeps that loss window small
+/// for real profiles (a few hundred units) while still amortizing one JSON
+/// parse across a chunk; `TraceWriter::with_chunk_units` tunes it per file.
+pub const DEFAULT_CHUNK_UNITS: usize = 32;
 
-const FRAME_HEADER: u8 = b'H';
-const FRAME_UNITS: u8 = b'U';
-const FRAME_FOOTER: u8 = b'F';
+/// Hard cap on a frame's payload length (64 MiB). A corrupt or hostile
+/// length field is rejected *before* any allocation happens.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+pub(crate) const FRAME_HEADER: u8 = b'H';
+pub(crate) const FRAME_UNITS: u8 = b'U';
+pub(crate) const FRAME_FOOTER: u8 = b'F';
+
+const SALVAGE_HINT: &str = "recover readable units with `simprof trace-info --salvage <file>` \
+     or rewrite with `simprof trace-repair <in> <out>`";
 
 /// Trace provenance and profiler geometry, written as the header frame so
 /// readers know the unit size before the first unit arrives.
@@ -83,7 +126,8 @@ pub struct TraceMeta {
 /// Trace summary written as the final frame, locatable from the file tail.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceFooter {
-    /// Schema version (see [`FORMAT_VERSION`]).
+    /// Schema version (see [`FORMAT_VERSION`]); matches the file's layout
+    /// version.
     pub version: u32,
     /// Number of sampling units in the file.
     pub unit_count: u64,
@@ -101,12 +145,13 @@ pub struct TraceFooter {
     pub registry: MethodRegistry,
 }
 
-/// True when the file at `path` starts with the chunked-trace magic — the
-/// sniff the CLI uses to auto-detect the input format.
+/// True when the file at `path` starts with a chunked-trace magic (either
+/// layout version) — the sniff the CLI uses to auto-detect the input
+/// format.
 pub fn is_chunked(path: &str) -> bool {
     let mut head = [0u8; 8];
     match File::open(path) {
-        Ok(mut f) => f.read_exact(&mut head).is_ok() && &head == MAGIC,
+        Ok(mut f) => f.read_exact(&mut head).is_ok() && (&head == MAGIC || &head == MAGIC_V1),
         Err(_) => false,
     }
 }
@@ -115,32 +160,54 @@ fn io_err(path: &str, what: &str, e: std::io::Error) -> String {
     format!("{what} {path}: {e}")
 }
 
-fn write_frame(
-    out: &mut BufWriter<File>,
-    path: &str,
-    kind: u8,
-    payload: &[u8],
-) -> Result<(), String> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| format!("write {path}: frame over 4 GiB (shrink the chunk size)"))?;
-    out.write_all(&[kind]).map_err(|e| io_err(path, "write", e))?;
-    out.write_all(&len.to_le_bytes()).map_err(|e| io_err(path, "write", e))?;
-    out.write_all(payload).map_err(|e| io_err(path, "write", e))
+/// Bounded retry-with-backoff for transient sink I/O errors.
+///
+/// Each failed frame commit is retried up to `max_retries` times, sleeping
+/// `backoff_ms << attempt` between attempts (shift capped at 6). Retries
+/// are safe because frames are whole-buffer writes at an explicit offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per failed I/O operation before giving up (latching the
+    /// error and degrading to memory-only collection upstream).
+    pub max_retries: u32,
+    /// Base backoff in milliseconds; doubles per attempt. Zero disables
+    /// sleeping (useful under deterministic test chaos).
+    pub backoff_ms: u64,
 }
 
-/// A streaming [`UnitSink`] that frames sampling units to disk in chunks.
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, backoff_ms: 1 }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every I/O error is immediately fatal to the sink.
+    pub fn none() -> Self {
+        Self { max_retries: 0, backoff_ms: 0 }
+    }
+}
+
+/// A streaming [`UnitSink`] that frames sampling units to a `Write + Seek`
+/// stream (a file by default) in chunks.
 ///
 /// Units are buffered until a chunk fills, then written as one `'U'` frame;
 /// footer statistics accumulate incrementally, so nothing grows with trace
 /// length except the file. Because [`UnitSink::accept`] cannot fail, I/O
-/// errors are *latched*: the writer goes inert and the stored error
+/// errors are *latched* after the [`RetryPolicy`] is exhausted: the writer
+/// goes inert, [`UnitSink::healthy`] turns false, and the stored error
 /// surfaces from [`TraceWriter::finish`].
 #[derive(Debug)]
-pub struct TraceWriter {
-    out: BufWriter<File>,
-    path: String,
+pub struct TraceWriter<W: Write + Seek = File> {
+    out: W,
+    target: String,
+    pos: u64,
+    scratch: Vec<u8>,
     buf: Vec<SamplingUnit>,
     chunk_units: usize,
+    retry: RetryPolicy,
+    retries: u64,
+    degraded: bool,
     unit_count: u64,
     method_universe: usize,
     total_instrs: u64,
@@ -149,22 +216,62 @@ pub struct TraceWriter {
     dropped_snapshots: u64,
     error: Option<String>,
     finished: bool,
+    legacy_v1: bool,
 }
 
-impl TraceWriter {
-    /// Creates the file at `path` and writes the magic + header frame.
+impl TraceWriter<File> {
+    /// Creates the file at `path` and writes the v2 magic + header frame.
     pub fn create(path: &str, meta: &TraceMeta) -> Result<Self, String> {
         let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
-        let mut out = BufWriter::new(file);
-        out.write_all(MAGIC).map_err(|e| io_err(path, "write", e))?;
-        let header =
-            serde_json::to_string(meta).map_err(|e| format!("encode trace header: {e}"))?;
-        write_frame(&mut out, path, FRAME_HEADER, header.as_bytes())?;
-        Ok(Self {
+        Self::from_writer_versioned(file, path, meta, false)
+    }
+
+    /// Creates a file in the *previous* (v1, CRC-less) layout. Exists so
+    /// compatibility with pre-v2 readers and files stays testable; new
+    /// traces should use [`TraceWriter::create`].
+    pub fn create_legacy_v1(path: &str, meta: &TraceMeta) -> Result<Self, String> {
+        let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+        Self::from_writer_versioned(file, path, meta, true)
+    }
+}
+
+impl TraceWriter<Cursor<Vec<u8>>> {
+    /// An in-memory writer (backed by a `Cursor<Vec<u8>>`), for tests and
+    /// chaos pipelines that never touch disk.
+    pub fn in_memory(meta: &TraceMeta) -> Result<Self, String> {
+        Self::from_writer(Cursor::new(Vec::new()), "<memory>", meta)
+    }
+
+    /// Unwraps the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.out.into_inner()
+    }
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a v2 trace on an arbitrary `Write + Seek` stream (assumed to
+    /// be positioned at offset 0). `target` names the stream in errors and
+    /// events.
+    pub fn from_writer(out: W, target: &str, meta: &TraceMeta) -> Result<Self, String> {
+        Self::from_writer_versioned(out, target, meta, false)
+    }
+
+    fn from_writer_versioned(
+        out: W,
+        target: &str,
+        meta: &TraceMeta,
+        legacy_v1: bool,
+    ) -> Result<Self, String> {
+        let mut this = Self {
             out,
-            path: path.to_owned(),
+            target: target.to_owned(),
+            pos: 0,
+            scratch: Vec::new(),
             buf: Vec::new(),
             chunk_units: DEFAULT_CHUNK_UNITS,
+            retry: RetryPolicy::default(),
+            retries: 0,
+            degraded: false,
             unit_count: 0,
             method_universe: 0,
             total_instrs: 0,
@@ -173,13 +280,27 @@ impl TraceWriter {
             dropped_snapshots: 0,
             error: None,
             finished: false,
-        })
+            legacy_v1,
+        };
+        this.scratch.extend_from_slice(if legacy_v1 { MAGIC_V1 } else { MAGIC });
+        this.commit_scratch()?;
+        let header =
+            serde_json::to_string(meta).map_err(|e| format!("encode trace header: {e}"))?;
+        this.write_frame(FRAME_HEADER, header.as_bytes())?;
+        Ok(this)
     }
 
     /// Overrides the chunk size (units per `'U'` frame); `n` is clamped to
     /// at least 1.
     pub fn with_chunk_units(mut self, n: usize) -> Self {
         self.chunk_units = n.max(1);
+        self
+    }
+
+    /// Overrides the transient-error retry policy (default: 3 retries,
+    /// 1 ms doubling backoff).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -191,6 +312,22 @@ impl TraceWriter {
     /// The latched I/O error, if writing has already failed.
     pub fn error(&self) -> Option<&str> {
         self.error.as_deref()
+    }
+
+    /// Transient-error retries performed so far (successful or not).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// True once an I/O operation exhausted its retries.
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Unwraps the underlying stream (e.g. to recover a chaos wrapper's
+    /// fault counts, or an in-memory cursor's bytes).
+    pub fn into_writer(self) -> W {
+        self.out
     }
 
     /// Buffers one unit, flushing a chunk frame when the buffer fills.
@@ -224,8 +361,85 @@ impl TraceWriter {
             }
         };
         self.buf.clear();
-        if let Err(e) = write_frame(&mut self.out, &self.path, FRAME_UNITS, payload.as_bytes()) {
+        if let Err(e) = self.write_frame(FRAME_UNITS, payload.as_bytes()) {
             self.error = Some(e);
+        }
+    }
+
+    /// Frames `payload` into the scratch buffer (with CRC on v2) and
+    /// commits it.
+    fn write_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), String> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(format!(
+                "write {}: frame over the {} MiB cap (shrink the chunk size)",
+                self.target,
+                MAX_FRAME_LEN >> 20
+            ));
+        }
+        let len = payload.len() as u32;
+        self.scratch.clear();
+        self.scratch.push(kind);
+        self.scratch.extend_from_slice(&len.to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        if !self.legacy_v1 {
+            let crc = crc32::crc32(&self.scratch);
+            self.scratch.extend_from_slice(&crc.to_le_bytes());
+        }
+        self.commit_scratch()
+    }
+
+    /// Writes the scratch buffer at the current logical offset, retrying
+    /// per policy. Seek-then-write makes the retry idempotent: a partial
+    /// write is simply overwritten from the frame's start.
+    fn commit_scratch(&mut self) -> Result<(), String> {
+        let scratch = std::mem::take(&mut self.scratch);
+        let pos = self.pos;
+        let res = self.retrying("write", |out| {
+            out.seek(SeekFrom::Start(pos))?;
+            out.write_all(&scratch)
+        });
+        if res.is_ok() {
+            self.pos += scratch.len() as u64;
+        }
+        self.scratch = scratch;
+        res
+    }
+
+    fn retrying<T>(
+        &mut self,
+        what: &str,
+        mut op: impl FnMut(&mut W) -> std::io::Result<T>,
+    ) -> Result<T, String> {
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut self.out) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.retry.max_retries {
+                        self.degraded = true;
+                        simprof_obs::counter_add("sink.degraded", 1);
+                        simprof_obs::sink_degraded(
+                            &self.target,
+                            u64::from(attempt),
+                            &e.to_string(),
+                        );
+                        return Err(format!(
+                            "{what} {}: {e} (gave up after {attempt} retries)",
+                            self.target
+                        ));
+                    }
+                    attempt += 1;
+                    self.retries += 1;
+                    simprof_obs::counter_add("sink.retries", 1);
+                    simprof_obs::sink_retry(&self.target, u64::from(attempt), &e.to_string());
+                    if self.retry.backoff_ms > 0 {
+                        let shift = (attempt - 1).min(6);
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            self.retry.backoff_ms << shift,
+                        ));
+                    }
+                }
+            }
         }
     }
 
@@ -238,14 +452,14 @@ impl TraceWriter {
     /// `finish` was already called.
     pub fn finish(&mut self, registry: &MethodRegistry) -> Result<TraceFooter, String> {
         if self.finished {
-            return Err(format!("trace writer for {} already finished", self.path));
+            return Err(format!("trace writer for {} already finished", self.target));
         }
         self.flush_chunk();
         if let Some(e) = &self.error {
             return Err(e.clone());
         }
         let footer = TraceFooter {
-            version: FORMAT_VERSION,
+            version: if self.legacy_v1 { 1 } else { FORMAT_VERSION },
             unit_count: self.unit_count,
             method_universe: self.method_universe,
             total_instrs: self.total_instrs,
@@ -256,17 +470,19 @@ impl TraceWriter {
         };
         let payload =
             serde_json::to_string(&footer).map_err(|e| format!("encode trace footer: {e}"))?;
-        write_frame(&mut self.out, &self.path, FRAME_FOOTER, payload.as_bytes())?;
+        self.write_frame(FRAME_FOOTER, payload.as_bytes())?;
         let len = payload.len() as u32;
-        self.out.write_all(&len.to_le_bytes()).map_err(|e| io_err(&self.path, "write", e))?;
-        self.out.write_all(MAGIC).map_err(|e| io_err(&self.path, "write", e))?;
-        self.out.flush().map_err(|e| io_err(&self.path, "flush", e))?;
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&len.to_le_bytes());
+        self.scratch.extend_from_slice(if self.legacy_v1 { MAGIC_V1 } else { MAGIC });
+        self.commit_scratch()?;
+        self.retrying("flush", |out| out.flush())?;
         self.finished = true;
         Ok(footer)
     }
 }
 
-impl UnitSink for TraceWriter {
+impl<W: Write + Seek + std::fmt::Debug> UnitSink for TraceWriter<W> {
     fn accept(&mut self, unit: &SamplingUnit) {
         self.push(unit);
     }
@@ -277,34 +493,66 @@ impl UnitSink for TraceWriter {
         // the registry to seal the file.
         self.flush_chunk();
     }
+
+    fn healthy(&self) -> bool {
+        self.error.is_none()
+    }
 }
 
-/// A streaming [`UnitStream`] over a chunked trace file: holds one decoded
+/// A streaming [`UnitStream`] over a chunked trace: holds one decoded
 /// chunk at a time and rewinds by seeking back to the first unit frame.
+/// Reads both v2 (checksummed) and legacy v1 files, negotiated from the
+/// magic.
 #[derive(Debug)]
-pub struct TraceReader {
-    file: BufReader<File>,
+pub struct TraceReader<R: Read + Seek = BufReader<File>> {
+    file: R,
     path: String,
     meta: TraceMeta,
+    layout_version: u32,
     data_start: u64,
     chunk: Vec<SamplingUnit>,
     pos: usize,
     done: bool,
 }
 
-impl TraceReader {
+impl TraceReader<BufReader<File>> {
     /// Opens `path`, validating the magic and reading the header frame.
     pub fn open(path: &str) -> Result<Self, String> {
         let file = File::open(path).map_err(|e| io_err(path, "open", e))?;
-        let mut file = BufReader::new(file);
+        Self::from_reader(BufReader::new(file), path)
+    }
+
+    /// Salvages `path` instead of opening it strictly: recovers every
+    /// intact chunk from a truncated or corrupted trace. See
+    /// [`salvage_bytes`] for the contract.
+    pub fn open_salvage(path: &str) -> Result<Salvage, String> {
+        let data = std::fs::read(path).map_err(|e| io_err(path, "read", e))?;
+        salvage::salvage_bytes(&data, path)
+    }
+}
+
+impl<R: Read + Seek> TraceReader<R> {
+    /// Opens a trace on an arbitrary `Read + Seek` stream (positioned at
+    /// offset 0). `path` names the stream in errors.
+    pub fn from_reader(mut file: R, path: &str) -> Result<Self, String> {
         let mut magic = [0u8; 8];
-        file.read_exact(&mut magic).map_err(|e| io_err(path, "read", e))?;
-        if &magic != MAGIC {
+        file.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                format!("{path}: truncated trace (shorter than the 8-byte magic); {SALVAGE_HINT}")
+            } else {
+                io_err(path, "read", e)
+            }
+        })?;
+        let layout_version = if &magic == MAGIC {
+            FORMAT_VERSION
+        } else if &magic == MAGIC_V1 {
+            1
+        } else {
             return Err(format!(
                 "{path}: not a chunked simprof trace (bad magic {magic:?}; expected {MAGIC:?})"
             ));
-        }
-        let (kind, payload) = read_frame(&mut file, path)?;
+        };
+        let (kind, payload) = read_frame(&mut file, path, layout_version)?;
         if kind != FRAME_HEADER {
             return Err(format!("{path}: expected header frame, found {:?}", kind as char));
         }
@@ -314,6 +562,7 @@ impl TraceReader {
             file,
             path: path.to_owned(),
             meta,
+            layout_version,
             data_start,
             chunk: Vec::new(),
             pos: 0,
@@ -324,6 +573,11 @@ impl TraceReader {
     /// The header metadata.
     pub fn meta(&self) -> &TraceMeta {
         &self.meta
+    }
+
+    /// The layout version negotiated from the magic (1 or 2).
+    pub fn layout_version(&self) -> u32 {
+        self.layout_version
     }
 
     /// Reads the footer via the 12-byte trailer (seek from end), leaving
@@ -337,21 +591,55 @@ impl TraceReader {
 
     fn read_footer_at_tail(&mut self) -> Result<TraceFooter, String> {
         let path = self.path.clone();
+        let file_len = self.file.seek(SeekFrom::End(0)).map_err(|e| io_err(&path, "seek", e))?;
+        if file_len < 12 {
+            return Err(format!(
+                "{path}: truncated trace ({file_len} bytes; no room for the 12-byte trailer); \
+                 {SALVAGE_HINT}"
+            ));
+        }
         self.file.seek(SeekFrom::End(-12)).map_err(|e| io_err(&path, "seek", e))?;
         let mut trailer = [0u8; 12];
         self.file.read_exact(&mut trailer).map_err(|e| io_err(&path, "read", e))?;
-        if &trailer[4..12] != MAGIC {
-            return Err(format!("{path}: missing footer trailer (file truncated or unfinished?)"));
-        }
-        let len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as i64;
-        self.file.seek(SeekFrom::End(-12 - len)).map_err(|e| io_err(&path, "seek", e))?;
-        let mut payload = vec![0u8; len as usize];
-        self.file.read_exact(&mut payload).map_err(|e| io_err(&path, "read", e))?;
-        let footer: TraceFooter = parse_payload(&path, "footer", &payload)?;
-        if footer.version != FORMAT_VERSION {
+        let magic = if self.layout_version == 1 { MAGIC_V1 } else { MAGIC };
+        if &trailer[4..12] != magic {
             return Err(format!(
-                "{path}: unsupported trace schema version {} (expected {FORMAT_VERSION})",
+                "{path}: missing footer trailer (crash before finish, or truncation?); \
+                 {SALVAGE_HINT}"
+            ));
+        }
+        let len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as u64;
+        let crc_len: u64 = if self.layout_version >= 2 { 4 } else { 0 };
+        let frame_len = 5 + len + crc_len;
+        if len > MAX_FRAME_LEN as u64 || frame_len + 12 > file_len {
+            return Err(format!(
+                "{path}: corrupt trailer (footer length {len} does not fit the {file_len}-byte \
+                 file); {SALVAGE_HINT}"
+            ));
+        }
+        self.file
+            .seek(SeekFrom::End(-12 - frame_len as i64))
+            .map_err(|e| io_err(&path, "seek", e))?;
+        let (kind, payload) = read_frame(&mut self.file, &path, self.layout_version)?;
+        if kind != FRAME_FOOTER {
+            return Err(format!(
+                "{path}: corrupt footer frame (kind {:?}); {SALVAGE_HINT}",
+                kind as char
+            ));
+        }
+        let footer: TraceFooter = parse_payload(&path, "footer", &payload)?;
+        if footer.version > FORMAT_VERSION {
+            return Err(format!(
+                "{path}: trace schema version {} was written by a newer simprof (this build \
+                 reads up to {FORMAT_VERSION})",
                 footer.version
+            ));
+        }
+        if footer.version != self.layout_version {
+            return Err(format!(
+                "{path}: footer schema version {} does not match the file's v{} layout; \
+                 {SALVAGE_HINT}",
+                footer.version, self.layout_version
             ));
         }
         Ok(footer)
@@ -386,7 +674,7 @@ impl TraceReader {
             if self.done {
                 return Ok(false);
             }
-            let (kind, payload) = read_frame(&mut self.file, &self.path)?;
+            let (kind, payload) = read_frame(&mut self.file, &self.path, self.layout_version)?;
             match kind {
                 FRAME_UNITS => {
                     let units: Vec<SamplingUnit> = parse_payload(&self.path, "chunk", &payload)?;
@@ -412,7 +700,7 @@ impl TraceReader {
     }
 }
 
-impl UnitStream for TraceReader {
+impl<R: Read + Seek> UnitStream for TraceReader<R> {
     fn unit_instrs(&self) -> u64 {
         self.meta.unit_instrs
     }
@@ -453,18 +741,51 @@ pub fn read_trace(path: &str) -> Result<(ProfileTrace, TraceFooter), String> {
     Ok((trace, footer))
 }
 
-fn read_frame(file: &mut BufReader<File>, path: &str) -> Result<(u8, Vec<u8>), String> {
+/// Reads one frame. Validates the length against [`MAX_FRAME_LEN`]
+/// *before* allocating, and on v2 verifies the frame's CRC32 before the
+/// payload is handed to the codec.
+fn read_frame<R: Read>(
+    file: &mut R,
+    path: &str,
+    layout_version: u32,
+) -> Result<(u8, Vec<u8>), String> {
     let mut kind = [0u8; 1];
     file.read_exact(&mut kind).map_err(|e| io_err(path, "read", e))?;
-    let mut len = [0u8; 4];
-    file.read_exact(&mut len).map_err(|e| io_err(path, "read", e))?;
-    let len = u32::from_le_bytes(len) as usize;
+    let mut len_bytes = [0u8; 4];
+    file.read_exact(&mut len_bytes).map_err(|e| io_err(path, "read", e))?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(format!(
+            "{path}: frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap (corrupt or \
+             hostile trace); {SALVAGE_HINT}"
+        ));
+    }
     let mut payload = vec![0u8; len];
     file.read_exact(&mut payload).map_err(|e| io_err(path, "read", e))?;
+    if layout_version >= 2 {
+        let mut crc_bytes = [0u8; 4];
+        file.read_exact(&mut crc_bytes).map_err(|e| io_err(path, "read", e))?;
+        let stored = u32::from_le_bytes(crc_bytes);
+        let mut hasher = crc32::Hasher::new();
+        hasher.update(&kind);
+        hasher.update(&len_bytes);
+        hasher.update(&payload);
+        let actual = hasher.finalize();
+        if actual != stored {
+            return Err(format!(
+                "{path}: frame checksum mismatch (stored {stored:#010x}, computed \
+                 {actual:#010x}); {SALVAGE_HINT}"
+            ));
+        }
+    }
     Ok((kind[0], payload))
 }
 
-fn parse_payload<T: Deserialize>(path: &str, what: &str, payload: &[u8]) -> Result<T, String> {
+pub(crate) fn parse_payload<T: Deserialize>(
+    path: &str,
+    what: &str,
+    payload: &[u8],
+) -> Result<T, String> {
     let text = std::str::from_utf8(payload)
         .map_err(|e| format!("{path}: {what} frame is not UTF-8: {e}"))?;
     serde_json::from_str(text).map_err(|e| format!("{path}: parse {what} frame: {e}"))
@@ -508,6 +829,16 @@ mod tests {
         std::env::temp_dir().join(name).to_str().unwrap().to_owned()
     }
 
+    /// Seals `n` units into in-memory v2 trace bytes.
+    fn memory_trace(n: u64, chunk: usize) -> Vec<u8> {
+        let mut w = TraceWriter::in_memory(&meta()).unwrap().with_chunk_units(chunk);
+        for id in 0..n {
+            w.push(&unit(id));
+        }
+        w.finish(&MethodRegistry::new()).unwrap();
+        w.into_bytes()
+    }
+
     #[test]
     fn writes_and_streams_back_across_chunk_boundaries() {
         let path = tmp("simprof_trace_chunks.sptrc");
@@ -527,6 +858,7 @@ mod tests {
         assert!(is_chunked(&path));
         let mut r = TraceReader::open(&path).unwrap();
         assert_eq!(r.meta().label, "wc_sp");
+        assert_eq!(r.layout_version(), 2);
         assert_eq!(r.footer().unwrap(), footer);
         let mut ids = Vec::new();
         while let Some(u) = r.next_unit().unwrap() {
@@ -563,6 +895,7 @@ mod tests {
         let mut w = TraceWriter::create(&path, &meta()).unwrap();
         let footer = w.finish(&MethodRegistry::new()).unwrap();
         assert_eq!(footer.unit_count, 0);
+        assert_eq!(footer.version, FORMAT_VERSION);
         let (trace, _) = read_trace(&path).unwrap();
         assert!(trace.units.is_empty());
         let _ = std::fs::remove_file(&path);
@@ -596,7 +929,187 @@ mod tests {
         // Drop without finish: units are on disk, the trailer is not.
         drop(w);
         let mut r = TraceReader::open(&path).unwrap();
-        assert!(r.footer().is_err());
+        let err = r.footer().unwrap_err();
+        assert!(err.contains("trace-repair"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn legacy_v1_files_still_read() {
+        let path = tmp("simprof_trace_legacy_v1.sptrc");
+        let mut reg = MethodRegistry::new();
+        reg.intern("Mapper.map", OpClass::Map);
+        let mut w = TraceWriter::create_legacy_v1(&path, &meta()).unwrap().with_chunk_units(3);
+        for id in 0..7 {
+            w.push(&unit(id));
+        }
+        let footer = w.finish(&reg).unwrap();
+        assert_eq!(footer.version, 1);
+        // The file leads with the v1 magic and contains no CRCs, yet the
+        // v2 reader negotiates it transparently.
+        let head = &std::fs::read(&path).unwrap()[..8];
+        assert_eq!(head, MAGIC_V1);
+        assert!(is_chunked(&path));
+        let mut r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.layout_version(), 1);
+        assert_eq!(r.footer().unwrap(), footer);
+        let (trace, _) = read_trace(&path).unwrap();
+        assert_eq!(trace.units, (0..7).map(unit).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_memory_writer_roundtrips_through_from_reader() {
+        let bytes = memory_trace(9, 4);
+        assert_eq!(&bytes[..8], MAGIC);
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+        let footer = r.footer().unwrap();
+        assert_eq!(footer.unit_count, 9);
+        let mut ids = Vec::new();
+        while let Some(u) = r.next_unit().unwrap() {
+            ids.push(u.id);
+        }
+        assert_eq!(ids, (0..9).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn hostile_frame_length_is_capped_before_allocation() {
+        // Magic + a frame claiming a ~4 GiB payload: must error on the
+        // cap, not attempt the allocation.
+        let mut bytes = MAGIC.to_vec();
+        bytes.push(FRAME_HEADER);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap_err();
+        assert!(err.contains("exceeds the"), "{err}");
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_frame_checksum() {
+        let mut bytes = memory_trace(6, 2);
+        // Flip one bit inside the first unit chunk's JSON payload (the
+        // header frame ends well before 120 bytes on this tiny meta).
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x01;
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+        let mut err = None;
+        loop {
+            match r.next_unit() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("corruption must surface as an error, not silent data");
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn short_files_get_truncation_errors_not_seek_errors() {
+        let path = tmp("simprof_trace_short.sptrc");
+        std::fs::write(&path, &MAGIC[..5]).unwrap();
+        let err = TraceReader::open(&path).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        assert!(err.contains("--salvage"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn oversized_trailer_len_is_a_clear_corruption_error() {
+        let path = tmp("simprof_trace_bad_trailer.sptrc");
+        let mut bytes = memory_trace(3, 2);
+        // Patch the trailer's footer-length field to exceed the file size.
+        let n = bytes.len();
+        bytes[n - 12..n - 8].copy_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        let err = r.footer().unwrap_err();
+        assert!(err.contains("corrupt trailer"), "{err}");
+        assert!(err.contains("--salvage"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_write_errors_are_retried_to_success() {
+        let plan = ChaosPlan { write_error_ppm: 250_000, ..ChaosPlan::none(11) };
+        let chaos = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+        let mut w = TraceWriter::from_writer(chaos, "<chaos>", &meta())
+            .unwrap()
+            .with_chunk_units(2)
+            .with_retry(RetryPolicy { max_retries: 8, backoff_ms: 0 });
+        for id in 0..10 {
+            w.push(&unit(id));
+        }
+        let footer = w.finish(&MethodRegistry::new()).unwrap();
+        assert_eq!(footer.unit_count, 10);
+        assert!(w.retries() > 0, "chaos at 25% per op should have forced retries");
+        assert!(!w.degraded());
+        assert!(w.error().is_none());
+        // The surviving bytes are a perfectly valid trace.
+        let bytes = w.into_writer().into_inner().into_inner();
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<chaos>").unwrap();
+        assert_eq!(r.footer().unwrap().unit_count, 10);
+        let mut n = 0;
+        while r.next_unit().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn persistent_write_errors_latch_and_degrade() {
+        let plan = ChaosPlan { write_error_ppm: 1_000_000, ..ChaosPlan::none(5) };
+        let chaos = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+        let err = TraceWriter::from_writer(chaos, "<chaos>", &meta())
+            .expect_err("always-failing writer cannot even write the magic");
+        assert!(err.contains("gave up after"), "{err}");
+    }
+
+    #[test]
+    fn sink_path_latches_instead_of_panicking() {
+        let plan = ChaosPlan { write_error_ppm: 1_000_000, ..ChaosPlan::none(5) };
+        // Let construction succeed (no faults), then make every later
+        // write fail: push must latch, not panic, and finish must report.
+        let mut w = TraceWriter::from_writer(Cursor::new(Vec::new()), "<memory>", &meta())
+            .unwrap()
+            .with_chunk_units(1)
+            .with_retry(RetryPolicy::none());
+        // Swap in a chaos stream by rebuilding around the same bytes.
+        let bytes = std::mem::replace(&mut w.out, Cursor::new(Vec::new())).into_inner();
+        let pos = w.pos;
+        let mut chaos = ChaosWriter::new(Cursor::new(bytes), plan);
+        chaos.seek(SeekFrom::Start(pos)).unwrap();
+        let mut w2 = TraceWriter {
+            out: chaos,
+            target: w.target.clone(),
+            pos,
+            scratch: Vec::new(),
+            buf: Vec::new(),
+            chunk_units: 1,
+            retry: RetryPolicy::none(),
+            retries: 0,
+            degraded: false,
+            unit_count: 0,
+            method_universe: 0,
+            total_instrs: 0,
+            total_cycles: 0,
+            truncated_units: 0,
+            dropped_snapshots: 0,
+            error: None,
+            finished: false,
+            legacy_v1: false,
+        };
+        w2.push(&unit(0));
+        assert!(w2.error().is_some());
+        assert!(w2.degraded());
+        assert!(!UnitSink::healthy(&w2));
+        // Further pushes are inert, and finish surfaces the latched error.
+        w2.push(&unit(1));
+        assert_eq!(w2.unit_count(), 1);
+        let err = w2.finish(&MethodRegistry::new()).unwrap_err();
+        assert!(err.contains("gave up after"), "{err}");
     }
 }

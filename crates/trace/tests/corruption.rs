@@ -1,0 +1,339 @@
+//! Property tests for the durability layer (DESIGN.md §14): for any
+//! generated trace and any single-byte flip or truncation offset,
+//!
+//! * reading never panics,
+//! * a streamed unit is never *silently* wrong — the frame CRC catches
+//!   every flip before the unit reaches the caller, so whatever prefix a
+//!   reader yields matches the original bit-for-bit,
+//! * salvage recovers exactly the units of the chunk frames that are
+//!   fully intact, and re-sealing them (`trace-repair`) round-trips
+//!   bit-identically through the reader,
+//! * the same chaos seed produces a bit-identical salvage outcome.
+//!
+//! The expected-recovery oracle walks the *uncorrupted* bytes with
+//! layout knowledge (v2 frame = `kind | len u32 LE | payload | crc32`)
+//! so the tests pin the format, not the implementation under test.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use simprof_engine::{MethodId, MethodRegistry, OpClass};
+use simprof_profiler::trace::SamplingUnit;
+use simprof_sim::Counters;
+use simprof_trace::{
+    salvage_bytes, ChaosPlan, ChaosWriter, RetryPolicy, Salvage, TraceMeta, TraceReader,
+    TraceWriter,
+};
+
+fn mk_unit(id: u64) -> SamplingUnit {
+    SamplingUnit {
+        id,
+        histogram: vec![(MethodId((id % 4) as u32), 2 + (id % 3) as u32), (MethodId(9), 1)],
+        snapshots: 4,
+        counters: Counters {
+            instructions: 900 + 7 * id,
+            cycles: 1400 + 11 * id,
+            ..Default::default()
+        },
+        slices: vec![(10 * id, 10 * id + 5)],
+        truncated: id % 5 == 0,
+        dropped_snapshots: (id % 3) as u32,
+    }
+}
+
+fn mk_meta() -> TraceMeta {
+    TraceMeta {
+        label: "corrupt".into(),
+        seed: 9,
+        scale: "tiny".into(),
+        unit_instrs: 900,
+        snapshot_instrs: 90,
+        core: 0,
+    }
+}
+
+fn mk_registry() -> MethodRegistry {
+    let mut reg = MethodRegistry::new();
+    reg.intern("Mapper.map", OpClass::Map);
+    reg.intern("Reducer.reduce", OpClass::Reduce);
+    reg
+}
+
+/// Seals `units` into in-memory v2 trace bytes.
+fn seal(units: &[SamplingUnit], chunk: usize) -> Vec<u8> {
+    let mut w = TraceWriter::in_memory(&mk_meta()).unwrap().with_chunk_units(chunk);
+    for u in units {
+        w.push(u);
+    }
+    w.finish(&mk_registry()).unwrap();
+    w.into_bytes()
+}
+
+/// Walks an *uncorrupted* sealed v2 trace frame by frame using only
+/// layout knowledge. Returns `(kind, start, end)` per frame, ending at
+/// the footer frame (the 12-byte trailer follows the last entry).
+fn frame_map(bytes: &[u8]) -> Vec<(u8, usize, usize)> {
+    let mut frames = Vec::new();
+    let mut at = 8; // past the magic
+    loop {
+        let kind = bytes[at];
+        let len = u32::from_le_bytes([bytes[at + 1], bytes[at + 2], bytes[at + 3], bytes[at + 4]])
+            as usize;
+        let end = at + 5 + len + 4; // v2: kind + len + payload + crc32
+        frames.push((kind, at, end));
+        if kind == b'F' {
+            return frames;
+        }
+        at = end;
+    }
+}
+
+/// The units salvage must recover when every chunk frame whose byte
+/// range satisfies `intact` survives and every other chunk is lost.
+/// Chunks hold `chunk` units each (tail chunk partial), in id order.
+fn expected_units(
+    all: &[SamplingUnit],
+    chunk: usize,
+    frames: &[(u8, usize, usize)],
+    intact: impl Fn(usize, usize) -> bool,
+) -> Vec<SamplingUnit> {
+    let mut expected = Vec::new();
+    let mut next = 0usize;
+    for &(kind, start, end) in frames {
+        if kind != b'U' {
+            continue;
+        }
+        let take = (all.len() - next).min(chunk);
+        if intact(start, end) {
+            expected.extend_from_slice(&all[next..next + take]);
+        }
+        next += take;
+    }
+    expected
+}
+
+/// Streams units out of possibly-damaged bytes, asserting the yielded
+/// prefix matches `all` element for element; errors terminate the stream
+/// but must never panic and never yield a wrong unit first.
+fn assert_stream_is_honest_prefix(bytes: &[u8], all: &[SamplingUnit]) {
+    if let Ok(mut r) = TraceReader::from_reader(Cursor::new(bytes.to_vec()), "<corrupt>") {
+        let mut i = 0usize;
+        loop {
+            match r.next_unit() {
+                Ok(Some(u)) => {
+                    prop_assert!(i < all.len(), "reader yielded more units than were written");
+                    prop_assert_eq!(u, &all[i], "unit {} differs from the original", i);
+                    i += 1;
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+        // The footer path must also fail cleanly, never panic.
+        let _ = r.footer();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any single-byte bit flip: streaming yields an honest prefix, and
+    /// salvage recovers exactly the chunks the flip did not touch.
+    #[test]
+    fn single_byte_flip_never_panics_never_lies(
+        n in 0u64..18,
+        chunk in 1usize..6,
+        fpos in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let all: Vec<SamplingUnit> = (0..n).map(mk_unit).collect();
+        let bytes = seal(&all, chunk);
+        let f = fpos % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[f] ^= 1u8 << bit;
+
+        assert_stream_is_honest_prefix(&corrupt, &all);
+
+        let res = salvage_bytes(&corrupt, "<flip>");
+        if f < 8 {
+            // A flipped magic byte makes the file unidentifiable; both
+            // magics differ from each other by more than one bit, so a
+            // single flip can never alias layouts.
+            prop_assert!(res.is_err());
+        } else {
+            let s = res.unwrap();
+            let frames = frame_map(&bytes);
+            let expected = expected_units(&all, chunk, &frames, |start, end| {
+                !(f >= start && f < end)
+            });
+            prop_assert_eq!(&s.units, &expected);
+            prop_assert_eq!(s.report.recovered_units, expected.len() as u64);
+            prop_assert!(!s.report.clean, "a flipped byte can never leave the file clean");
+        }
+    }
+
+    /// Any truncation offset — including mid-magic, mid-frame and
+    /// pre-footer — salvages successfully, recovering exactly the fully
+    /// intact chunk prefix, and the salvage re-seals into a valid trace
+    /// that round-trips bit-identically.
+    #[test]
+    fn truncation_recovers_exactly_the_intact_chunk_prefix(
+        n in 0u64..18,
+        chunk in 1usize..6,
+        tpos in 0usize..1_000_000,
+    ) {
+        let all: Vec<SamplingUnit> = (0..n).map(mk_unit).collect();
+        let bytes = seal(&all, chunk);
+        let t = tpos % (bytes.len() + 1);
+        let cut = &bytes[..t];
+
+        assert_stream_is_honest_prefix(cut, &all);
+
+        let s = salvage_bytes(cut, "<cut>").unwrap();
+        let frames = frame_map(&bytes);
+        let expected = expected_units(&all, chunk, &frames, |_, end| end <= t);
+        prop_assert_eq!(&s.units, &expected);
+        prop_assert_eq!(s.report.recovered_units, expected.len() as u64);
+        prop_assert_eq!(s.report.clean, t == bytes.len());
+        prop_assert_eq!(s.report.file_bytes, t as u64);
+
+        // trace-repair's rewrite: re-seal the salvage and stream it back.
+        let mut w = TraceWriter::in_memory(&s.meta).unwrap();
+        for u in &s.units {
+            w.push(u);
+        }
+        let sealed = w.finish(&s.footer.registry).unwrap();
+        prop_assert_eq!(sealed.unit_count, s.report.recovered_units);
+        let repaired = w.into_bytes();
+        let mut r = TraceReader::from_reader(Cursor::new(repaired), "<repaired>")
+            .unwrap();
+        let footer = r.footer().unwrap();
+        prop_assert_eq!(footer.unit_count, s.units.len() as u64);
+        let mut back = Vec::new();
+        while let Some(u) = r.next_unit().unwrap() {
+            back.push(u.clone());
+        }
+        prop_assert_eq!(back, s.units);
+    }
+
+    /// v1 (CRC-less) files: truncation still salvages to exactly the
+    /// intact chunk prefix — validation falls back to JSON parsing.
+    #[test]
+    fn legacy_v1_truncation_salvages_intact_prefix(
+        n in 0u64..12,
+        chunk in 1usize..5,
+        tpos in 0usize..1_000_000,
+    ) {
+        let all: Vec<SamplingUnit> = (0..n).map(mk_unit).collect();
+        let path = std::env::temp_dir()
+            .join(format!("simprof_corrupt_v1_{n}_{chunk}_{tpos}.sptrc"))
+            .to_str()
+            .unwrap()
+            .to_owned();
+        let mut w =
+            TraceWriter::create_legacy_v1(&path, &mk_meta()).unwrap().with_chunk_units(chunk);
+        for u in &all {
+            w.push(u);
+        }
+        w.finish(&mk_registry()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        let t = tpos % (bytes.len() + 1);
+        let s = salvage_bytes(&bytes[..t], "<v1cut>").unwrap();
+        prop_assert_eq!(s.report.layout_version, if t >= 8 { 1 } else { 2 });
+
+        // v1 frame = kind + len + payload (no CRC): walk accordingly.
+        let mut expected = Vec::new();
+        let mut next = 0usize;
+        let mut at = 8usize;
+        loop {
+            let kind = bytes[at];
+            let len = u32::from_le_bytes([
+                bytes[at + 1],
+                bytes[at + 2],
+                bytes[at + 3],
+                bytes[at + 4],
+            ]) as usize;
+            let end = at + 5 + len;
+            if kind == b'U' {
+                let take = (all.len() - next).min(chunk);
+                if end <= t {
+                    expected.extend_from_slice(&all[next..next + take]);
+                }
+                next += take;
+            }
+            if kind == b'F' {
+                break;
+            }
+            at = end;
+        }
+        prop_assert_eq!(&s.units, &expected);
+    }
+}
+
+/// The acceptance criterion, pinned exhaustively: a small trace truncated
+/// at *every* byte offset is openable via salvage.
+#[test]
+fn every_truncation_offset_salvages() {
+    let all: Vec<SamplingUnit> = (0..7).map(mk_unit).collect();
+    let bytes = seal(&all, 2);
+    let frames = frame_map(&bytes);
+    for t in 0..=bytes.len() {
+        let s = salvage_bytes(&bytes[..t], "<sweep>")
+            .unwrap_or_else(|e| panic!("truncation at offset {t} must salvage: {e}"));
+        let expected = expected_units(&all, 2, &frames, |_, end| end <= t);
+        assert_eq!(s.units, expected, "offset {t}");
+        assert_eq!(s.report.recovered_units, expected.len() as u64, "offset {t}");
+        assert_eq!(s.report.clean, t == bytes.len(), "offset {t}");
+    }
+}
+
+/// The same chaos seed replays the same faults, so the whole
+/// write-under-chaos → salvage → repair pipeline is bit-identical
+/// between runs.
+#[test]
+fn same_chaos_seed_yields_bit_identical_salvage() {
+    fn run(seed: u64) -> Option<(Salvage, Vec<u8>)> {
+        let all: Vec<SamplingUnit> = (0..24).map(mk_unit).collect();
+        let plan =
+            ChaosPlan { bit_flip_ppm: 120_000, truncate_at: Some(1700), ..ChaosPlan::none(seed) };
+        let chaos = ChaosWriter::new(Cursor::new(Vec::new()), plan);
+        let mut w = TraceWriter::from_writer(chaos, "<chaos>", &mk_meta())
+            .ok()?
+            .with_chunk_units(3)
+            .with_retry(RetryPolicy { max_retries: 4, backoff_ms: 0 });
+        for u in &all {
+            w.push(u);
+        }
+        // Flips are silent and truncation lies about durability, so
+        // finish may well "succeed" — exactly the crash being simulated.
+        let _ = w.finish(&mk_registry());
+        let chaos = w.into_writer();
+        let counts = chaos.counts();
+        assert!(
+            counts.bit_flips > 0 || counts.dropped_bytes > 0,
+            "chaos plan must actually inject faults"
+        );
+        let bytes = chaos.into_inner().into_inner();
+        let s = salvage_bytes(&bytes, "<chaos>").ok()?;
+        let mut w = TraceWriter::in_memory(&s.meta).unwrap();
+        for u in &s.units {
+            w.push(u);
+        }
+        w.finish(&s.footer.registry).ok()?;
+        Some((s, w.into_bytes()))
+    }
+
+    // Some seeds flip the magic itself (legitimately unsalvageable);
+    // pick the first seed that salvages and pin its determinism.
+    let seed = (0..32)
+        .find(|&s| run(s).is_some())
+        .expect("at least one seed in 0..32 must produce a salvageable file");
+    let (s1, repaired1) = run(seed).unwrap();
+    let (s2, repaired2) = run(seed).unwrap();
+    assert_eq!(s1, s2, "salvage outcome must be bit-identical for the same seed");
+    assert_eq!(repaired1, repaired2, "repair output must be bit-identical for the same seed");
+    assert!(s1.report.recovered_units > 0, "the chosen seed should recover something");
+}
