@@ -10,22 +10,38 @@
 //!
 //! ```text
 //! cargo run --release -p simprof-bench --bin bench_pipeline -- \
-//!     [--quick] [--units N] [--features D] [--kmax K] [--seed S] \
-//!     [--threads N] [-o BENCH_pipeline.json] [--report REPORT.json] \
-//!     [--events EVENTS.jsonl] [--timeline TIMELINE.json] \
-//!     [--trace-stream BENCH_trace_stream.json] [--mem-cap-mb N] \
-//!     [--chaos-smoke BENCH_chaos.json]
+//!     [--scale quick|default|large] [--units N] [--features D] [--kmax K] \
+//!     [--seed S] [--threads N] [-o BENCH_pipeline.json] \
+//!     [--report REPORT.json] [--events EVENTS.jsonl] \
+//!     [--timeline TIMELINE.json] [--trace-stream BENCH_trace_stream.json] \
+//!     [--mem-cap-mb N] [--chaos-smoke BENCH_chaos.json]
 //! ```
 //!
+//! Every run times the full simulate→analyze hot path in four phases —
+//! **synthesize** (trace generation), **simulate** (a real engine run with
+//! the parallel per-slot machine simulation, replayed at 1 thread to prove
+//! the trace bytes are identical), **cluster** (explicit [`DistCache`] build
+//! plus [`choose_k_with_cache`], with a 1-thread replay proving the
+//! assignments are identical), and **sampling** (the Eq. 1 allocator) — and
+//! records the per-phase wall-clocks in the JSON output, which the
+//! `perf_gate` bin compares against the committed canonical record in CI.
+//!
+//! `--scale large` additionally streams a 1,000,000-unit synthetic trace
+//! straight into the chunked on-disk format (never materialized in memory)
+//! and analyzes it with the two-pass streaming pipeline in mini-batch
+//! phase-formation mode (`SimProfConfig::minibatch`) — the configuration
+//! that makes million-unit traces feasible where the exact `n²` silhouette
+//! cache would need terabytes. `--mem-cap-mb` bounds the analysis peak heap.
+//!
 //! With `-o`, writes a JSON record (units analyzed/sec, sweep wall-clock,
-//! thread count, speedup) that CI uploads as the `BENCH_pipeline.json`
-//! artifact to track the perf trajectory. With `--report`, the optimized
-//! run executes under an observability session and writes the versioned
-//! run report (span tree, metrics, Eq. 1 allocation table), which CI
-//! schema-checks with the `report_check` bin. `--events` streams the
-//! structured JSONL event log while the bench runs and `--timeline`
-//! converts the finished span tree to Chrome-trace JSON; either implies a
-//! session, and `report_check` validates both formats too.
+//! thread count, speedup, phase breakdowns) that CI uploads as the
+//! `BENCH_pipeline.json` artifact to track the perf trajectory. With
+//! `--report`, the optimized run executes under an observability session
+//! and writes the versioned run report (span tree, metrics, Eq. 1
+//! allocation table), which CI schema-checks with the `report_check` bin.
+//! `--events` streams the structured JSONL event log while the bench runs
+//! and `--timeline` converts the finished span tree to Chrome-trace JSON;
+//! either implies a session, and `report_check` validates both formats too.
 //!
 //! With `--trace-stream`, additionally runs the streamed-vs-batch memory
 //! comparison: a heavy synthetic trace is written in the chunked
@@ -51,31 +67,53 @@ use std::time::Instant;
 
 use rand::RngExt;
 use simprof_bench::apply_thread_flag;
-use simprof_core::SimProf;
-use simprof_engine::MethodId;
+use simprof_core::{MinibatchPhases, SimProf, SimProfConfig};
+use simprof_engine::{FaultPlan, MethodId};
 use simprof_obs::TrackingAllocator;
 use simprof_profiler::{ProfileTrace, SamplingUnit};
-use simprof_sim::Counters;
+use simprof_sim::{Counters, MachineConfig};
 use simprof_stats::{
-    choose_k, kmeans, optimal_allocation, seeded, silhouette_score, stddev, KMeans, Matrix,
-    StratumStats,
+    choose_k, choose_k_with_cache, kmeans, optimal_allocation, seeded, silhouette_score, stddev,
+    DistCache, KMeans, Matrix, StratumStats,
 };
 use simprof_trace::{
     read_trace, salvage_bytes, ChaosPlan, ChaosWriter, RetryPolicy, TraceMeta, TraceReader,
     TraceWriter,
 };
+use simprof_workloads::{Benchmark, Framework, WorkloadConfig};
 
 /// Every allocation in this binary goes through the tracking allocator so
 /// the `--trace-stream` comparison reports real peak heap, not estimates.
 #[global_allocator]
 static ALLOC: TrackingAllocator = TrackingAllocator;
 
+/// Benchmark scale preset. `Quick` shrinks everything for CI smoke runs,
+/// `Default` is the canonical 2000×100 sweep the perf trajectory tracks,
+/// and `Large` adds the streamed 1M-unit mini-batch analysis on top of the
+/// default sweep.
+#[derive(Clone, Copy, PartialEq)]
+enum Scale {
+    Quick,
+    Default,
+    Large,
+}
+
+impl Scale {
+    fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Large => "large",
+        }
+    }
+}
+
 struct Args {
     units: usize,
     features: usize,
     k_max: usize,
     seed: u64,
-    quick: bool,
+    scale: Scale,
     output: Option<String>,
     report: Option<String>,
     events: Option<String>,
@@ -92,7 +130,7 @@ fn parse_args() -> Result<Args, String> {
         features: 100,
         k_max: 20,
         seed: 42,
-        quick: false,
+        scale: Scale::Default,
         output: None,
         report: None,
         events: None,
@@ -101,16 +139,23 @@ fn parse_args() -> Result<Args, String> {
         mem_cap_mb: None,
         chaos_smoke: None,
     };
+    let quick = |args: &mut Args| {
+        args.units = 400;
+        args.features = 40;
+        args.k_max = 10;
+        args.scale = Scale::Quick;
+    };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
-            "--quick" => {
-                args.units = 400;
-                args.features = 40;
-                args.k_max = 10;
-                args.quick = true;
-            }
+            "--quick" => quick(&mut args),
+            "--scale" => match value(&flag)?.as_str() {
+                "quick" => quick(&mut args),
+                "default" => args.scale = Scale::Default,
+                "large" => args.scale = Scale::Large,
+                other => return Err(format!("unknown --scale `{other}`")),
+            },
             "--units" => {
                 args.units = value(&flag)?.parse().map_err(|e| format!("invalid --units: {e}"))?
             }
@@ -251,7 +296,7 @@ fn heavy_trace(scale: &TraceScale, seed: u64) -> ProfileTrace {
 /// report the real peak heap of each path. Errors on any analysis
 /// divergence; the caller enforces `--mem-cap-mb`.
 fn trace_stream_bench(args: &Args, out_path: &str) -> Result<(), String> {
-    let scale = TraceScale::pick(args.quick);
+    let scale = TraceScale::pick(args.scale == Scale::Quick);
     let trace = heavy_trace(&scale, args.seed);
     let n = trace.units.len();
     let file = std::env::temp_dir().join(format!("simprof_bench_trace_{}.sptrc", args.seed));
@@ -260,7 +305,7 @@ fn trace_stream_bench(args: &Args, out_path: &str) -> Result<(), String> {
     let meta = TraceMeta {
         label: "bench_synthetic".into(),
         seed: args.seed,
-        scale: if args.quick { "quick".into() } else { "full".into() },
+        scale: if args.scale == Scale::Quick { "quick".into() } else { "full".into() },
         unit_instrs: trace.unit_instrs,
         snapshot_instrs: trace.snapshot_instrs,
         core: trace.core,
@@ -547,6 +592,178 @@ fn chaos_smoke(args: &Args, out_path: &str) -> Result<(), String> {
 
 const MIB: f64 = 1024.0 * 1024.0;
 
+/// What the simulate phase measured: the timed engine run plus the
+/// 1-thread replay's verdict on the parallel-merge contract.
+struct SimulateOutcome {
+    secs: f64,
+    sim_units: usize,
+    trace_bytes: usize,
+    identical: bool,
+}
+
+/// Simulate phase: a full engine run — WordCount on the Spark-style runtime,
+/// a 4-core machine, GC noise, and a chaotic non-speculative fault plan, so
+/// the parallel per-slot machine simulation actually engages — timed at the
+/// requested thread count, then replayed pinned to 1 thread. The serialized
+/// profile traces of the two runs must be byte-identical (the scheduler's
+/// deterministic-merge contract, DESIGN.md §15).
+fn simulate_phase(seed: u64, threads: usize, quick: bool) -> SimulateOutcome {
+    let _span = simprof_obs::span!("bench.simulate");
+    let mut cfg = WorkloadConfig::tiny(seed);
+    cfg.machine = MachineConfig::scaled(4);
+    if !quick {
+        cfg.text_bytes = 1 << 20;
+        cfg.partitions = 8;
+        cfg.reducers = 4;
+    }
+    cfg.sched.faults = FaultPlan { speculative: false, ..FaultPlan::uniform(60_000, seed) };
+    let run = || {
+        let trace = Benchmark::WordCount.run(Framework::Spark, &cfg);
+        let units = trace.units.len();
+        (serde_json::to_string(&trace).expect("trace serializes").into_bytes(), units)
+    };
+    let t = Instant::now();
+    let (bytes, sim_units) = run();
+    let secs = t.elapsed().as_secs_f64();
+    rayon::set_threads(1);
+    let (serial_bytes, _) = run();
+    rayon::set_threads(threads);
+    SimulateOutcome { secs, sim_units, trace_bytes: bytes.len(), identical: bytes == serial_bytes }
+}
+
+/// `--scale large`: stream a 1,000,000-unit synthetic trace straight into
+/// the chunked on-disk format — units are generated and written one at a
+/// time, never materialized as a whole — then analyze it with the two-pass
+/// streaming pipeline in mini-batch phase-formation mode. Reports wall
+/// clocks and the real peak heap of each side; `--mem-cap-mb` fails the run
+/// if the analysis peak exceeds the cap.
+fn large_scale_bench(args: &Args) -> Result<serde_json::Value, String> {
+    const UNITS: u64 = 1_000_000;
+    const UNIT_INSTRS: u64 = 100_000;
+    const BEHAVIOURS: u64 = 6;
+    const HIST: usize = 12;
+    const UNIVERSE: usize = 4096;
+    const SLICES: u64 = 2;
+    const CHUNK_UNITS: usize = 8192;
+    const SNAPSHOTS: u32 = 256;
+
+    let file = std::env::temp_dir().join(format!("simprof_bench_large_{}.sptrc", args.seed));
+    let file = file.to_str().ok_or("temp path is not UTF-8")?.to_owned();
+    let meta = TraceMeta {
+        label: "bench_large".into(),
+        seed: args.seed,
+        scale: "large".into(),
+        unit_instrs: UNIT_INSTRS,
+        snapshot_instrs: UNIT_INSTRS / u64::from(SNAPSHOTS),
+        core: 0,
+    };
+    let registry = simprof_engine::MethodRegistry::default();
+
+    let write_base = simprof_obs::current_alloc_bytes();
+    simprof_obs::reset_peak();
+    let t0 = Instant::now();
+    let mut rng = seeded(args.seed);
+    let mut writer = TraceWriter::create(&file, &meta)?.with_chunk_units(CHUNK_UNITS);
+    let stride = UNIVERSE / HIST;
+    for i in 0..UNITS {
+        let b = i % BEHAVIOURS;
+        let histogram: Vec<(MethodId, u32)> = (0..HIST)
+            .map(|e| {
+                let m = e * stride + (i as usize + e) % stride;
+                let loud = m as u64 % BEHAVIOURS == b;
+                let count = if loud {
+                    180 + (rng.random::<u64>() % 60) as u32
+                } else {
+                    1 + (rng.random::<u64>() % 8) as u32
+                };
+                (MethodId(m as u32), count.min(SNAPSHOTS))
+            })
+            .collect();
+        let cycles = UNIT_INSTRS * (10 + b * 3) / 10 + rng.random::<u64>() % (UNIT_INSTRS / 20);
+        let slices = (0..SLICES)
+            .map(|s| {
+                let instrs = UNIT_INSTRS / SLICES;
+                (instrs, instrs * (10 + (b + s) % BEHAVIOURS) / 10)
+            })
+            .collect();
+        writer.push(&SamplingUnit {
+            id: i,
+            histogram,
+            snapshots: SNAPSHOTS,
+            counters: Counters { instructions: UNIT_INSTRS, cycles, ..Counters::default() },
+            slices,
+            truncated: false,
+            dropped_snapshots: 0,
+        });
+    }
+    let footer = writer.finish(&registry)?;
+    let write_secs = t0.elapsed().as_secs_f64();
+    let write_peak = simprof_obs::peak_alloc_bytes().saturating_sub(write_base);
+    let file_bytes = std::fs::metadata(&file).map_err(|e| format!("stat {file}: {e}"))?.len();
+
+    let minibatch = MinibatchPhases::default();
+    let result: Result<_, String> = (|| {
+        let sp = SimProf::new(SimProfConfig {
+            top_k: 16,
+            minibatch: Some(minibatch),
+            ..SimProfConfig::default()
+        });
+        let analyze_base = simprof_obs::current_alloc_bytes();
+        simprof_obs::reset_peak();
+        let t1 = Instant::now();
+        let mut reader = TraceReader::open(&file)?;
+        let analysis =
+            sp.analyze_stream(&mut reader).map_err(|e| format!("large-scale analyze: {e}"))?;
+        let analyze_secs = t1.elapsed().as_secs_f64();
+        let analyze_peak = simprof_obs::peak_alloc_bytes().saturating_sub(analyze_base);
+        Ok((analysis, analyze_secs, analyze_peak))
+    })();
+    let _ = std::fs::remove_file(&file);
+    let (analysis, analyze_secs, analyze_peak) = result?;
+
+    println!(
+        "large scale: {UNITS} units streamed, file {:.1} MiB, universe {}",
+        file_bytes as f64 / MIB,
+        footer.method_universe
+    );
+    println!("  write:   {write_secs:>8.3} s, peak heap {:>7.1} MiB", write_peak as f64 / MIB);
+    println!(
+        "  analyze: {analyze_secs:>8.3} s ({:>9.0} units/s), peak heap {:>7.1} MiB, k = {}",
+        UNITS as f64 / analyze_secs.max(1e-12),
+        analyze_peak as f64 / MIB,
+        analysis.model.k()
+    );
+    if let Some(cap) = args.mem_cap_mb {
+        if analyze_peak as f64 > cap as f64 * MIB {
+            return Err(format!(
+                "large-scale analysis peak heap {:.1} MiB exceeds --mem-cap-mb {cap}",
+                analyze_peak as f64 / MIB
+            ));
+        }
+        println!("  memory smoke: analysis peak within {cap} MiB cap");
+    }
+
+    Ok(serde_json::json!({
+        "units": UNITS,
+        "hist_entries_per_unit": HIST,
+        "method_universe": footer.method_universe,
+        "chunk_units": CHUNK_UNITS,
+        "trace_file_bytes": file_bytes,
+        "write_secs": write_secs,
+        "analyze_secs": analyze_secs,
+        "units_per_sec_analyze": UNITS as f64 / analyze_secs.max(1e-12),
+        "chosen_k": analysis.model.k(),
+        "phase_sizes": serde_json::to_value(&analysis.model.phase_sizes()),
+        "peak_alloc_bytes_write": write_peak,
+        "peak_alloc_bytes_analyze": analyze_peak,
+        "minibatch": serde_json::json!({
+            "sweep_units": minibatch.sweep_units,
+            "batch_size": minibatch.batch_size,
+        }),
+        "mem_cap_mb": args.mem_cap_mb,
+    }))
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -569,14 +786,37 @@ fn main() {
             }
         }
     }
+    let t_syn = Instant::now();
     let data = {
         let _span = simprof_obs::span!("bench.synthesize");
         synthetic_trace(args.units, args.features, args.seed)
     };
+    let synthesize_secs = t_syn.elapsed().as_secs_f64();
     println!(
-        "pipeline throughput: {} units × {} features, k ≤ {}, {} thread(s)",
-        args.units, args.features, args.k_max, threads
+        "pipeline throughput: {} units × {} features, k ≤ {}, {} thread(s), scale {}",
+        args.units,
+        args.features,
+        args.k_max,
+        threads,
+        args.scale.name()
     );
+
+    // Simulate phase: a real engine run through the parallel per-slot
+    // machine simulation, with a 1-thread replay proving the trace bytes
+    // are identical at any thread count.
+    let sim = simulate_phase(args.seed, threads, args.scale == Scale::Quick);
+    println!(
+        "  simulate: {:>8.3} s  ({} sampling units, {:.1} KiB trace, 1-vs-{} threads {})",
+        sim.secs,
+        sim.sim_units,
+        sim.trace_bytes as f64 / 1024.0,
+        threads,
+        if sim.identical { "bit-identical" } else { "DIVERGED" }
+    );
+    if !sim.identical {
+        eprintln!("error: parallel simulation diverged from the 1-thread run");
+        std::process::exit(1);
+    }
 
     // Pre-PR baseline: sequential + naive. Warm both paths once first so
     // neither timing pays first-touch costs.
@@ -587,20 +827,38 @@ fn main() {
     let baseline_secs = t0.elapsed().as_secs_f64();
     rayon::set_threads(threads);
 
+    // Cluster phase: explicit distance-cache build + cache-reusing sweep
+    // (what `form_phases` does internally), timed as one phase.
     let sweep_base = simprof_obs::current_alloc_bytes();
     simprof_obs::reset_peak();
     let t1 = Instant::now();
-    let sel = {
+    let (sel, cache_build_secs) = {
         let _span = simprof_obs::span!("bench.phase_formation");
-        choose_k(&data, args.k_max, 0.9, 0.25, args.seed)
+        let tc = Instant::now();
+        let cache = DistCache::build(&data);
+        let cache_build_secs = tc.elapsed().as_secs_f64();
+        (choose_k_with_cache(&data, &cache, args.k_max, 0.9, 0.25, args.seed), cache_build_secs)
     };
     let optimized_secs = t1.elapsed().as_secs_f64();
     let sweep_peak = simprof_obs::peak_alloc_bytes().saturating_sub(sweep_base);
     simprof_obs::gauge_set("mem.peak_alloc_bytes", sweep_peak as f64);
 
+    // 1-thread replay of the full sweep: phase assignments must be
+    // identical at any thread count (DESIGN.md §10).
+    rayon::set_threads(1);
+    let serial_sel = choose_k(&data, args.k_max, 0.9, 0.25, args.seed);
+    rayon::set_threads(threads);
+    let assignments_identical =
+        serial_sel.k == sel.k && serial_sel.result.assignments == sel.result.assignments;
+    if !assignments_identical {
+        eprintln!("error: clustering diverged from the 1-thread run");
+        std::process::exit(1);
+    }
+
     // Synthetic sampling stage: treat each unit's feature-row mean as the
     // measured quantity and run the Eq. 1 allocator over the chosen phases,
     // so a bench run exercises (and reports on) all three pipeline stages.
+    let t_samp = Instant::now();
     let (strata, allocation) = {
         let _span = simprof_obs::span!("bench.sampling");
         let mut by_phase: Vec<Vec<f64>> = vec![Vec::new(); sel.k.max(1)];
@@ -613,17 +871,31 @@ fn main() {
         let allocation = optimal_allocation(50.min(args.units), &strata);
         (strata, allocation)
     };
+    let sampling_secs = t_samp.elapsed().as_secs_f64();
 
     let speedup = baseline_secs / optimized_secs.max(1e-12);
     let ups_base = args.units as f64 / baseline_secs.max(1e-12);
     let ups_opt = args.units as f64 / optimized_secs.max(1e-12);
     println!("  baseline  (1 thread, naive):  {baseline_secs:>8.3} s  ({ups_base:>9.1} units/s)  k = {baseline_k}");
     println!("  optimized ({threads} thread(s), cached): {optimized_secs:>8.3} s  ({ups_opt:>9.1} units/s)  k = {}", sel.k);
-    println!("  speedup: {speedup:.2}×");
+    println!("  speedup: {speedup:.2}×  (assignments 1-vs-{threads} threads identical)");
+
+    let large_scale = if args.scale == Scale::Large {
+        match large_scale_bench(&args) {
+            Ok(record) => record,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        serde_json::Value::Null
+    };
 
     if let Some(path) = &args.output {
         let record = serde_json::json!({
             "bench": "pipeline_throughput/choose_k_sweep",
+            "scale": args.scale.name(),
             "units": args.units,
             "features": args.features,
             "k_max": args.k_max,
@@ -637,6 +909,23 @@ fn main() {
             "chosen_k_baseline": baseline_k,
             "chosen_k_optimized": sel.k,
             "peak_alloc_bytes_sweep": sweep_peak,
+            "phases": serde_json::json!({
+                "synthesize_secs": synthesize_secs,
+                "simulate_secs": sim.secs,
+                "cluster_secs": optimized_secs,
+                "sampling_secs": sampling_secs,
+            }),
+            "simulate": serde_json::json!({
+                "benchmark": "wordcount/spark",
+                "sim_units": sim.sim_units,
+                "trace_bytes": sim.trace_bytes,
+                "trace_bytes_identical_1_vs_n": sim.identical,
+            }),
+            "cluster": serde_json::json!({
+                "cache_build_secs": cache_build_secs,
+                "assignments_identical_1_vs_n": assignments_identical,
+            }),
+            "large_scale": large_scale,
         });
         let text = serde_json::to_string_pretty(&record).expect("record encodes");
         if let Err(e) = std::fs::write(path, text) {

@@ -93,7 +93,10 @@ pub fn apply_thread_flag(args: Vec<String>) -> Result<Vec<String>, String> {
             if t == 0 {
                 return Err("--threads must be at least 1".into());
             }
+            // Installed before any parallel region: thread count never
+            // changes result bits, but the override must win from the start.
             rayon::set_threads(t);
+            assert_eq!(rayon::current_threads(), t, "--threads override must apply immediately");
         } else {
             rest.push(a);
         }

@@ -51,7 +51,15 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let (command, rest) = argv.split_first().ok_or_else(usage)?;
     let opts = args::Options::parse(rest)?;
     if let Some(threads) = opts.threads {
+        // Pin the worker count before any parallel region runs: every
+        // analysis result is bit-identical at any thread count, but only if
+        // the override is in place from the very first region.
         rayon::set_threads(threads);
+        assert_eq!(
+            rayon::current_threads(),
+            threads,
+            "--threads override must take effect before any parallel work"
+        );
     }
     match command.as_str() {
         "list" => commands::list(&opts),
@@ -118,8 +126,12 @@ OPTIONS:
         --error <FRAC>       Target relative error for `size` [default: 0.05]
         --z <Z>              z-score for confidence intervals [default: 3]
         --threshold <FRAC>   Sensitivity threshold for Eq. 6 [default: 0.10]
-        --threads <N>        Worker threads for parallel analysis [default:
-                             SIMPROF_THREADS env var, else all cores]
+        --threads <N>        Worker threads for parallel simulation and
+                             analysis [default: SIMPROF_THREADS env var, else
+                             all cores]. Results are bit-identical at any
+                             thread count: traces, phase assignments, and
+                             estimates carry the same bytes at --threads 1
+                             and --threads 64
         --report <FILE>      Write the observability run report (span tree,
                              metrics, allocation table) as versioned JSON
         --events <FILE>      Stream the structured event log (JSONL, one

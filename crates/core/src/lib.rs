@@ -50,7 +50,9 @@ pub use phases::{
     classify_units, form_phases, form_phases_in_space, homogeneity, phase_stats, phase_weights,
     PhaseModel,
 };
-pub use pipeline::{validate_trace, AllocationRow, Analysis, SimProf, SimProfConfig, TraceError};
+pub use pipeline::{
+    validate_trace, AllocationRow, Analysis, MinibatchPhases, SimProf, SimProfConfig, TraceError,
+};
 pub use sampling::{
     estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
 };

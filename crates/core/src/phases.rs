@@ -19,10 +19,12 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use simprof_profiler::ProfileTrace;
-use simprof_stats::{choose_k, cov_triple, CovTriple, Matrix, Summary};
+use simprof_stats::{
+    choose_k, cov_triple, kmeans_minibatch, systematic_indices, CovTriple, KMeans, Matrix, Summary,
+};
 
 use crate::features::FeatureSpace;
-use crate::pipeline::SimProfConfig;
+use crate::pipeline::{MinibatchPhases, SimProfConfig};
 
 /// A fitted phase model: the training input's phases.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -107,6 +109,11 @@ pub fn form_phases_in_space(
     projected: &Matrix,
     config: &SimProfConfig,
 ) -> PhaseModel {
+    if let Some(mb) = config.minibatch {
+        if projected.rows() > mb.sweep_units.max(2) {
+            return form_phases_minibatch(space, projected, config, mb);
+        }
+    }
     let selection = choose_k(
         projected,
         config.k_max,
@@ -118,6 +125,41 @@ pub fn form_phases_in_space(
         space,
         centers: selection.result.centers,
         assignments: selection.result.assignments,
+        k_scores: selection.scores,
+    }
+}
+
+/// The opt-in large-trace path ([`SimProfConfig::minibatch`]): the exact
+/// silhouette sweep — including its `n²` distance cache — runs on a
+/// deterministic systematic subsample of `sweep_units` units to choose k,
+/// then mini-batch k-means fits centers over the *full* projected matrix and
+/// hard-assigns every unit. Deterministic and thread-count-independent like
+/// the exact path, but memory stays `O(sweep_units² + n·dim)`.
+fn form_phases_minibatch(
+    space: FeatureSpace,
+    projected: &Matrix,
+    config: &SimProfConfig,
+    mb: MinibatchPhases,
+) -> PhaseModel {
+    let _span = simprof_obs::span!("core.minibatch_phases");
+    let n = projected.rows();
+    let idx = systematic_indices(n, mb.sweep_units.max(3), config.seed as usize);
+    let sample_rows: Vec<Vec<f64>> = idx.iter().map(|&i| projected.row(i).to_vec()).collect();
+    let sample = Matrix::from_rows(&sample_rows);
+    drop(sample_rows);
+    let selection = choose_k(
+        &sample,
+        config.k_max,
+        config.silhouette_threshold,
+        config.min_structure,
+        config.seed,
+    );
+    let result = kmeans_minibatch(projected, KMeans::new(selection.k, config.seed), mb.batch_size);
+    simprof_obs::counter_add("core.minibatch_units", n as u64);
+    PhaseModel {
+        space,
+        centers: result.centers,
+        assignments: result.assignments,
         k_scores: selection.scores,
     }
 }
@@ -271,6 +313,33 @@ mod tests {
         let phase_b = m.assignments[t.units.len() - 1];
         let top_b = m.top_methods(phase_b, 1);
         assert_eq!(top_b[0].0, 2);
+    }
+
+    #[test]
+    fn minibatch_mode_recovers_phases_on_large_traces() {
+        use crate::pipeline::MinibatchPhases;
+        // 1200 units, two clear behaviours — large enough to trip the
+        // opt-in threshold, small enough for a unit test.
+        let t = two_phase_trace(700, 500);
+        let cfg = SimProfConfig {
+            minibatch: Some(MinibatchPhases { sweep_units: 200, batch_size: 64 }),
+            ..config()
+        };
+        let m = form_phases(&t, &cfg);
+        assert_eq!(m.k(), 2, "scores: {:?}", m.k_scores);
+        let sizes = m.phase_sizes();
+        assert!(sizes.contains(&700) && sizes.contains(&500), "sizes: {sizes:?}");
+        // Deterministic: same config, same model.
+        let m2 = form_phases(&t, &cfg);
+        assert_eq!(m.assignments, m2.assignments);
+        assert_eq!(m.centers, m2.centers);
+        // Below the threshold the exact sweep still runs (identical to the
+        // no-minibatch config).
+        let small = two_phase_trace(20, 15);
+        let exact = form_phases(&small, &config());
+        let gated = form_phases(&small, &cfg);
+        assert_eq!(exact.assignments, gated.assignments);
+        assert_eq!(exact.centers, gated.centers);
     }
 
     #[test]

@@ -26,11 +26,46 @@ pub struct SimProfConfig {
     pub min_structure: f64,
     /// Seed for clustering and sampling randomness.
     pub seed: u64,
+    /// Opt-in scalable phase formation for very large traces (`None`, the
+    /// default, keeps the exact sweep at every size). The exact silhouette
+    /// sweep holds an `n²` pairwise-distance cache, which stops being an
+    /// option around 10⁵ units; this mode bounds it by choosing k on a
+    /// deterministic subsample and fitting the full-trace model with
+    /// mini-batch k-means.
+    #[serde(default)]
+    pub minibatch: Option<MinibatchPhases>,
+}
+
+/// Parameters of the opt-in mini-batch phase-formation mode
+/// ([`SimProfConfig::minibatch`]). Only applies to traces with more than
+/// `sweep_units` sampling units; smaller traces keep the exact sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinibatchPhases {
+    /// Unit-count budget of the k-selection sweep: k is chosen by the exact
+    /// silhouette rule on a systematic subsample of this many units, so the
+    /// distance cache stays at `sweep_units²` instead of `n²`.
+    pub sweep_units: usize,
+    /// Mini-batch size of the full-trace k-means fit.
+    pub batch_size: usize,
+}
+
+impl Default for MinibatchPhases {
+    /// 2 000 sweep units (a 32 MB distance cache) and 4 096-unit batches.
+    fn default() -> Self {
+        Self { sweep_units: 2_000, batch_size: 4_096 }
+    }
 }
 
 impl Default for SimProfConfig {
     fn default() -> Self {
-        Self { top_k: 100, k_max: 20, silhouette_threshold: 0.9, min_structure: 0.25, seed: 0 }
+        Self {
+            top_k: 100,
+            k_max: 20,
+            silhouette_threshold: 0.9,
+            min_structure: 0.25,
+            seed: 0,
+            minibatch: None,
+        }
     }
 }
 

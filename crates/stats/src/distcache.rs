@@ -6,9 +6,9 @@
 //! `O(k_max · n² · d)`; building the matrix once turns the sweep into one
 //! `O(n² · d)` build plus `O(k_max · n²)` cache scans.
 //!
-//! The build uses the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2·x·y` with the
-//! row-norm cache from [`Matrix::row_sq_norms`] and the auto-vectorizing
-//! chunked dot kernel [`Matrix::dot`]. Rows are computed independently (each
+//! The build uses the fused distance kernel [`Matrix::sq_dists_to_rows`]
+//! (the identity `‖x − y‖² = ‖x‖² + ‖y‖² − 2·x·y` with the row-norm cache
+//! from [`Matrix::row_sq_norms`]). Rows are computed independently (each
 //! row does its own full `n`-column pass), so the parallel build is
 //! deterministic at any worker count, and — because `dot` and `+` are
 //! bitwise commutative — the matrix is exactly symmetric.
@@ -38,17 +38,10 @@ impl DistCache {
         let rows: Vec<Vec<f64>> = (0..n)
             .into_par_iter()
             .map(|i| {
-                let xi = data.row(i);
-                let ni = norms[i];
                 let mut row = vec![0.0f64; n];
+                Matrix::sq_dists_to_rows(data.row(i), norms[i], data, &norms, &mut row);
                 for (j, out) in row.iter_mut().enumerate() {
-                    if j == i {
-                        continue; // exact zero on the diagonal
-                    }
-                    // Cancellation can drive the identity slightly negative
-                    // for near-coincident points; clamp before the sqrt.
-                    let sq = ni + norms[j] - 2.0 * Matrix::dot(xi, data.row(j));
-                    *out = if sq > 0.0 { sq.sqrt() } else { 0.0 };
+                    *out = if j == i { 0.0 } else { out.sqrt() };
                 }
                 row
             })

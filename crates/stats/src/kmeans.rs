@@ -1,4 +1,5 @@
-//! K-means clustering with k-means++ seeding.
+//! K-means clustering with k-means++ seeding and triangle-inequality
+//! acceleration.
 //!
 //! Phase formation (§III-B) clusters sampling-unit feature vectors with
 //! k-means. The implementation is deterministic given a seed: k-means++
@@ -7,9 +8,21 @@
 //! are reseeded to the farthest points from their current centers (distinct
 //! points when several clusters empty in one iteration).
 //!
+//! The assignment step uses Hamerly-style distance bounds to skip most
+//! point-center evaluations while producing **bit-identical** results to the
+//! plain Lloyd scan: a point is only skipped when its (conservatively
+//! inflated) upper bound to its own center is *strictly* below both its lower
+//! bound to every other center and half the separation to the nearest other
+//! center — which certifies its center is the unique minimum, so the
+//! tie-break can never be exercised. Points that fail the test fall back to
+//! the exact scan Lloyd would run. [`kmeans_from_centers_reference`] exposes
+//! the unaccelerated loop so equivalence stays property-testable
+//! (DESIGN.md §15).
+//!
 //! [`kmeans_from_centers`] runs the Lloyd loop from explicit initial centers;
 //! the `choose_k` sweep uses it to warm-start each k from the previous
-//! solution.
+//! solution. [`kmeans_minibatch`] is an opt-in stochastic variant for the
+//! streaming path.
 //!
 //! Distance computations over all points are parallelized with rayon; results
 //! are identical to the sequential computation because each point's
@@ -115,7 +128,7 @@ fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
 
     let mut rng = seeded(config.seed);
     let centers = plus_plus_init(data, k, &mut rng);
-    lloyd(data, centers, config.max_iter)
+    lloyd_impl(data, centers, config.max_iter, true)
 }
 
 /// Runs synchronous Lloyd iterations from the given initial `centers` until
@@ -130,6 +143,30 @@ fn kmeans_once(data: &Matrix, config: KMeans) -> KMeansResult {
 /// Panics if `centers` has more rows than `data` or a different column count
 /// (a center per point is the densest meaningful clustering).
 pub fn kmeans_from_centers(data: &Matrix, centers: Matrix, max_iter: usize) -> KMeansResult {
+    kmeans_from_centers_impl(data, centers, max_iter, true)
+}
+
+/// The unaccelerated reference Lloyd loop: a full `nearest_row` scan for
+/// every point in every iteration, no distance bounds.
+///
+/// Exists so the Hamerly-accelerated default ([`kmeans_from_centers`]) can be
+/// property-tested bit-identical against it (see
+/// `tests/parallel_equivalence.rs`); prefer the accelerated entry points for
+/// real work.
+pub fn kmeans_from_centers_reference(
+    data: &Matrix,
+    centers: Matrix,
+    max_iter: usize,
+) -> KMeansResult {
+    kmeans_from_centers_impl(data, centers, max_iter, false)
+}
+
+fn kmeans_from_centers_impl(
+    data: &Matrix,
+    centers: Matrix,
+    max_iter: usize,
+    accel: bool,
+) -> KMeansResult {
     assert!(centers.rows() <= data.rows(), "more centers than points");
     assert_eq!(centers.cols(), data.cols(), "center/point dimension mismatch");
     if centers.rows() == 0 || data.rows() == 0 {
@@ -140,24 +177,74 @@ pub fn kmeans_from_centers(data: &Matrix, centers: Matrix, max_iter: usize) -> K
             iterations: 0,
         };
     }
-    lloyd(data, centers, max_iter)
+    lloyd_impl(data, centers, max_iter, accel)
 }
+
+/// Multiplicative safety margins for the Hamerly bounds. Every upper bound is
+/// inflated and every lower bound deflated by ~1e-9 relative at each update,
+/// which dwarfs the accumulated floating-point rounding of the bound
+/// arithmetic (≲ 100 iterations × machine epsilon ≈ 2e-14 relative) while
+/// still skipping essentially every stable point. The margins make the skip
+/// test conservative: a skip certifies the assigned center is the *strict*
+/// minimum under Lloyd's own computed `sq_dist` comparisons, so the
+/// accelerated loop can never diverge from the reference scan.
+const BOUND_UP: f64 = 1.0 + 1e-9;
+const BOUND_DOWN: f64 = 1.0 - 1e-9;
 
 /// The Lloyd loop shared by cold (k-means++) and warm starts. `k ≥ 1` and
 /// `n ≥ k` are the caller's invariants.
-fn lloyd(data: &Matrix, mut centers: Matrix, max_iter: usize) -> KMeansResult {
+///
+/// With `accel`, the assignment step keeps Hamerly-style per-point bounds —
+/// `upper[i]` ≥ distance to the assigned center, `lower[i]` ≤ distance to
+/// every other center — and skips the full scan whenever
+/// `upper[i] < max(lower[i], s[a])` (with `s[a]` half the distance from
+/// center `a` to its nearest other center). Both conditions are strict and
+/// margin-padded, so a skipped point provably keeps the exact assignment the
+/// reference scan would produce (tie-breaks only arise on the exact path,
+/// which *is* the reference scan). Center updates are byte-for-byte the same
+/// code in both modes, so identical assignments yield identical centers,
+/// iteration counts, and inertia bits.
+fn lloyd_impl(data: &Matrix, mut centers: Matrix, max_iter: usize, accel: bool) -> KMeansResult {
     let n = data.rows();
     let k = centers.rows();
     let mut assignments = vec![0usize; n];
     let mut iterations = 0;
+    let mut upper = vec![0.0f64; n];
+    let mut lower = vec![0.0f64; n]; // 0 ⇒ the first iteration evaluates exactly
+    let mut last_sq = vec![0.0f64; n];
+    let mut converged = false;
+    let mut reseed_in_last = false;
+    let mut all_exact_last = false;
 
     for iter in 0..max_iter.max(1) {
         iterations = iter + 1;
         // Assignment step (parallel; deterministic tie-break to lower index).
-        let new_assignments: Vec<usize> = (0..n)
+        // Each point either proves its assignment unchanged from the bounds or
+        // falls back to the exact scan, returning
+        // (assignment, upper, lower, assigned sq-dist, was-exact).
+        let skip_ok = accel && iter > 0;
+        let s = if skip_ok { half_separation(&centers) } else { Vec::new() };
+        let evals: Vec<(usize, f64, f64, f64, bool)> = (0..n)
             .into_par_iter()
-            .map(|i| Matrix::nearest_row(&centers, data.row(i)).expect("k >= 1"))
+            .map(|i| {
+                let a = assignments[i];
+                if skip_ok {
+                    let guard = if lower[i] > s[a] { lower[i] } else { s[a] };
+                    if upper[i] < guard {
+                        return (a, upper[i], lower[i], last_sq[i], false);
+                    }
+                }
+                let (best, best_sq, second_sq) = nearest_two(&centers, data.row(i));
+                (best, best_sq.sqrt() * BOUND_UP, second_sq.sqrt() * BOUND_DOWN, best_sq, true)
+            })
             .collect();
+        let new_assignments: Vec<usize> = evals.iter().map(|e| e.0).collect();
+        let all_exact = evals.iter().all(|e| e.4);
+        for (i, e) in evals.into_iter().enumerate() {
+            upper[i] = e.1;
+            lower[i] = e.2;
+            last_sq[i] = e.3;
+        }
         let changed = new_assignments != assignments;
         assignments = new_assignments;
 
@@ -199,19 +286,99 @@ fn lloyd(data: &Matrix, mut centers: Matrix, max_iter: usize) -> KMeansResult {
                 *v *= inv;
             }
         }
+
+        if accel {
+            // Bound maintenance: each center's drift loosens the bounds of
+            // the points it serves (upper grows by its own center's drift,
+            // lower shrinks by the largest drift of any center), with the
+            // same margin padding. A reseeded center simply shows up as a
+            // large drift — no special case needed.
+            let mut max_drift = 0.0f64;
+            let drifts: Vec<f64> = (0..k)
+                .map(|c| {
+                    let d = Matrix::dist(centers.row(c), sums.row(c)) * BOUND_UP;
+                    if d > max_drift {
+                        max_drift = d;
+                    }
+                    d
+                })
+                .collect();
+            for (i, &a) in assignments.iter().enumerate() {
+                upper[i] = (upper[i] + drifts[a]) * BOUND_UP;
+                let l = (lower[i] - max_drift) * BOUND_DOWN;
+                lower[i] = if l > 0.0 { l } else { 0.0 };
+            }
+        }
         centers = sums;
 
         if !changed && iter > 0 {
+            converged = true;
+            reseed_in_last = !reseeded.is_empty();
+            all_exact_last = all_exact;
             break;
         }
     }
 
-    let inertia = (0..n)
-        .into_par_iter()
-        .map(|i| Matrix::sq_dist(data.row(i), centers.row(assignments[i])))
-        .sum();
+    // Final inertia. On a convergence exit with no reseed in the final
+    // update, the assignments did not change, so that update recomputed the
+    // same sums as the previous one and the centers are bitwise the ones the
+    // last assignment step measured against — the assignment-step distances
+    // *are* the final distances, no second pass needed (when the whole final
+    // step ran exactly). The fallback recomputation uses the identical
+    // `sq_dist` call and the identical parallel-sum chunking, so both paths
+    // produce the same bits.
+    let inertia = if converged && !reseed_in_last && all_exact_last {
+        (0..n).into_par_iter().map(|i| last_sq[i]).sum()
+    } else {
+        (0..n)
+            .into_par_iter()
+            .map(|i| Matrix::sq_dist(data.row(i), centers.row(assignments[i])))
+            .sum()
+    };
 
     KMeansResult { centers, assignments, inertia, iterations }
+}
+
+/// Exact assignment scan: bit-compatible with [`Matrix::nearest_row`]
+/// (same iteration order, same strict `<` tie-break toward the lower index),
+/// additionally returning the best and second-best squared distances for the
+/// Hamerly bounds. `second` is `∞` when `k == 1`.
+fn nearest_two(centers: &Matrix, point: &[f64]) -> (usize, f64, f64) {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    let mut second_d = f64::INFINITY;
+    for (idx, c) in centers.iter_rows().enumerate() {
+        let d = Matrix::sq_dist(c, point);
+        if d < best_d {
+            second_d = best_d;
+            best_d = d;
+            best = idx;
+        } else if d < second_d {
+            second_d = d;
+        }
+    }
+    (best, best_d, second_d)
+}
+
+/// Half the distance from each center to its nearest other center, deflated
+/// by the bound margin: if a point is strictly closer to its center than
+/// `s[a]`, no other center can be closer. `∞` when there is a single center.
+fn half_separation(centers: &Matrix) -> Vec<f64> {
+    let k = centers.rows();
+    (0..k)
+        .map(|c| {
+            let mut min_d = f64::INFINITY;
+            for j in 0..k {
+                if j != c {
+                    let d = Matrix::dist(centers.row(c), centers.row(j));
+                    if d < min_d {
+                        min_d = d;
+                    }
+                }
+            }
+            0.5 * min_d * BOUND_DOWN
+        })
+        .collect()
 }
 
 /// k-means++ seeding: first center uniform, subsequent centers sampled with
@@ -251,6 +418,66 @@ fn plus_plus_init(data: &Matrix, k: usize, rng: &mut SeedRng) -> Matrix {
         }
     }
     centers
+}
+
+/// Opt-in mini-batch k-means (Sculley-style) for the future streaming path.
+///
+/// Each of up to `config.max_iter` rounds draws `batch_size` seeded random
+/// samples and takes one incremental step per sample with learning rate
+/// `1 / count(c)`, which keeps every center at the running mean of the
+/// samples it has absorbed. Deterministic given `config.seed` (samples are
+/// drawn and applied serially); stops early when a whole batch moves the
+/// centers by less than 1e-12. The returned assignments and inertia come
+/// from one final full hard-assignment pass against the learned centers.
+///
+/// This trades the exact-Lloyd guarantees of [`kmeans`] for `O(batch)` work
+/// per round — use it when the data no longer fits a full pass per
+/// iteration, not as a drop-in replacement.
+pub fn kmeans_minibatch(data: &Matrix, config: KMeans, batch_size: usize) -> KMeansResult {
+    let n = data.rows();
+    let k = config.k.min(n);
+    if k == 0 || n == 0 {
+        return KMeansResult {
+            centers: Matrix::zeros(0, data.cols()),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let mut rng = seeded(config.seed);
+    let mut centers = plus_plus_init(data, k, &mut rng);
+    let b = batch_size.clamp(1, n);
+    let mut counts = vec![0u64; k];
+    let mut iterations = 0;
+    for _ in 0..config.max_iter.max(1) {
+        iterations += 1;
+        let mut moved_sq = 0.0f64;
+        for _ in 0..b {
+            let i = rng.random_range(0..n);
+            let x = data.row(i);
+            let c = Matrix::nearest_row(&centers, x).expect("k >= 1");
+            counts[c] += 1;
+            let eta = 1.0 / counts[c] as f64;
+            for (cv, &xv) in centers.row_mut(c).iter_mut().zip(x) {
+                let step = eta * (xv - *cv);
+                moved_sq += step * step;
+                *cv += step;
+            }
+        }
+        if moved_sq <= 1e-24 {
+            break;
+        }
+    }
+
+    let assignments: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|i| Matrix::nearest_row(&centers, data.row(i)).expect("k >= 1"))
+        .collect();
+    let inertia = (0..n)
+        .into_par_iter()
+        .map(|i| Matrix::sq_dist(data.row(i), centers.row(assignments[i])))
+        .sum();
+    KMeansResult { centers, assignments, inertia, iterations }
 }
 
 #[cfg(test)]
@@ -372,6 +599,78 @@ mod tests {
         assert_eq!(warm.assignments, cold.assignments);
         assert!(warm.iterations <= cold.iterations);
         assert!((warm.inertia - cold.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accelerated_matches_reference_bitwise() {
+        // Same init ⇒ the Hamerly loop and the plain scan must agree on every
+        // bit: assignments, centers, iteration count, inertia.
+        let data = two_blobs();
+        for seed in [1u64, 7, 42, 1234] {
+            for k in [1usize, 2, 3, 5] {
+                let init = plus_plus_init(&data, k, &mut seeded(seed));
+                let fast = kmeans_from_centers(&data, init.clone(), 100);
+                let slow = kmeans_from_centers_reference(&data, init, 100);
+                assert_eq!(fast.assignments, slow.assignments, "seed {seed} k {k}");
+                assert_eq!(fast.centers, slow.centers, "seed {seed} k {k}");
+                assert_eq!(fast.iterations, slow.iterations, "seed {seed} k {k}");
+                assert_eq!(fast.inertia.to_bits(), slow.inertia.to_bits(), "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn accelerated_matches_reference_on_identical_points() {
+        // Everything ties everywhere: the bounds all sit at zero, so every
+        // point must take the exact path and reproduce the tie-breaks.
+        let data = Matrix::from_rows(&vec![vec![2.0, 2.0]; 8]);
+        let init = plus_plus_init(&data, 3, &mut seeded(9));
+        let fast = kmeans_from_centers(&data, init.clone(), 50);
+        let slow = kmeans_from_centers_reference(&data, init, 50);
+        assert_eq!(fast.assignments, slow.assignments);
+        assert_eq!(fast.inertia.to_bits(), slow.inertia.to_bits());
+    }
+
+    #[test]
+    fn converged_inertia_reuse_matches_recompute() {
+        // The reference path reuses assignment-step distances on a
+        // convergence exit; an independent recomputation must agree exactly.
+        let data = two_blobs();
+        let r = kmeans(&data, KMeans::new(2, 42));
+        let recomputed: f64 = (0..data.rows())
+            .map(|i| Matrix::sq_dist(data.row(i), r.centers.row(r.assignments[i])))
+            .sum();
+        assert!((r.inertia - recomputed).abs() <= 1e-12 * recomputed.max(1.0));
+    }
+
+    #[test]
+    fn minibatch_deterministic_and_separates_blobs() {
+        let data = two_blobs();
+        let config = KMeans::new(2, 42);
+        let r1 = kmeans_minibatch(&data, config, 16);
+        let r2 = kmeans_minibatch(&data, config, 16);
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.centers, r2.centers);
+        assert_eq!(r1.inertia.to_bits(), r2.inertia.to_bits());
+        let a = r1.assignments[0];
+        let b = r1.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..40 {
+            assert_eq!(r1.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        // Stochastic centers land near the Lloyd optimum on clean blobs.
+        let full = kmeans(&data, config);
+        assert!(r1.inertia <= full.inertia * 4.0 + 1.0, "{} vs {}", r1.inertia, full.inertia);
+    }
+
+    #[test]
+    fn minibatch_degenerate_inputs() {
+        let r = kmeans_minibatch(&Matrix::zeros(0, 3), KMeans::new(2, 1), 8);
+        assert!(r.assignments.is_empty());
+        let data = Matrix::from_rows(&[vec![1.0], vec![2.0]]);
+        let r = kmeans_minibatch(&data, KMeans::new(5, 1), 100);
+        assert_eq!(r.centers.rows(), 2);
+        assert_eq!(r.assignments.len(), 2);
     }
 
     #[test]

@@ -42,14 +42,19 @@ pub use descriptive::{
     try_cov_triple, CovTriple, LengthMismatch, Summary,
 };
 pub use distcache::DistCache;
-pub use kmeans::{kmeans, kmeans_from_centers, KMeans, KMeansResult};
+pub use kmeans::{
+    kmeans, kmeans_from_centers, kmeans_from_centers_reference, kmeans_minibatch, KMeans,
+    KMeansResult,
+};
 pub use matrix::Matrix;
 pub use regression::{
     f_regression, f_score_from_moments, select_top_k, top_k_features, ColumnMoments,
 };
 pub use rng::{seeded, split_seed, SeedRng};
 pub use sampling::{srs_indices, srs_indices_seeded, systematic_indices};
-pub use silhouette::{choose_k, silhouette_score, silhouette_score_cached, KSelection};
+pub use silhouette::{
+    choose_k, choose_k_with_cache, silhouette_score, silhouette_score_cached, KSelection,
+};
 pub use stratified::{
     confidence_interval, optimal_allocation, proportional_allocation, required_sample_size,
     stratified_se, StratumStats,

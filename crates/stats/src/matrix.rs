@@ -123,19 +123,42 @@ impl Matrix {
     #[inline]
     pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        // Same 16-lane chunked shape as [`Matrix::dot`]: independent lane
+        // accumulators the compiler can vectorize (a naive `.sum()` is a
+        // serial dependency chain), reduced in a fixed tree order plus a
+        // scalar tail so the result is deterministic for a given length.
+        const LANES: usize = 16;
+        let split = a.len() - a.len() % LANES;
+        let mut acc = [0.0f64; LANES];
+        for (xa, xb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+            for l in 0..LANES {
+                let d = xa[l] - xb[l];
+                acc[l] += d * d;
+            }
+        }
+        let mut tail = 0.0;
+        for (x, y) in a[split..].iter().zip(&b[split..]) {
+            let d = x - y;
+            tail += d * d;
+        }
+        let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+        let q2 = (acc[8] + acc[9]) + (acc[10] + acc[11]);
+        let q3 = (acc[12] + acc[13]) + (acc[14] + acc[15]);
+        (q0 + q1) + (q2 + q3) + tail
     }
 
-    /// Dot product of two equally sized slices, computed with a fixed 8-lane
-    /// chunked kernel.
+    /// Dot product of two equally sized slices, computed with a fixed
+    /// 16-lane chunked kernel.
     ///
     /// The independent lane accumulators let the compiler auto-vectorize the
-    /// inner loop; the lanes are reduced in a fixed tree order plus a scalar
-    /// tail, so the result is deterministic for a given input length.
+    /// inner loop and keep enough FMA chains in flight to hide latency; the
+    /// lanes are reduced in a fixed tree order plus a scalar tail, so the
+    /// result is deterministic for a given input length.
     #[inline]
     pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        const LANES: usize = 8;
+        const LANES: usize = 16;
         let split = a.len() - a.len() % LANES;
         let mut acc = [0.0f64; LANES];
         for (xa, xb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
@@ -147,7 +170,42 @@ impl Matrix {
         for (x, y) in a[split..].iter().zip(&b[split..]) {
             tail += x * y;
         }
-        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
+        let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+        let q2 = (acc[8] + acc[9]) + (acc[10] + acc[11]);
+        let q3 = (acc[12] + acc[13]) + (acc[14] + acc[15]);
+        (q0 + q1) + (q2 + q3) + tail
+    }
+
+    /// Fused distance kernel: squared Euclidean distances from `point` to
+    /// every row of `rows`, written into `out`, via the norm identity
+    /// `‖x − y‖² = ‖x‖² + ‖y‖² − 2·x·y`.
+    ///
+    /// One pass per row through the [`Matrix::dot`] kernel with the norm
+    /// combination fused into the same loop — no intermediate dot vector is
+    /// materialized. Cancellation can drive the identity slightly negative
+    /// for near-coincident points; results are clamped at `0`. Callers
+    /// supply `point_sq_norm = dot(point, point)` and
+    /// `row_norms = rows.row_sq_norms()` so the norms are paid once across
+    /// many kernel calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on any length mismatch.
+    pub fn sq_dists_to_rows(
+        point: &[f64],
+        point_sq_norm: f64,
+        rows: &Matrix,
+        row_norms: &[f64],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(point.len(), rows.cols());
+        debug_assert_eq!(row_norms.len(), rows.rows());
+        debug_assert_eq!(out.len(), rows.rows());
+        for ((o, r), &nr) in out.iter_mut().zip(rows.iter_rows()).zip(row_norms) {
+            let sq = point_sq_norm + nr - 2.0 * Self::dot(point, r);
+            *o = if sq > 0.0 { sq } else { 0.0 };
+        }
     }
 
     /// Squared Euclidean norm of every row (`‖x_i‖²`), via [`Matrix::dot`].
@@ -226,7 +284,7 @@ mod tests {
 
     #[test]
     fn dot_kernel_matches_naive_at_every_length() {
-        // Cover the tail path (len % 8 ≠ 0) and multi-chunk lengths.
+        // Cover the tail path (len % 16 ≠ 0) and multi-chunk lengths.
         for len in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100] {
             let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin()).collect();
             let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.71).cos()).collect();
@@ -241,6 +299,28 @@ mod tests {
         let a: Vec<f64> = (0..23).map(|i| (i as f64 * 0.9).tan()).collect();
         let b: Vec<f64> = (0..23).map(|i| (i as f64 * 1.3).sin()).collect();
         assert_eq!(Matrix::dot(&a, &b).to_bits(), Matrix::dot(&b, &a).to_bits());
+    }
+
+    #[test]
+    fn fused_sq_dists_match_sq_dist_and_clamp_nonnegative() {
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| (0..21).map(|j| ((i * 13 + j * 5) as f64 * 0.29).sin() * 3.0).collect())
+            .collect();
+        let m = Matrix::from_rows(&rows);
+        let norms = m.row_sq_norms();
+        let mut out = vec![0.0; m.rows()];
+        for p in 0..m.rows() {
+            let point = m.row(p).to_vec();
+            Matrix::sq_dists_to_rows(&point, Matrix::dot(&point, &point), &m, &norms, &mut out);
+            for (j, &sq) in out.iter().enumerate() {
+                let naive = Matrix::sq_dist(&point, m.row(j));
+                assert!(sq >= 0.0, "fused kernel must clamp at zero");
+                assert!(
+                    (sq - naive).abs() <= 1e-9 * naive.max(1.0),
+                    "p {p} j {j}: {sq} vs {naive}"
+                );
+            }
+        }
     }
 
     #[test]

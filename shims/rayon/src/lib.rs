@@ -2,15 +2,20 @@
 //!
 //! The workspace builds hermetically without crates.io, so this crate keeps
 //! the `into_par_iter()` / `par_iter()` entry points but executes them on a
-//! chunked, order-preserving pool of scoped threads (`std::thread::scope`)
-//! instead of mapping them onto sequential iterators.
+//! chunked, order-preserving **persistent worker pool**: workers are spawned
+//! once (lazily, on first parallel region) and parked on a condvar between
+//! regions, so a parallel region costs a wakeup instead of a thread
+//! spawn+join. Hot paths like the Lloyd loop run thousands of short regions
+//! per second; scoped spawning made each one pay ~100 µs of thread churn.
 //!
 //! # Determinism contract
 //!
 //! Results are **bit-identical** for every worker count, including 1:
 //!
-//! * `map`/`collect` preserve input order, so any chunking produces the same
-//!   output vector.
+//! * `map`/`collect` preserve input order: chunk boundaries depend only on
+//!   the chunk size, workers *steal* chunk indices from a shared counter,
+//!   and every chunk's output lands in the slot of its input index — so
+//!   which worker executes a chunk can never change the output vector.
 //! * `sum` is *always* computed as fixed-size chunk partials folded in chunk
 //!   order ([`SUM_CHUNK`] items per partial, independent of the worker
 //!   count), because floating-point addition is not associative. The
@@ -27,10 +32,13 @@
 //! Nested parallel regions run sequentially on the worker that encounters
 //! them (a thread-local depth guard), so a parallel outer loop over
 //! workloads does not multiply threads with the parallel k-means inside it.
+//! The submitting thread participates in its own region (it steals chunks
+//! like any worker), so `--threads N` means N executing threads, not N+1.
 
-use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::cell::{Cell, UnsafeCell};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Items per summation chunk. Fixed (never derived from the worker count) so
 /// that `sum` associates floating-point additions identically at every
@@ -75,15 +83,181 @@ pub fn current_threads() -> usize {
     })
 }
 
-/// Runs `f` over `items` chunk by chunk on scoped worker threads, returning
-/// per-chunk outputs in chunk order. `chunk_size` controls only scheduling
-/// granularity for `collect`; summation callers pass [`SUM_CHUNK`] so the
-/// partials are thread-count independent.
+/// A write-once output slot shared across workers. Safety: each slot index
+/// is handed to exactly one worker (distinct chunk indices from the shared
+/// counter), and the submitter only reads after the pool barrier.
+struct Slot<V>(UnsafeCell<V>);
+
+unsafe impl<V: Send> Sync for Slot<V> {}
+
+impl<V> Slot<V> {
+    fn new(v: V) -> Self {
+        Slot(UnsafeCell::new(v))
+    }
+    fn into_inner(self) -> V {
+        self.0.into_inner()
+    }
+}
+
+/// The type-erased job currently published to the pool: a pointer to a
+/// `&(dyn Fn() + Sync)` living on the submitting thread's stack. Workers
+/// may only dereference it between claiming a slot and decrementing
+/// `active`; the submitter blocks until `active == 0` with the job closed,
+/// so the borrow can never outlive the stack frame.
+#[derive(Clone, Copy)]
+struct RawJob {
+    data: *const (),
+    vtable: *const (),
+}
+
+unsafe impl Send for RawJob {}
+
+impl RawJob {
+    fn erase(f: &(dyn Fn() + Sync)) -> Self {
+        // Decompose the wide reference; reassembled in `call`.
+        let parts: (*const (), *const ()) = unsafe { std::mem::transmute(f) };
+        RawJob { data: parts.0, vtable: parts.1 }
+    }
+
+    unsafe fn call(self) {
+        let f: &(dyn Fn() + Sync) = unsafe { std::mem::transmute((self.data, self.vtable)) };
+        f();
+    }
+}
+
+/// Pool bookkeeping behind one mutex. `epoch` increments per published job;
+/// workers claim one of `open_slots` participation slots, run the job, and
+/// decrement `active`. `closed` stops late wakers from claiming a job whose
+/// chunks are already drained (or whose submitter is tearing it down).
+struct PoolState {
+    epoch: u64,
+    job: Option<RawJob>,
+    open_slots: usize,
+    active: usize,
+    closed: bool,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes whole jobs: one parallel region owns the pool at a time
+    /// (concurrent top-level submitters queue here; nested regions never
+    /// reach the pool thanks to the `IN_PARALLEL` guard).
+    submit: Mutex<()>,
+}
+
+/// Hard cap on persistent workers, a guard against pathological
+/// `set_threads` values; the pool grows lazily up to this.
+const MAX_POOL_WORKERS: usize = 256;
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            epoch: 0,
+            job: None,
+            open_slots: 0,
+            active: 0,
+            closed: true,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        submit: Mutex::new(()),
+    })
+}
+
+fn worker_main() {
+    // Persistent workers live inside parallel regions by definition, so any
+    // nested region they encounter runs sequentially.
+    IN_PARALLEL.with(|flag| flag.set(true));
+    let pool = pool();
+    let mut last_epoch = 0u64;
+    let mut st = pool.state.lock().expect("pool lock");
+    loop {
+        while st.epoch == last_epoch {
+            st = pool.work_cv.wait(st).expect("pool lock");
+        }
+        last_epoch = st.epoch;
+        if st.closed || st.open_slots == 0 {
+            continue;
+        }
+        let Some(job) = st.job else { continue };
+        st.open_slots -= 1;
+        st.active += 1;
+        drop(st);
+        {
+            // Attribute this worker's wall-clock to its own span (and
+            // thread id) so timelines show pool activity; one relaxed load
+            // when no obs session is active.
+            let _span = simprof_obs::span!("parallel.worker");
+            // The chunk loop inside catches panics itself; `call` never
+            // unwinds.
+            unsafe { job.call() };
+        }
+        st = pool.state.lock().expect("pool lock");
+        st.active -= 1;
+        if st.active == 0 && st.closed {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Runs `work` on up to `extra` pool workers plus the calling thread, all
+/// stealing from the same chunk counter, and returns once every
+/// participant is done. `work` must be panic-free (callers wrap the chunk
+/// bodies in `catch_unwind`).
+fn pool_run(extra: usize, work: &(dyn Fn() + Sync)) {
+    let pool = pool();
+    let _submit = pool.submit.lock().expect("pool submit lock");
+    let extra = extra.min(MAX_POOL_WORKERS);
+    {
+        let mut st = pool.state.lock().expect("pool lock");
+        while st.spawned < extra {
+            std::thread::Builder::new()
+                .name("simprof-par".into())
+                .spawn(worker_main)
+                .expect("spawn pool worker");
+            st.spawned += 1;
+        }
+        st.epoch += 1;
+        st.job = Some(RawJob::erase(work));
+        st.open_slots = extra;
+        st.active = 0;
+        st.closed = false;
+    }
+    pool.work_cv.notify_all();
+
+    // Participate: the submitter steals chunks like any worker. Mark the
+    // thread in-parallel so a nested region inside `work` runs sequentially
+    // instead of re-entering the (non-reentrant) submit lock.
+    IN_PARALLEL.with(|flag| flag.set(true));
+    work();
+    IN_PARALLEL.with(|flag| flag.set(false));
+
+    // Close the job (late wakers may no longer claim it) and wait out the
+    // workers that did claim it — after this, no reference to `work`'s
+    // stack frame survives.
+    let mut st = pool.state.lock().expect("pool lock");
+    st.closed = true;
+    st.job = None;
+    while st.active > 0 {
+        st = pool.done_cv.wait(st).expect("pool lock");
+    }
+}
+
+/// Runs `f` over `items` chunk by chunk on the persistent worker pool,
+/// returning per-chunk outputs in chunk order. `chunk_size` controls only
+/// scheduling granularity for `collect`; summation callers pass
+/// [`SUM_CHUNK`] so the partials are thread-count independent.
 ///
-/// Chunks are assigned to workers round-robin (chunk `c` → worker
-/// `c % workers`), each worker maps its chunks sequentially, and the main
-/// thread reassembles outputs by chunk index — order preserving by
-/// construction.
+/// Chunk boundaries depend only on `chunk_size`; participants (the pool
+/// workers plus the submitting thread) steal chunk indices from a shared
+/// counter and write each chunk's output into the slot of its input index,
+/// so the reassembled result is order-preserving by construction no matter
+/// which thread ran what.
 fn run_chunks<I, T, F>(items: Vec<I>, chunk_size: usize, f: &F) -> Vec<Vec<T>>
 where
     I: Send,
@@ -111,36 +285,33 @@ where
     }
 
     let n_chunks = chunks.len();
-    let mut per_worker: Vec<Vec<(usize, Vec<I>)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (ci, c) in chunks.into_iter().enumerate() {
-        per_worker[ci % workers].push((ci, c));
-    }
+    let input: Vec<Slot<Option<Vec<I>>>> = chunks.into_iter().map(|c| Slot::new(Some(c))).collect();
+    let out: Vec<Slot<Option<Vec<T>>>> = (0..n_chunks).map(|_| Slot::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panicked = AtomicBool::new(false);
 
-    let mut out: Vec<Option<Vec<T>>> = (0..n_chunks).map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = per_worker
-            .into_iter()
-            .filter(|mine| !mine.is_empty())
-            .map(|mine| {
-                s.spawn(move || {
-                    IN_PARALLEL.with(|flag| flag.set(true));
-                    // Attribute this worker's wall-clock to its own span
-                    // (and thread id) so timelines show pool activity; one
-                    // relaxed load when no obs session is active.
-                    let _span = simprof_obs::span!("parallel.worker");
-                    mine.into_iter()
-                        .map(|(ci, c)| (ci, c.into_iter().map(f).collect::<Vec<T>>()))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            for (ci, r) in h.join().expect("parallel worker panicked") {
-                out[ci] = Some(r);
-            }
+    // Each participant (pool worker or submitter) runs this same loop.
+    let work = || loop {
+        let ci = next.fetch_add(1, Ordering::Relaxed);
+        if ci >= n_chunks {
+            break;
         }
-    });
-    out.into_iter().map(|c| c.expect("every chunk produced")).collect()
+        // Safety: `ci` values are unique across participants, so each input
+        // slot is taken and each output slot written by exactly one thread.
+        let chunk = unsafe { (*input[ci].0.get()).take().expect("chunk taken once") };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            chunk.into_iter().map(f).collect::<Vec<T>>()
+        })) {
+            Ok(r) => unsafe { *out[ci].0.get() = Some(r) },
+            Err(_) => panicked.store(true, Ordering::SeqCst),
+        }
+    };
+    pool_run(workers - 1, &work);
+
+    if panicked.load(Ordering::SeqCst) {
+        panic!("parallel worker panicked");
+    }
+    out.into_iter().map(|c| c.into_inner().expect("every chunk produced")).collect()
 }
 
 /// An order-preserving parallel iterator over owned items.
@@ -329,6 +500,54 @@ mod tests {
         assert!(got.is_empty());
         let s: f64 = Vec::<f64>::new().into_par_iter().sum();
         assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_submitter() {
+        let caught = with_threads(4, || {
+            std::panic::catch_unwind(|| {
+                let _: Vec<usize> = (0..100usize)
+                    .into_par_iter()
+                    .map(|i| if i == 57 { panic!("boom") } else { i })
+                    .collect();
+            })
+        });
+        assert!(caught.is_err(), "panic in a chunk must surface");
+        // The pool must still be usable after a panicked job.
+        let ok: Vec<usize> = with_threads(4, || (0..100usize).into_par_iter().map(|i| i).collect());
+        assert_eq!(ok.len(), 100);
+    }
+
+    #[test]
+    fn pool_survives_many_small_regions() {
+        // Thousands of short regions exercise park/wake reuse; any missed
+        // wakeup or slot-accounting bug deadlocks or corrupts output here.
+        with_threads(4, || {
+            for round in 0..2_000usize {
+                let got: usize = (0..32usize).into_par_iter().map(|i| i + round).sum();
+                assert_eq!(got, (0..32).map(|i| i + round).sum::<usize>());
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_safely() {
+        with_threads(3, || {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..4)
+                    .map(|t| {
+                        s.spawn(move || {
+                            let got: Vec<usize> =
+                                (0..500usize).into_par_iter().map(move |i| i * t).collect();
+                            assert_eq!(got, (0..500).map(|i| i * t).collect::<Vec<_>>());
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("submitter thread");
+                }
+            });
+        });
     }
 
     #[test]

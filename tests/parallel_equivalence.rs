@@ -10,7 +10,12 @@ use std::sync::Mutex;
 
 use proptest::prelude::*;
 
-use simprof::stats::{choose_k, silhouette_score, silhouette_score_cached, DistCache, Matrix};
+use simprof::engine::FaultPlan;
+use simprof::stats::{
+    choose_k, kmeans_from_centers, kmeans_from_centers_reference, silhouette_score,
+    silhouette_score_cached, DistCache, Matrix,
+};
+use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
 
 /// Serializes tests that flip the global worker-count override.
 static THREADS_LOCK: Mutex<()> = Mutex::new(());
@@ -94,4 +99,59 @@ proptest! {
         prop_assert_eq!(one.1.to_bits(), many.1.to_bits());
         prop_assert!((one.0 - one.1).abs() <= 1e-12, "naive {} vs cached {}", one.0, one.1);
     }
+
+    /// The Hamerly-accelerated Lloyd loop (the default behind `kmeans` and
+    /// `choose_k`) produces **bit-identical** assignments, centers, inertia,
+    /// and iteration counts to the unaccelerated reference scan from the
+    /// same initial centers — the bounds only skip distance computations
+    /// whose outcome is already certain.
+    #[test]
+    fn accelerated_kmeans_bit_identical_to_reference_lloyd(
+        m in matrix_strategy(),
+        k in 1usize..6,
+        threads in 2usize..6,
+    ) {
+        let k = k.min(m.rows());
+        let init: Vec<Vec<f64>> = (0..k).map(|i| m.row(i).to_vec()).collect();
+        let (one, many) = one_vs_many(threads, || {
+            let accel = kmeans_from_centers(&m, Matrix::from_rows(&init), 100);
+            let reference = kmeans_from_centers_reference(&m, Matrix::from_rows(&init), 100);
+            (accel, reference)
+        });
+        for (accel, reference) in [&one, &many] {
+            prop_assert_eq!(&accel.assignments, &reference.assignments);
+            prop_assert_eq!(&accel.centers, &reference.centers);
+            prop_assert_eq!(accel.inertia.to_bits(), reference.inertia.to_bits());
+            prop_assert_eq!(accel.iterations, reference.iterations);
+        }
+        prop_assert_eq!(one.0.inertia.to_bits(), many.0.inertia.to_bits());
+        prop_assert_eq!(&one.0.assignments, &many.0.assignments);
+    }
+}
+
+/// The scheduler's parallel per-slot machine simulation must leave **the
+/// trace bytes** — the serialized [`simprof::profiler::ProfileTrace`], i.e.
+/// every sampling unit's counters, stacks, and fault events — bit-identical
+/// to a 1-thread run, here across full engine+profiler workload runs with GC
+/// noise and a chaotic (non-speculative) fault plan.
+#[test]
+fn parallel_simulation_trace_bytes_identical_across_thread_counts() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let run = || {
+        let mut cfg = WorkloadConfig::tiny(7);
+        cfg.sched.faults = FaultPlan { speculative: false, ..FaultPlan::uniform(90_000, 13) };
+        let trace = Benchmark::WordCount.run(Framework::Spark, &cfg);
+        serde_json::to_string(&trace).expect("trace serializes").into_bytes()
+    };
+    rayon::set_threads(1);
+    let serial_bytes = run();
+    for threads in [2, 8] {
+        rayon::set_threads(threads);
+        let parallel_bytes = run();
+        assert_eq!(
+            serial_bytes, parallel_bytes,
+            "trace bytes diverged between 1 and {threads} threads"
+        );
+    }
+    rayon::set_threads(0);
 }
