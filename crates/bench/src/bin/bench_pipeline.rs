@@ -14,7 +14,7 @@
 //!     [--seed S] [--threads N] [-o BENCH_pipeline.json] \
 //!     [--report REPORT.json] [--events EVENTS.jsonl] \
 //!     [--timeline TIMELINE.json] [--trace-stream BENCH_trace_stream.json] \
-//!     [--mem-cap-mb N] [--chaos-smoke BENCH_chaos.json]
+//!     [--mem-cap-mb N] [--chaos-smoke BENCH_chaos.json] [--live BENCH_live.json]
 //! ```
 //!
 //! Every run times the full simulate→analyze hot path in four phases —
@@ -67,10 +67,10 @@ use std::time::Instant;
 
 use rand::RngExt;
 use simprof_bench::apply_thread_flag;
-use simprof_core::{MinibatchPhases, SimProf, SimProfConfig};
+use simprof_core::{LiveAnalyzer, LiveConfig, MinibatchPhases, SimProf, SimProfConfig};
 use simprof_engine::{FaultPlan, MethodId};
 use simprof_obs::TrackingAllocator;
-use simprof_profiler::{ProfileTrace, SamplingUnit};
+use simprof_profiler::{ProfileTrace, ProfilerConfig, SamplingUnit, UnitSink};
 use simprof_sim::{Counters, MachineConfig};
 use simprof_stats::{
     choose_k, choose_k_with_cache, kmeans, optimal_allocation, seeded, silhouette_score, stddev,
@@ -121,6 +121,7 @@ struct Args {
     trace_stream: Option<String>,
     mem_cap_mb: Option<usize>,
     chaos_smoke: Option<String>,
+    live: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -138,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
         trace_stream: None,
         mem_cap_mb: None,
         chaos_smoke: None,
+        live: None,
     };
     let quick = |args: &mut Args| {
         args.units = 400;
@@ -179,6 +181,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(value(&flag)?.parse().map_err(|e| format!("invalid --mem-cap-mb: {e}"))?)
             }
             "--chaos-smoke" => args.chaos_smoke = Some(value(&flag)?),
+            "--live" => args.live = Some(value(&flag)?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -591,6 +594,115 @@ fn chaos_smoke(args: &Args, out_path: &str) -> Result<(), String> {
 }
 
 const MIB: f64 = 1024.0 * 1024.0;
+
+/// `--live`: the live early-stopping benchmark. Profiles WordCount/Spark
+/// once (full trace = oracle), then replays the unit stream through the
+/// [`LiveAnalyzer`] with a 5 % relative stopping target, measuring how
+/// much of the profiling budget the live stopping rule saves and whether
+/// the live CI at stop still covers the full-trace oracle CPI. Also runs
+/// the equivalence smoke: with stopping disabled, the live path's final
+/// analysis must be bit-identical to the offline pipeline (the DESIGN.md
+/// §16 contract); a violation exits non-zero via the caller.
+fn live_bench(args: &Args, out_path: &str) -> Result<(), String> {
+    let target_rel_err = 0.05;
+    let cfg = if args.scale == Scale::Quick {
+        WorkloadConfig::tiny(args.seed)
+    } else {
+        WorkloadConfig::paper(args.seed)
+    };
+    let trace = Benchmark::WordCount.run(Framework::Spark, &cfg);
+    let oracle = trace.oracle_cpi();
+    let units_full = trace.units.len();
+    let profiler = ProfilerConfig {
+        unit_instrs: trace.unit_instrs,
+        snapshot_instrs: trace.snapshot_instrs,
+        core: trace.core,
+    };
+
+    // Early-stopping replay: feed units until the analyzer raises its stop
+    // latch, exactly as the sampling manager would.
+    let stop_cfg = SimProfConfig {
+        seed: args.seed,
+        live: Some(LiveConfig { target_rel_err, z: 1.96, ..Default::default() }),
+        ..SimProfConfig::default()
+    };
+    let t0 = Instant::now();
+    let mut live = LiveAnalyzer::new(stop_cfg, profiler);
+    for u in &trace.units {
+        if live.stop_requested() {
+            break;
+        }
+        live.accept(u);
+    }
+    let live_secs = t0.elapsed().as_secs_f64();
+    let report = live.report();
+    let (stopped_analysis, _) = live.finalize().map_err(|e| format!("live analyze: {e}"))?;
+    let reduction = 1.0 - report.units_profiled as f64 / units_full.max(1) as f64;
+    let hw = report.live_half_width.unwrap_or(f64::INFINITY);
+    let oracle_within_live_ci = (report.live_mean - oracle).abs() <= hw;
+
+    // Equivalence smoke: stopping disabled → bit-identical to offline.
+    let eq_cfg = SimProfConfig { seed: args.seed, ..SimProfConfig::default() };
+    let offline = SimProf::new(eq_cfg).analyze(&trace).map_err(|e| format!("offline: {e}"))?;
+    let mut eq =
+        LiveAnalyzer::new(SimProfConfig { live: Some(LiveConfig::default()), ..eq_cfg }, profiler);
+    for u in &trace.units {
+        eq.accept(u);
+    }
+    let (eq_analysis, eq_report) = eq.finalize().map_err(|e| format!("live analyze: {e}"))?;
+    let bit_identical = eq_analysis.cpis == offline.cpis
+        && eq_analysis.model.assignments == offline.model.assignments
+        && eq_analysis.model.centers == offline.model.centers
+        && eq_analysis.stats == offline.stats;
+    if eq_report.stopped_early {
+        return Err("live equivalence run stopped early with stopping disabled".into());
+    }
+    if !bit_identical {
+        return Err("live analysis (stopping disabled) diverged from the offline pipeline".into());
+    }
+
+    println!(
+        "live: {} of {units_full} units profiled before stop ({:.1}% saved), \
+         {} live phases, {} re-formation(s)",
+        report.units_profiled,
+        reduction * 100.0,
+        report.live_k,
+        report.reformations
+    );
+    println!(
+        "  live CI at stop: {:.4} ± {:.4} (target {:.1}% rel); oracle {oracle:.4} {}",
+        report.live_mean,
+        hw,
+        target_rel_err * 100.0,
+        if oracle_within_live_ci { "covered" } else { "NOT covered" }
+    );
+    println!("  equivalence smoke: stopping disabled → offline output bit-identical");
+
+    let record = serde_json::json!({
+        "bench": "live/early_stop",
+        "workload": "wordcount/spark",
+        "scale": args.scale.name(),
+        "seed": args.seed,
+        "target_rel_err": target_rel_err,
+        "units_full": units_full,
+        "units_at_stop": report.units_profiled,
+        "budget_saved_frac": reduction,
+        "stopped_early": report.stopped_early,
+        "live_k": report.live_k,
+        "reformations": report.reformations,
+        "live_mean_cpi": report.live_mean,
+        "live_half_width": report.live_half_width,
+        "oracle_cpi": oracle,
+        "oracle_within_live_ci": oracle_within_live_ci,
+        "stopped_analysis_k": stopped_analysis.k(),
+        "live_replay_secs": live_secs,
+        "equivalence_bit_identical": bit_identical,
+    });
+    let text = serde_json::to_string_pretty(&record).expect("record encodes");
+    std::fs::write(out_path, text).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}
 
 /// What the simulate phase measured: the timed engine run plus the
 /// 1-thread replay's verdict on the parallel-merge contract.
@@ -1010,6 +1122,13 @@ fn main() {
 
     if let Some(path) = &args.chaos_smoke {
         if let Err(e) = chaos_smoke(&args, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = &args.live {
+        if let Err(e) = live_bench(&args, path) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

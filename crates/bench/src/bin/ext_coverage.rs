@@ -21,9 +21,68 @@
 
 use simprof_bench::report::{f3, pct, render_table};
 use simprof_bench::{apply_thread_flag, EvalConfig};
-use simprof_core::{coverage, SimProf, FLAG_BELOW};
+use simprof_core::{coverage, LiveAnalyzer, LiveConfig, SimProf, SimProfConfig, FLAG_BELOW};
+use simprof_profiler::{ProfileTrace, UnitSink};
 use simprof_stats::split_seed;
 use simprof_workloads::{Benchmark, Framework, WorkloadId};
+
+/// Replays `trace` through the live analyzer with a 5 % relative stopping
+/// target and — when the stop fires — recomputes the claimed half-width
+/// from scratch (two-pass, same no-fpc formula) over exactly the units
+/// seen at stop. Returns `(units_at_stop, stopped_early, sound)`: an
+/// early stop is *sound* when the recomputed half-width really meets the
+/// claimed target, which is the estimator-honesty claim the live stopping
+/// rule makes.
+fn live_stop_soundness(base: SimProfConfig, trace: &ProfileTrace, z: f64) -> (usize, bool, bool) {
+    let target_rel_err = 0.05;
+    let cfg = SimProfConfig {
+        live: Some(LiveConfig { target_rel_err, z, ..Default::default() }),
+        ..base
+    };
+    let profiler = simprof_profiler::ProfilerConfig {
+        unit_instrs: trace.unit_instrs,
+        snapshot_instrs: trace.snapshot_instrs,
+        core: trace.core,
+    };
+    let mut live = LiveAnalyzer::new(cfg, profiler);
+    for u in &trace.units {
+        if live.stop_requested() {
+            break;
+        }
+        live.accept(u);
+    }
+    let report = live.report();
+    if !report.stopped_early {
+        return (report.units_profiled, false, true);
+    }
+    let n = report.units_profiled;
+    let asg = live.live_assignments();
+    let k = live.live_k();
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for i in 0..n {
+        let u = &trace.units[i];
+        buckets[asg[i]].push(u.counters.cycles as f64 / u.counters.instructions as f64);
+    }
+    let mut se2 = 0.0;
+    let mut sound = true;
+    for b in &buckets {
+        if b.is_empty() {
+            continue;
+        }
+        if b.len() < 2 {
+            sound = false; // the rule must never fire on a 1-unit phase
+            continue;
+        }
+        let m = simprof_stats::mean(b);
+        let var = b.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (b.len() - 1) as f64;
+        let w = b.len() as f64 / n as f64;
+        se2 += w * w * var / b.len() as f64;
+    }
+    let hw = z * se2.sqrt();
+    let mean_cpi = simprof_stats::mean(&buckets.concat());
+    sound = sound && hw <= target_rel_err * mean_cpi + 1e-12;
+    (n, true, sound)
+}
 
 struct Args {
     reps: usize,
@@ -102,6 +161,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     let mut worst: Option<(String, f64)> = None;
+    let mut live_rows = Vec::new();
+    let mut live_unsound: Vec<String> = Vec::new();
     for (wi, id) in workloads.iter().enumerate() {
         let out = id.run_full(&cfg.workload);
         let analysis =
@@ -128,11 +189,29 @@ fn main() {
             Some((_, c)) if *c <= rep.overall_coverage => {}
             _ => worst = Some((id.label(), rep.overall_coverage)),
         }
+
+        let (units_at_stop, stopped, sound) = live_stop_soundness(cfg.simprof, &out.trace, args.z);
+        if !sound {
+            live_unsound.push(id.label());
+        }
+        live_rows.push(vec![
+            id.label(),
+            format!("{units_at_stop}/{}", out.trace.units.len()),
+            if stopped { "yes".into() } else { "no".into() },
+            if sound { "ok".into() } else { "VIOLATED".into() },
+        ]);
+
         records.push(serde_json::json!({
             "workload": id.label(),
             "units": analysis.cpis.len(),
             "phases": analysis.k(),
             "coverage": serde_json::to_value(&rep),
+            "live_stop": serde_json::json!({
+                "units_at_stop": units_at_stop,
+                "units_full": out.trace.units.len(),
+                "stopped_early": stopped,
+                "sound": sound,
+            }),
         }));
     }
 
@@ -156,6 +235,17 @@ fn main() {
     );
     let (worst_label, worst_cov) = worst.expect("at least one workload ran");
     println!("worst overall coverage: {} ({worst_label})", pct(worst_cov));
+
+    println!(
+        "\nLive stopping rule (5% relative target, z = {}): an early stop is\n\
+         sound when the claimed half-width survives a from-scratch recomputation\n\
+         over exactly the units seen at stop.",
+        args.z
+    );
+    println!(
+        "{}",
+        render_table(&["workload", "units at stop", "stopped", "soundness"], &live_rows)
+    );
 
     if let Some(path) = &args.output {
         let doc = serde_json::json!({
@@ -185,6 +275,10 @@ fn main() {
             );
             std::process::exit(1);
         }
-        println!("coverage smoke: every workload at or above {bar}");
+        if !live_unsound.is_empty() {
+            eprintln!("error: live stopping rule violated its claimed target on {live_unsound:?}");
+            std::process::exit(1);
+        }
+        println!("coverage smoke: every workload at or above {bar}; live stops sound");
     }
 }

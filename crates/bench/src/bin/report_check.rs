@@ -115,7 +115,7 @@ fn check_event_log(text: &str) -> Result<Checked, String> {
                 }
             }
             "meta" | "counter" | "gauge" | "hist" | "fault" | "unit_closed" | "salvage"
-            | "sink_retry" | "sink_degraded" => {}
+            | "sink_retry" | "sink_degraded" | "phase_reformed" | "early_stop" => {}
             other => return Err(format!("line {lineno}: unknown kind `{other}`")),
         }
     }

@@ -42,6 +42,13 @@ pub struct Options {
     /// `--salvage` (for `trace-info`: forward-scan a damaged chunked trace
     /// instead of requiring an intact footer trailer).
     pub salvage: bool,
+    /// `--live` (for `run`: form phases online while profiling, with
+    /// drift-triggered re-formation).
+    pub live: bool,
+    /// `--target-rel-err` (for `run --live`: stop profiling once the live
+    /// CI half-width falls at or below this fraction of the running mean
+    /// CPI; implies `--live`).
+    pub target_rel_err: Option<f64>,
 }
 
 /// Workload scale preset.
@@ -71,6 +78,8 @@ impl Default for Options {
             timeline: None,
             reps: 50,
             salvage: false,
+            live: false,
+            target_rel_err: None,
         }
     }
 }
@@ -139,6 +148,17 @@ impl Options {
                     }
                 }
                 "--salvage" => opts.salvage = true,
+                "--live" => opts.live = true,
+                "--target-rel-err" => {
+                    let e: f64 = value(flag)?
+                        .parse()
+                        .map_err(|e| format!("invalid --target-rel-err: {e}"))?;
+                    if !(e > 0.0 && e < 1.0) {
+                        return Err("--target-rel-err must be in (0, 1)".into());
+                    }
+                    opts.target_rel_err = Some(e);
+                    opts.live = true;
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -249,6 +269,21 @@ mod tests {
         let o = parse("--salvage -i t.sptrc").unwrap();
         assert!(o.salvage);
         assert_eq!(o.input.as_deref(), Some("t.sptrc"));
+    }
+
+    #[test]
+    fn live_flags() {
+        let o = parse("").unwrap();
+        assert!(!o.live, "live defaults off");
+        assert_eq!(o.target_rel_err, None);
+        assert!(parse("--live").unwrap().live);
+        let o = parse("--target-rel-err 0.05").unwrap();
+        assert_eq!(o.target_rel_err, Some(0.05));
+        assert!(o.live, "a stopping target implies live mode");
+        assert!(parse("--target-rel-err 0").is_err());
+        assert!(parse("--target-rel-err 1.0").is_err());
+        assert!(parse("--target-rel-err x").is_err());
+        assert!(parse("--target-rel-err").is_err(), "missing value");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The CLI subcommands.
 
-use simprof_core::{input_sensitivity, SimProf, SimProfConfig};
+use simprof_core::{input_sensitivity, LiveAnalyzer, LiveConfig, SimProf, SimProfConfig};
 use simprof_engine::MethodId;
 use simprof_profiler::{SharedSink, UnitSink};
 use simprof_stats::split_seed;
@@ -253,9 +253,17 @@ pub fn select(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof run -w <label> [-n 20] [--report run.json] [-o points.json]` —
-/// the whole pipeline end to end: profile the workload on the simulated
-/// substrate, form phases, select simulation points, and estimate.
+/// `simprof run -w <label> [-n 20] [--live [--target-rel-err 0.05]]
+/// [--report run.json] [-o points.json]` — the whole pipeline end to end:
+/// profile the workload on the simulated substrate, form phases, select
+/// simulation points, and estimate.
+///
+/// With `--live`, phases are formed *online* while the profiler runs
+/// (DESIGN.md §16): a [`LiveAnalyzer`] sink seeds centers from a warmup
+/// window, classifies each unit as it closes, re-forms on drift, and —
+/// with `--target-rel-err` — tracks the live stratified CI so profiling
+/// stops as soon as the target half-width is met. With stopping disabled
+/// the printed analysis is bit-identical to the offline path.
 ///
 /// With `--report` (or `--events`/`--timeline`), the pipeline executes
 /// inside an observability session: the versioned JSON run report (span
@@ -272,19 +280,61 @@ pub fn run_workload(opts: &Options) -> Result<(), String> {
 
     let session = obs_session(opts)?;
 
-    let out = {
-        let _span = simprof_obs::span!("cli.profile");
-        id.run_full(&cfg)
+    let mut live_report = None;
+    let (units_profiled, analysis) = if opts.live {
+        let sp_cfg = SimProfConfig {
+            seed: opts.seed,
+            live: Some(LiveConfig {
+                target_rel_err: opts.target_rel_err.unwrap_or(0.0),
+                z: opts.z,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let shared = SharedSink::new(LiveAnalyzer::new(sp_cfg, cfg.profiler));
+        let out = {
+            let _span = simprof_obs::span!("cli.profile");
+            id.run_full_with_sinks(&cfg, vec![Box::new(shared.clone())])
+        };
+        let (analysis, report) = {
+            let _span = simprof_obs::span!("cli.phase_formation");
+            shared.lock().finalize().map_err(|e| format!("analyze: {e}"))?
+        };
+        live_report = Some(report);
+        ((out.trace.units.len(), out.trace.unit_instrs), analysis)
+    } else {
+        let out = {
+            let _span = simprof_obs::span!("cli.profile");
+            id.run_full(&cfg)
+        };
+        let analysis = {
+            let _span = simprof_obs::span!("cli.phase_formation");
+            pipeline(opts).analyze(&out.trace).map_err(|e| format!("analyze: {e}"))?
+        };
+        ((out.trace.units.len(), out.trace.unit_instrs), analysis)
     };
     println!(
         "profiled {label}: {} sampling units × {} instructions",
-        out.trace.units.len(),
-        out.trace.unit_instrs
+        units_profiled.0, units_profiled.1
     );
-    let analysis = {
-        let _span = simprof_obs::span!("cli.phase_formation");
-        pipeline(opts).analyze(&out.trace).map_err(|e| format!("analyze: {e}"))?
-    };
+    if let Some(r) = &live_report {
+        if r.stopped_early {
+            println!(
+                "live: stopped early at unit {} ({} units profiled); half-width {:.5} met \
+                 target {:.1}% of mean CPI",
+                r.stop_unit.unwrap_or(0),
+                r.units_profiled,
+                r.live_half_width.unwrap_or(0.0),
+                opts.target_rel_err.unwrap_or(0.0) * 100.0
+            );
+        } else {
+            println!(
+                "live: profiled to completion ({} units); {} phases tracked online, \
+                 {} re-formation(s), drift {:.3}",
+                r.units_profiled, r.live_k, r.reformations, r.drift
+            );
+        }
+    }
     let points = {
         let _span = simprof_obs::span!("cli.sampling");
         analysis.select_points(opts.points, split_seed(opts.seed, 0x5E1E))
@@ -343,6 +393,10 @@ pub fn run_workload(opts: &Options) -> Result<(), String> {
             )
             .with_section("allocation", serde_json::to_value(&analysis.allocation_table(&points)))
             .with_section("estimate", serde_json::to_value(&est));
+        let report = match &live_report {
+            Some(live) => report.with_section("live", serde_json::to_value(live)),
+            None => report,
+        };
         write_obs_outputs(opts, &report)?;
     }
     Ok(())

@@ -5,6 +5,7 @@
 //! ```text
 //! simprof list                                   # the 12-workload matrix
 //! simprof run -w wc_sp --report run.json         # whole pipeline + run report
+//! simprof run -w wc_sp --live --target-rel-err 0.05  # online phases + early stop
 //! simprof profile -w wc_sp -o wc.sptrc           # run + stream a trace to disk
 //! simprof trace-info -i wc.sptrc                 # footer metadata, no unit scan
 //! simprof trace-info --salvage -i torn.sptrc     # damage report for a torn trace
@@ -142,6 +143,13 @@ OPTIONS:
         --salvage            For `trace-info`: recover a damaged chunked trace
                              by forward-scanning checksummed frames instead of
                              requiring an intact footer trailer
+        --live               For `run`: form phases online while profiling
+                             (warmup seeding, drift-triggered re-formation).
+                             Without a stopping target the result is
+                             bit-identical to the offline pipeline
+        --target-rel-err <FRAC>  For `run --live`: stop profiling once the live
+                             CI half-width is within FRAC of the mean CPI
+                             (implies --live)
 "
     .to_string()
 }

@@ -44,18 +44,32 @@ fn phase_interval(phase_cpis: &[f64], sample: &[f64], z: f64) -> Option<(f64, f6
     // it has ≥ 2 points and has not collapsed below a tenth of the known
     // population spread.
     let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * pop_sd { sample_sd } else { pop_sd };
-    // Finite-population correction: sampling half the phase (or all of it)
-    // carries less error than an infinite-population draw.
-    let fpc = (1.0 - n_h / pop_n.max(1.0)).max(0.0);
+    // Standard without-replacement finite-population correction
+    // (N − n)/(N − 1): sampling half the phase (or all of it) carries less
+    // error than an infinite-population draw. A one-unit phase can only be
+    // enumerated, so its interval degenerates to the point.
+    let fpc = if pop_n > 1.0 { ((pop_n - n_h) / (pop_n - 1.0)).max(0.0) } else { 0.0 };
     let se = (s_h * s_h / n_h * fpc).sqrt();
     Some((m, z * se))
 }
 
 /// Groups the oracle CPIs by phase assignment.
+///
+/// Assignments at or beyond `k` are skipped and counted (through the
+/// `core.oob_assignments` counter) instead of panicking: once live
+/// re-formation can shrink `k` mid-run, a stale assignment beyond the
+/// current phase count is a routine state, not a corner case.
 fn phase_populations(cpis: &[f64], assignments: &[usize], k: usize) -> Vec<Vec<f64>> {
     let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut oob = 0u64;
     for (&c, &a) in cpis.iter().zip(assignments) {
-        buckets[a].push(c);
+        match buckets.get_mut(a) {
+            Some(b) => b.push(c),
+            None => oob += 1,
+        }
+    }
+    if oob > 0 {
+        simprof_obs::counter_add("core.oob_assignments", oob);
     }
     buckets
 }
@@ -363,5 +377,38 @@ mod tests {
     #[test]
     fn empty_phase_sample_yields_no_interval() {
         assert!(phase_interval(&[1.0, 2.0], &[], 1.96).is_none());
+    }
+
+    #[test]
+    fn phase_interval_uses_standard_fpc() {
+        // Hand-computed: N = 5, n = 2, spread wide enough to pass the
+        // sd-floor guard, so hw = z · s/√n · √((N−n)/(N−1)).
+        let pop = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let sample = [1.0, 4.0];
+        let (m, hw) = phase_interval(&pop, &sample, 2.0).expect("non-empty sample");
+        assert!((m - 2.5).abs() < 1e-12);
+        let s = stddev(&sample);
+        let expect = 2.0 * (s * s / 2.0 * (5.0 - 2.0) / 4.0).sqrt();
+        assert!((hw - expect).abs() < 1e-12, "{hw} vs {expect}");
+        // The simplified 1 − n/N form would have been narrower (optimistic).
+        let optimistic = 2.0 * (s * s / 2.0 * (1.0 - 2.0 / 5.0)).sqrt();
+        assert!(hw > optimistic, "{hw} must exceed {optimistic}");
+    }
+
+    #[test]
+    fn single_unit_phase_interval_degenerates_to_the_point() {
+        let (m, hw) = phase_interval(&[2.0], &[2.0], 3.0).expect("non-empty sample");
+        assert_eq!(m, 2.0);
+        assert_eq!(hw, 0.0);
+    }
+
+    #[test]
+    fn out_of_range_assignments_are_skipped_not_panicking() {
+        // An assignment beyond k (stale after live re-formation shrank the
+        // model) must not panic phase grouping.
+        let cpis = [1.0, 2.0, 3.0];
+        let asg = [0usize, 1, 7];
+        let pops = phase_populations(&cpis, &asg, 2);
+        assert_eq!(pops, vec![vec![1.0], vec![2.0]]);
     }
 }

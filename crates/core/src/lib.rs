@@ -29,6 +29,7 @@ pub mod eval;
 pub mod export;
 pub mod features;
 pub mod hybrid;
+pub mod live;
 pub mod phases;
 pub mod pipeline;
 pub mod sampling;
@@ -46,6 +47,7 @@ pub use eval::{phase_type_distribution, phase_types, relative_error, PhaseTypeSh
 pub use export::{ExportError, ManifestPoint, SimulationManifest};
 pub use features::{vectorize, vectorize_with_dim, FeatureSpace, FeatureStats};
 pub use hybrid::{estimate_hybrid, HybridEstimate};
+pub use live::{LiveAnalyzer, LiveConfig, LiveReport};
 pub use phases::{
     classify_units, form_phases, form_phases_in_space, homogeneity, phase_stats, phase_weights,
     PhaseModel,

@@ -6,6 +6,7 @@ use simprof_profiler::{MemStream, ProfileTrace, UnitStream};
 use simprof_stats::{seeded, CovTriple, Matrix, Summary};
 
 use crate::features::FeatureStats;
+use crate::live::LiveConfig;
 use crate::phases::{form_phases_in_space, homogeneity, phase_stats, phase_weights, PhaseModel};
 use crate::sampling::{
     estimate_stratified, required_sample_size, select_points, Estimate, SimulationPoints,
@@ -34,6 +35,11 @@ pub struct SimProfConfig {
     /// mini-batch k-means.
     #[serde(default)]
     pub minibatch: Option<MinibatchPhases>,
+    /// Opt-in live-mode parameters (warmup window, drift threshold,
+    /// early-stopping targets). `None` keeps every entry point strictly
+    /// offline; only [`crate::live::LiveAnalyzer`] reads this.
+    #[serde(default)]
+    pub live: Option<LiveConfig>,
 }
 
 /// Parameters of the opt-in mini-batch phase-formation mode
@@ -65,6 +71,7 @@ impl Default for SimProfConfig {
             min_structure: 0.25,
             seed: 0,
             minibatch: None,
+            live: None,
         }
     }
 }

@@ -53,10 +53,21 @@ pub struct Estimate {
 }
 
 /// Population statistics per phase, in the form the allocator needs.
+///
+/// Assignments at or beyond `k` are skipped and counted (via the
+/// `core.oob_assignments` counter) rather than panicking: live re-formation
+/// can shrink `k` while stale assignments still point at retired phases.
 pub fn strata_of(cpis: &[f64], assignments: &[usize], k: usize) -> Vec<StratumStats> {
     let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); k];
+    let mut oob = 0u64;
     for (&c, &a) in cpis.iter().zip(assignments) {
-        buckets[a].push(c);
+        match buckets.get_mut(a) {
+            Some(b) => b.push(c),
+            None => oob += 1,
+        }
+    }
+    if oob > 0 {
+        simprof_obs::counter_add("core.oob_assignments", oob);
     }
     buckets.iter().map(|b| StratumStats { units: b.len(), stddev: stddev(b) }).collect()
 }
@@ -93,10 +104,14 @@ pub fn select_points(
     let allocation = optimal_allocation(n, &strata);
     simprof_obs::counter_add("core.points_selected", allocation.iter().sum::<usize>() as u64);
 
-    // Unit ids per phase.
+    // Unit ids per phase; out-of-range assignments were already dropped
+    // from the strata above, so drop them here too or the two views of the
+    // population would disagree.
     let mut members: Vec<Vec<u64>> = vec![Vec::new(); k];
     for (i, &a) in assignments.iter().enumerate() {
-        members[a].push(i as u64);
+        if let Some(m) = members.get_mut(a) {
+            m.push(i as u64);
+        }
     }
 
     let mut per_phase: Vec<Vec<u64>> = Vec::with_capacity(k);
@@ -121,6 +136,12 @@ pub fn select_points(
 /// quantized CPIs and a handful of draws), the known σ_h is used instead —
 /// otherwise the confidence interval would claim near-certainty the sample
 /// cannot support.
+///
+/// A phase that drew zero points is skipped and the remaining phase weights
+/// are renormalized over the covered population — the same `None` convention
+/// as `phase_interval` in `diagnostics`. The old behaviour added
+/// `w · mean(&[])` for such phases, silently dragging the estimate toward
+/// zero by the uncovered weight.
 pub fn estimate_stratified(
     cpis: &[f64],
     assignments: &[usize],
@@ -129,15 +150,18 @@ pub fn estimate_stratified(
 ) -> Estimate {
     let k = points.per_phase.len();
     let strata = strata_of(cpis, assignments, k);
-    let total_units: usize = strata.iter().map(|s| s.units).sum();
 
-    let mut est = 0.0;
+    let mut covered_units = 0usize;
+    let mut parts = Vec::with_capacity(k);
     let mut se_strata = Vec::with_capacity(k);
     let mut sizes = Vec::with_capacity(k);
     for (h, stratum) in strata.iter().enumerate() {
         let sample: Vec<f64> = points.per_phase[h].iter().map(|&id| cpis[id as usize]).collect();
-        let w = stratum.units as f64 / total_units.max(1) as f64;
-        est += w * mean(&sample);
+        if sample.is_empty() {
+            continue;
+        }
+        covered_units += stratum.units;
+        parts.push((stratum.units, mean(&sample)));
         let sample_sd = stddev(&sample);
         let s_h = if sample.len() >= 2 && sample_sd >= 0.1 * stratum.stddev {
             sample_sd
@@ -147,6 +171,8 @@ pub fn estimate_stratified(
         se_strata.push(StratumStats { units: stratum.units, stddev: s_h });
         sizes.push(sample.len());
     }
+    let denom = covered_units.max(1) as f64;
+    let est: f64 = parts.iter().map(|&(units, m)| units as f64 / denom * m).sum();
     let se = stratified_se(&se_strata, &sizes);
     Estimate { mean_cpi: est, se, z, ci: confidence_interval(est, se, z) }
 }
@@ -273,6 +299,44 @@ mod tests {
         // Population stddev of the phase is ~0.47; the guard must restore a
         // spread of that order, not the sample's 0.
         assert!(est.se > 0.05, "CI must not collapse: {}", est.se);
+    }
+
+    #[test]
+    fn empty_stratum_does_not_bias_the_estimate() {
+        // Both phases sit at CPI 2.0 exactly, but only phase 0 drew points.
+        // The old estimator added `w₁ · mean(&[]) = w₁ · 0.0`, dragging the
+        // estimate down to 1.5; skipping the empty stratum with weight
+        // renormalization keeps it at 2.0.
+        let cpis = vec![2.0; 40];
+        let mut asg = vec![0usize; 30];
+        asg.extend(std::iter::repeat_n(1, 10));
+        let pts = SimulationPoints {
+            points: vec![0, 1, 2],
+            per_phase: vec![vec![0, 1, 2], vec![]],
+            allocation: vec![3, 0],
+        };
+        let est = estimate_stratified(&cpis, &asg, &pts, 3.0);
+        assert!((est.mean_cpi - 2.0).abs() < 1e-12, "biased estimate: {}", est.mean_cpi);
+        assert!(est.se.is_finite());
+    }
+
+    #[test]
+    fn out_of_range_assignment_does_not_panic() {
+        // A stale assignment beyond k (routine once live re-formation can
+        // shrink the model) is dropped from both strata stats and the
+        // member lists instead of panicking.
+        let cpis = [1.0, 2.0, 3.0, 4.0];
+        let asg = [0usize, 1, 9, 1];
+        let strata = strata_of(&cpis, &asg, 2);
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0].units, 1);
+        assert_eq!(strata[1].units, 2);
+        let pts = select_points(&cpis, &asg, 2, 3, &mut seeded(1));
+        for &p in &pts.points {
+            assert_ne!(p, 2, "the out-of-range unit must not be selectable");
+        }
+        let est = estimate_stratified(&cpis, &asg, &pts, 3.0);
+        assert!(est.mean_cpi.is_finite());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   multiple threads race to emit,
 //! * `kind` — the discriminator (`meta`, `span_open`, `span_close`,
 //!   `counter`, `gauge`, `hist`, `fault`, `unit_closed`, `salvage`,
-//!   `sink_retry`, `sink_degraded`),
+//!   `sink_retry`, `sink_degraded`, `phase_reformed`, `early_stop`),
 //!
 //! plus kind-specific payload fields (see [`EventKind`]). The first line
 //! of a [`JsonlEventWriter`] log is a `meta` record carrying the
@@ -235,6 +235,28 @@ pub enum EventKind {
         /// The final, fatal error.
         error: String,
     },
+    /// The live analyzer re-formed phases after drift exceeded its
+    /// threshold (DESIGN.md §16).
+    PhaseReformed {
+        /// Units profiled when the re-formation fired.
+        units: u64,
+        /// Phase count before re-formation.
+        old_k: u64,
+        /// Phase count after re-formation.
+        new_k: u64,
+        /// The drift statistic that triggered it.
+        drift: f64,
+    },
+    /// The live analyzer's stopping rule fired: the live CI half-width met
+    /// its target and profiling stops collecting.
+    EarlyStop {
+        /// Units profiled when the stop was requested.
+        units: u64,
+        /// The live CI half-width at stop.
+        half_width: f64,
+        /// The (absolute) half-width target that was met.
+        target: f64,
+    },
 }
 
 impl EventKind {
@@ -251,6 +273,8 @@ impl EventKind {
             EventKind::Salvage { .. } => "salvage",
             EventKind::SinkRetry { .. } => "sink_retry",
             EventKind::SinkDegraded { .. } => "sink_degraded",
+            EventKind::PhaseReformed { .. } => "phase_reformed",
+            EventKind::EarlyStop { .. } => "early_stop",
         }
     }
 }
@@ -321,6 +345,17 @@ impl Event {
                 push("target", Value::from(target.as_str()));
                 push("retries", Value::from(*retries));
                 push("error", Value::from(error.as_str()));
+            }
+            EventKind::PhaseReformed { units, old_k, new_k, drift } => {
+                push("units", Value::from(*units));
+                push("old_k", Value::from(*old_k));
+                push("new_k", Value::from(*new_k));
+                push("drift", Value::from(*drift));
+            }
+            EventKind::EarlyStop { units, half_width, target } => {
+                push("units", Value::from(*units));
+                push("half_width", Value::from(*half_width));
+                push("target", Value::from(*target));
             }
         }
         Value::Object(fields)
@@ -436,6 +471,24 @@ pub fn sink_degraded(target: &str, retries: u64, error: &str) {
         return;
     }
     emit(EventKind::SinkDegraded { target: target.to_owned(), retries, error: error.to_owned() });
+}
+
+/// Emission hook for a live phase re-formation. No-op unless
+/// [`streaming`].
+pub fn phase_reformed(units: u64, old_k: u64, new_k: u64, drift: f64) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::PhaseReformed { units, old_k, new_k, drift });
+}
+
+/// Emission hook for the live analyzer's early stop. No-op unless
+/// [`streaming`].
+pub fn early_stop(units: u64, half_width: f64, target: f64) {
+    if !streaming() {
+        return;
+    }
+    emit(EventKind::EarlyStop { units, half_width, target });
 }
 
 #[cfg(test)]

@@ -51,8 +51,8 @@ pub mod timeline;
 
 pub use alloc::{current_alloc_bytes, peak_alloc_bytes, reset_peak, TrackingAllocator};
 pub use events::{
-    fault_event, salvage_event, sink_degraded, sink_retry, unit_closed, Event, EventKind,
-    EventSink, JsonlEventWriter, EVENT_SCHEMA_VERSION,
+    early_stop, fault_event, phase_reformed, salvage_event, sink_degraded, sink_retry, unit_closed,
+    Event, EventKind, EventSink, JsonlEventWriter, EVENT_SCHEMA_VERSION,
 };
 pub use hist::Log2Histogram;
 pub use metrics::{

@@ -69,6 +69,7 @@ pub struct SamplingManager {
     snapshot_in_unit: u64,
     dropped_in_unit: u32,
     unit_truncated: bool,
+    stopped: bool,
 }
 
 impl SamplingManager {
@@ -99,6 +100,7 @@ impl SamplingManager {
             snapshot_in_unit: 0,
             dropped_in_unit: 0,
             unit_truncated: false,
+            stopped: false,
         }
     }
 
@@ -169,6 +171,13 @@ impl SamplingManager {
         self.emitted
     }
 
+    /// Whether a sink's early-stop request latched: the manager closed no
+    /// further units after the request (the engine keeps running; units
+    /// already emitted are untouched).
+    pub fn stopped(&self) -> bool {
+        self.stopped
+    }
+
     fn close_unit(&mut self, machine: &Machine) {
         let (histogram, snapshots) = self.stacks.flush();
         let counters = self.hw.read_delta(machine, self.config.core);
@@ -196,6 +205,12 @@ impl SamplingManager {
             // the default whole-trace workflow stays clone-free.
             collector.push(unit);
         }
+        // The sanctioned feedback channel (DESIGN.md §16): once any sink has
+        // seen enough, latch the stop so no further unit is closed. Polled
+        // only at unit boundaries — the unit just emitted is always complete.
+        if !self.stopped && self.sinks.iter().any(|s| s.stop_requested()) {
+            self.stopped = true;
+        }
     }
 }
 
@@ -207,7 +222,7 @@ impl ExecListener for SamplingManager {
         stack: &[MethodId],
         machine: &Machine,
     ) {
-        if core != self.config.core {
+        if core != self.config.core || self.stopped {
             return;
         }
         // Snapshots due before (or at) this point. The stack observed now is
@@ -232,6 +247,9 @@ impl ExecListener for SamplingManager {
         while core_instrs >= self.next_unit {
             self.close_unit(machine);
             self.next_unit += self.config.unit_instrs;
+            if self.stopped {
+                break;
+            }
         }
     }
 
@@ -443,6 +461,50 @@ mod tests {
         assert!(trace.units.is_empty(), "collector disabled → header-only trace");
         assert_eq!(trace.unit_instrs, 10_000);
         assert_eq!(mirror.lock().len(), 3, "sinks still observed every unit");
+    }
+
+    #[test]
+    fn sink_stop_request_halts_collection_at_a_unit_boundary() {
+        #[derive(Debug)]
+        struct StopAfter {
+            seen: usize,
+            limit: usize,
+        }
+        impl UnitSink for StopAfter {
+            fn accept(&mut self, _unit: &SamplingUnit) {
+                self.seen += 1;
+            }
+            fn stop_requested(&self) -> bool {
+                self.seen >= self.limit
+            }
+        }
+
+        let mut machine = Machine::new(MachineConfig::scaled(2));
+        let mut reg = MethodRegistry::new();
+        let m = reg.intern("Mapper.map", OpClass::Map);
+        let tasks = vec![Task::new(
+            vec![],
+            vec![WorkItem::compute(
+                vec![m],
+                100_000,
+                50,
+                AccessPattern::Sequential,
+                Region::new(0x1000, 8192),
+                1,
+            )],
+        )];
+        let job = Job::new(vec![Stage::new("s", tasks)]);
+        let mut mgr = SamplingManager::new(ProfilerConfig::with_unit(10_000))
+            .with_sink(Box::new(StopAfter { seen: 0, limit: 3 }));
+        Scheduler::default().run(&mut machine, &job, &mut mgr);
+        assert!(mgr.stopped(), "the stop request must latch");
+        assert_eq!(mgr.units_emitted(), 3, "no unit closes after the request");
+        let trace = mgr.finish();
+        assert_eq!(trace.units.len(), 3);
+        // Every collected unit is complete — stop only happens at boundaries.
+        for u in &trace.units {
+            assert_eq!(u.counters.instructions, 10_000);
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!
 //! Sinks run on the profiling path, so they must never influence sampling
 //! decisions (the same contract the obs layer has, DESIGN.md §11): a sink
-//! observes units, it cannot reject or reorder them.
+//! observes units, it cannot reject or reorder them. The one sanctioned
+//! feedback channel is [`UnitSink::stop_requested`]: a sink that has seen
+//! enough (the live analyzer's early-stopping rule, DESIGN.md §16) may ask
+//! the manager to stop *collecting* — the engine still runs to completion,
+//! and the units already emitted are untouched.
 
 use std::cell::{RefCell, RefMut};
 use std::rc::Rc;
@@ -42,6 +46,14 @@ pub trait UnitSink: std::fmt::Debug {
     /// to fall back to memory-only collection. Default: always healthy.
     fn healthy(&self) -> bool {
         true
+    }
+
+    /// Whether the sink asks profiling to stop collecting. Polled by the
+    /// manager after each closed unit; once any sink returns `true` the
+    /// manager latches the stop and emits no further units (the engine
+    /// itself runs on). Default: never.
+    fn stop_requested(&self) -> bool {
+        false
     }
 }
 
@@ -183,6 +195,10 @@ impl<S: UnitSink> UnitSink for SharedSink<S> {
 
     fn healthy(&self) -> bool {
         self.inner.borrow().healthy()
+    }
+
+    fn stop_requested(&self) -> bool {
+        self.inner.borrow().stop_requested()
     }
 }
 

@@ -7,9 +7,15 @@
 //!
 //! ```text
 //! n_h = n · (N_h σ_h) / Σ_i (N_i σ_i)                            (Eq. 1)
-//! SE  = (1/N) √( Σ_h N_h² (1 − n_h/N_h) s_h² / n_h )             (Eq. 4)
+//! SE  = (1/N) √( Σ_h N_h² (N_h − n_h)/(N_h − 1) s_h² / n_h )     (Eq. 4)
 //! CI  = mean ± z · SE                                            (Eqs. 2–3)
 //! ```
+//!
+//! The finite-population correction is the standard without-replacement
+//! form `(N_h − n_h)/(N_h − 1)`, not the simplified `1 − n_h/N_h`; the
+//! simplified form understates the error for tiny strata (exactly the
+//! regime live early-stopping operates in) by up to a factor of
+//! `N_h/(N_h − 1)` inside the square root.
 
 use serde::{Deserialize, Serialize};
 
@@ -162,8 +168,8 @@ fn allocate(
 /// `strata[h]` carries the population size `N_h` and the *sample* standard
 /// deviation `s_h`; `sample_sizes[h]` is `n_h`. Strata with `n_h == 0`
 /// contribute nothing (their mean is assumed known/skipped); strata with
-/// `n_h == N_h` are fully enumerated and contribute nothing either (finite
-/// population correction `1 − n_h/N_h` vanishes).
+/// `n_h == N_h` are fully enumerated and contribute nothing either (the
+/// finite-population correction `(N_h − n_h)/(N_h − 1)` vanishes).
 ///
 /// # Panics
 ///
@@ -180,7 +186,9 @@ pub fn stratified_se(strata: &[StratumStats], sample_sizes: &[usize]) -> f64 {
             continue;
         }
         let big_n = s.units as f64;
-        let fpc = 1.0 - nh as f64 / big_n;
+        // Standard without-replacement fpc. `nh < s.units` here, so
+        // `s.units ≥ 2` and the denominator is positive.
+        let fpc = (big_n - nh as f64) / (big_n - 1.0);
         acc += big_n * big_n * fpc * (s.stddev * s.stddev) / nh as f64;
     }
     acc.sqrt() / total_units as f64
@@ -367,11 +375,31 @@ mod tests {
 
     #[test]
     fn se_matches_hand_computation() {
-        // Single stratum: SE = sqrt(N^2 (1-n/N) s^2/n)/N = s/sqrt(n) * sqrt(1-n/N)
+        // Single stratum:
+        //   SE = sqrt(N² fpc s²/n)/N = s/sqrt(n) · sqrt((N−n)/(N−1))
+        //      = 2/sqrt(25) · sqrt(75/99)
         let s = vec![StratumStats { units: 100, stddev: 2.0 }];
         let se = stratified_se(&s, &[25]);
-        let expect = 2.0 / 5.0 * (0.75f64).sqrt();
+        let expect = 2.0 / 5.0 * ((100.0 - 25.0) / 99.0f64).sqrt();
         assert!((se - expect).abs() < 1e-12, "{se} vs {expect}");
+    }
+
+    #[test]
+    fn se_uses_standard_fpc_not_simplified() {
+        // Two strata, hand-computed with the standard without-replacement
+        // fpc (N−n)/(N−1):
+        //   h=0: N=10, s=3, n=4 → 100 · (6/9) · 9/4  = 150
+        //   h=1: N=5,  s=1, n=2 → 25  · (3/4) · 1/2  = 9.375
+        //   SE = sqrt(159.375) / 15
+        let s =
+            vec![StratumStats { units: 10, stddev: 3.0 }, StratumStats { units: 5, stddev: 1.0 }];
+        let se = stratified_se(&s, &[4, 2]);
+        let expect = (150.0f64 + 9.375).sqrt() / 15.0;
+        assert!((se - expect).abs() < 1e-12, "{se} vs {expect}");
+        // The simplified 1−n/N form would claim less error; the standard
+        // fpc must be strictly larger for these tiny strata.
+        let simplified = (100.0f64 * 0.6 * 9.0 / 4.0 + 25.0 * 0.6 * 0.5).sqrt() / 15.0;
+        assert!(se > simplified, "{se} must exceed optimistic {simplified}");
     }
 
     #[test]
