@@ -888,16 +888,17 @@ fn main() {
     // Observability stays disabled (and free) unless an obs output
     // (report, event log, or timeline) was requested.
     let wants_obs = args.report.is_some() || args.events.is_some() || args.timeline.is_some();
-    let session = wants_obs.then(simprof_obs::Session::begin);
-    if let Some(path) = &args.events {
+    let obs_ctx = wants_obs.then(simprof_obs::ObsContext::new);
+    if let (Some(ctx), Some(path)) = (&obs_ctx, &args.events) {
         match simprof_obs::JsonlEventWriter::create(std::path::Path::new(path)) {
-            Ok(sink) => simprof_obs::events::install(Box::new(sink)),
+            Ok(sink) => ctx.install_sink(Box::new(sink)),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
             }
         }
     }
+    let _obs_installed = obs_ctx.as_ref().map(simprof_obs::ObsContext::install);
     let t_syn = Instant::now();
     let data = {
         let _span = simprof_obs::span!("bench.synthesize");
@@ -1047,7 +1048,7 @@ fn main() {
         println!("wrote {path}");
     }
 
-    if let Some(session) = session {
+    if let Some(ctx) = &obs_ctx {
         let total: usize = strata.iter().map(|s| s.units).sum();
         let rows: Vec<serde_json::Value> = strata
             .iter()
@@ -1063,8 +1064,8 @@ fn main() {
                 })
             })
             .collect();
-        let report = session
-            .finish()
+        let report = ctx
+            .finish_report()
             .with_section(
                 "config",
                 serde_json::json!({

@@ -1,0 +1,242 @@
+//! Concurrent-service isolation smoke: N profiling jobs through the
+//! [`JobRunner`], then every job re-run solo and its shard compared byte
+//! for byte.
+//!
+//! ```text
+//! cargo run --release -p simprof-bench --bin bench_service -- \
+//!     [--jobs N] [--concurrent N] [--seed S] [--threads N] \
+//!     [--store DIR] [-o BENCH_service.json]
+//! ```
+//!
+//! The run builds `--jobs` specs (default 32) cycling through the Table I
+//! workload matrix with distinct seeds, a mix of raw/LZ codecs, and three
+//! tenants, and serves them at `--concurrent` (default 8) worker threads
+//! into a sharded [`TraceStore`]. Three contracts are enforced, each a
+//! non-zero exit on violation:
+//!
+//! 1. **Isolation** — every job is then re-run alone in a fresh store and
+//!    its shard must be bit-identical to the one written under full
+//!    concurrency. Any cross-job leak (a shared RNG, a sink observing a
+//!    neighbor's units, an allocation charged to the wrong slot shifting a
+//!    budget verdict) shows up as a byte diff here.
+//! 2. **Store integrity** — `TraceStore::validate` must find the index and
+//!    the shards on disk in exact agreement (sizes, unit counts, layout
+//!    versions, no strays).
+//! 3. **No failures** — every job must finish and stay within its memory
+//!    budget.
+//!
+//! With `-o`, writes the `BENCH_service.json` record CI uploads: job
+//! counts, aggregate units/bytes, concurrent vs. solo wall-clock, and the
+//! per-contract verdicts.
+
+use std::time::Instant;
+
+use simprof_bench::apply_thread_flag;
+use simprof_obs::TrackingAllocator;
+use simprof_service::{JobRunner, JobSpec, TraceStore};
+use simprof_workloads::WorkloadId;
+
+/// Real per-slot byte accounting for the jobs' `mem_cap_mb` verdicts.
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+struct Args {
+    jobs: usize,
+    concurrent: usize,
+    seed: u64,
+    store: Option<String>,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv = apply_thread_flag(std::env::args().skip(1).collect())?;
+    let mut args = Args { jobs: 32, concurrent: 8, seed: 42, store: None, output: None };
+    let mut it = argv.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--jobs" => {
+                args.jobs = value(&flag)?.parse().map_err(|e| format!("invalid --jobs: {e}"))?
+            }
+            "--concurrent" => {
+                args.concurrent =
+                    value(&flag)?.parse().map_err(|e| format!("invalid --concurrent: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value(&flag)?.parse().map_err(|e| format!("invalid --seed: {e}"))?
+            }
+            "--store" => args.store = Some(value(&flag)?),
+            "-o" | "--output" => args.output = Some(value(&flag)?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if args.jobs == 0 || args.concurrent == 0 {
+        return Err("need --jobs ≥ 1 and --concurrent ≥ 1".into());
+    }
+    Ok(args)
+}
+
+/// The i-th job of the fleet: workloads cycle through the Table I matrix,
+/// seeds stay distinct, every third job compresses, tenants rotate.
+fn fleet_spec(i: usize, seed: u64) -> JobSpec {
+    let workloads = WorkloadId::all();
+    let w = workloads[i % workloads.len()];
+    let mut spec = JobSpec::new(&format!("job-{i:03}"), &w.label());
+    spec.seed = Some(seed + i as u64);
+    spec.scale = Some("tiny".into());
+    if i % 3 == 0 {
+        spec.codec = Some("lz".into());
+    }
+    spec.tenant = Some(format!("tenant-{}", i % 3));
+    spec.mem_cap_mb = Some(512);
+    spec
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let root = match &args.store {
+        Some(dir) => dir.clone(),
+        None => {
+            let dir = std::env::temp_dir().join(format!("simprof_bench_service_{}", args.seed));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir.to_str().ok_or("temp path is not UTF-8")?.to_owned()
+        }
+    };
+    let specs: Vec<JobSpec> = (0..args.jobs).map(|i| fleet_spec(i, args.seed)).collect();
+
+    // Phase 1 — the concurrent fleet.
+    println!(
+        "service smoke: {} jobs, {} concurrent, seed {}, store {root}",
+        args.jobs, args.concurrent, args.seed
+    );
+    let runner = JobRunner::new(TraceStore::create(&root)?).with_max_concurrent(args.concurrent);
+    let t0 = Instant::now();
+    let results = runner.run(&specs);
+    let concurrent_secs = t0.elapsed().as_secs_f64();
+    runner.store().write_index()?;
+
+    let mut failures = Vec::new();
+    let mut total_units = 0u64;
+    let mut total_bytes = 0u64;
+    let mut over_cap = 0usize;
+    for (spec, result) in specs.iter().zip(&results) {
+        match result {
+            Ok(o) => {
+                total_units += o.units;
+                total_bytes += o.trace_bytes;
+                if !o.within_cap {
+                    over_cap += 1;
+                    failures.push(format!(
+                        "job `{}`: peak {} bytes exceeded its {} byte budget",
+                        o.id,
+                        o.peak_bytes,
+                        o.mem_cap_bytes.unwrap_or(0)
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("job `{}`: {e}", spec.id)),
+        }
+    }
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "  fleet: {ok}/{} jobs ok in {concurrent_secs:.2} s ({total_units} units, \
+         {total_bytes} bytes, {over_cap} over budget)",
+        args.jobs
+    );
+
+    // Phase 2 — store integrity.
+    let check = TraceStore::validate(&root)?;
+    for p in &check.problems {
+        failures.push(format!("store: {p}"));
+    }
+    println!(
+        "  store: {} shards, {} bytes across {} tenants, {}",
+        check.shards,
+        check.total_bytes,
+        check.tenant_bytes.len(),
+        if check.clean() { "index and disk agree" } else { "INCONSISTENT" }
+    );
+
+    // Phase 3 — isolation: each job solo, bytes compared to the fleet run.
+    let solo_root = format!("{root}_solo");
+    let t1 = Instant::now();
+    let mut diverged = 0usize;
+    for spec in &specs {
+        let _ = std::fs::remove_dir_all(&solo_root);
+        let solo = JobRunner::new(TraceStore::create(&solo_root)?).with_max_concurrent(1);
+        match &solo.run(std::slice::from_ref(spec))[0] {
+            Ok(_) => {
+                let fleet_bytes = std::fs::read(runner.store().shard_path(&spec.id))
+                    .map_err(|e| format!("read fleet shard `{}`: {e}", spec.id))?;
+                let solo_bytes = std::fs::read(solo.store().shard_path(&spec.id))
+                    .map_err(|e| format!("read solo shard `{}`: {e}", spec.id))?;
+                if fleet_bytes != solo_bytes {
+                    diverged += 1;
+                    failures.push(format!(
+                        "job `{}`: shard under {} concurrent neighbors differs from its solo \
+                         run ({} vs {} bytes)",
+                        spec.id,
+                        args.concurrent,
+                        fleet_bytes.len(),
+                        solo_bytes.len()
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("job `{}` (solo): {e}", spec.id)),
+        }
+    }
+    let solo_secs = t1.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&solo_root);
+    println!(
+        "  isolation: {} jobs replayed solo in {solo_secs:.2} s, {diverged} diverged",
+        args.jobs
+    );
+
+    if let Some(path) = &args.output {
+        let record = serde_json::json!({
+            "bench": "service/concurrent_isolation",
+            "jobs": args.jobs,
+            "concurrent": args.concurrent,
+            "seed": args.seed,
+            "jobs_ok": ok,
+            "jobs_over_budget": over_cap,
+            "total_units": total_units,
+            "total_trace_bytes": total_bytes,
+            "store_shards": check.shards,
+            "store_bytes": check.total_bytes,
+            "store_clean": check.clean(),
+            "tenants": check.tenant_bytes.len(),
+            "concurrent_secs": concurrent_secs,
+            "solo_replay_secs": solo_secs,
+            "jobs_per_sec_concurrent": args.jobs as f64 / concurrent_secs.max(1e-12),
+            "shards_diverged_from_solo": diverged,
+            "isolation_bit_identical": diverged == 0,
+            "failures": failures.clone(),
+        });
+        let text = serde_json::to_string_pretty(&record).expect("record encodes");
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if args.store.is_none() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    if !failures.is_empty() {
+        return Err(format!("{} violation(s):\n  {}", failures.len(), failures.join("\n  ")));
+    }
+    println!("  all contracts hold: isolation bit-identical, store consistent, budgets kept");
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,12 @@
 //!   `name`/`ph`/`pid` keys, `ph` drawn from `B`/`E`/`X`/`C`/`M`, `B`/`E`
 //!   slices balanced per tid with matching names and non-decreasing
 //!   timestamps, counter samples non-decreasing in time per counter name.
+//! * JSON with a `shards` key — a shard-store index
+//!   ([`simprof_service::StoreIndex`], written by `simprof serve`): the
+//!   index and the store on disk must agree exactly — every recorded
+//!   shard present with the recorded size, readable, with a footer
+//!   matching the recorded unit count and layout, and no stray `.sptrc`
+//!   files outside the index.
 //! * anything else — a versioned run report: must parse as a
 //!   [`simprof_obs::RunReport`], carry [`simprof_obs::REPORT_VERSION`], a
 //!   non-empty span tree, a non-empty metrics snapshot, and an
@@ -37,6 +43,21 @@ enum Checked {
     Report,
     EventLog { records: usize },
     Timeline { events: usize },
+    StoreIndex { shards: usize, bytes: u64 },
+}
+
+/// Validates a shard-store index against the store rooted at the index
+/// file's directory.
+fn check_store_index(path: &str) -> Result<Checked, String> {
+    let root = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(|| ".".to_owned(), |p| p.to_string_lossy().into_owned());
+    let check = simprof_service::TraceStore::validate(&root)?;
+    if let Some(first) = check.problems.first() {
+        return Err(format!("{} store problem(s); first: {first}", check.problems.len()));
+    }
+    Ok(Checked::StoreIndex { shards: check.shards, bytes: check.total_bytes })
 }
 
 /// Validates a streaming JSONL event log.
@@ -262,6 +283,9 @@ fn check(path: &str) -> Result<Checked, String> {
         if doc.get("traceEvents").is_some() {
             return check_timeline(&doc);
         }
+        if doc.get("shards").is_some() {
+            return check_store_index(path);
+        }
     }
     check_report(&text)
 }
@@ -283,6 +307,9 @@ fn main() {
             }
             Ok(Checked::Timeline { events }) => {
                 println!("{path}: ok (chrome-trace timeline, {events} events)")
+            }
+            Ok(Checked::StoreIndex { shards, bytes }) => {
+                println!("{path}: ok (shard-store index, {shards} shards, {bytes} bytes)")
             }
             Err(e) => {
                 eprintln!("{path}: {e}");

@@ -4,6 +4,8 @@
 //! and the surface is small enough that a hand-rolled parser with strict
 //! validation is clearer than pulling one in.
 
+use simprof_trace::Codec;
+
 /// Parsed command options (flat across subcommands; each command validates
 /// the subset it needs).
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +51,15 @@ pub struct Options {
     /// CI half-width falls at or below this fraction of the running mean
     /// CPI; implies `--live`).
     pub target_rel_err: Option<f64>,
+    /// `--codec` (per-frame trace compression for `profile`,
+    /// `trace-repair`, and `serve`; absent keeps the uncompressed v2
+    /// layout).
+    pub codec: Option<Codec>,
+    /// `--jobs` (for `serve`: path to the JSON jobs file).
+    pub jobs: Option<String>,
+    /// `--store` (for `serve`: root directory of the sharded trace
+    /// store).
+    pub store: Option<String>,
 }
 
 /// Workload scale preset.
@@ -80,6 +91,9 @@ impl Default for Options {
             salvage: false,
             live: false,
             target_rel_err: None,
+            codec: None,
+            jobs: None,
+            store: None,
         }
     }
 }
@@ -159,6 +173,9 @@ impl Options {
                     opts.target_rel_err = Some(e);
                     opts.live = true;
                 }
+                "--codec" => opts.codec = Some(Codec::parse(&value(flag)?)?),
+                "--jobs" => opts.jobs = Some(value(flag)?),
+                "--store" => opts.store = Some(value(flag)?),
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -284,6 +301,27 @@ mod tests {
         assert!(parse("--target-rel-err 1.0").is_err());
         assert!(parse("--target-rel-err x").is_err());
         assert!(parse("--target-rel-err").is_err(), "missing value");
+    }
+
+    #[test]
+    fn codec_flag() {
+        assert_eq!(parse("").unwrap().codec, None);
+        assert_eq!(parse("--codec raw").unwrap().codec, Some(Codec::Raw));
+        assert_eq!(parse("--codec lz").unwrap().codec, Some(Codec::Lz));
+        assert!(parse("--codec zstd").is_err(), "unknown codec rejected");
+        assert!(parse("--codec").is_err(), "missing value");
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse("").unwrap();
+        assert_eq!(o.jobs, None);
+        assert_eq!(o.store, None);
+        let o = parse("--jobs jobs.json --store traces/").unwrap();
+        assert_eq!(o.jobs.as_deref(), Some("jobs.json"));
+        assert_eq!(o.store.as_deref(), Some("traces/"));
+        assert!(parse("--jobs").is_err(), "missing value");
+        assert!(parse("--store").is_err(), "missing value");
     }
 
     #[test]

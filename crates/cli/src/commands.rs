@@ -29,21 +29,40 @@ fn pipeline(opts: &Options) -> SimProf {
     SimProf::new(SimProfConfig { seed: opts.seed, ..Default::default() })
 }
 
-/// Begins an observability session when any obs output (`--report`,
+/// A per-command observability window: a job-scoped
+/// [`simprof_obs::ObsContext`] installed on the calling thread (the
+/// parallel substrate propagates it to pool workers), so concurrent
+/// commands — including the service layer's jobs — record independently.
+pub(crate) struct ObsWindow {
+    ctx: simprof_obs::ObsContext,
+    installed: simprof_obs::ContextGuard,
+}
+
+impl ObsWindow {
+    /// Stops collecting and assembles the report skeleton.
+    pub(crate) fn finish(self) -> simprof_obs::RunReport {
+        let ObsWindow { ctx, installed } = self;
+        drop(installed);
+        ctx.finish_report()
+    }
+}
+
+/// Opens an observability window when any obs output (`--report`,
 /// `--events`, `--timeline`) was requested, installing the streaming JSONL
 /// event sink when `--events` names a path. Returns `None` — and leaves
 /// every instrumentation hook a single relaxed atomic load — when no obs
 /// output was asked for.
-fn obs_session(opts: &Options) -> Result<Option<simprof_obs::Session>, String> {
+fn obs_session(opts: &Options) -> Result<Option<ObsWindow>, String> {
     if opts.report.is_none() && opts.events.is_none() && opts.timeline.is_none() {
         return Ok(None);
     }
-    let session = simprof_obs::Session::begin();
+    let ctx = simprof_obs::ObsContext::new();
     if let Some(path) = &opts.events {
         let sink = simprof_obs::JsonlEventWriter::create(std::path::Path::new(path))?;
-        simprof_obs::events::install(Box::new(sink));
+        ctx.install_sink(Box::new(sink));
     }
-    Ok(Some(session))
+    let installed = ctx.install();
+    Ok(Some(ObsWindow { ctx, installed }))
 }
 
 /// Writes the requested obs outputs from a finished report: `--report`
@@ -94,6 +113,10 @@ fn scale_name(opts: &Options) -> String {
 /// observability session: `--events` streams the JSONL event log while the
 /// engine runs, `--timeline` converts the finished span tree (including
 /// `parallel.worker` slices from the thread pool) to Chrome-trace JSON.
+///
+/// `--codec raw|lz` writes the v3 layout with per-frame compression (see
+/// `simprof_trace::codec`); without it the trace stays on the v2 layout,
+/// byte-identical to previous releases.
 pub fn profile(opts: &Options) -> Result<(), String> {
     let label = opts.require_workload("profile")?;
     let id = find_workload(label)?;
@@ -110,10 +133,17 @@ pub fn profile(opts: &Options) -> Result<(), String> {
                 snapshot_instrs: cfg.profiler.snapshot_instrs,
                 core: cfg.profiler.core,
             };
-            Some((path.clone(), SharedSink::new(TraceWriter::create(path, &meta)?)))
+            let writer = match opts.codec {
+                None => TraceWriter::create(path, &meta)?,
+                Some(codec) => TraceWriter::create_compressed(path, &meta, codec)?,
+            };
+            Some((path.clone(), SharedSink::new(writer)))
         }
         _ => None,
     };
+    if opts.codec.is_some() && streaming_out.is_none() {
+        return Err("--codec requires a chunked trace output (-o <file.sptrc>)".into());
+    }
     let sinks: Vec<Box<dyn UnitSink>> = match &streaming_out {
         Some((_, writer)) => vec![Box::new(writer.clone())],
         None => Vec::new(),
@@ -141,12 +171,17 @@ pub fn profile(opts: &Options) -> Result<(), String> {
             // either way. Warn, point at salvage, and exit successfully.
             let sealed = writer.lock().finish(&out.registry);
             match sealed {
-                Ok(footer) => {
-                    println!(
+                Ok(footer) => match opts.codec {
+                    Some(codec) => println!(
+                        "wrote {path} ({} units, chunked v3, {} codec)",
+                        footer.unit_count,
+                        codec.name()
+                    ),
+                    None => println!(
                         "wrote {path} ({} units, chunked streaming format)",
                         footer.unit_count
-                    );
-                }
+                    ),
+                },
                 Err(e) => {
                     let retries = writer.lock().retries();
                     eprintln!(
@@ -625,6 +660,14 @@ pub fn trace_info(opts: &Options) -> Result<(), String> {
     match input.footer() {
         Some(footer) => {
             println!("{path}: chunked trace (schema v{})", footer.version);
+            if footer.version >= 3 {
+                // Still O(1): re-reading header + footer frames is enough to
+                // report which codecs the per-frame negotiation produced
+                // there; unit chunks are never decoded.
+                let mut reader = TraceReader::open(path)?;
+                reader.footer()?;
+                println!("  frame codecs    {}", reader.codecs_seen().join(", "));
+            }
             println!("  workload        {}", input.label);
             println!("  seed            {}", input.seed);
             println!("  scale           {}", input.scale);
@@ -688,9 +731,10 @@ fn trace_info_salvage(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof trace-repair -i damaged.sptrc -o repaired.sptrc` — salvage a
-/// damaged chunked trace and rewrite every recovered unit into a fresh,
-/// footer-sealed schema-v2 file that the ordinary reader accepts.
+/// `simprof trace-repair -i damaged.sptrc -o repaired.sptrc [--codec lz]`
+/// — salvage a damaged chunked trace and rewrite every recovered unit into
+/// a fresh, footer-sealed file that the ordinary reader accepts (schema v2
+/// by default, compressed v3 under `--codec`).
 ///
 /// Repair is lossless over what survived: units from intact chunk frames
 /// round-trip bit-identically; units whose frames failed their checksum are
@@ -720,12 +764,87 @@ pub fn trace_repair(opts: &Options) -> Result<(), String> {
     if !r.header_recovered {
         println!("  header frame lost; metadata reconstructed from the recovered units");
     }
-    let mut writer = TraceWriter::create(out_path, &s.meta)?;
+    let mut writer = match opts.codec {
+        None => TraceWriter::create(out_path, &s.meta)?,
+        Some(codec) => TraceWriter::create_compressed(out_path, &s.meta, codec)?,
+    };
     for unit in &s.units {
         writer.push(unit);
     }
     let footer = writer.finish(&s.footer.registry)?;
-    println!("wrote {out_path} ({} units, sealed schema v2)", footer.unit_count);
+    println!(
+        "wrote {out_path} ({} units, sealed schema v{})",
+        footer.unit_count,
+        writer.layout_version()
+    );
+    Ok(())
+}
+
+/// `simprof serve --jobs jobs.json --store DIR [--codec lz] [--threads N]`
+/// — run a batch of profiling jobs concurrently, one shard per job.
+///
+/// Each job gets its own observability context, allocation-budget slot,
+/// and `.sptrc` shard under `DIR/shards/`; finished shards are admitted
+/// against their tenant's byte cap and recorded in `DIR/index.json`
+/// (sorted by job id, so the index bytes are independent of completion
+/// order). A job's shard is bit-identical to what `simprof profile` writes
+/// for the same workload/scale/seed/codec, no matter how many neighbors
+/// ran beside it. Exits nonzero when any job fails or exceeds its
+/// `mem_cap_mb` budget.
+pub fn serve(opts: &Options) -> Result<(), String> {
+    let jobs_path = opts
+        .jobs
+        .as_deref()
+        .ok_or_else(|| "`serve` requires --jobs <FILE> (a JSON array of job specs)".to_string())?;
+    let store_root = opts
+        .store
+        .as_deref()
+        .ok_or_else(|| "`serve` requires --store <DIR> (the trace store root)".to_string())?;
+    let specs = simprof_service::load_jobs(jobs_path)?;
+    let store = simprof_service::TraceStore::create(store_root)?;
+    let concurrency = opts.threads.unwrap_or(4).min(specs.len()).max(1);
+    let runner = simprof_service::JobRunner::new(store)
+        .with_default_codec(opts.codec)
+        .with_max_concurrent(concurrency);
+
+    println!("serving {} jobs ({concurrency} concurrent) into {store_root}", specs.len());
+    let results = runner.run(&specs);
+    let mut failed = 0usize;
+    let mut over_cap = 0usize;
+    for (spec, result) in specs.iter().zip(&results) {
+        match result {
+            Ok(o) => {
+                let mem = match o.mem_cap_bytes {
+                    Some(cap) => format!(
+                        "peak {} of {} budget bytes{}",
+                        o.peak_bytes,
+                        cap,
+                        if o.within_cap { "" } else { " — OVER BUDGET" }
+                    ),
+                    None => format!("peak {} bytes", o.peak_bytes),
+                };
+                if !o.within_cap {
+                    over_cap += 1;
+                }
+                println!(
+                    "  job {:<16} ok: {} units, {} bytes -> {} [tenant {}] ({} ms, {mem})",
+                    o.id, o.units, o.trace_bytes, o.shard, o.tenant, o.wall_ms
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!("  job {:<16} FAILED: {e}", spec.id);
+            }
+        }
+    }
+    let index_path = runner.store().write_index()?;
+    println!("wrote {index_path} ({} shards)", results.iter().filter(|r| r.is_ok()).count());
+    if failed > 0 || over_cap > 0 {
+        return Err(format!(
+            "{failed} of {} jobs failed, {over_cap} exceeded their memory budget",
+            specs.len()
+        ));
+    }
     Ok(())
 }
 

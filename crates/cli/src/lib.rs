@@ -74,6 +74,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compare" => commands::compare(&opts),
         "export" => commands::export(&opts),
         "validate" => commands::validate(&opts),
+        "serve" => commands::serve(&opts),
         "trace-info" => commands::trace_info(&opts),
         "trace-repair" => commands::trace_repair(&opts),
         "sensitivity" => commands::sensitivity(&opts),
@@ -107,9 +108,11 @@ COMMANDS:
     compare       All sampling approaches on one trace (a Fig. 7 row)
     export        Write a simulation manifest for a detailed simulator
     validate      Replay selected points in isolation and compare CPIs
+    serve         Run a batch of profiling jobs concurrently (--jobs file),
+                  one shard per job in a --store trace store
     trace-info    Print a trace file's metadata (footer read, no unit scan;
                   --salvage forward-scans a damaged file instead)
-    trace-repair  Salvage a damaged/truncated trace into a sealed v2 file
+    trace-repair  Salvage a damaged/truncated trace into a sealed file
     sensitivity   Input-sensitivity study (Algorithm 1) over the Table II graphs
     diagnose      Estimator diagnostics: CI convergence curve + empirical coverage
     timeline      Convert a run report to Chrome-trace/Perfetto timeline JSON
@@ -150,6 +153,16 @@ OPTIONS:
         --target-rel-err <FRAC>  For `run --live`: stop profiling once the live
                              CI half-width is within FRAC of the mean CPI
                              (implies --live)
+        --codec <NAME>       Per-frame trace compression: raw | lz. For
+                             `profile`/`trace-repair` writes the v3 layout;
+                             for `serve` it is the default for jobs that do
+                             not choose one. Omit to keep the uncompressed
+                             v2 layout
+        --jobs <FILE>        For `serve`: JSON array of job specs ({id,
+                             workload, seed?, scale?, codec?, mem_cap_mb?,
+                             tenant?})
+        --store <DIR>        For `serve`: store root; shards land under
+                             DIR/shards/, the index at DIR/index.json
 "
     .to_string()
 }

@@ -2,6 +2,12 @@
 
 use std::process::ExitCode;
 
+/// Byte-counting allocator so `serve` jobs' `mem_cap_mb` verdicts (and
+/// `--report` allocation tables) reflect real allocations; overhead when
+/// no job charges a slot is one thread-local read per alloc.
+#[global_allocator]
+static ALLOC: simprof_obs::TrackingAllocator = simprof_obs::TrackingAllocator;
+
 fn main() -> ExitCode {
     // Dying with a panic backtrace when stdout closes early
     // (`simprof list | head`) is hostile for a CLI; exit quietly instead.

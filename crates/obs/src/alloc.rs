@@ -1,4 +1,4 @@
-//! Peak-heap tracking allocator.
+//! Peak-heap tracking allocator with per-job budget slots.
 //!
 //! [`TrackingAllocator`] wraps the system allocator and keeps two global
 //! atomic counters: bytes currently live and the high-water mark since the
@@ -6,7 +6,15 @@
 //! as the `#[global_allocator]` lets `bench_pipeline` report the real peak
 //! heap of streamed vs. batch analysis instead of estimating.
 //!
-//! The bookkeeping is two relaxed atomic ops per (de)allocation; the
+//! On top of the process-wide counters, a fixed table of [`ALLOC_SLOTS`]
+//! **budget slots** gives concurrent jobs their own current/peak
+//! accounting: a job claims an [`AllocSlot`], attaches it to its
+//! [`crate::ObsContext`], and every thread the context is installed on
+//! (including pool workers the job submits to) charges its allocations to
+//! that slot. One job's allocations never attribute to another job's
+//! peak.
+//!
+//! The bookkeeping is a few relaxed atomic ops per (de)allocation; the
 //! counters are observational only, so the usual determinism contract of
 //! this crate holds: nothing downstream reads them back into the pipeline.
 //!
@@ -27,26 +35,141 @@
 //! at zero — code that *reads* them works in any build.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 
 /// Bytes currently allocated through the tracking allocator.
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 /// High-water mark of [`CURRENT`] since the last [`reset_peak`].
 static PEAK: AtomicUsize = AtomicUsize::new(0);
 
+/// Number of per-job budget slots available process-wide.
+pub const ALLOC_SLOTS: usize = 64;
+
+struct SlotState {
+    taken: AtomicBool,
+    /// Signed: a thread tagged for one job can free memory another job
+    /// allocated, so the balance may dip below zero transiently.
+    current: AtomicIsize,
+    peak: AtomicUsize,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+static SLOTS: [SlotState; ALLOC_SLOTS] = [const {
+    SlotState {
+        taken: AtomicBool::new(false),
+        current: AtomicIsize::new(0),
+        peak: AtomicUsize::new(0),
+    }
+}; ALLOC_SLOTS];
+
+thread_local! {
+    /// Which slot this thread charges, `usize::MAX` for none. Const-init
+    /// `Cell` so reads inside `GlobalAlloc` never allocate; accessed via
+    /// `try_with` so TLS teardown can't panic the allocator.
+    static SLOT_TAG: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Tags the calling thread to charge `idx` (or `usize::MAX` for none),
+/// returning the previous tag so installers can restore it.
+pub(crate) fn set_thread_slot(idx: usize) -> usize {
+    SLOT_TAG
+        .try_with(|c| {
+            let prev = c.get();
+            c.set(idx);
+            prev
+        })
+        .unwrap_or(usize::MAX)
+}
+
+/// A claimed per-job allocation-budget slot. Attach it to a job's
+/// [`crate::ObsContext`] with [`crate::ObsContext::set_alloc_slot`];
+/// dropping the handle releases the slot for reuse.
+#[must_use = "dropping the slot releases it; hold it for the job's lifetime"]
+pub struct AllocSlot {
+    idx: usize,
+}
+
+impl AllocSlot {
+    /// Claims a free slot with zeroed counters, or `None` when all
+    /// [`ALLOC_SLOTS`] are in use.
+    pub fn claim() -> Option<Self> {
+        for (idx, slot) in SLOTS.iter().enumerate() {
+            if slot.taken.compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+            {
+                slot.current.store(0, Ordering::Relaxed);
+                slot.peak.store(0, Ordering::Relaxed);
+                return Some(Self { idx });
+            }
+        }
+        None
+    }
+
+    /// This slot's index in the process table.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Bytes currently charged to this slot (clamped at zero).
+    pub fn current_bytes(&self) -> usize {
+        SLOTS[self.idx].current.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Peak bytes charged to this slot since claim (or the last
+    /// [`AllocSlot::reset_peak`]).
+    pub fn peak_bytes(&self) -> usize {
+        SLOTS[self.idx].peak.load(Ordering::Relaxed)
+    }
+
+    /// Re-bases this slot's high-water mark to its current balance.
+    pub fn reset_peak(&self) {
+        let now = SLOTS[self.idx].current.load(Ordering::Relaxed).max(0) as usize;
+        SLOTS[self.idx].peak.store(now, Ordering::Relaxed);
+    }
+}
+
+impl Drop for AllocSlot {
+    fn drop(&mut self) {
+        SLOTS[self.idx].taken.store(false, Ordering::Release);
+    }
+}
+
+fn slot_record_alloc(size: usize) {
+    let Ok(tag) = SLOT_TAG.try_with(Cell::get) else { return };
+    if tag >= ALLOC_SLOTS {
+        return;
+    }
+    let slot = &SLOTS[tag];
+    let now = slot.current.fetch_add(size as isize, Ordering::Relaxed) + size as isize;
+    if now > 0 {
+        slot.peak.fetch_max(now as usize, Ordering::Relaxed);
+    }
+}
+
+fn slot_record_dealloc(size: usize) {
+    let Ok(tag) = SLOT_TAG.try_with(Cell::get) else { return };
+    if tag >= ALLOC_SLOTS {
+        return;
+    }
+    SLOTS[tag].current.fetch_sub(size as isize, Ordering::Relaxed);
+}
+
 /// A [`GlobalAlloc`] that delegates to [`System`] and maintains the
 /// current/peak byte counters read by [`current_alloc_bytes`] and
-/// [`peak_alloc_bytes`].
+/// [`peak_alloc_bytes`], plus the claimed [`AllocSlot`] of the thread's
+/// installed context, if any.
 pub struct TrackingAllocator;
 
 impl TrackingAllocator {
     fn record_alloc(size: usize) {
         let now = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
         PEAK.fetch_max(now, Ordering::Relaxed);
+        slot_record_alloc(size);
     }
 
     fn record_dealloc(size: usize) {
         CURRENT.fetch_sub(size, Ordering::Relaxed);
+        slot_record_dealloc(size);
     }
 }
 
@@ -149,5 +272,48 @@ mod tests {
         unsafe { TrackingAllocator.dealloc(p, layout) };
         reset_peak();
         assert_eq!(peak_alloc_bytes(), current_alloc_bytes());
+    }
+
+    #[test]
+    fn tagged_threads_charge_their_own_slot() {
+        let _guard = LOCK.lock().unwrap();
+        let a = AllocSlot::claim().expect("slot a");
+        let b = AllocSlot::claim().expect("slot b");
+        assert_ne!(a.index(), b.index());
+
+        let layout = Layout::from_size_align(2048, 8).unwrap();
+        let prev = set_thread_slot(a.index());
+        let p = unsafe { TrackingAllocator.alloc(layout) };
+        set_thread_slot(b.index());
+        let q = unsafe { TrackingAllocator.alloc(layout) };
+        set_thread_slot(prev);
+
+        assert_eq!(a.peak_bytes(), 2048, "slot a sees only its own alloc");
+        assert_eq!(b.peak_bytes(), 2048, "slot b sees only its own alloc");
+
+        // Untagged frees touch neither slot.
+        unsafe { TrackingAllocator.dealloc(p, layout) };
+        unsafe { TrackingAllocator.dealloc(q, layout) };
+        assert_eq!(a.current_bytes(), 2048);
+        assert_eq!(b.current_bytes(), 2048);
+    }
+
+    #[test]
+    fn released_slots_are_reclaimable_with_fresh_counters() {
+        let _guard = LOCK.lock().unwrap();
+        let layout = Layout::from_size_align(256, 8).unwrap();
+        let first = AllocSlot::claim().expect("slot");
+        let idx = first.index();
+        let prev = set_thread_slot(idx);
+        let p = unsafe { TrackingAllocator.alloc(layout) };
+        unsafe { TrackingAllocator.dealloc(p, layout) };
+        set_thread_slot(prev);
+        assert!(first.peak_bytes() >= 256);
+        drop(first);
+
+        let second = AllocSlot::claim().expect("reclaim");
+        assert_eq!(second.index(), idx, "lowest free slot is reused");
+        assert_eq!(second.peak_bytes(), 0, "counters zeroed on claim");
+        assert_eq!(second.current_bytes(), 0);
     }
 }

@@ -13,7 +13,7 @@
 //!
 //! * `v` — schema version (bumped on any breaking change; new optional
 //!   payload fields do **not** bump it),
-//! * `seq` — strictly increasing per session, assigned under the sink
+//! * `seq` — strictly increasing per context, assigned under the sink
 //!   lock so file order equals `seq` order,
 //! * `ts_us` — microseconds since the process span epoch, stamped under
 //!   the same lock so it is non-decreasing in file order even when
@@ -33,6 +33,11 @@
 //! are write-only (nothing downstream reads events back), and
 //! `tests/obs_determinism.rs` pins that enabling the event log leaves
 //! pipeline output bit-identical.
+//!
+//! Sink state lives in the owning [`crate::ObsContext`] (one [`SinkSlot`]
+//! per context), so concurrent jobs stream to independent logs with
+//! independent `seq` counters. The free functions here operate on the
+//! calling thread's current context.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -43,13 +48,14 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
+use crate::context;
 use crate::span;
 
 /// Version of the event-log schema emitted by this build.
 pub const EVENT_SCHEMA_VERSION: u32 = 1;
 
 /// Receives events as they are emitted. Implementations must be cheap:
-/// the emitter holds the process-wide sink lock while calling [`emit`].
+/// the emitter holds its context's sink lock while calling [`emit`].
 ///
 /// [`emit`]: EventSink::emit
 pub trait EventSink: Send {
@@ -59,65 +65,89 @@ pub trait EventSink: Send {
     fn flush(&mut self) {}
 }
 
-/// Whether an event sink is installed. Emission sites check this first;
-/// when `false` each site is a single relaxed load.
-static STREAMING: AtomicBool = AtomicBool::new(false);
-
 struct SinkState {
     sink: Box<dyn EventSink>,
     seq: u64,
 }
 
-static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
-
-fn sink_lock() -> MutexGuard<'static, Option<SinkState>> {
-    SINK.lock().unwrap_or_else(PoisonError::into_inner)
+/// One context's event-sink slot: the installed sink (if any) plus its
+/// `seq` counter, guarded by a flag so emission sites pay one relaxed
+/// load when nothing is streaming.
+pub(crate) struct SinkSlot {
+    streaming: AtomicBool,
+    state: Mutex<Option<SinkState>>,
 }
 
-/// True while an [`EventSink`] is installed and receiving events.
+impl SinkSlot {
+    pub(crate) fn new() -> Self {
+        Self { streaming: AtomicBool::new(false), state: Mutex::new(None) }
+    }
+
+    fn state_lock(&self) -> MutexGuard<'_, Option<SinkState>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn streaming(&self) -> bool {
+        self.streaming.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn install(&self, sink: Box<dyn EventSink>) {
+        let mut state = self.state_lock();
+        if let Some(mut old) = state.take() {
+            old.sink.flush();
+        }
+        *state = Some(SinkState { sink, seq: 0 });
+        self.streaming.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn uninstall(&self) -> bool {
+        let mut state = self.state_lock();
+        self.streaming.store(false, Ordering::SeqCst);
+        match state.take() {
+            Some(mut s) => {
+                s.sink.flush();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stamps and delivers one event. `seq` and `ts_us` are both assigned
+    /// under the sink lock, so file order, `seq` order and `ts_us` order
+    /// all agree.
+    pub(crate) fn emit(&self, kind: EventKind) {
+        if !self.streaming() {
+            return;
+        }
+        let mut state = self.state_lock();
+        let Some(s) = state.as_mut() else { return };
+        s.seq += 1;
+        let event = Event { v: EVENT_SCHEMA_VERSION, seq: s.seq, ts_us: span::now_us(), kind };
+        s.sink.emit(&event);
+    }
+}
+
+/// True while the calling thread's current context has an [`EventSink`]
+/// installed and receiving events.
 #[inline]
 pub fn streaming() -> bool {
-    STREAMING.load(Ordering::Relaxed)
+    context::streaming_ctx().is_some()
 }
 
-/// Installs `sink` as the process-wide event sink, replacing (and
-/// flushing) any previous one. Install after [`crate::Session::begin`];
-/// the session's `finish`/`Drop` uninstalls automatically.
+/// Installs `sink` on the calling thread's current context, replacing
+/// (and flushing) any previous one. With no current context the sink is
+/// dropped. The context's `finish_report`/`stop` uninstalls
+/// automatically.
 pub fn install(sink: Box<dyn EventSink>) {
-    let mut state = sink_lock();
-    if let Some(mut old) = state.take() {
-        old.sink.flush();
+    if let Some(ctx) = context::current_recording() {
+        ctx.install_sink(sink);
     }
-    *state = Some(SinkState { sink, seq: 0 });
-    STREAMING.store(true, Ordering::SeqCst);
 }
 
-/// Removes and flushes the installed sink, if any. Returns whether a sink
-/// was installed.
+/// Removes and flushes the current context's sink, if any. Returns
+/// whether a sink was installed.
 pub fn uninstall() -> bool {
-    let mut state = sink_lock();
-    STREAMING.store(false, Ordering::SeqCst);
-    match state.take() {
-        Some(mut s) => {
-            s.sink.flush();
-            true
-        }
-        None => false,
-    }
-}
-
-/// Stamps and delivers one event. `seq` and `ts_us` are both assigned
-/// under the sink lock, so file order, `seq` order and `ts_us` order all
-/// agree.
-pub(crate) fn emit(kind: EventKind) {
-    if !streaming() {
-        return;
-    }
-    let mut state = sink_lock();
-    let Some(s) = state.as_mut() else { return };
-    s.seq += 1;
-    let event = Event { v: EVENT_SCHEMA_VERSION, seq: s.seq, ts_us: span::now_us(), kind };
-    s.sink.emit(&event);
+    context::current_recording().is_some_and(|ctx| ctx.uninstall_sink())
 }
 
 /// One event-log record.
@@ -419,19 +449,19 @@ impl EventSink for CollectSink {
 /// Emission hook for engine fault injection: records the fault's metric
 /// name plus its serialized detail. No-op unless [`streaming`].
 pub fn fault_event(name: &str, detail: Value) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::Fault { name: name.to_owned(), detail });
+    };
+    ctx.emit(EventKind::Fault { name: name.to_owned(), detail });
 }
 
 /// Emission hook for the profiler's unit-closed path. No-op unless
 /// [`streaming`].
 pub fn unit_closed(unit: u64, instrs: u64, cycles: u64, snapshots: u64, truncated: bool) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::UnitClosed { unit, instrs, cycles, snapshots, truncated });
+    };
+    ctx.emit(EventKind::UnitClosed { unit, instrs, cycles, snapshots, truncated });
 }
 
 /// Emission hook for trace salvage recovery: records what a salvage pass
@@ -443,10 +473,10 @@ pub fn salvage_event(
     skipped_bytes: u64,
     resyncs: u64,
 ) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::Salvage {
+    };
+    ctx.emit(EventKind::Salvage {
         path: path.to_owned(),
         recovered_units,
         bad_frames,
@@ -458,37 +488,41 @@ pub fn salvage_event(
 /// Emission hook for a trace sink retrying a transient I/O error. No-op
 /// unless [`streaming`].
 pub fn sink_retry(target: &str, attempt: u64, error: &str) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::SinkRetry { target: target.to_owned(), attempt, error: error.to_owned() });
+    };
+    ctx.emit(EventKind::SinkRetry { target: target.to_owned(), attempt, error: error.to_owned() });
 }
 
 /// Emission hook for a trace sink exhausting its retries and degrading.
 /// No-op unless [`streaming`].
 pub fn sink_degraded(target: &str, retries: u64, error: &str) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::SinkDegraded { target: target.to_owned(), retries, error: error.to_owned() });
+    };
+    ctx.emit(EventKind::SinkDegraded {
+        target: target.to_owned(),
+        retries,
+        error: error.to_owned(),
+    });
 }
 
 /// Emission hook for a live phase re-formation. No-op unless
 /// [`streaming`].
 pub fn phase_reformed(units: u64, old_k: u64, new_k: u64, drift: f64) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::PhaseReformed { units, old_k, new_k, drift });
+    };
+    ctx.emit(EventKind::PhaseReformed { units, old_k, new_k, drift });
 }
 
 /// Emission hook for the live analyzer's early stop. No-op unless
 /// [`streaming`].
 pub fn early_stop(units: u64, half_width: f64, target: f64) {
-    if !streaming() {
+    let Some(ctx) = context::streaming_ctx() else {
         return;
-    }
-    emit(EventKind::EarlyStop { units, half_width, target });
+    };
+    ctx.emit(EventKind::EarlyStop { units, half_width, target });
 }
 
 #[cfg(test)]
@@ -497,8 +531,8 @@ mod tests {
 
     #[test]
     fn events_carry_increasing_seq_and_flat_schema() {
-        // Serialize the session/sink globals with the session gate.
-        let session = crate::Session::begin();
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
         let store = Arc::new(Mutex::new(Vec::new()));
         install(Box::new(CollectSink(Arc::clone(&store))));
         {
@@ -506,7 +540,7 @@ mod tests {
             crate::counter_add("evt.count", 3);
         }
         assert!(uninstall());
-        drop(session);
+        ctx.stop();
 
         let events = store.lock().unwrap();
         assert!(events.len() >= 3, "open + counter + close");
@@ -528,22 +562,26 @@ mod tests {
 
     #[test]
     fn no_sink_means_no_streaming() {
-        assert!(!streaming() || uninstall());
-        // fault/unit hooks are no-ops without a sink.
+        // A recording context with no sink: hooks are no-ops.
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
+        assert!(!streaming());
         fault_event("engine.faults.crash", Value::Null);
         unit_closed(1, 2, 3, 4, false);
+        assert!(!uninstall(), "nothing was installed");
     }
 
     #[test]
     fn jsonl_writer_produces_parseable_lines() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("simprof_events_test_{}.jsonl", std::process::id()));
-        let session = crate::Session::begin();
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
         install(Box::new(JsonlEventWriter::create(&path).expect("create log")));
         {
             let _s = crate::span!("evt.jsonl");
         }
-        drop(session);
+        ctx.stop();
 
         let text = std::fs::read_to_string(&path).expect("read log");
         let _ = std::fs::remove_file(&path);

@@ -5,10 +5,13 @@
 //! existed inside the trace. This crate makes a run inspectable without
 //! changing what it computes:
 //!
+//! * [`context`] — job-scoped [`ObsContext`] handles owning all recorded
+//!   state (spans, metrics, event sink, allocation budget). Many contexts
+//!   record concurrently; nothing here is process-exclusive.
 //! * [`span`] — hierarchical RAII span timing on monotonic clocks. Spans
 //!   nest through a thread-local stack, so each thread (including the
 //!   parallel substrate's workers) gets its own correctly attributed
-//!   subtree, tagged with a stable per-thread id.
+//!   subtree, tagged with a stable per-context thread id.
 //! * [`metrics`] — a registry of named counters, gauges and histograms
 //!   (units profiled, snapshots dropped, k-means iterations, fault events,
 //!   …).
@@ -21,27 +24,37 @@
 //! Observability is strictly *read-only*: spans and metrics record what the
 //! pipeline did, and **nothing downstream ever reads them back**. Reports
 //! carry timings; they never feed into sampling decisions. With no
-//! [`Session`] active, every hook is a single relaxed atomic load and the
-//! pipeline's outputs are bit-identical to an uninstrumented build
-//! (`tests/obs_determinism.rs` pins this).
+//! recording [`ObsContext`] anywhere in the process, every hook is a
+//! single relaxed atomic load and the pipeline's outputs are bit-identical
+//! to an uninstrumented build (`tests/obs_determinism.rs` pins this).
 //!
 //! # Usage
+//!
+//! One job, one context:
 //!
 //! ```
 //! use simprof_obs as obs;
 //!
-//! let session = obs::Session::begin();
+//! let ctx = obs::ObsContext::new();
 //! {
+//!     let _installed = ctx.install();
 //!     let _outer = obs::span!("analyze");
 //!     let _inner = obs::span!("choose_k");
 //!     obs::counter_add("kmeans.iterations", 12);
 //! }
-//! let report = session.finish();
+//! let report = ctx.finish_report();
 //! assert_eq!(report.version, obs::REPORT_VERSION);
 //! assert!(report.find_span("choose_k").is_some());
 //! ```
+//!
+//! The legacy [`Session`] API is a thin shim over a context plus the
+//! process *default slot* (the fallback for threads with no installed
+//! context). It is exclusive — a second concurrent [`Session::begin`]
+//! returns [`SessionBusy`] instead of deadlocking — and deprecated in
+//! favor of per-job contexts.
 
 pub mod alloc;
+pub mod context;
 pub mod events;
 pub mod hist;
 pub mod metrics;
@@ -49,7 +62,10 @@ pub mod report;
 pub mod span;
 pub mod timeline;
 
-pub use alloc::{current_alloc_bytes, peak_alloc_bytes, reset_peak, TrackingAllocator};
+pub use alloc::{
+    current_alloc_bytes, peak_alloc_bytes, reset_peak, AllocSlot, TrackingAllocator, ALLOC_SLOTS,
+};
+pub use context::{ContextGuard, ObsContext, SessionBusy};
 pub use events::{
     early_stop, fault_event, phase_reformed, salvage_event, sink_degraded, sink_retry, unit_closed,
     Event, EventKind, EventSink, JsonlEventWriter, EVENT_SCHEMA_VERSION,
@@ -63,79 +79,88 @@ pub use report::{RunReport, SpanNode, REPORT_VERSION};
 pub use span::{SpanGuard, SpanRecord};
 pub use timeline::{chrome_trace, write_chrome_trace};
 
-/// True while an [`events::EventSink`] is installed (re-export of
-/// [`events::streaming`] for hook sites outside this crate).
+/// True while the context visible to the calling thread is streaming to an
+/// [`events::EventSink`] (re-export of [`events::streaming`] for hook
+/// sites outside this crate).
 #[inline]
 pub fn event_streaming() -> bool {
     events::streaming()
 }
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-
-/// Whether a [`Session`] is currently collecting. Every instrumentation
-/// hook checks this first; when `false` the hook is a single relaxed load.
-static ENABLED: AtomicBool = AtomicBool::new(false);
-
-/// Serializes sessions: reports from concurrent sessions would interleave
-/// arbitrarily, so only one can be live at a time (later `begin` calls
-/// block until the current session finishes or drops).
-static SESSION_GATE: Mutex<()> = Mutex::new(());
-
-/// True while a [`Session`] is collecting spans and metrics.
+/// True while a recording [`ObsContext`] is visible to the calling thread
+/// (installed on it, or claimed as the process default by a [`Session`]).
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    context::current_recording().is_some()
 }
 
-fn gate_lock() -> MutexGuard<'static, ()> {
-    SESSION_GATE.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// An active collection window. While a session is live, [`span!`] guards
-/// and the [`metrics`] registry record; [`Session::finish`] drains
-/// everything collected into a [`RunReport`].
+/// An active collection window over the process **default slot**: a thin
+/// shim over one [`ObsContext`] kept for the batch CLI and older callers.
+/// While the session is live, [`span!`] guards and the [`metrics`]
+/// registry record to its context from *any* thread; [`Session::finish`]
+/// drains everything collected into a [`RunReport`].
 ///
-/// Sessions are exclusive process-wide: a second [`Session::begin`] blocks
-/// until the first ends. Dropping a session without finishing discards the
-/// collected data.
+/// Sessions are exclusive (the default slot is single-occupancy):
+/// a second [`Session::begin`] returns [`SessionBusy`] instead of
+/// blocking. Concurrent jobs should hold their own [`ObsContext`]s.
+/// Dropping a session without finishing discards the collected data.
 #[must_use = "a session that is immediately dropped collects nothing"]
 pub struct Session {
-    _gate: MutexGuard<'static, ()>,
+    ctx: ObsContext,
+    installed: Option<ContextGuard>,
 }
 
 impl Session {
-    /// Starts collecting. Clears any residue from a previous session
-    /// (including a stale event sink) and re-bases the peak-allocation
-    /// high-water mark, so back-to-back sessions in one process don't
-    /// inherit the previous run's peak.
-    pub fn begin() -> Self {
-        let gate = gate_lock();
-        events::uninstall();
-        span::reset();
-        metrics::reset();
+    /// Starts collecting into a fresh context and claims the process
+    /// default slot, re-basing the peak-allocation high-water mark so
+    /// back-to-back sessions don't inherit the previous run's peak.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionBusy`] if another session currently holds the default
+    /// slot (the legacy API used to block forever here).
+    pub fn begin() -> Result<Self, SessionBusy> {
+        let ctx = ObsContext::new();
+        context::claim_default(&ctx)?;
         alloc::reset_peak();
-        ENABLED.store(true, Ordering::SeqCst);
-        Self { _gate: gate }
+        let installed = ctx.install();
+        Ok(Self { ctx, installed: Some(installed) })
+    }
+
+    /// The session's underlying context handle.
+    pub fn context(&self) -> &ObsContext {
+        &self.ctx
     }
 
     /// Stops collecting and assembles the report skeleton (span tree +
     /// metric snapshot, no sections). Callers attach their own sections
     /// with [`RunReport::with_section`]. Flushes and removes any
     /// installed event sink.
-    pub fn finish(self) -> RunReport {
-        ENABLED.store(false, Ordering::SeqCst);
-        events::uninstall();
-        let spans = span::drain();
-        let metrics = metrics::snapshot();
-        RunReport::assemble(spans, metrics)
+    pub fn finish(mut self) -> RunReport {
+        self.installed.take();
+        context::release_default(&self.ctx);
+        self.ctx.finish_report()
     }
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
-        ENABLED.store(false, Ordering::SeqCst);
-        events::uninstall();
+        self.installed.take();
+        context::release_default(&self.ctx);
+        self.ctx.stop();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testlock {
+    //! Sessions share the single default slot, so tests that begin one
+    //! serialize on this lock (`begin` now *fails* instead of blocking).
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static GATE: Mutex<()> = Mutex::new(());
+
+    pub fn lock() -> MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -145,21 +170,25 @@ mod tests {
 
     #[test]
     fn disabled_by_default_and_guards_are_noops() {
-        // No session: spans and metrics must not record. (Sessions are
-        // process-exclusive, so take the gate to keep parallel tests out.)
-        let _gate = gate_lock();
+        // No context installed on this thread and (testlock held) no
+        // session claiming the default slot: hooks must not record.
+        let _gate = testlock::lock();
         assert!(!enabled());
         let g = SpanGuard::enter("never");
         assert!(!g.is_recording());
         drop(g);
         counter_add("never.counter", 3);
-        assert!(span::drain().is_empty());
-        assert!(metrics::snapshot().counters.is_empty());
+        // A fresh session sees none of the above.
+        let session = Session::begin().unwrap();
+        let report = session.finish();
+        assert!(report.spans.is_empty());
+        assert!(report.metrics.counters.is_empty());
     }
 
     #[test]
     fn session_collects_nested_spans_and_metrics() {
-        let session = Session::begin();
+        let _gate = testlock::lock();
+        let session = Session::begin().unwrap();
         {
             let _outer = span!("outer");
             {
@@ -191,7 +220,8 @@ mod tests {
 
     #[test]
     fn sessions_do_not_leak_between_runs() {
-        let session = Session::begin();
+        let _gate = testlock::lock();
+        let session = Session::begin().unwrap();
         {
             let _a = span!("first_run");
             counter_add("first.counter", 1);
@@ -199,7 +229,7 @@ mod tests {
         let first = session.finish();
         assert!(first.find_span("first_run").is_some());
 
-        let session = Session::begin();
+        let session = Session::begin().unwrap();
         {
             let _b = span!("second_run");
         }
@@ -210,12 +240,30 @@ mod tests {
     }
 
     #[test]
+    fn second_session_fails_fast_with_session_busy() {
+        let _gate = testlock::lock();
+        let live = Session::begin().unwrap();
+        // The legacy API would deadlock here; now it returns a typed error.
+        match Session::begin() {
+            Err(busy) => assert_eq!(busy, SessionBusy),
+            Ok(_) => panic!("second session must fail while one is live"),
+        }
+        drop(live);
+        // The slot frees on drop.
+        let next = Session::begin().expect("slot released");
+        drop(next.finish());
+    }
+
+    #[test]
     fn worker_thread_spans_root_at_their_thread() {
-        let session = Session::begin();
+        let _gate = testlock::lock();
+        let session = Session::begin().unwrap();
         {
             let _main = span!("driver");
             std::thread::scope(|s| {
                 s.spawn(|| {
+                    // No context installed on this thread: the default
+                    // slot routes the span to the session's context.
                     let _w = span!("worker_task");
                 });
             });
@@ -231,14 +279,35 @@ mod tests {
 
     #[test]
     fn dropped_session_discards_collection() {
-        let session = Session::begin();
+        let _gate = testlock::lock();
+        let session = Session::begin().unwrap();
         {
             let _s = span!("doomed");
         }
         drop(session);
         assert!(!enabled());
-        let session = Session::begin();
+        let session = Session::begin().unwrap();
         let report = session.finish();
         assert!(report.find_span("doomed").is_none());
+    }
+
+    #[test]
+    fn context_runs_alongside_a_live_session_without_bleeding() {
+        let _gate = testlock::lock();
+        let session = Session::begin().unwrap();
+        counter_add("session.counter", 1);
+        let job = ObsContext::new();
+        {
+            let _installed = job.install();
+            // The installed context shadows the session on this thread.
+            counter_add("job.counter", 5);
+        }
+        counter_add("session.counter", 1);
+        let job_report = job.finish_report();
+        let session_report = session.finish();
+        assert_eq!(job_report.metrics.counters["job.counter"], 5);
+        assert!(!job_report.metrics.counters.contains_key("session.counter"));
+        assert_eq!(session_report.metrics.counters["session.counter"], 2);
+        assert!(!session_report.metrics.counters.contains_key("job.counter"));
     }
 }

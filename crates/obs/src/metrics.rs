@@ -3,9 +3,13 @@
 //!
 //! Metrics are write-only from the pipeline's point of view: hot paths
 //! record (`counter_add`, `gauge_set`, `histogram_observe`,
-//! `timeseries_push`) and only the session-ending report ever reads.
+//! `timeseries_push`) and only the context-ending report ever reads.
 //! Nothing in the sampling pipeline consults a metric, which is what keeps
 //! the determinism contract intact (DESIGN.md §11).
+//!
+//! Each [`crate::ObsContext`] owns its own [`MetricsStore`]; the free
+//! functions here resolve the calling thread's current context, so two
+//! concurrent jobs tally into disjoint registries.
 //!
 //! Histograms are [`Log2Histogram`]s, so snapshots carry p50/p95/p99
 //! quantile estimates (within one log2 bucket width of exact). Time
@@ -13,28 +17,25 @@
 //! the cap overwrite the oldest sample, so a long run keeps its most
 //! recent trajectory at fixed memory cost.
 //!
-//! With no active session every call is a single relaxed atomic load.
-//! When an event sink is installed, counter/gauge/histogram writes also
-//! stream [`crate::events::EventKind`] records.
+//! With no recording context every call is a single relaxed atomic load.
+//! When an event sink is installed on the resolved context,
+//! counter/gauge/histogram writes also stream [`crate::events::EventKind`]
+//! records.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
+use crate::context;
+use crate::events::EventKind;
 use crate::hist::Log2Histogram;
-use crate::{events, span};
+use crate::span;
 
 enum Metric {
     Counter(u64),
     Gauge(f64),
     Histogram(Log2Histogram),
-}
-
-static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
-
-fn registry_lock() -> MutexGuard<'static, BTreeMap<String, Metric>> {
-    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Capacity of each time-series ring buffer. Once a series has this many
@@ -69,20 +70,29 @@ impl Ring {
     }
 }
 
-static SERIES: Mutex<BTreeMap<String, Ring>> = Mutex::new(BTreeMap::new());
-
-fn series_lock() -> MutexGuard<'static, BTreeMap<String, Ring>> {
-    SERIES.lock().unwrap_or_else(PoisonError::into_inner)
+/// One context's metric state: the registry (counters, gauges,
+/// histograms) plus its time-series rings.
+pub(crate) struct MetricsStore {
+    registry: Mutex<BTreeMap<String, Metric>>,
+    series: Mutex<BTreeMap<String, Ring>>,
 }
 
-/// Adds `delta` to the named counter (creating it at zero first).
-/// Counters are monotone event tallies: units profiled, faults injected….
-pub fn counter_add(name: &str, delta: u64) {
-    if !crate::enabled() {
-        return;
+impl MetricsStore {
+    pub(crate) fn new() -> Self {
+        Self { registry: Mutex::new(BTreeMap::new()), series: Mutex::new(BTreeMap::new()) }
     }
-    let total = {
-        let mut reg = registry_lock();
+
+    fn registry_lock(&self) -> MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.registry.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn series_lock(&self) -> MutexGuard<'_, BTreeMap<String, Ring>> {
+        self.series.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Adds `delta` to the named counter, returning the running total.
+    fn counter_add(&self, name: &str, delta: u64) -> u64 {
+        let mut reg = self.registry_lock();
         match reg.get_mut(name) {
             Some(Metric::Counter(v)) => {
                 *v += delta;
@@ -93,33 +103,14 @@ pub fn counter_add(name: &str, delta: u64) {
                 delta
             }
         }
-    };
-    if events::streaming() {
-        events::emit(events::EventKind::Counter { name: name.to_owned(), delta, total });
     }
-}
 
-/// Sets the named gauge to `value` (last write wins). Gauges are
-/// point-in-time levels: chosen k, worker count, trace size….
-pub fn gauge_set(name: &str, value: f64) {
-    if !crate::enabled() {
-        return;
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry_lock().insert(name.to_owned(), Metric::Gauge(value));
     }
-    registry_lock().insert(name.to_owned(), Metric::Gauge(value));
-    if events::streaming() {
-        events::emit(events::EventKind::Gauge { name: name.to_owned(), value });
-    }
-}
 
-/// Folds `value` into the named [`Log2Histogram`]. Histograms summarize
-/// per-event magnitudes: iterations per k-means run, instructions per
-/// task….
-pub fn histogram_observe(name: &str, value: f64) {
-    if !crate::enabled() {
-        return;
-    }
-    {
-        let mut reg = registry_lock();
+    fn histogram_observe(&self, name: &str, value: f64) {
+        let mut reg = self.registry_lock();
         match reg.get_mut(name) {
             Some(Metric::Histogram(h)) => h.observe(value),
             _ => {
@@ -129,30 +120,95 @@ pub fn histogram_observe(name: &str, value: f64) {
             }
         }
     }
-    if events::streaming() {
-        events::emit(events::EventKind::Hist { name: name.to_owned(), value });
+
+    fn timeseries_push(&self, name: &str, value: f64) {
+        let mut series = self.series_lock();
+        // Stamp under the lock so each series' timestamps are
+        // non-decreasing even when threads race to push.
+        let sample = TimePoint { ts_us: span::now_us(), value };
+        match series.get_mut(name) {
+            Some(ring) => ring.push(sample),
+            None => {
+                let mut ring = Ring { total: 0, buf: Vec::new(), next: 0 };
+                ring.push(sample);
+                series.insert(name.to_owned(), ring);
+            }
+        }
+    }
+
+    /// Copies the store into a serializable snapshot.
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.registry_lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(v) => {
+                    snap.counters.insert(name.clone(), *v);
+                }
+                Metric::Gauge(v) => {
+                    snap.gauges.insert(name.clone(), *v);
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), HistogramSummary::of(h));
+                }
+            }
+        }
+        drop(reg);
+        for (name, ring) in self.series_lock().iter() {
+            snap.timeseries.insert(name.clone(), ring.snapshot());
+        }
+        snap
     }
 }
 
-/// Appends a `(now, value)` sample to the named time series, dropping the
-/// oldest sample once the ring holds [`RING_CAP`]. Series trace levels
-/// over time: cumulative units closed, live heap bytes….
-pub fn timeseries_push(name: &str, value: f64) {
-    if !crate::enabled() {
+/// Adds `delta` to the named counter (creating it at zero first) in the
+/// calling thread's current context. Counters are monotone event tallies:
+/// units profiled, faults injected….
+pub fn counter_add(name: &str, delta: u64) {
+    let Some(ctx) = context::current_recording() else {
         return;
+    };
+    let total = ctx.inner().metrics.counter_add(name, delta);
+    if ctx.streaming() {
+        ctx.emit(EventKind::Counter { name: name.to_owned(), delta, total });
     }
-    let mut series = series_lock();
-    // Stamp under the lock so each series' timestamps are non-decreasing
-    // even when threads race to push.
-    let sample = TimePoint { ts_us: span::now_us(), value };
-    match series.get_mut(name) {
-        Some(ring) => ring.push(sample),
-        None => {
-            let mut ring = Ring { total: 0, buf: Vec::new(), next: 0 };
-            ring.push(sample);
-            series.insert(name.to_owned(), ring);
-        }
+}
+
+/// Sets the named gauge to `value` (last write wins) in the current
+/// context. Gauges are point-in-time levels: chosen k, worker count,
+/// trace size….
+pub fn gauge_set(name: &str, value: f64) {
+    let Some(ctx) = context::current_recording() else {
+        return;
+    };
+    ctx.inner().metrics.gauge_set(name, value);
+    if ctx.streaming() {
+        ctx.emit(EventKind::Gauge { name: name.to_owned(), value });
     }
+}
+
+/// Folds `value` into the named [`Log2Histogram`] of the current context.
+/// Histograms summarize per-event magnitudes: iterations per k-means run,
+/// instructions per task….
+pub fn histogram_observe(name: &str, value: f64) {
+    let Some(ctx) = context::current_recording() else {
+        return;
+    };
+    ctx.inner().metrics.histogram_observe(name, value);
+    if ctx.streaming() {
+        ctx.emit(EventKind::Hist { name: name.to_owned(), value });
+    }
+}
+
+/// Appends a `(now, value)` sample to the named time series of the
+/// current context, dropping the oldest sample once the ring holds
+/// [`RING_CAP`]. Series trace levels over time: cumulative units closed,
+/// live heap bytes….
+pub fn timeseries_push(name: &str, value: f64) {
+    let Some(ctx) = context::current_recording() else {
+        return;
+    };
+    ctx.inner().metrics.timeseries_push(name, value);
 }
 
 /// Aggregated view of one histogram in a [`MetricsSnapshot`].
@@ -215,7 +271,8 @@ pub struct TimeSeries {
     pub samples: Vec<TimePoint>,
 }
 
-/// A point-in-time copy of the whole registry, grouped by metric kind.
+/// A point-in-time copy of one context's whole registry, grouped by
+/// metric kind.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// All counters, by name.
@@ -227,35 +284,6 @@ pub struct MetricsSnapshot {
     /// All time series, by name (absent in version-1 reports).
     #[serde(default)]
     pub timeseries: BTreeMap<String, TimeSeries>,
-}
-
-/// Clears the registry (session start).
-pub(crate) fn reset() {
-    registry_lock().clear();
-    series_lock().clear();
-}
-
-/// Copies the registry into a serializable snapshot (session finish).
-pub(crate) fn snapshot() -> MetricsSnapshot {
-    let reg = registry_lock();
-    let mut snap = MetricsSnapshot::default();
-    for (name, metric) in reg.iter() {
-        match metric {
-            Metric::Counter(v) => {
-                snap.counters.insert(name.clone(), *v);
-            }
-            Metric::Gauge(v) => {
-                snap.gauges.insert(name.clone(), *v);
-            }
-            Metric::Histogram(h) => {
-                snap.histograms.insert(name.clone(), HistogramSummary::of(h));
-            }
-        }
-    }
-    for (name, ring) in series_lock().iter() {
-        snap.timeseries.insert(name.clone(), ring.snapshot());
-    }
-    snap
 }
 
 #[cfg(test)]
@@ -302,22 +330,24 @@ mod tests {
     #[test]
     fn metric_kind_change_replaces_cleanly() {
         // A name reused with a different kind must not corrupt the
-        // registry (last kind wins). Run inside a private session window.
-        let session = crate::Session::begin();
+        // registry (last kind wins). Run inside a private context.
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
         counter_add("shape.shift", 2);
         gauge_set("shape.shift", 9.0);
-        let snap = session.finish();
+        let snap = ctx.finish_report();
         assert!(!snap.metrics.counters.contains_key("shape.shift"));
         assert_eq!(snap.metrics.gauges["shape.shift"], 9.0);
     }
 
     #[test]
     fn histogram_snapshot_carries_quantiles() {
-        let session = crate::Session::begin();
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
         for v in [1.0, 1.5, 3.0, 9.0, 40.0] {
             histogram_observe("q.sizes", v);
         }
-        let snap = session.finish();
+        let snap = ctx.finish_report();
         let h = &snap.metrics.histograms["q.sizes"];
         assert_eq!(h.count, 5);
         // p50 targets the 3rd smallest (3.0, bucket [2,4)): upper edge 4.
@@ -328,12 +358,13 @@ mod tests {
 
     #[test]
     fn timeseries_ring_keeps_most_recent_samples() {
-        let session = crate::Session::begin();
+        let ctx = crate::ObsContext::new();
+        let _installed = ctx.install();
         let n = RING_CAP + 7;
         for i in 0..n {
             timeseries_push("ring.series", i as f64);
         }
-        let snap = session.finish();
+        let snap = ctx.finish_report();
         let ts = &snap.metrics.timeseries["ring.series"];
         assert_eq!(ts.total, n as u64);
         assert_eq!(ts.samples.len(), RING_CAP);

@@ -3,54 +3,43 @@
 //! A [`SpanGuard`] measures the wall-clock between its creation and drop
 //! with [`Instant`] (monotonic — wall-clock adjustments cannot produce
 //! negative or skewed durations). Guards nest through a thread-local stack:
-//! a span entered while another is open on the *same thread* becomes its
-//! child. Spans opened on other threads — the parallel substrate's workers
-//! — root at their own thread instead of mis-nesting under whatever the
-//! driver thread happened to have open, and carry a stable small integer
-//! thread id so the report can attribute worker time correctly.
+//! a span entered while another is open on the *same thread and context*
+//! becomes its child. Spans opened on other threads — the parallel
+//! substrate's workers — root at their own thread instead of mis-nesting
+//! under whatever the driver thread happened to have open, and carry a
+//! stable small per-context thread id so the report can attribute worker
+//! time correctly.
 //!
-//! When no session is active ([`crate::enabled`] is false), entering a
-//! span is one relaxed atomic load: no clock read, no allocation, no lock.
+//! Span ids, thread ids, and completed-span storage all live in the
+//! resolved [`crate::ObsContext`], so concurrent jobs collect disjoint
+//! span sets. When no context is recording ([`crate::enabled`] is false),
+//! entering a span is one relaxed atomic load: no clock read, no
+//! allocation, no lock.
 
-use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::cell::RefCell;
+use std::sync::{MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
-/// Completed-span storage. Guards append on drop; [`drain`] empties it.
-static RECORDS: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
-
-/// Monotonic span-id source. Ids order spans by *entry* (creation) time,
-/// which the report uses to keep sibling order stable even though records
-/// are appended at completion.
-static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
-
-/// Small sequential thread ids (0 = first thread that ever opened a span).
-static NEXT_THREAD_ID: AtomicUsize = AtomicUsize::new(0);
+use crate::context::{self, ObsContext};
 
 /// Process-wide monotonic epoch; all span start offsets are relative to it.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 thread_local! {
-    /// Ids of the spans currently open on this thread, innermost last.
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
-    /// This thread's small id, assigned on first span entry.
-    static THREAD_ID: Cell<Option<usize>> = const { Cell::new(None) };
-}
-
-fn thread_id() -> usize {
-    THREAD_ID.with(|t| match t.get() {
-        Some(id) => id,
-        None => {
-            let id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
-            t.set(Some(id));
-            id
-        }
-    })
+    /// `(context id, span id)` of the spans currently open on this thread,
+    /// innermost last. Tagging entries with the owning context keeps two
+    /// jobs interleaved on one thread from adopting each other's parents.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
+}
+
+/// Pins the epoch (context creation), so start offsets are meaningful
+/// from the first span on.
+pub(crate) fn pin_epoch() {
+    let _ = epoch();
 }
 
 /// Microseconds since the process span epoch (the shared clock for span
@@ -62,13 +51,13 @@ pub(crate) fn now_us() -> u64 {
 /// One completed span, as stored in the collector.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
-    /// Entry-ordered id (unique within the process).
+    /// Entry-ordered id (unique within the owning context).
     pub id: u64,
-    /// Id of the enclosing span on the same thread, if any.
+    /// Id of the enclosing span on the same thread and context, if any.
     pub parent: Option<u64>,
     /// The span's label.
     pub name: String,
-    /// Small sequential id of the thread the span ran on.
+    /// Small sequential per-context id of the thread the span ran on.
     pub thread: usize,
     /// Microseconds between the process epoch and span entry.
     pub start_us: u64,
@@ -77,6 +66,7 @@ pub struct SpanRecord {
 }
 
 struct ActiveSpan {
+    ctx: ObsContext,
     id: u64,
     parent: Option<u64>,
     name: String,
@@ -92,22 +82,24 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    /// Opens a span named `name`. When no session is collecting, this is a
-    /// no-op costing one atomic load; the label is not even copied.
+    /// Opens a span named `name` in the calling thread's current context.
+    /// When no context is recording, this is a no-op costing one atomic
+    /// load; the label is not even copied.
     pub fn enter(name: &str) -> Self {
-        if !crate::enabled() {
+        let Some(ctx) = context::current_recording() else {
             return Self { active: None };
-        }
-        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        let thread = thread_id();
+        };
+        let id = ctx.inner().next_span_id.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let thread = ctx.thread_id_for_current();
+        let ctx_id = ctx.id();
         let parent = SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            let parent = s.last().copied();
-            s.push(id);
+            let parent = s.iter().rev().find(|(c, _)| *c == ctx_id).map(|&(_, id)| id);
+            s.push((ctx_id, id));
             parent
         });
-        if crate::events::streaming() {
-            crate::events::emit(crate::events::EventKind::SpanOpen {
+        if ctx.streaming() {
+            ctx.emit(crate::events::EventKind::SpanOpen {
                 id,
                 parent,
                 name: name.to_owned(),
@@ -116,6 +108,7 @@ impl SpanGuard {
         }
         Self {
             active: Some(ActiveSpan {
+                ctx,
                 id,
                 parent,
                 name: name.to_owned(),
@@ -125,7 +118,8 @@ impl SpanGuard {
         }
     }
 
-    /// Whether this guard is actually recording (a session is active).
+    /// Whether this guard is actually recording (a context resolved at
+    /// entry).
     pub fn is_recording(&self) -> bool {
         self.active.is_some()
     }
@@ -136,18 +130,19 @@ impl Drop for SpanGuard {
         let Some(active) = self.active.take() else { return };
         let elapsed_us = active.start.elapsed().as_micros() as u64;
         let start_us = active.start.duration_since(epoch()).as_micros() as u64;
-        SPAN_STACK.with(|s| {
+        let key = (active.ctx.id(), active.id);
+        let _ = SPAN_STACK.try_with(|s| {
             let mut s = s.borrow_mut();
             // Guards drop in LIFO order per thread, so the top is ours; be
             // defensive anyway (a guard moved across threads would desync).
-            if s.last() == Some(&active.id) {
+            if s.last() == Some(&key) {
                 s.pop();
-            } else if let Some(pos) = s.iter().rposition(|&x| x == active.id) {
+            } else if let Some(pos) = s.iter().rposition(|&x| x == key) {
                 s.remove(pos);
             }
         });
-        if crate::events::streaming() {
-            crate::events::emit(crate::events::EventKind::SpanClose {
+        if active.ctx.streaming() {
+            active.ctx.emit(crate::events::EventKind::SpanClose {
                 id: active.id,
                 name: active.name.clone(),
                 thread: active.thread,
@@ -162,12 +157,12 @@ impl Drop for SpanGuard {
             start_us,
             elapsed_us,
         };
-        records_lock().push(record);
+        records_lock(&active.ctx).push(record);
     }
 }
 
-fn records_lock() -> std::sync::MutexGuard<'static, Vec<SpanRecord>> {
-    RECORDS.lock().unwrap_or_else(PoisonError::into_inner)
+fn records_lock(ctx: &ObsContext) -> MutexGuard<'_, Vec<SpanRecord>> {
+    ctx.inner().spans.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Opens a [`SpanGuard`] named by the expression. Bind it to keep the span
@@ -179,45 +174,51 @@ macro_rules! span {
     };
 }
 
-/// Clears all completed spans (session start).
-pub(crate) fn reset() {
-    records_lock().clear();
-    // Pin the epoch before any span of the session starts, so start
-    // offsets are meaningful from the first span on.
-    let _ = epoch();
-}
-
-/// Removes and returns all completed spans (session finish).
-pub(crate) fn drain() -> Vec<SpanRecord> {
-    std::mem::take(&mut *records_lock())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Session-driven behaviour is covered in `crate::tests`; these pin the
-    // guard mechanics that do not need a live session.
+    // Context-driven behaviour is covered in `crate::tests` and
+    // `crate::context::tests`; these pin the guard mechanics.
 
     #[test]
     fn disabled_guard_never_touches_the_stack() {
-        // Regardless of other tests' sessions, a guard that recorded
+        // Regardless of other tests' contexts, a guard that recorded
         // nothing must not pop anything on drop.
         let g = SpanGuard { active: None };
-        SPAN_STACK.with(|s| s.borrow_mut().push(999));
+        SPAN_STACK.with(|s| s.borrow_mut().push((u64::MAX, 999)));
         drop(g);
         SPAN_STACK.with(|s| {
             let mut s = s.borrow_mut();
-            assert_eq!(s.pop(), Some(999));
+            assert_eq!(s.pop(), Some((u64::MAX, 999)));
         });
     }
 
     #[test]
-    fn thread_ids_are_stable_within_a_thread() {
-        let a = thread_id();
-        let b = thread_id();
-        assert_eq!(a, b);
-        let other = std::thread::spawn(thread_id).join().unwrap();
-        assert_ne!(a, other);
+    fn interleaved_contexts_keep_parents_within_their_own_context() {
+        let a = ObsContext::new();
+        let b = ObsContext::new();
+        {
+            let ga = a.install();
+            let _outer_a = crate::span!("a.outer");
+            drop(ga);
+            let gb = b.install();
+            {
+                // `b` has no open span of its own: this must root, not
+                // adopt `a.outer` as parent.
+                let _only_b = crate::span!("b.only");
+            }
+            drop(gb);
+            let _ga = a.install();
+            let _inner_a = crate::span!("a.inner");
+        }
+        let ra = a.finish_report();
+        let rb = b.finish_report();
+        let outer = ra.find_span("a.outer").expect("a.outer");
+        assert_eq!(outer.children.len(), 1, "a.inner nests under a.outer");
+        assert_eq!(outer.children[0].name, "a.inner");
+        let only = rb.find_span("b.only").expect("b.only");
+        assert!(only.children.is_empty());
+        assert!(rb.find_span("a.outer").is_none());
     }
 }

@@ -1,0 +1,57 @@
+//! Regression test: per-job allocation budgets must not attribute one
+//! job's allocations to another. Two concurrent jobs with different caps
+//! each see only their own peak.
+//!
+//! This binary installs [`TrackingAllocator`] globally; it holds only
+//! this test so nothing else perturbs the slot counters.
+
+use simprof_obs::{AllocSlot, ObsContext, TrackingAllocator};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator;
+
+#[test]
+fn concurrent_jobs_with_different_caps_see_only_their_own_peak() {
+    const MIB: usize = 1 << 20;
+    // Job A budgets 16 MiB and allocates ~2; job B budgets 4 MiB and
+    // allocates ~3. Under the old global peak either job could observe
+    // the *sum* (~5 MiB) and B would falsely exceed its cap only when A
+    // happened to run beside it.
+    let cap_a = 16 * MIB;
+    let cap_b = 4 * MIB;
+
+    let barrier = std::sync::Barrier::new(2);
+    let run = |bytes: usize| {
+        let slot = AllocSlot::claim().expect("slot available");
+        let ctx = ObsContext::new();
+        ctx.set_alloc_slot(&slot);
+        let installed = ctx.install();
+        barrier.wait();
+        // Hold the job's working set while the other job is also live so
+        // a global high-water mark would see both at once.
+        let work = std::hint::black_box(vec![0u8; bytes]);
+        barrier.wait();
+        drop(work);
+        barrier.wait();
+        drop(installed);
+        ctx.stop();
+        slot.peak_bytes()
+    };
+
+    let (peak_a, peak_b) = std::thread::scope(|s| {
+        let a = s.spawn(|| run(2 * MIB));
+        let b = s.spawn(|| run(3 * MIB));
+        (a.join().unwrap(), b.join().unwrap())
+    });
+
+    assert!(peak_a >= 2 * MIB, "job A's own allocation registers: {peak_a}");
+    assert!(peak_b >= 3 * MIB, "job B's own allocation registers: {peak_b}");
+    // Isolation: neither peak includes the other job's working set. The
+    // slack term covers the jobs' incidental small allocations.
+    assert!(peak_a < 2 * MIB + MIB / 2, "job B's 3 MiB bled into job A: {peak_a}");
+    assert!(peak_b < 3 * MIB + MIB / 2, "job A's 2 MiB bled into job B: {peak_b}");
+    // Budget verdicts are therefore per-job: both jobs fit their own cap,
+    // and job B's verdict is unaffected by job A running beside it.
+    assert!(peak_a <= cap_a);
+    assert!(peak_b <= cap_b);
+}

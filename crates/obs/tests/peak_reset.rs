@@ -22,7 +22,7 @@ fn session_begin_rebaselines_peak() {
         "spike must register as the peak before the session starts"
     );
 
-    let session = Session::begin();
+    let session = Session::begin().expect("no concurrent session in this binary");
     let baseline = current_alloc_bytes();
     assert!(
         peak_alloc_bytes() < baseline + SPIKE / 2,

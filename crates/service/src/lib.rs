@@ -1,0 +1,32 @@
+//! Concurrent multi-job profiling service (DESIGN.md §17).
+//!
+//! The batch CLI profiles one workload per process: one
+//! [`ObsContext`](simprof_obs::ObsContext), one trace file, one memory
+//! budget. This crate generalizes that to a *service*: a [`JobRunner`]
+//! accepts many [`JobSpec`]s and runs them concurrently, each job getting
+//!
+//! * its own observability context (spans, metrics, event sink) — the
+//!   job-scoped handle the obs layer was de-globalized for,
+//! * its own allocation budget slot
+//!   ([`AllocSlot`](simprof_obs::AllocSlot)), so `mem_cap_mb` verdicts
+//!   are per job even while neighbors allocate,
+//! * its own shard in a [`TraceStore`] — one `.sptrc` file per job under
+//!   `<root>/shards/`, raw (v2) or per-frame-compressed (v3, see
+//!   [`simprof_trace::codec`]), recorded in a deterministic
+//!   `<root>/index.json`.
+//!
+//! The determinism contract carries over from the batch path: a job's
+//! shard bytes are a pure function of its spec (workload, scale, seed,
+//! codec) — bit-identical whether the job runs alone, beside 31
+//! neighbors, or through `simprof profile`. Tenant byte caps bound what
+//! any one tenant's shards may occupy; admission is checked when a
+//! finished shard is committed to the index, and a rejected shard is
+//! deleted rather than left dangling.
+
+pub mod runner;
+pub mod spec;
+pub mod store;
+
+pub use runner::{JobOutcome, JobRunner};
+pub use spec::{load_jobs, JobSpec};
+pub use store::{ShardRecord, StoreCheck, StoreIndex, TraceStore, INDEX_FILE};

@@ -38,15 +38,35 @@
 //! allocation against corrupt or hostile length fields, and doubles as
 //! the cheap rejection test during salvage resync.
 //!
+//! ## Layout (v3): per-frame compression
+//!
+//! v3 is v2 plus one codec byte per frame, negotiated from the
+//! `SPTRC\x00v3` magic:
+//!
+//! ```text
+//! [kind: u8] [codec: u8] [stored length: u32 LE] [stored bytes] [CRC32]
+//! ```
+//!
+//! The length counts *stored* (post-codec) bytes, the CRC covers
+//! `kind | codec | length | stored`, and the trailer's length field is
+//! the footer frame's stored length — so the O(1) tail seek works without
+//! decompressing anything first. Codec ids and the in-crate LZ codec live
+//! in [`codec`]; a frame whose payload does not shrink is stored raw
+//! (codec 0), so a compressed trace is never larger frame-by-frame than
+//! its raw form. [`TraceWriter::create`] still writes v2 — compression is
+//! opt-in via [`TraceWriter::create_compressed`], keeping the default
+//! byte-stream identical across this change.
+//!
 //! ## Version negotiation
 //!
-//! The format version lives in two places on purpose: the magic's trailing
-//! `v2` (an incompatible layout change bumps it; v1 files — identical but
-//! with no per-frame CRC — are still read transparently) and
-//! [`TraceFooter::version`] (compatible schema evolution inside frames;
-//! readers require it to match the magic's layout version and reject
-//! versions newer than [`FORMAT_VERSION`]). Unknown frame kinds are an
-//! error — the format has no optional frames.
+//! The format version lives in two places on purpose: the magic's
+//! trailing version (an incompatible layout change bumps it; v1 files —
+//! identical to v2 but with no per-frame CRC — and v2 files are both
+//! still read transparently) and [`TraceFooter::version`] (compatible
+//! schema evolution inside frames; readers require it to match the
+//! magic's layout version and reject versions newer than
+//! [`FORMAT_VERSION`]). Unknown frame kinds are an error — the format has
+//! no optional frames.
 //!
 //! ## Durability
 //!
@@ -69,22 +89,28 @@ use simprof_profiler::stream::UnitStream;
 use simprof_profiler::trace::{ProfileTrace, SamplingUnit};
 
 pub mod chaos;
+pub mod codec;
 pub mod crc32;
 pub mod salvage;
 
 pub use chaos::{ChaosCounts, ChaosPlan, ChaosReader, ChaosWriter};
+pub use codec::Codec;
 pub use salvage::{salvage_bytes, Salvage, SalvageReport};
 
-/// Leading (and trailing) magic bytes; the `v2` suffix is the layout
-/// version.
+/// The default layout's magic; the `v2` suffix is the layout version.
 pub const MAGIC: &[u8; 8] = b"SPTRC\0v2";
 
-/// The previous layout's magic: same framing, no per-frame CRC. Still
-/// readable.
+/// The original layout's magic: same framing as v2, no per-frame CRC.
+/// Still readable.
 pub const MAGIC_V1: &[u8; 8] = b"SPTRC\0v1";
 
-/// Schema version written into every footer.
-pub const FORMAT_VERSION: u32 = 2;
+/// The compressed layout's magic: v2 framing plus a codec byte per frame.
+pub const MAGIC_V3: &[u8; 8] = b"SPTRC\0v3";
+
+/// Newest schema version this build reads and writes. Each footer carries
+/// its own file's layout version (1, 2, or 3); the *default* writer still
+/// produces v2 so existing byte-for-byte expectations hold.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Units buffered per on-disk chunk by default. The chunk is the unit of
 /// durability as well as of reader memory: a crash (or torn tail) loses at
@@ -151,8 +177,20 @@ pub struct TraceFooter {
 pub fn is_chunked(path: &str) -> bool {
     let mut head = [0u8; 8];
     match File::open(path) {
-        Ok(mut f) => f.read_exact(&mut head).is_ok() && (&head == MAGIC || &head == MAGIC_V1),
+        Ok(mut f) => {
+            f.read_exact(&mut head).is_ok()
+                && (&head == MAGIC || &head == MAGIC_V1 || &head == MAGIC_V3)
+        }
         Err(_) => false,
+    }
+}
+
+/// The magic for a given layout version.
+pub(crate) fn magic_for(layout_version: u32) -> &'static [u8; 8] {
+    match layout_version {
+        1 => MAGIC_V1,
+        3 => MAGIC_V3,
+        _ => MAGIC,
     }
 }
 
@@ -216,22 +254,30 @@ pub struct TraceWriter<W: Write + Seek = File> {
     dropped_snapshots: u64,
     error: Option<String>,
     finished: bool,
-    legacy_v1: bool,
+    layout: u32,
+    codec: Codec,
 }
 
 impl TraceWriter<File> {
     /// Creates the file at `path` and writes the v2 magic + header frame.
     pub fn create(path: &str, meta: &TraceMeta) -> Result<Self, String> {
         let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
-        Self::from_writer_versioned(file, path, meta, false)
+        Self::from_writer_versioned(file, path, meta, 2, Codec::Raw)
     }
 
-    /// Creates a file in the *previous* (v1, CRC-less) layout. Exists so
+    /// Creates a file in the original (v1, CRC-less) layout. Exists so
     /// compatibility with pre-v2 readers and files stays testable; new
     /// traces should use [`TraceWriter::create`].
     pub fn create_legacy_v1(path: &str, meta: &TraceMeta) -> Result<Self, String> {
         let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
-        Self::from_writer_versioned(file, path, meta, true)
+        Self::from_writer_versioned(file, path, meta, 1, Codec::Raw)
+    }
+
+    /// Creates the file at `path` in the v3 layout, encoding every frame
+    /// under `codec` (with per-frame raw fallback — see [`codec`]).
+    pub fn create_compressed(path: &str, meta: &TraceMeta, codec: Codec) -> Result<Self, String> {
+        let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+        Self::from_writer_versioned(file, path, meta, 3, codec)
     }
 }
 
@@ -240,6 +286,11 @@ impl TraceWriter<Cursor<Vec<u8>>> {
     /// chaos pipelines that never touch disk.
     pub fn in_memory(meta: &TraceMeta) -> Result<Self, String> {
         Self::from_writer(Cursor::new(Vec::new()), "<memory>", meta)
+    }
+
+    /// An in-memory v3 writer with the given frame codec.
+    pub fn in_memory_compressed(meta: &TraceMeta, codec: Codec) -> Result<Self, String> {
+        Self::from_writer_versioned(Cursor::new(Vec::new()), "<memory>", meta, 3, codec)
     }
 
     /// Unwraps the encoded bytes.
@@ -253,14 +304,26 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// be positioned at offset 0). `target` names the stream in errors and
     /// events.
     pub fn from_writer(out: W, target: &str, meta: &TraceMeta) -> Result<Self, String> {
-        Self::from_writer_versioned(out, target, meta, false)
+        Self::from_writer_versioned(out, target, meta, 2, Codec::Raw)
+    }
+
+    /// Starts a v3 trace on an arbitrary stream, encoding frames under
+    /// `codec`.
+    pub fn from_writer_compressed(
+        out: W,
+        target: &str,
+        meta: &TraceMeta,
+        codec: Codec,
+    ) -> Result<Self, String> {
+        Self::from_writer_versioned(out, target, meta, 3, codec)
     }
 
     fn from_writer_versioned(
         out: W,
         target: &str,
         meta: &TraceMeta,
-        legacy_v1: bool,
+        layout: u32,
+        codec: Codec,
     ) -> Result<Self, String> {
         let mut this = Self {
             out,
@@ -280,9 +343,10 @@ impl<W: Write + Seek> TraceWriter<W> {
             dropped_snapshots: 0,
             error: None,
             finished: false,
-            legacy_v1,
+            layout,
+            codec,
         };
-        this.scratch.extend_from_slice(if legacy_v1 { MAGIC_V1 } else { MAGIC });
+        this.scratch.extend_from_slice(magic_for(layout));
         this.commit_scratch()?;
         let header =
             serde_json::to_string(meta).map_err(|e| format!("encode trace header: {e}"))?;
@@ -307,6 +371,17 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// Units pushed so far.
     pub fn unit_count(&self) -> u64 {
         self.unit_count
+    }
+
+    /// The layout version this writer produces (1, 2, or 3).
+    pub fn layout_version(&self) -> u32 {
+        self.layout
+    }
+
+    /// The frame codec this writer applies (always [`Codec::Raw`] below
+    /// v3).
+    pub fn codec(&self) -> Codec {
+        self.codec
     }
 
     /// The latched I/O error, if writing has already failed.
@@ -366,9 +441,11 @@ impl<W: Write + Seek> TraceWriter<W> {
         }
     }
 
-    /// Frames `payload` into the scratch buffer (with CRC on v2) and
-    /// commits it.
-    fn write_frame(&mut self, kind: u8, payload: &[u8]) -> Result<(), String> {
+    /// Frames `payload` into the scratch buffer (with CRC on v2+, and the
+    /// codec byte + stored encoding on v3) and commits it. Returns the
+    /// frame's *stored* payload length — what the trailer records for the
+    /// footer frame.
+    fn write_frame(&mut self, kind: u8, payload: &[u8]) -> Result<u32, String> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(format!(
                 "write {}: frame over the {} MiB cap (shrink the chunk size)",
@@ -376,16 +453,29 @@ impl<W: Write + Seek> TraceWriter<W> {
                 MAX_FRAME_LEN >> 20
             ));
         }
-        let len = payload.len() as u32;
         self.scratch.clear();
         self.scratch.push(kind);
-        self.scratch.extend_from_slice(&len.to_le_bytes());
-        self.scratch.extend_from_slice(payload);
-        if !self.legacy_v1 {
+        let len = if self.layout >= 3 {
+            // Per-frame raw fallback inside `encode` guarantees the
+            // stored form never exceeds the (already capped) raw form.
+            let (codec_id, stored) = codec::encode(self.codec, payload);
+            let len = stored.len() as u32;
+            self.scratch.push(codec_id);
+            self.scratch.extend_from_slice(&len.to_le_bytes());
+            self.scratch.extend_from_slice(&stored);
+            len
+        } else {
+            let len = payload.len() as u32;
+            self.scratch.extend_from_slice(&len.to_le_bytes());
+            self.scratch.extend_from_slice(payload);
+            len
+        };
+        if self.layout >= 2 {
             let crc = crc32::crc32(&self.scratch);
             self.scratch.extend_from_slice(&crc.to_le_bytes());
         }
-        self.commit_scratch()
+        self.commit_scratch()?;
+        Ok(len)
     }
 
     /// Writes the scratch buffer at the current logical offset, retrying
@@ -459,7 +549,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             return Err(e.clone());
         }
         let footer = TraceFooter {
-            version: if self.legacy_v1 { 1 } else { FORMAT_VERSION },
+            version: self.layout,
             unit_count: self.unit_count,
             method_universe: self.method_universe,
             total_instrs: self.total_instrs,
@@ -470,11 +560,12 @@ impl<W: Write + Seek> TraceWriter<W> {
         };
         let payload =
             serde_json::to_string(&footer).map_err(|e| format!("encode trace footer: {e}"))?;
-        self.write_frame(FRAME_FOOTER, payload.as_bytes())?;
-        let len = payload.len() as u32;
+        // The trailer records the footer's *stored* length so the tail
+        // seek stays O(1) even when the footer frame is compressed.
+        let stored_len = self.write_frame(FRAME_FOOTER, payload.as_bytes())?;
         self.scratch.clear();
-        self.scratch.extend_from_slice(&len.to_le_bytes());
-        self.scratch.extend_from_slice(if self.legacy_v1 { MAGIC_V1 } else { MAGIC });
+        self.scratch.extend_from_slice(&stored_len.to_le_bytes());
+        self.scratch.extend_from_slice(magic_for(self.layout));
         self.commit_scratch()?;
         self.retrying("flush", |out| out.flush())?;
         self.finished = true;
@@ -501,8 +592,8 @@ impl<W: Write + Seek + std::fmt::Debug> UnitSink for TraceWriter<W> {
 
 /// A streaming [`UnitStream`] over a chunked trace: holds one decoded
 /// chunk at a time and rewinds by seeking back to the first unit frame.
-/// Reads both v2 (checksummed) and legacy v1 files, negotiated from the
-/// magic.
+/// Reads v3 (compressed), v2 (checksummed), and legacy v1 files,
+/// negotiated from the magic.
 #[derive(Debug)]
 pub struct TraceReader<R: Read + Seek = BufReader<File>> {
     file: R,
@@ -513,6 +604,8 @@ pub struct TraceReader<R: Read + Seek = BufReader<File>> {
     chunk: Vec<SamplingUnit>,
     pos: usize,
     done: bool,
+    /// Bitmask of codec ids observed in decoded frames (bit n = codec n).
+    codecs_seen: u8,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -544,15 +637,17 @@ impl<R: Read + Seek> TraceReader<R> {
             }
         })?;
         let layout_version = if &magic == MAGIC {
-            FORMAT_VERSION
+            2
         } else if &magic == MAGIC_V1 {
             1
+        } else if &magic == MAGIC_V3 {
+            3
         } else {
             return Err(format!(
                 "{path}: not a chunked simprof trace (bad magic {magic:?}; expected {MAGIC:?})"
             ));
         };
-        let (kind, payload) = read_frame(&mut file, path, layout_version)?;
+        let (kind, payload, codec_id) = read_frame(&mut file, path, layout_version)?;
         if kind != FRAME_HEADER {
             return Err(format!("{path}: expected header frame, found {:?}", kind as char));
         }
@@ -567,6 +662,7 @@ impl<R: Read + Seek> TraceReader<R> {
             chunk: Vec::new(),
             pos: 0,
             done: false,
+            codecs_seen: 1 << codec_id.min(7),
         })
     }
 
@@ -575,9 +671,19 @@ impl<R: Read + Seek> TraceReader<R> {
         &self.meta
     }
 
-    /// The layout version negotiated from the magic (1 or 2).
+    /// The layout version negotiated from the magic (1, 2, or 3).
     pub fn layout_version(&self) -> u32 {
         self.layout_version
+    }
+
+    /// Names of the frame codecs observed so far (v1/v2 frames count as
+    /// `raw`). Grows as frames are decoded — read the footer and stream
+    /// the units first for full coverage.
+    pub fn codecs_seen(&self) -> Vec<&'static str> {
+        (0u8..8)
+            .filter(|&id| self.codecs_seen & (1 << id) != 0)
+            .filter_map(codec::codec_name)
+            .collect()
     }
 
     /// Reads the footer via the 12-byte trailer (seek from end), leaving
@@ -601,16 +707,19 @@ impl<R: Read + Seek> TraceReader<R> {
         self.file.seek(SeekFrom::End(-12)).map_err(|e| io_err(&path, "seek", e))?;
         let mut trailer = [0u8; 12];
         self.file.read_exact(&mut trailer).map_err(|e| io_err(&path, "read", e))?;
-        let magic = if self.layout_version == 1 { MAGIC_V1 } else { MAGIC };
-        if &trailer[4..12] != magic {
+        if &trailer[4..12] != magic_for(self.layout_version) {
             return Err(format!(
                 "{path}: missing footer trailer (crash before finish, or truncation?); \
                  {SALVAGE_HINT}"
             ));
         }
+        // The trailer's length is the footer frame's *stored* payload
+        // length, so the seek arithmetic is exact even for compressed
+        // footers: [kind][codec?][len][stored][crc?].
         let len = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]) as u64;
+        let head_len: u64 = if self.layout_version >= 3 { 6 } else { 5 };
         let crc_len: u64 = if self.layout_version >= 2 { 4 } else { 0 };
-        let frame_len = 5 + len + crc_len;
+        let frame_len = head_len + len + crc_len;
         if len > MAX_FRAME_LEN as u64 || frame_len + 12 > file_len {
             return Err(format!(
                 "{path}: corrupt trailer (footer length {len} does not fit the {file_len}-byte \
@@ -620,7 +729,8 @@ impl<R: Read + Seek> TraceReader<R> {
         self.file
             .seek(SeekFrom::End(-12 - frame_len as i64))
             .map_err(|e| io_err(&path, "seek", e))?;
-        let (kind, payload) = read_frame(&mut self.file, &path, self.layout_version)?;
+        let (kind, payload, codec_id) = read_frame(&mut self.file, &path, self.layout_version)?;
+        self.codecs_seen |= 1 << codec_id.min(7);
         if kind != FRAME_FOOTER {
             return Err(format!(
                 "{path}: corrupt footer frame (kind {:?}); {SALVAGE_HINT}",
@@ -674,7 +784,9 @@ impl<R: Read + Seek> TraceReader<R> {
             if self.done {
                 return Ok(false);
             }
-            let (kind, payload) = read_frame(&mut self.file, &self.path, self.layout_version)?;
+            let (kind, payload, codec_id) =
+                read_frame(&mut self.file, &self.path, self.layout_version)?;
+            self.codecs_seen |= 1 << codec_id.min(7);
             match kind {
                 FRAME_UNITS => {
                     let units: Vec<SamplingUnit> = parse_payload(&self.path, "chunk", &payload)?;
@@ -741,16 +853,22 @@ pub fn read_trace(path: &str) -> Result<(ProfileTrace, TraceFooter), String> {
     Ok((trace, footer))
 }
 
-/// Reads one frame. Validates the length against [`MAX_FRAME_LEN`]
-/// *before* allocating, and on v2 verifies the frame's CRC32 before the
-/// payload is handed to the codec.
+/// Reads one frame, returning its kind, decoded payload, and codec id
+/// (always [`codec::CODEC_RAW`] below v3). Validates the length against
+/// [`MAX_FRAME_LEN`] *before* allocating, verifies the frame's CRC32
+/// (v2+) over the *stored* bytes, and only then decompresses (v3) — so a
+/// corrupt frame fails the checksum, not the decompressor.
 fn read_frame<R: Read>(
     file: &mut R,
     path: &str,
     layout_version: u32,
-) -> Result<(u8, Vec<u8>), String> {
+) -> Result<(u8, Vec<u8>, u8), String> {
     let mut kind = [0u8; 1];
     file.read_exact(&mut kind).map_err(|e| io_err(path, "read", e))?;
+    let mut codec_byte = [codec::CODEC_RAW; 1];
+    if layout_version >= 3 {
+        file.read_exact(&mut codec_byte).map_err(|e| io_err(path, "read", e))?;
+    }
     let mut len_bytes = [0u8; 4];
     file.read_exact(&mut len_bytes).map_err(|e| io_err(path, "read", e))?;
     let len = u32::from_le_bytes(len_bytes) as usize;
@@ -760,25 +878,34 @@ fn read_frame<R: Read>(
              hostile trace); {SALVAGE_HINT}"
         ));
     }
-    let mut payload = vec![0u8; len];
-    file.read_exact(&mut payload).map_err(|e| io_err(path, "read", e))?;
+    let mut stored = vec![0u8; len];
+    file.read_exact(&mut stored).map_err(|e| io_err(path, "read", e))?;
     if layout_version >= 2 {
         let mut crc_bytes = [0u8; 4];
         file.read_exact(&mut crc_bytes).map_err(|e| io_err(path, "read", e))?;
-        let stored = u32::from_le_bytes(crc_bytes);
+        let expected = u32::from_le_bytes(crc_bytes);
         let mut hasher = crc32::Hasher::new();
         hasher.update(&kind);
+        if layout_version >= 3 {
+            hasher.update(&codec_byte);
+        }
         hasher.update(&len_bytes);
-        hasher.update(&payload);
+        hasher.update(&stored);
         let actual = hasher.finalize();
-        if actual != stored {
+        if actual != expected {
             return Err(format!(
-                "{path}: frame checksum mismatch (stored {stored:#010x}, computed \
+                "{path}: frame checksum mismatch (stored {expected:#010x}, computed \
                  {actual:#010x}); {SALVAGE_HINT}"
             ));
         }
     }
-    Ok((kind[0], payload))
+    let payload = if layout_version >= 3 {
+        codec::decode(codec_byte[0], &stored, MAX_FRAME_LEN)
+            .map_err(|e| format!("{path}: decode frame: {e}; {SALVAGE_HINT}"))?
+    } else {
+        stored
+    };
+    Ok((kind[0], payload, codec_byte[0]))
 }
 
 pub(crate) fn parse_payload<T: Deserialize>(
@@ -895,7 +1022,8 @@ mod tests {
         let mut w = TraceWriter::create(&path, &meta()).unwrap();
         let footer = w.finish(&MethodRegistry::new()).unwrap();
         assert_eq!(footer.unit_count, 0);
-        assert_eq!(footer.version, FORMAT_VERSION);
+        // The default writer stays on the v2 layout; v3 is opt-in.
+        assert_eq!(footer.version, 2);
         let (trace, _) = read_trace(&path).unwrap();
         assert!(trace.units.is_empty());
         let _ = std::fs::remove_file(&path);
@@ -956,6 +1084,104 @@ mod tests {
         let (trace, _) = read_trace(&path).unwrap();
         assert_eq!(trace.units, (0..7).map(unit).collect::<Vec<_>>());
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Seals `n` units into in-memory v3 trace bytes under `codec`.
+    fn memory_trace_v3(n: u64, chunk: usize, codec: Codec) -> Vec<u8> {
+        let mut w =
+            TraceWriter::in_memory_compressed(&meta(), codec).unwrap().with_chunk_units(chunk);
+        for id in 0..n {
+            w.push(&unit(id));
+        }
+        w.finish(&MethodRegistry::new()).unwrap();
+        w.into_bytes()
+    }
+
+    #[test]
+    fn v3_lz_trace_roundtrips_and_shrinks() {
+        let raw = memory_trace_v3(64, 8, Codec::Raw);
+        let lz = memory_trace_v3(64, 8, Codec::Lz);
+        assert_eq!(&raw[..8], MAGIC_V3);
+        assert_eq!(&lz[..8], MAGIC_V3);
+        assert!(
+            lz.len() < raw.len() * 3 / 4,
+            "chunked JSON should compress well: raw {} vs lz {}",
+            raw.len(),
+            lz.len()
+        );
+        for bytes in [raw, lz] {
+            let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+            assert_eq!(r.layout_version(), 3);
+            let footer = r.footer().unwrap();
+            assert_eq!(footer.version, 3);
+            assert_eq!(footer.unit_count, 64);
+            let mut ids = Vec::new();
+            while let Some(u) = r.next_unit().unwrap() {
+                ids.push(u.id);
+            }
+            assert_eq!(ids, (0..64).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn v3_writes_are_deterministic() {
+        assert_eq!(memory_trace_v3(32, 4, Codec::Lz), memory_trace_v3(32, 4, Codec::Lz));
+    }
+
+    #[test]
+    fn v3_reader_reports_codecs_seen() {
+        let bytes = memory_trace_v3(16, 4, Codec::Lz);
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+        let _ = r.footer().unwrap();
+        while r.next_unit().unwrap().is_some() {}
+        // Chunks compress (lz); the tiny header typically stores raw.
+        assert!(r.codecs_seen().contains(&"lz"), "codecs: {:?}", r.codecs_seen());
+
+        let bytes = memory_trace(6, 2);
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+        while r.next_unit().unwrap().is_some() {}
+        assert_eq!(r.codecs_seen(), vec!["raw"], "v2 frames count as raw");
+    }
+
+    #[test]
+    fn v3_file_roundtrips_through_create_compressed() {
+        let path = tmp("simprof_trace_v3_file.sptrc");
+        let mut reg = MethodRegistry::new();
+        reg.intern("Mapper.map", OpClass::Map);
+        let mut w =
+            TraceWriter::create_compressed(&path, &meta(), Codec::Lz).unwrap().with_chunk_units(5);
+        assert_eq!(w.layout_version(), 3);
+        assert_eq!(w.codec(), Codec::Lz);
+        for id in 0..23 {
+            w.push(&unit(id));
+        }
+        let footer = w.finish(&reg).unwrap();
+        assert!(is_chunked(&path));
+        let (trace, read_footer) = read_trace(&path).unwrap();
+        assert_eq!(read_footer, footer);
+        assert_eq!(trace.units, (0..23).map(unit).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn v3_flipped_stored_byte_fails_the_checksum_not_the_decompressor() {
+        let mut bytes = memory_trace_v3(32, 8, Codec::Lz);
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0x10;
+        let mut r = TraceReader::from_reader(Cursor::new(bytes), "<memory>").unwrap();
+        let mut err = None;
+        loop {
+            match r.next_unit() {
+                Ok(Some(_)) => continue,
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("corrupted compressed frame must error");
+        assert!(err.contains("checksum mismatch"), "{err}");
     }
 
     #[test]
@@ -1100,7 +1326,8 @@ mod tests {
             dropped_snapshots: 0,
             error: None,
             finished: false,
-            legacy_v1: false,
+            layout: 2,
+            codec: Codec::Raw,
         };
         w2.push(&unit(0));
         assert!(w2.error().is_some());

@@ -21,10 +21,11 @@ use serde::{Deserialize, Serialize};
 
 use simprof_profiler::trace::SamplingUnit;
 
+use crate::codec;
 use crate::crc32::crc32;
 use crate::{
-    parse_payload, TraceFooter, TraceMeta, FORMAT_VERSION, FRAME_FOOTER, FRAME_HEADER, FRAME_UNITS,
-    MAGIC, MAGIC_V1, MAX_FRAME_LEN,
+    parse_payload, TraceFooter, TraceMeta, FRAME_FOOTER, FRAME_HEADER, FRAME_UNITS, MAGIC,
+    MAGIC_V1, MAGIC_V3, MAX_FRAME_LEN,
 };
 
 /// What a salvage pass found, frame by frame.
@@ -92,21 +93,40 @@ fn probe_frame(data: &[u8], at: usize, layout_version: u32) -> Option<(Recovered
     if kind != FRAME_HEADER && kind != FRAME_UNITS && kind != FRAME_FOOTER {
         return None;
     }
-    let len_bytes = data.get(at + 1..at + 5)?;
+    // v3 frames carry a codec byte between the kind and the length; an
+    // unknown codec id rejects the candidate before any CRC work.
+    let head = if layout_version >= 3 { 6 } else { 5 };
+    let codec_id = if layout_version >= 3 {
+        let id = *data.get(at + 1)?;
+        codec::codec_name(id)?;
+        id
+    } else {
+        codec::CODEC_RAW
+    };
+    let len_bytes = data.get(at + head - 4..at + head)?;
     let len = u32::from_le_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
     if len > MAX_FRAME_LEN {
         return None;
     }
-    let payload = data.get(at + 5..at + 5 + len)?;
-    let mut end = at + 5 + len;
+    let stored = data.get(at + head..at + head + len)?;
+    let mut end = at + head + len;
     if layout_version >= 2 {
         let crc_bytes = data.get(end..end + 4)?;
-        let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-        if crc32(&data[at..end]) != stored {
+        let expected = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(&data[at..end]) != expected {
             return None;
         }
         end += 4;
     }
+    // CRC validated over the stored bytes; only now decompress (v3) and
+    // parse. A frame that checksums but fails either step is still bad.
+    let decoded;
+    let payload: &[u8] = if layout_version >= 3 {
+        decoded = codec::decode(codec_id, stored, MAX_FRAME_LEN).ok()?;
+        &decoded
+    } else {
+        stored
+    };
     let rec = match kind {
         FRAME_HEADER => Recovered::Header(parse_payload("salvage", "header", payload).ok()?),
         FRAME_UNITS => Recovered::Units(parse_payload("salvage", "chunk", payload).ok()?),
@@ -136,18 +156,21 @@ pub fn salvage_bytes(data: &[u8], origin: &str) -> Result<Salvage, String> {
     let (layout_version, magic): (u32, &[u8; 8]) = if data.len() >= 8 {
         let head = &data[..8];
         if head == MAGIC {
-            (FORMAT_VERSION, MAGIC)
+            (2, MAGIC)
         } else if head == MAGIC_V1 {
             (1, MAGIC_V1)
+        } else if head == MAGIC_V3 {
+            (3, MAGIC_V3)
         } else {
             return Err(format!(
                 "{origin}: not a chunked simprof trace (bad magic {head:?}); nothing to salvage"
             ));
         }
     } else if data == &MAGIC[..data.len()] || data == &MAGIC_V1[..data.len()] {
-        // Truncated inside the magic itself: a real trace cut that short
-        // holds nothing, but it is still "ours" — salvage to zero units.
-        (FORMAT_VERSION, MAGIC)
+        // Truncated inside the magic itself (the three magics share their
+        // first seven bytes): a real trace cut that short holds nothing,
+        // but it is still "ours" — salvage to zero units.
+        (2, MAGIC)
     } else {
         return Err(format!(
             "{origin}: not a chunked simprof trace ({} bytes, magic mismatch); nothing to salvage",

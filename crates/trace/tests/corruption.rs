@@ -22,7 +22,7 @@ use simprof_engine::{MethodId, MethodRegistry, OpClass};
 use simprof_profiler::trace::SamplingUnit;
 use simprof_sim::Counters;
 use simprof_trace::{
-    salvage_bytes, ChaosPlan, ChaosWriter, RetryPolicy, Salvage, TraceMeta, TraceReader,
+    salvage_bytes, ChaosPlan, ChaosWriter, Codec, RetryPolicy, Salvage, TraceMeta, TraceReader,
     TraceWriter,
 };
 
@@ -70,6 +70,17 @@ fn seal(units: &[SamplingUnit], chunk: usize) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// Seals `units` into in-memory v3 trace bytes under the LZ codec.
+fn seal_v3(units: &[SamplingUnit], chunk: usize) -> Vec<u8> {
+    let mut w =
+        TraceWriter::in_memory_compressed(&mk_meta(), Codec::Lz).unwrap().with_chunk_units(chunk);
+    for u in units {
+        w.push(u);
+    }
+    w.finish(&mk_registry()).unwrap();
+    w.into_bytes()
+}
+
 /// Walks an *uncorrupted* sealed v2 trace frame by frame using only
 /// layout knowledge. Returns `(kind, start, end)` per frame, ending at
 /// the footer frame (the 12-byte trailer follows the last entry).
@@ -81,6 +92,24 @@ fn frame_map(bytes: &[u8]) -> Vec<(u8, usize, usize)> {
         let len = u32::from_le_bytes([bytes[at + 1], bytes[at + 2], bytes[at + 3], bytes[at + 4]])
             as usize;
         let end = at + 5 + len + 4; // v2: kind + len + payload + crc32
+        frames.push((kind, at, end));
+        if kind == b'F' {
+            return frames;
+        }
+        at = end;
+    }
+}
+
+/// Frame map for the v3 layout: `kind + codec + stored len u32 + stored
+/// bytes + crc32`, where the length counts post-codec bytes.
+fn frame_map_v3(bytes: &[u8]) -> Vec<(u8, usize, usize)> {
+    let mut frames = Vec::new();
+    let mut at = 8;
+    loop {
+        let kind = bytes[at];
+        let len = u32::from_le_bytes([bytes[at + 2], bytes[at + 3], bytes[at + 4], bytes[at + 5]])
+            as usize;
+        let end = at + 6 + len + 4;
         frames.push((kind, at, end));
         if kind == b'F' {
             return frames;
@@ -217,6 +246,78 @@ proptest! {
         prop_assert_eq!(back, s.units);
     }
 
+    /// v3 (compressed) files under a single-byte flip: the CRC over the
+    /// *stored* bytes rejects the frame before the decompressor sees it,
+    /// streaming stays an honest prefix, and salvage recovers exactly the
+    /// untouched chunks — decompressed back to the original units.
+    #[test]
+    fn v3_single_byte_flip_never_panics_never_lies(
+        n in 0u64..18,
+        chunk in 1usize..6,
+        fpos in 0usize..1_000_000,
+        bit in 0u32..8,
+    ) {
+        let all: Vec<SamplingUnit> = (0..n).map(mk_unit).collect();
+        let bytes = seal_v3(&all, chunk);
+        let f = fpos % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[f] ^= 1u8 << bit;
+
+        assert_stream_is_honest_prefix(&corrupt, &all);
+
+        let res = salvage_bytes(&corrupt, "<v3flip>");
+        if f < 8 {
+            prop_assert!(res.is_err());
+        } else {
+            let s = res.unwrap();
+            prop_assert_eq!(s.report.layout_version, 3);
+            let frames = frame_map_v3(&bytes);
+            let expected = expected_units(&all, chunk, &frames, |start, end| {
+                !(f >= start && f < end)
+            });
+            prop_assert_eq!(&s.units, &expected);
+            prop_assert!(!s.report.clean);
+        }
+    }
+
+    /// v3 truncation — including cuts that split a compressed frame —
+    /// salvages exactly the intact chunk prefix, and re-sealing under the
+    /// same codec round-trips.
+    #[test]
+    fn v3_truncation_recovers_exactly_the_intact_chunk_prefix(
+        n in 0u64..18,
+        chunk in 1usize..6,
+        tpos in 0usize..1_000_000,
+    ) {
+        let all: Vec<SamplingUnit> = (0..n).map(mk_unit).collect();
+        let bytes = seal_v3(&all, chunk);
+        let t = tpos % (bytes.len() + 1);
+        let cut = &bytes[..t];
+
+        assert_stream_is_honest_prefix(cut, &all);
+
+        let s = salvage_bytes(cut, "<v3cut>").unwrap();
+        let frames = frame_map_v3(&bytes);
+        let expected = expected_units(&all, chunk, &frames, |_, end| end <= t);
+        prop_assert_eq!(&s.units, &expected);
+        prop_assert_eq!(s.report.clean, t == bytes.len());
+
+        // Re-seal the salvage compressed and stream it back.
+        let mut w = TraceWriter::in_memory_compressed(&s.meta, Codec::Lz).unwrap();
+        for u in &s.units {
+            w.push(u);
+        }
+        w.finish(&s.footer.registry).unwrap();
+        let mut r = TraceReader::from_reader(Cursor::new(w.into_bytes()), "<v3repaired>")
+            .unwrap();
+        prop_assert_eq!(r.footer().unwrap().unit_count, s.units.len() as u64);
+        let mut back = Vec::new();
+        while let Some(u) = r.next_unit().unwrap() {
+            back.push(u.clone());
+        }
+        prop_assert_eq!(back, s.units);
+    }
+
     /// v1 (CRC-less) files: truncation still salvages to exactly the
     /// intact chunk prefix — validation falls back to JSON parsing.
     #[test]
@@ -286,6 +387,21 @@ fn every_truncation_offset_salvages() {
         let expected = expected_units(&all, 2, &frames, |_, end| end <= t);
         assert_eq!(s.units, expected, "offset {t}");
         assert_eq!(s.report.recovered_units, expected.len() as u64, "offset {t}");
+        assert_eq!(s.report.clean, t == bytes.len(), "offset {t}");
+    }
+}
+
+/// The exhaustive truncation sweep, repeated for the compressed layout.
+#[test]
+fn every_v3_truncation_offset_salvages() {
+    let all: Vec<SamplingUnit> = (0..7).map(mk_unit).collect();
+    let bytes = seal_v3(&all, 2);
+    let frames = frame_map_v3(&bytes);
+    for t in 0..=bytes.len() {
+        let s = salvage_bytes(&bytes[..t], "<v3sweep>")
+            .unwrap_or_else(|e| panic!("v3 truncation at offset {t} must salvage: {e}"));
+        let expected = expected_units(&all, 2, &frames, |_, end| end <= t);
+        assert_eq!(s.units, expected, "offset {t}");
         assert_eq!(s.report.clean, t == bytes.len(), "offset {t}");
     }
 }

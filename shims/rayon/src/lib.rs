@@ -132,6 +132,10 @@ impl RawJob {
 struct PoolState {
     epoch: u64,
     job: Option<RawJob>,
+    /// The submitter's observability context, propagated so worker spans,
+    /// metrics, and allocation charges attribute to the submitting job
+    /// (concurrent jobs never share a region: `submit` serializes them).
+    ctx: Option<simprof_obs::ObsContext>,
     open_slots: usize,
     active: usize,
     closed: bool,
@@ -158,6 +162,7 @@ fn pool() -> &'static Pool {
         state: Mutex::new(PoolState {
             epoch: 0,
             job: None,
+            ctx: None,
             open_slots: 0,
             active: 0,
             closed: true,
@@ -185,10 +190,14 @@ fn worker_main() {
             continue;
         }
         let Some(job) = st.job else { continue };
+        let ctx = st.ctx.clone();
         st.open_slots -= 1;
         st.active += 1;
         drop(st);
         {
+            // Record under the submitting job's context (if it has one) so
+            // concurrent jobs don't bleed worker activity into each other.
+            let _installed = ctx.as_ref().map(simprof_obs::ObsContext::install);
             // Attribute this worker's wall-clock to its own span (and
             // thread id) so timelines show pool activity; one relaxed load
             // when no obs session is active.
@@ -224,6 +233,7 @@ fn pool_run(extra: usize, work: &(dyn Fn() + Sync)) {
         }
         st.epoch += 1;
         st.job = Some(RawJob::erase(work));
+        st.ctx = simprof_obs::ObsContext::current();
         st.open_slots = extra;
         st.active = 0;
         st.closed = false;
@@ -243,6 +253,7 @@ fn pool_run(extra: usize, work: &(dyn Fn() + Sync)) {
     let mut st = pool.state.lock().expect("pool lock");
     st.closed = true;
     st.job = None;
+    st.ctx = None;
     while st.active > 0 {
         st = pool.done_cv.wait(st).expect("pool lock");
     }

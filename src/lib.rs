@@ -26,8 +26,12 @@
 //!   baselines, input-sensitivity analysis.
 //! * [`workloads`] — six BigDataBench-style benchmarks on both engines and
 //!   the data synthesizers (Zipfian text, Kronecker graphs).
-//! * [`obs`] — the observability layer: span timing, the metrics registry,
-//!   and versioned run reports (`simprof run --report out.json`).
+//! * [`obs`] — the observability layer: job-scoped [`obs::ObsContext`]s,
+//!   span timing, the metrics registry, and versioned run reports
+//!   (`simprof run --report out.json`).
+//! * [`service`] — the concurrent multi-job profiling service: the
+//!   [`service::JobRunner`] and the sharded on-disk trace store behind
+//!   `simprof serve`.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use simprof_core as core;
 pub use simprof_engine as engine;
 pub use simprof_obs as obs;
 pub use simprof_profiler as profiler;
+pub use simprof_service as service;
 pub use simprof_sim as sim;
 pub use simprof_stats as stats;
 pub use simprof_trace as trace;

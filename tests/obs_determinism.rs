@@ -7,6 +7,11 @@ use simprof::core::{SimProf, SimProfConfig};
 use simprof::obs;
 use simprof::workloads::{Benchmark, Framework, WorkloadConfig};
 
+/// Both tests claim the process default slot via the legacy `Session`
+/// shim (which now fails fast with `SessionBusy` instead of blocking), so
+/// they serialize explicitly here.
+static SESSION: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Profile → phases → points → estimate, serialized canonically so any
 /// perturbation — a reordered tie-break, a consumed RNG draw, a rounded
 /// float — shows up as a byte difference.
@@ -29,10 +34,11 @@ fn run_pipeline() -> String {
 
 #[test]
 fn reporting_session_does_not_perturb_the_pipeline() {
+    let _serial = SESSION.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     assert!(!obs::enabled(), "observability starts disabled");
     let baseline = run_pipeline();
 
-    let session = obs::Session::begin();
+    let session = obs::Session::begin().expect("no concurrent session");
     assert!(obs::enabled(), "session enables collection");
     let observed = run_pipeline();
     let report = session.finish();
@@ -52,6 +58,7 @@ fn reporting_session_does_not_perturb_the_pipeline() {
 
 #[test]
 fn event_streaming_and_timeline_export_do_not_perturb_the_pipeline() {
+    let _serial = SESSION.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     // Force a real worker pool so the run exercises the parallel regions
     // (and their span hooks) even on a single-core host.
     rayon::set_threads(2);
@@ -64,7 +71,7 @@ fn event_streaming_and_timeline_export_do_not_perturb_the_pipeline() {
 
     // Full sink stack live: session + streaming JSONL event sink, with the
     // Chrome-trace export run afterwards from the finished report.
-    let session = obs::Session::begin();
+    let session = obs::Session::begin().expect("no concurrent session");
     let sink = obs::JsonlEventWriter::create(&events_path).expect("create event log");
     obs::events::install(Box::new(sink));
     assert!(obs::event_streaming(), "sink installation enables streaming");

@@ -1,0 +1,140 @@
+//! The service layer's two determinism contracts, end to end through the
+//! facade crate:
+//!
+//! 1. **Concurrency isolation** — K seeded jobs served on K worker
+//!    threads each write a shard bit-identical to the same job run alone
+//!    in its own store. Any cross-job leak (shared RNG state, a sink
+//!    observing a neighbor, context bleed through the thread pool) shows
+//!    up as a byte diff.
+//! 2. **Service ≡ batch** — a job served through the [`JobRunner`] writes
+//!    exactly the bytes `simprof profile` writes for the same
+//!    workload/scale/seed, so traces are interchangeable between the two
+//!    entry points.
+
+use proptest::prelude::*;
+
+use simprof::service::{JobRunner, JobSpec, TraceStore};
+use simprof::trace::TraceReader;
+use simprof::workloads::WorkloadId;
+
+fn tmp_root(name: &str) -> String {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_str().unwrap().to_owned()
+}
+
+fn spec(id: &str, workload: &str, seed: u64, codec: Option<&str>) -> JobSpec {
+    let mut s = JobSpec::new(id, workload);
+    s.seed = Some(seed);
+    s.scale = Some("tiny".into());
+    s.codec = codec.map(str::to_owned);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// K jobs with arbitrary seeds/workloads/codecs, served at K-way
+    /// concurrency, are each bit-identical to their solo run.
+    #[test]
+    fn concurrent_jobs_are_bit_identical_to_solo_runs(
+        seeds in proptest::collection::vec(0u64..1000, 2..5),
+        picks in proptest::collection::vec(0usize..12, 2..5),
+        lz_mask in any::<u8>(),
+    ) {
+        let k = seeds.len().min(picks.len());
+        let workloads = WorkloadId::all();
+        let specs: Vec<JobSpec> = (0..k)
+            .map(|i| {
+                let codec = if lz_mask & (1 << i) != 0 { Some("lz") } else { None };
+                spec(
+                    &format!("prop-{i}"),
+                    &workloads[picks[i] % workloads.len()].label(),
+                    seeds[i],
+                    codec,
+                )
+            })
+            .collect();
+
+        let fleet_root = tmp_root(&format!("simprof_svc_prop_fleet_{}", std::process::id()));
+        let fleet = JobRunner::new(TraceStore::create(&fleet_root).unwrap())
+            .with_max_concurrent(k);
+        let results = fleet.run(&specs);
+        for r in &results {
+            prop_assert!(r.is_ok(), "{r:?}");
+        }
+        fleet.store().write_index().unwrap();
+        let check = TraceStore::validate(&fleet_root).unwrap();
+        prop_assert!(check.clean(), "store problems: {:?}", check.problems);
+
+        for s in &specs {
+            let solo_root = tmp_root(&format!("simprof_svc_prop_solo_{}", std::process::id()));
+            let solo = JobRunner::new(TraceStore::create(&solo_root).unwrap());
+            let res = solo.run(std::slice::from_ref(s));
+            prop_assert!(res[0].is_ok(), "{:?}", res[0]);
+            let fleet_bytes = std::fs::read(fleet.store().shard_path(&s.id)).unwrap();
+            let solo_bytes = std::fs::read(solo.store().shard_path(&s.id)).unwrap();
+            prop_assert_eq!(
+                &fleet_bytes,
+                &solo_bytes,
+                "job `{}` diverged under {}-way concurrency",
+                s.id,
+                k
+            );
+            let _ = std::fs::remove_dir_all(&solo_root);
+        }
+        let _ = std::fs::remove_dir_all(&fleet_root);
+    }
+}
+
+/// A job served through the runner writes exactly the bytes the batch CLI
+/// writes for the same workload/scale/seed — the two entry points share
+/// one trace contract.
+#[test]
+fn service_job_matches_batch_cli_trace_bytes() {
+    let root = tmp_root("simprof_svc_cli_equiv");
+    let runner = JobRunner::new(TraceStore::create(&root).unwrap());
+    let results = runner.run(&[spec("cli-equiv", "wc_sp", 7, None)]);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    let service_bytes = std::fs::read(runner.store().shard_path("cli-equiv")).unwrap();
+
+    let cli_out = std::env::temp_dir().join("simprof_svc_cli_equiv.sptrc");
+    let cli_out = cli_out.to_str().unwrap().to_owned();
+    let argv: Vec<String> =
+        ["profile", "-w", "wc_sp", "--seed", "7", "--scale", "tiny", "-o", &cli_out]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    simprof_cli::dispatch(&argv).expect("batch profile succeeds");
+    let cli_bytes = std::fs::read(&cli_out).unwrap();
+
+    assert_eq!(service_bytes, cli_bytes, "service shard differs from the batch CLI trace");
+    let _ = std::fs::remove_file(&cli_out);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Per-job event sinks stay per-job: two jobs served concurrently each
+/// get their own report with the `service.job` span, and a compressed
+/// shard reads back with the same units the footer counts.
+#[test]
+fn served_jobs_keep_their_own_reports_and_readable_shards() {
+    let root = tmp_root("simprof_svc_reports");
+    let runner = JobRunner::new(TraceStore::create(&root).unwrap()).with_max_concurrent(2);
+    let results = runner.run(&[spec("a", "wc_sp", 5, Some("lz")), spec("b", "grep_hp", 6, None)]);
+    for r in &results {
+        let outcome = r.as_ref().expect("job succeeds");
+        assert!(
+            outcome.report.find_span("service.job").is_some(),
+            "job `{}` report lacks its service.job span",
+            outcome.id
+        );
+        let path = runner.store().shard_path(&outcome.id);
+        let mut reader = TraceReader::open(path.to_str().unwrap()).unwrap();
+        let mut units = 0u64;
+        while reader.next_unit().unwrap().is_some() {
+            units += 1;
+        }
+        assert_eq!(units, outcome.units, "job `{}` shard unit count drifted", outcome.id);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
