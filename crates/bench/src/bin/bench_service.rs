@@ -5,13 +5,14 @@
 //! ```text
 //! cargo run --release -p simprof-bench --bin bench_service -- \
 //!     [--jobs N] [--concurrent N] [--seed S] [--threads N] \
-//!     [--store DIR] [-o BENCH_service.json]
+//!     [--store DIR] [-o BENCH_service.json] \
+//!     [--fleet-report FILE] [--fleet-timeline FILE]
 //! ```
 //!
 //! The run builds `--jobs` specs (default 32) cycling through the Table I
 //! workload matrix with distinct seeds, a mix of raw/LZ codecs, and three
 //! tenants, and serves them at `--concurrent` (default 8) worker threads
-//! into a sharded [`TraceStore`]. Three contracts are enforced, each a
+//! into a sharded [`TraceStore`]. Four contracts are enforced, each a
 //! non-zero exit on violation:
 //!
 //! 1. **Isolation** — every job is then re-run alone in a fresh store and
@@ -24,16 +25,23 @@
 //!    versions, no strays).
 //! 3. **No failures** — every job must finish and stay within its memory
 //!    budget.
+//! 4. **Fleet-report determinism** — the same fleet re-run under a
+//!    [`ScriptedClock`] must serialize to byte-identical
+//!    [`simprof_obs::FleetReport`]s at 1, 4, and 8 workers and across a
+//!    repeat run (DESIGN.md §18's determinism contract, end to end).
 //!
 //! With `-o`, writes the `BENCH_service.json` record CI uploads: job
 //! counts, aggregate units/bytes, concurrent vs. solo wall-clock, and the
-//! per-contract verdicts.
+//! per-contract verdicts. `--fleet-report` saves the scripted-clock fleet
+//! report and `--fleet-timeline` the wall-clock per-worker timeline, both
+//! `report_check`-clean.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use simprof_bench::apply_thread_flag;
 use simprof_obs::TrackingAllocator;
-use simprof_service::{JobRunner, JobSpec, TraceStore};
+use simprof_service::{fleet_report, fleet_slices, JobRunner, JobSpec, ScriptedClock, TraceStore};
 use simprof_workloads::WorkloadId;
 
 /// Real per-slot byte accounting for the jobs' `mem_cap_mb` verdicts.
@@ -46,11 +54,21 @@ struct Args {
     seed: u64,
     store: Option<String>,
     output: Option<String>,
+    fleet_report: Option<String>,
+    fleet_timeline: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv = apply_thread_flag(std::env::args().skip(1).collect())?;
-    let mut args = Args { jobs: 32, concurrent: 8, seed: 42, store: None, output: None };
+    let mut args = Args {
+        jobs: 32,
+        concurrent: 8,
+        seed: 42,
+        store: None,
+        output: None,
+        fleet_report: None,
+        fleet_timeline: None,
+    };
     let mut it = argv.into_iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
@@ -67,6 +85,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--store" => args.store = Some(value(&flag)?),
             "-o" | "--output" => args.output = Some(value(&flag)?),
+            "--fleet-report" => args.fleet_report = Some(value(&flag)?),
+            "--fleet-timeline" => args.fleet_timeline = Some(value(&flag)?),
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -191,6 +211,51 @@ fn run(args: &Args) -> Result<(), String> {
         args.jobs
     );
 
+    if let Some(path) = &args.fleet_timeline {
+        let slices = fleet_slices(&results);
+        simprof_obs::write_fleet_timeline(&slices, std::path::Path::new(path))?;
+        println!("  wrote fleet timeline {path} ({} job slices)", slices.len());
+    }
+
+    // Phase 4 — fleet-report determinism: the same fleet under a scripted
+    // clock must serialize identically at 1/4/8 workers and across a
+    // repeat. Runs after the phases above so every process-global lazy
+    // init is warm and allocation peaks are reproducible.
+    let det_root = format!("{root}_fleet");
+    let t2 = Instant::now();
+    let mut fleet_texts: Vec<(usize, String)> = Vec::new();
+    for workers in [1usize, 4, 8, 8] {
+        let _ = std::fs::remove_dir_all(&det_root);
+        let det = JobRunner::new(TraceStore::create(&det_root)?)
+            .with_max_concurrent(workers)
+            .with_clock(Arc::new(ScriptedClock::fixed(0)));
+        let det_results = det.run(&specs);
+        let report = fleet_report(det.store(), &specs, &det_results)?;
+        fleet_texts.push((workers, report.to_json_pretty()));
+    }
+    let _ = std::fs::remove_dir_all(&det_root);
+    let baseline = fleet_texts[0].1.clone();
+    let mut fleet_diverged = 0usize;
+    for (workers, text) in &fleet_texts[1..] {
+        if *text != baseline {
+            fleet_diverged += 1;
+            failures.push(format!(
+                "fleet report at {workers} workers differs from the 1-worker baseline \
+                 under a scripted clock"
+            ));
+        }
+    }
+    let fleet_secs = t2.elapsed().as_secs_f64();
+    println!(
+        "  fleet report: {} scripted-clock passes in {fleet_secs:.2} s, {fleet_diverged} \
+         diverged from the 1-worker baseline",
+        fleet_texts.len()
+    );
+    if let Some(path) = &args.fleet_report {
+        std::fs::write(path, &baseline).map_err(|e| format!("write {path}: {e}"))?;
+        println!("  wrote fleet report {path}");
+    }
+
     if let Some(path) = &args.output {
         let record = serde_json::json!({
             "bench": "service/concurrent_isolation",
@@ -210,6 +275,9 @@ fn run(args: &Args) -> Result<(), String> {
             "jobs_per_sec_concurrent": args.jobs as f64 / concurrent_secs.max(1e-12),
             "shards_diverged_from_solo": diverged,
             "isolation_bit_identical": diverged == 0,
+            "fleet_report_passes": fleet_texts.len(),
+            "fleet_report_secs": fleet_secs,
+            "fleet_report_deterministic": fleet_diverged == 0,
             "failures": failures.clone(),
         });
         let text = serde_json::to_string_pretty(&record).expect("record encodes");
@@ -223,7 +291,10 @@ fn run(args: &Args) -> Result<(), String> {
     if !failures.is_empty() {
         return Err(format!("{} violation(s):\n  {}", failures.len(), failures.join("\n  ")));
     }
-    println!("  all contracts hold: isolation bit-identical, store consistent, budgets kept");
+    println!(
+        "  all contracts hold: isolation bit-identical, store consistent, budgets kept, \
+         fleet report deterministic"
+    );
     Ok(())
 }
 

@@ -25,18 +25,25 @@
 //!   shard present with the recorded size, readable, with a footer
 //!   matching the recorded unit count and layout, and no stray `.sptrc`
 //!   files outside the index.
+//! * JSON with `tenants` and `totals` keys — a fleet report
+//!   ([`simprof_obs::FleetReport`], written by `simprof serve
+//!   --fleet-report`): versioned, jobs strictly sorted by id, derived
+//!   compression ratios consistent, and the totals and per-tenant
+//!   aggregates must recompute exactly from the per-job entries.
 //! * anything else — a versioned run report: must parse as a
 //!   [`simprof_obs::RunReport`], carry [`simprof_obs::REPORT_VERSION`], a
 //!   non-empty span tree, a non-empty metrics snapshot, and an
 //!   `allocation` section whose rows hold the Eq. 1 columns.
 //!
 //! Exits nonzero naming the first violated requirement per file, so CI can
-//! gate all three artifact kinds without external JSON tooling.
+//! gate every artifact kind without external JSON tooling.
 
 use std::collections::BTreeMap;
 
 use serde_json::Value;
-use simprof_obs::{RunReport, EVENT_SCHEMA_VERSION, REPORT_VERSION};
+use simprof_obs::{
+    FleetReport, RunReport, EVENT_SCHEMA_VERSION, FLEET_REPORT_VERSION, REPORT_VERSION,
+};
 
 /// What a file validated as (for the per-file success line).
 enum Checked {
@@ -44,6 +51,92 @@ enum Checked {
     EventLog { records: usize },
     Timeline { events: usize },
     StoreIndex { shards: usize, bytes: u64 },
+    FleetReport { jobs: usize, tenants: usize },
+}
+
+/// Validates a fleet report (`simprof serve --fleet-report`): version,
+/// job ordering, derived compression ratios, and the totals/per-tenant
+/// aggregates recomputed from the per-job entries.
+fn check_fleet_report(text: &str) -> Result<Checked, String> {
+    let report: FleetReport =
+        serde_json::from_str(text).map_err(|e| format!("not a fleet report: {e}"))?;
+    if report.version != FLEET_REPORT_VERSION {
+        return Err(format!(
+            "fleet schema version {} (this build checks version {FLEET_REPORT_VERSION})",
+            report.version
+        ));
+    }
+    for pair in report.jobs.windows(2) {
+        if pair[0].id >= pair[1].id {
+            return Err(format!(
+                "jobs `{}` and `{}` are not strictly sorted by id",
+                pair[0].id, pair[1].id
+            ));
+        }
+    }
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut units = 0u64;
+    let mut trace_bytes = 0u64;
+    let mut run_us = 0u64;
+    for job in &report.jobs {
+        if job.ok {
+            ok += 1;
+            units += job.units;
+            trace_bytes += job.trace_bytes;
+        } else {
+            failed += 1;
+            if job.error.is_none() {
+                return Err(format!("failed job `{}` carries no error", job.id));
+            }
+        }
+        run_us += job.run_us;
+        let expect = if job.raw_payload_bytes == 0 {
+            1.0
+        } else {
+            job.stored_payload_bytes as f64 / job.raw_payload_bytes as f64
+        };
+        if job.compression != expect {
+            return Err(format!(
+                "job `{}`: compression {} does not equal stored/raw ({expect})",
+                job.id, job.compression
+            ));
+        }
+        let tenant = report
+            .tenants
+            .get(&job.tenant)
+            .ok_or_else(|| format!("job `{}` names unknown tenant `{}`", job.id, job.tenant))?;
+        if job.queue_us > tenant.max_wait_us {
+            return Err(format!(
+                "job `{}` waited {}us but tenant `{}` reports max_wait_us {}",
+                job.id, job.queue_us, job.tenant, tenant.max_wait_us
+            ));
+        }
+    }
+    let t = &report.totals;
+    if t.jobs != report.jobs.len() as u64
+        || t.ok != ok
+        || t.failed != failed
+        || t.units != units
+        || t.trace_bytes != trace_bytes
+        || t.run_us != run_us
+    {
+        return Err("totals do not match the per-job entries".into());
+    }
+    for (name, tenant) in &report.tenants {
+        let jobs = report.jobs.iter().filter(|j| &j.tenant == name).count() as u64;
+        let failed = report.jobs.iter().filter(|j| &j.tenant == name && !j.ok).count() as u64;
+        if tenant.jobs != jobs || tenant.failed != failed {
+            return Err(format!("tenant `{name}` job/failure counts disagree with the job list"));
+        }
+        if tenant.queue_wait_us.count != jobs || tenant.run_time_us.count != jobs {
+            return Err(format!("tenant `{name}` histogram counts disagree with its job count"));
+        }
+        if !(0.0..=1.0).contains(&tenant.pool_share) {
+            return Err(format!("tenant `{name}` pool_share {} out of [0,1]", tenant.pool_share));
+        }
+    }
+    Ok(Checked::FleetReport { jobs: report.jobs.len(), tenants: report.tenants.len() })
 }
 
 /// Validates a shard-store index against the store rooted at the index
@@ -136,7 +229,8 @@ fn check_event_log(text: &str) -> Result<Checked, String> {
                 }
             }
             "meta" | "counter" | "gauge" | "hist" | "fault" | "unit_closed" | "salvage"
-            | "sink_retry" | "sink_degraded" | "phase_reformed" | "early_stop" => {}
+            | "sink_retry" | "sink_degraded" | "phase_reformed" | "early_stop" | "job_queued"
+            | "job_started" | "job_finished" | "job_failed" => {}
             other => return Err(format!("line {lineno}: unknown kind `{other}`")),
         }
     }
@@ -286,6 +380,9 @@ fn check(path: &str) -> Result<Checked, String> {
         if doc.get("shards").is_some() {
             return check_store_index(path);
         }
+        if doc.get("tenants").is_some() && doc.get("totals").is_some() {
+            return check_fleet_report(&text);
+        }
     }
     check_report(&text)
 }
@@ -310,6 +407,12 @@ fn main() {
             }
             Ok(Checked::StoreIndex { shards, bytes }) => {
                 println!("{path}: ok (shard-store index, {shards} shards, {bytes} bytes)")
+            }
+            Ok(Checked::FleetReport { jobs, tenants }) => {
+                println!(
+                    "{path}: ok (fleet report, schema v{FLEET_REPORT_VERSION}, {jobs} jobs, \
+                     {tenants} tenants)"
+                )
             }
             Err(e) => {
                 eprintln!("{path}: {e}");

@@ -60,6 +60,15 @@ pub struct Options {
     /// `--store` (for `serve`: root directory of the sharded trace
     /// store).
     pub store: Option<String>,
+    /// `--fleet-report` (for `serve`: path the per-tenant FleetReport
+    /// JSON is written to).
+    pub fleet_report: Option<String>,
+    /// `--fleet-timeline` (for `serve`: path the per-worker fleet
+    /// Chrome-trace timeline is written to).
+    pub fleet_timeline: Option<String>,
+    /// `--progress` (for `serve`: render a periodic one-line fleet
+    /// status while jobs run).
+    pub progress: bool,
 }
 
 /// Workload scale preset.
@@ -94,6 +103,9 @@ impl Default for Options {
             codec: None,
             jobs: None,
             store: None,
+            fleet_report: None,
+            fleet_timeline: None,
+            progress: false,
         }
     }
 }
@@ -176,6 +188,9 @@ impl Options {
                 "--codec" => opts.codec = Some(Codec::parse(&value(flag)?)?),
                 "--jobs" => opts.jobs = Some(value(flag)?),
                 "--store" => opts.store = Some(value(flag)?),
+                "--fleet-report" => opts.fleet_report = Some(value(flag)?),
+                "--fleet-timeline" => opts.fleet_timeline = Some(value(flag)?),
+                "--progress" => opts.progress = true,
                 other => return Err(format!("unknown option `{other}`")),
             }
         }
@@ -322,6 +337,25 @@ mod tests {
         assert_eq!(o.store.as_deref(), Some("traces/"));
         assert!(parse("--jobs").is_err(), "missing value");
         assert!(parse("--store").is_err(), "missing value");
+    }
+
+    #[test]
+    fn fleet_flags() {
+        let o = parse("").unwrap();
+        assert_eq!(o.fleet_report, None);
+        assert_eq!(o.fleet_timeline, None);
+        assert!(!o.progress, "progress defaults off");
+        let o =
+            parse("--fleet-report fleet.json --fleet-timeline fleet_tl.json --progress").unwrap();
+        assert_eq!(o.fleet_report.as_deref(), Some("fleet.json"));
+        assert_eq!(o.fleet_timeline.as_deref(), Some("fleet_tl.json"));
+        assert!(o.progress);
+        assert!(parse("--fleet-report").is_err(), "missing value");
+        assert!(parse("--fleet-timeline").is_err(), "missing value");
+        // --progress takes no value: the next token parses as its own flag.
+        let o = parse("--progress --jobs j.json").unwrap();
+        assert!(o.progress);
+        assert_eq!(o.jobs.as_deref(), Some("j.json"));
     }
 
     #[test]

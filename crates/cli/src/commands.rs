@@ -646,11 +646,12 @@ pub fn hybrid(opts: &Options) -> Result<(), String> {
 /// `simprof trace-info -i trace.sptrc|trace.json` — trace metadata without
 /// an analysis pass.
 ///
-/// For a chunked trace this is O(1) in trace size: the header frame is read
-/// from the front and the footer is located through the 12-byte trailer at
-/// the end — no unit chunk is ever decoded. Legacy bundles must be parsed
-/// whole (the format has no summary section), which is itself a reason to
-/// prefer the chunked format.
+/// For a v2 chunked trace this is O(1) in trace size: the header frame is
+/// read from the front and the footer is located through the 12-byte trailer
+/// at the end — no unit chunk is ever decoded. A v3 trace adds one streaming
+/// pass over its chunk frames to report the stored-vs-raw compression ratio.
+/// Legacy bundles must be parsed whole (the format has no summary section),
+/// which is itself a reason to prefer the chunked format.
 pub fn trace_info(opts: &Options) -> Result<(), String> {
     let path = opts.require_input("trace-info")?;
     if opts.salvage {
@@ -661,12 +662,20 @@ pub fn trace_info(opts: &Options) -> Result<(), String> {
         Some(footer) => {
             println!("{path}: chunked trace (schema v{})", footer.version);
             if footer.version >= 3 {
-                // Still O(1): re-reading header + footer frames is enough to
-                // report which codecs the per-frame negotiation produced
-                // there; unit chunks are never decoded.
+                // The codec list still comes from the header + footer frames
+                // alone, but the stored-vs-raw ratio needs every chunk frame's
+                // length fields, so this branch streams the shard once
+                // (payloads are decoded, units are discarded).
                 let mut reader = TraceReader::open(path)?;
                 reader.footer()?;
                 println!("  frame codecs    {}", reader.codecs_seen().join(", "));
+                while reader.next_unit()?.is_some() {}
+                let (stored, raw) = reader.payload_bytes();
+                let ratio = if raw == 0 { 1.0 } else { stored as f64 / raw as f64 };
+                println!(
+                    "  payload bytes   {stored} stored / {raw} raw ({:.1}% of raw)",
+                    ratio * 100.0
+                );
             }
             println!("  workload        {}", input.label);
             println!("  seed            {}", input.seed);
@@ -780,7 +789,33 @@ pub fn trace_repair(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `simprof serve --jobs jobs.json --store DIR [--codec lz] [--threads N]`
+/// Renders one job outcome as the line `serve` prints for it.
+fn serve_outcome_line(
+    spec: &simprof_service::JobSpec,
+    result: &Result<simprof_service::JobOutcome, String>,
+) -> String {
+    match result {
+        Ok(o) => {
+            let mem = match o.mem_cap_bytes {
+                Some(cap) => format!(
+                    "peak {} of {} budget bytes{}",
+                    o.peak_bytes,
+                    cap,
+                    if o.within_cap { "" } else { " — OVER BUDGET" }
+                ),
+                None => format!("peak {} bytes", o.peak_bytes),
+            };
+            format!(
+                "  job {:<16} ok: {} units, {} bytes -> {} [tenant {}] ({} ms, {mem})",
+                o.id, o.units, o.trace_bytes, o.shard, o.tenant, o.wall_ms
+            )
+        }
+        Err(e) => format!("  job {:<16} FAILED: {e}", spec.id),
+    }
+}
+
+/// `simprof serve --jobs jobs.json --store DIR [--codec lz] [--threads N]
+/// [--events FILE] [--progress] [--fleet-report FILE] [--fleet-timeline FILE]`
 /// — run a batch of profiling jobs concurrently, one shard per job.
 ///
 /// Each job gets its own observability context, allocation-budget slot,
@@ -791,7 +826,19 @@ pub fn trace_repair(opts: &Options) -> Result<(), String> {
 /// for the same workload/scale/seed/codec, no matter how many neighbors
 /// ran beside it. Exits nonzero when any job fails or exceeds its
 /// `mem_cap_mb` budget.
+///
+/// Each job's outcome line is streamed (and flushed) the moment it
+/// completes, so a watching terminal or pipe sees progress live; the
+/// final summary then repeats every verdict in input order, which is the
+/// deterministic record. `--events` appends the fleet's
+/// `job_queued`/`job_started`/`job_finished`/`job_failed` lifecycle
+/// events to a JSONL log, `--progress` paints a periodic one-line fleet
+/// status on stderr, and `--fleet-report`/`--fleet-timeline` write the
+/// per-tenant [`simprof_obs::FleetReport`] and the per-worker Chrome
+/// timeline after the run (DESIGN.md §18).
 pub fn serve(opts: &Options) -> Result<(), String> {
+    use std::io::Write as _;
+
     let jobs_path = opts
         .jobs
         .as_deref()
@@ -803,42 +850,84 @@ pub fn serve(opts: &Options) -> Result<(), String> {
     let specs = simprof_service::load_jobs(jobs_path)?;
     let store = simprof_service::TraceStore::create(store_root)?;
     let concurrency = opts.threads.unwrap_or(4).min(specs.len()).max(1);
-    let runner = simprof_service::JobRunner::new(store)
+    let mut runner = simprof_service::JobRunner::new(store)
         .with_default_codec(opts.codec)
         .with_max_concurrent(concurrency);
 
+    // Lifecycle sinks: a durable JSONL log (--events), a live progress
+    // view (--progress), or both teed together.
+    let progress = opts.progress.then(simprof_service::FleetProgress::new);
+    let mut sinks: Vec<Box<dyn simprof_obs::EventSink>> = Vec::new();
+    if let Some(path) = &opts.events {
+        sinks.push(Box::new(simprof_obs::JsonlEventWriter::create(std::path::Path::new(path))?));
+    }
+    if let Some(p) = &progress {
+        sinks.push(p.sink());
+    }
+    match sinks.len() {
+        0 => {}
+        1 => runner = runner.with_event_sink(sinks.pop().unwrap()),
+        _ => runner = runner.with_event_sink(Box::new(simprof_obs::TeeSink(sinks))),
+    }
+
     println!("serving {} jobs ({concurrency} concurrent) into {store_root}", specs.len());
-    let results = runner.run(&specs);
+    let ticker = progress.as_ref().map(|p| {
+        let view = p.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !flag.load(std::sync::atomic::Ordering::Relaxed) {
+                eprintln!("{}", view.line());
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+        });
+        (stop, handle)
+    });
+
+    let results = runner.run_with(&specs, |i, result| {
+        let line = serve_outcome_line(&specs[i], result);
+        let mut out = std::io::stdout().lock();
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    });
+
+    if let Some((stop, handle)) = ticker {
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    if let Some(p) = &progress {
+        eprintln!("{}", p.line());
+    }
+
     let mut failed = 0usize;
     let mut over_cap = 0usize;
+    println!("summary ({} jobs, input order):", specs.len());
     for (spec, result) in specs.iter().zip(&results) {
         match result {
             Ok(o) => {
-                let mem = match o.mem_cap_bytes {
-                    Some(cap) => format!(
-                        "peak {} of {} budget bytes{}",
-                        o.peak_bytes,
-                        cap,
-                        if o.within_cap { "" } else { " — OVER BUDGET" }
-                    ),
-                    None => format!("peak {} bytes", o.peak_bytes),
-                };
                 if !o.within_cap {
                     over_cap += 1;
                 }
-                println!(
-                    "  job {:<16} ok: {} units, {} bytes -> {} [tenant {}] ({} ms, {mem})",
-                    o.id, o.units, o.trace_bytes, o.shard, o.tenant, o.wall_ms
-                );
             }
-            Err(e) => {
-                failed += 1;
-                println!("  job {:<16} FAILED: {e}", spec.id);
-            }
+            Err(_) => failed += 1,
         }
+        println!("{}", serve_outcome_line(spec, result));
     }
     let index_path = runner.store().write_index()?;
     println!("wrote {index_path} ({} shards)", results.iter().filter(|r| r.is_ok()).count());
+
+    if let Some(path) = &opts.fleet_report {
+        let report = simprof_service::fleet_report(runner.store(), &specs, &results)?;
+        std::fs::write(path, report.to_json_pretty())
+            .map_err(|e| format!("write fleet report {path}: {e}"))?;
+        println!("wrote fleet report {path}");
+    }
+    if let Some(path) = &opts.fleet_timeline {
+        let slices = simprof_service::fleet_slices(&results);
+        simprof_obs::write_fleet_timeline(&slices, std::path::Path::new(path))?;
+        println!("wrote fleet timeline {path} ({} job slices)", slices.len());
+    }
+
     if failed > 0 || over_cap > 0 {
         return Err(format!(
             "{failed} of {} jobs failed, {over_cap} exceeded their memory budget",

@@ -139,7 +139,8 @@ OPTIONS:
         --report <FILE>      Write the observability run report (span tree,
                              metrics, allocation table) as versioned JSON
         --events <FILE>      Stream the structured event log (JSONL, one
-                             record per span/counter/fault/unit event)
+                             record per span/counter/fault/unit event; for
+                             `serve` it records the fleet's job lifecycle)
         --timeline <FILE>    Write the Chrome-trace/Perfetto timeline JSON
                              (open at chrome://tracing or ui.perfetto.dev)
         --reps <N>           Seeded replications for `diagnose` [default: 50]
@@ -163,6 +164,14 @@ OPTIONS:
                              tenant?})
         --store <DIR>        For `serve`: store root; shards land under
                              DIR/shards/, the index at DIR/index.json
+        --progress           For `serve`: paint a periodic one-line fleet
+                             status (queued/running/done/failed, per-tenant
+                             counts) on stderr while jobs run
+        --fleet-report <FILE> For `serve`: write the per-tenant FleetReport
+                             JSON (queue-wait/run-time quantiles, pool
+                             shares, compression ratios) after the run
+        --fleet-timeline <FILE> For `serve`: write a Chrome-traceable fleet
+                             timeline, one track per worker thread
 "
     .to_string()
 }

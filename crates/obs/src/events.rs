@@ -20,7 +20,8 @@
 //!   multiple threads race to emit,
 //! * `kind` — the discriminator (`meta`, `span_open`, `span_close`,
 //!   `counter`, `gauge`, `hist`, `fault`, `unit_closed`, `salvage`,
-//!   `sink_retry`, `sink_degraded`, `phase_reformed`, `early_stop`),
+//!   `sink_retry`, `sink_degraded`, `phase_reformed`, `early_stop`,
+//!   `job_queued`, `job_started`, `job_finished`, `job_failed`),
 //!
 //! plus kind-specific payload fields (see [`EventKind`]). The first line
 //! of a [`JsonlEventWriter`] log is a `meta` record carrying the
@@ -287,6 +288,50 @@ pub enum EventKind {
         /// The (absolute) half-width target that was met.
         target: f64,
     },
+    /// A service job entered the runner's queue (`simprof-service`
+    /// lifecycle; stamped by the runner's own clock, not a context).
+    JobQueued {
+        /// The job's id (shard file stem).
+        job: String,
+        /// Tenant the job is accounted to.
+        tenant: String,
+    },
+    /// A worker thread picked a queued service job up and started it.
+    JobStarted {
+        /// The job's id.
+        job: String,
+        /// Tenant the job is accounted to.
+        tenant: String,
+        /// 0-based worker-thread index running the job.
+        worker: u64,
+    },
+    /// A service job sealed its shard and was admitted into the store.
+    JobFinished {
+        /// The job's id.
+        job: String,
+        /// Tenant the shard was accounted to.
+        tenant: String,
+        /// Sampling units in the sealed shard.
+        units: u64,
+        /// Sealed shard size in bytes.
+        bytes: u64,
+        /// Peak bytes charged to the job's allocation slot.
+        peak_bytes: u64,
+        /// Microseconds the job waited between queueing and start.
+        queue_us: u64,
+        /// Microseconds the job ran for.
+        run_us: u64,
+    },
+    /// A service job failed; its error and any partial shard stayed with
+    /// the job (the runner deletes stray files).
+    JobFailed {
+        /// The job's id.
+        job: String,
+        /// Tenant the job was accounted to.
+        tenant: String,
+        /// The job's error, verbatim.
+        error: String,
+    },
 }
 
 impl EventKind {
@@ -305,6 +350,10 @@ impl EventKind {
             EventKind::SinkDegraded { .. } => "sink_degraded",
             EventKind::PhaseReformed { .. } => "phase_reformed",
             EventKind::EarlyStop { .. } => "early_stop",
+            EventKind::JobQueued { .. } => "job_queued",
+            EventKind::JobStarted { .. } => "job_started",
+            EventKind::JobFinished { .. } => "job_finished",
+            EventKind::JobFailed { .. } => "job_failed",
         }
     }
 }
@@ -387,6 +436,29 @@ impl Event {
                 push("half_width", Value::from(*half_width));
                 push("target", Value::from(*target));
             }
+            EventKind::JobQueued { job, tenant } => {
+                push("job", Value::from(job.as_str()));
+                push("tenant", Value::from(tenant.as_str()));
+            }
+            EventKind::JobStarted { job, tenant, worker } => {
+                push("job", Value::from(job.as_str()));
+                push("tenant", Value::from(tenant.as_str()));
+                push("worker", Value::from(*worker));
+            }
+            EventKind::JobFinished { job, tenant, units, bytes, peak_bytes, queue_us, run_us } => {
+                push("job", Value::from(job.as_str()));
+                push("tenant", Value::from(tenant.as_str()));
+                push("units", Value::from(*units));
+                push("bytes", Value::from(*bytes));
+                push("peak_bytes", Value::from(*peak_bytes));
+                push("queue_us", Value::from(*queue_us));
+                push("run_us", Value::from(*run_us));
+            }
+            EventKind::JobFailed { job, tenant, error } => {
+                push("job", Value::from(job.as_str()));
+                push("tenant", Value::from(tenant.as_str()));
+                push("error", Value::from(error.as_str()));
+            }
         }
         Value::Object(fields)
     }
@@ -443,6 +515,24 @@ pub struct CollectSink(pub Arc<Mutex<Vec<Event>>>);
 impl EventSink for CollectSink {
     fn emit(&mut self, event: &Event) {
         self.0.lock().unwrap_or_else(PoisonError::into_inner).push(event.clone());
+    }
+}
+
+/// Fans every event out to several sinks, in order. Lets one emitter
+/// feed a durable JSONL log and a live progress view at the same time.
+pub struct TeeSink(pub Vec<Box<dyn EventSink>>);
+
+impl EventSink for TeeSink {
+    fn emit(&mut self, event: &Event) {
+        for sink in &mut self.0 {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &mut self.0 {
+            sink.flush();
+        }
     }
 }
 

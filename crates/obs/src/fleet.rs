@@ -1,0 +1,301 @@
+//! The fleet report: one versioned JSON document per *service run*.
+//!
+//! Where a [`crate::RunReport`] describes one job, a [`FleetReport`]
+//! merges every job a `simprof serve` invocation ran: per-tenant
+//! queue-wait and run-time [`Log2Histogram`]s (summarized to
+//! p50/p95/p99), pool-share and max-wait fairness metrics, per-job
+//! allocation peaks, per-shard stored-vs-raw compression, and the
+//! store's per-tenant byte usage. The service layer gathers the
+//! per-job facts (it owns the clock and the store); this module owns
+//! the schema and the deterministic aggregation.
+//!
+//! # Determinism contract
+//!
+//! [`FleetReport::assemble`] is a pure function of its inputs: jobs are
+//! sorted by id, tenants live in a [`BTreeMap`], and no field derives
+//! from worker count, wall clock, or event ordering. Feed it
+//! clock-scripted durations and byte counts from deterministic shards
+//! and the serialized report is byte-identical at any concurrency
+//! (`tests/service_isolation.rs` pins this at 1-vs-K workers).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Log2Histogram;
+use crate::metrics::HistogramSummary;
+
+/// Version of the fleet-report schema emitted by
+/// [`FleetReport::assemble`].
+pub const FLEET_REPORT_VERSION: u32 = 1;
+
+/// One job's contribution to the fleet report (also its serialized
+/// per-job entry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetJob {
+    /// The job's id (shard file stem).
+    pub id: String,
+    /// Tenant the job is accounted to.
+    pub tenant: String,
+    /// Workload label that ran.
+    pub workload: String,
+    /// Whether the job sealed and admitted its shard.
+    pub ok: bool,
+    /// The job's error, when `ok` is false.
+    pub error: Option<String>,
+    /// Sampling units in the sealed shard (0 on failure).
+    pub units: u64,
+    /// Sealed shard size in bytes (0 on failure).
+    pub trace_bytes: u64,
+    /// Peak bytes charged to the job's allocation slot.
+    pub peak_alloc_bytes: u64,
+    /// Microseconds the job waited between queueing and start.
+    pub queue_us: u64,
+    /// Microseconds the job ran for.
+    pub run_us: u64,
+    /// Stored (on-disk) payload bytes across the shard's frames.
+    pub stored_payload_bytes: u64,
+    /// Decoded payload bytes across the same frames.
+    pub raw_payload_bytes: u64,
+    /// `stored / raw` (1.0 when the shard has no payload bytes).
+    pub compression: f64,
+}
+
+/// Fairness and load statistics for one tenant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Jobs this run accounted to the tenant.
+    pub jobs: u64,
+    /// How many of them failed.
+    pub failed: u64,
+    /// Bytes the store currently holds for the tenant (all runs, not
+    /// just this one — equals `TraceStore::tenant_bytes`).
+    pub store_bytes: u64,
+    /// Queue-wait distribution (microseconds), p50/p95/p99 included.
+    pub queue_wait_us: HistogramSummary,
+    /// Run-time distribution (microseconds), p50/p95/p99 included.
+    pub run_time_us: HistogramSummary,
+    /// The tenant's share of total fleet run time (0.0 when the fleet
+    /// recorded no run time at all).
+    pub pool_share: f64,
+    /// The tenant's worst queue wait, in microseconds.
+    pub max_wait_us: u64,
+}
+
+/// Whole-fleet totals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetTotals {
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs that sealed and admitted a shard.
+    pub ok: u64,
+    /// Jobs that failed.
+    pub failed: u64,
+    /// Sampling units across all sealed shards.
+    pub units: u64,
+    /// Bytes across all sealed shards.
+    pub trace_bytes: u64,
+    /// Total run time across all jobs, in microseconds.
+    pub run_us: u64,
+}
+
+/// The versioned fleet report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Schema version ([`FLEET_REPORT_VERSION`] for documents this
+    /// build emits).
+    pub version: u32,
+    /// The producing tool, for provenance (`simprof-obs`).
+    pub generator: String,
+    /// Whole-fleet totals.
+    pub totals: FleetTotals,
+    /// Per-tenant fairness and load statistics, keyed by tenant name.
+    pub tenants: BTreeMap<String, TenantStats>,
+    /// Per-job entries, sorted by job id.
+    pub jobs: Vec<FleetJob>,
+}
+
+/// Per-tenant accumulator used while folding jobs in.
+#[derive(Default)]
+struct TenantAcc {
+    jobs: u64,
+    failed: u64,
+    store_bytes: u64,
+    queue: Log2Histogram,
+    run: Log2Histogram,
+    run_us_total: u64,
+    max_wait_us: u64,
+}
+
+impl FleetReport {
+    /// Merges per-job facts and the store's per-tenant byte usage into
+    /// one report. `store_tenant_bytes` seeds the tenant map, so tenants
+    /// that hold shards from earlier runs appear even with zero jobs
+    /// this run. Input order of `jobs` does not matter.
+    pub fn assemble(mut jobs: Vec<FleetJob>, store_tenant_bytes: BTreeMap<String, u64>) -> Self {
+        jobs.sort_by(|a, b| a.id.cmp(&b.id));
+        for job in &mut jobs {
+            job.compression = if job.raw_payload_bytes == 0 {
+                1.0
+            } else {
+                job.stored_payload_bytes as f64 / job.raw_payload_bytes as f64
+            };
+        }
+
+        let mut accs: BTreeMap<String, TenantAcc> = BTreeMap::new();
+        for (tenant, bytes) in store_tenant_bytes {
+            accs.entry(tenant).or_default().store_bytes = bytes;
+        }
+        let mut totals = FleetTotals { jobs: jobs.len() as u64, ..FleetTotals::default() };
+        for job in &jobs {
+            let acc = accs.entry(job.tenant.clone()).or_default();
+            acc.jobs += 1;
+            if job.ok {
+                totals.ok += 1;
+                totals.units += job.units;
+                totals.trace_bytes += job.trace_bytes;
+            } else {
+                totals.failed += 1;
+                acc.failed += 1;
+            }
+            acc.queue.observe(job.queue_us as f64);
+            acc.run.observe(job.run_us as f64);
+            acc.run_us_total += job.run_us;
+            acc.max_wait_us = acc.max_wait_us.max(job.queue_us);
+            totals.run_us += job.run_us;
+        }
+
+        let tenants = accs
+            .into_iter()
+            .map(|(tenant, acc)| {
+                let pool_share = if totals.run_us == 0 {
+                    0.0
+                } else {
+                    acc.run_us_total as f64 / totals.run_us as f64
+                };
+                let stats = TenantStats {
+                    jobs: acc.jobs,
+                    failed: acc.failed,
+                    store_bytes: acc.store_bytes,
+                    queue_wait_us: HistogramSummary::of(&acc.queue),
+                    run_time_us: HistogramSummary::of(&acc.run),
+                    pool_share,
+                    max_wait_us: acc.max_wait_us,
+                };
+                (tenant, stats)
+            })
+            .collect();
+
+        Self {
+            version: FLEET_REPORT_VERSION,
+            generator: "simprof-obs".to_owned(),
+            totals,
+            tenants,
+            jobs,
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON (trailing newline,
+    /// like [`crate::RunReport::to_json_pretty`]).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).map(|s| s + "\n").unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: &str, tenant: &str, queue_us: u64, run_us: u64) -> FleetJob {
+        FleetJob {
+            id: id.to_owned(),
+            tenant: tenant.to_owned(),
+            workload: "wc_sp".to_owned(),
+            ok: true,
+            error: None,
+            units: 10,
+            trace_bytes: 100,
+            peak_alloc_bytes: 0,
+            queue_us,
+            run_us,
+            stored_payload_bytes: 50,
+            raw_payload_bytes: 200,
+            compression: 0.0,
+        }
+    }
+
+    #[test]
+    fn assemble_is_input_order_independent() {
+        let a = vec![job("b", "t1", 5, 10), job("a", "t0", 3, 30), job("c", "t1", 7, 60)];
+        let mut b = a.clone();
+        b.reverse();
+        let bytes = BTreeMap::from([("t0".to_owned(), 100u64), ("t1".to_owned(), 200u64)]);
+        let ra = FleetReport::assemble(a, bytes.clone());
+        let rb = FleetReport::assemble(b, bytes);
+        assert_eq!(ra.to_json_pretty(), rb.to_json_pretty());
+        let ids: Vec<&str> = ra.jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "c"], "jobs sorted by id");
+    }
+
+    #[test]
+    fn tenant_stats_fold_fairness_and_failures() {
+        let mut failed = job("z", "t1", 9, 40);
+        failed.ok = false;
+        failed.error = Some("boom".into());
+        failed.units = 0;
+        failed.trace_bytes = 0;
+        let jobs = vec![job("a", "t0", 3, 30), job("m", "t1", 5, 10), failed];
+        let report = FleetReport::assemble(jobs, BTreeMap::new());
+
+        assert_eq!(report.version, FLEET_REPORT_VERSION);
+        assert_eq!(report.totals.jobs, 3);
+        assert_eq!(report.totals.ok, 2);
+        assert_eq!(report.totals.failed, 1);
+        assert_eq!(report.totals.run_us, 80);
+
+        let t0 = &report.tenants["t0"];
+        assert_eq!(t0.jobs, 1);
+        assert_eq!(t0.pool_share, 30.0 / 80.0);
+        assert_eq!(t0.max_wait_us, 3);
+        let t1 = &report.tenants["t1"];
+        assert_eq!(t1.jobs, 2);
+        assert_eq!(t1.failed, 1);
+        assert_eq!(t1.pool_share, 50.0 / 80.0);
+        assert_eq!(t1.max_wait_us, 9);
+        assert_eq!(t1.queue_wait_us.count, 2, "failed jobs still count toward fairness");
+    }
+
+    #[test]
+    fn compression_is_derived_and_safe_on_empty_shards() {
+        let mut empty = job("e", "t0", 0, 0);
+        empty.stored_payload_bytes = 0;
+        empty.raw_payload_bytes = 0;
+        let report = FleetReport::assemble(vec![empty, job("f", "t0", 0, 0)], BTreeMap::new());
+        assert_eq!(report.jobs[0].compression, 1.0, "no payload → neutral ratio");
+        assert_eq!(report.jobs[1].compression, 0.25);
+    }
+
+    #[test]
+    fn store_only_tenants_appear_with_zero_jobs() {
+        let bytes = BTreeMap::from([("idle".to_owned(), 4096u64)]);
+        let report = FleetReport::assemble(vec![job("a", "busy", 1, 2)], bytes);
+        let idle = &report.tenants["idle"];
+        assert_eq!(idle.jobs, 0);
+        assert_eq!(idle.store_bytes, 4096);
+        assert_eq!(idle.queue_wait_us.count, 0);
+        assert_eq!(idle.queue_wait_us.p99, 0.0, "empty histogram quantiles stay defined");
+        assert_eq!(idle.pool_share, 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let report = FleetReport::assemble(
+            vec![job("a", "t0", 1, 2)],
+            BTreeMap::from([("t0".to_owned(), 100u64)]),
+        );
+        let text = report.to_json_pretty();
+        assert!(text.ends_with('\n'));
+        let back: FleetReport = serde_json::from_str(text.trim_end()).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -254,6 +254,54 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_is_zero_at_every_q() {
+        // The tenant aggregation in FleetReport queries p50/p95/p99 on
+        // histograms that may have seen no jobs; pin the empty answer.
+        let h = Log2Histogram::new();
+        for q in [0.001, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "empty quantile({q})");
+        }
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let a = hist(&[0.25, 7.0, 4096.0]);
+        let empty = Log2Histogram::new();
+
+        // Non-empty ← empty: nothing changes, including min/max.
+        let mut left = a.clone();
+        left.merge(&empty);
+        assert_eq!(left, a);
+
+        // Empty ← non-empty: adopts everything, including min/max (a
+        // naive `min(0.0, other.min)` would corrupt min here).
+        let mut right = Log2Histogram::new();
+        right.merge(&a);
+        assert_eq!(right, a);
+        assert_eq!(right.min(), 0.25);
+        assert_eq!(right.max(), 4096.0);
+
+        // Empty ← empty stays empty and keeps quantiles well-defined.
+        let mut both = Log2Histogram::new();
+        both.merge(&empty);
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn all_zero_observations_quantile_to_zero() {
+        // A scripted fixed clock makes every duration 0; the fairness
+        // histograms must stay well-defined on all-zero input.
+        let h = hist(&[0.0, 0.0, 0.0]);
+        assert_eq!(h.count(), 3);
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
     fn serde_roundtrip() {
         let h = hist(&[1.0, 2.0, 65.0]);
         let json = serde_json::to_string(&h).unwrap();

@@ -56,6 +56,7 @@
 pub mod alloc;
 pub mod context;
 pub mod events;
+pub mod fleet;
 pub mod hist;
 pub mod metrics;
 pub mod report;
@@ -68,8 +69,9 @@ pub use alloc::{
 pub use context::{ContextGuard, ObsContext, SessionBusy};
 pub use events::{
     early_stop, fault_event, phase_reformed, salvage_event, sink_degraded, sink_retry, unit_closed,
-    Event, EventKind, EventSink, JsonlEventWriter, EVENT_SCHEMA_VERSION,
+    Event, EventKind, EventSink, JsonlEventWriter, TeeSink, EVENT_SCHEMA_VERSION,
 };
+pub use fleet::{FleetJob, FleetReport, FleetTotals, TenantStats, FLEET_REPORT_VERSION};
 pub use hist::Log2Histogram;
 pub use metrics::{
     counter_add, gauge_set, histogram_observe, timeseries_push, HistogramSummary, MetricsSnapshot,
@@ -77,7 +79,9 @@ pub use metrics::{
 };
 pub use report::{RunReport, SpanNode, REPORT_VERSION};
 pub use span::{SpanGuard, SpanRecord};
-pub use timeline::{chrome_trace, write_chrome_trace};
+pub use timeline::{
+    chrome_trace, fleet_chrome_trace, write_chrome_trace, write_fleet_timeline, JobSlice,
+};
 
 /// True while the context visible to the calling thread is streaming to an
 /// [`events::EventSink`] (re-export of [`events::streaming`] for hook

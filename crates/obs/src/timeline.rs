@@ -124,9 +124,82 @@ pub fn chrome_trace(report: &RunReport) -> Value {
 
 /// Renders [`chrome_trace`] to a file.
 pub fn write_chrome_trace(report: &RunReport, path: &Path) -> Result<(), String> {
-    let doc = chrome_trace(report);
-    let text =
-        serde_json::to_string(&doc).map_err(|e| format!("cannot serialize timeline: {e}"))?;
+    write_timeline_doc(&chrome_trace(report), path)
+}
+
+/// One job laid out on a worker's track of a fleet timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSlice {
+    /// Slice label (the job id).
+    pub name: String,
+    /// 0-based worker-thread index the job ran on (the `tid`).
+    pub worker: usize,
+    /// Microseconds from the service clock's epoch to job start.
+    pub start_us: u64,
+    /// Microseconds from the epoch to job end (clamped up to
+    /// `start_us` if a scripted clock makes them equal or inverted).
+    pub end_us: u64,
+}
+
+/// Converts a fleet's job slices into a Trace Event JSON document: one
+/// track per worker thread, one `B`/`E` slice pair per job. Jobs on the
+/// same worker ran sequentially, so sorting each track by start time
+/// yields balanced, non-overlapping slices; the same cursor clamp as
+/// [`chrome_trace`] absorbs any clock-granularity overlap.
+pub fn fleet_chrome_trace(slices: &[JobSlice]) -> Value {
+    let mut by_worker: BTreeMap<usize, Vec<&JobSlice>> = BTreeMap::new();
+    for slice in slices {
+        by_worker.entry(slice.worker).or_default().push(slice);
+    }
+    let mut events: Vec<Value> = Vec::new();
+    for &worker in by_worker.keys() {
+        events.push(obj(vec![
+            ("name", Value::from("thread_name")),
+            ("ph", Value::from("M")),
+            ("ts", Value::from(0u64)),
+            ("pid", Value::from(PID)),
+            ("tid", Value::from(worker as u64)),
+            ("args", obj(vec![("name", Value::from(format!("worker-{worker}")))])),
+        ]));
+    }
+    for track in by_worker.values_mut() {
+        track.sort_by_key(|s| s.start_us);
+        let mut cursor = 0u64;
+        for slice in track.iter() {
+            let start = slice.start_us.max(cursor);
+            let end = slice.end_us.max(start);
+            cursor = end;
+            events.push(obj(vec![
+                ("name", Value::from(slice.name.as_str())),
+                ("cat", Value::from("job")),
+                ("ph", Value::from("B")),
+                ("ts", Value::from(start)),
+                ("pid", Value::from(PID)),
+                ("tid", Value::from(slice.worker as u64)),
+            ]));
+            events.push(obj(vec![
+                ("name", Value::from(slice.name.as_str())),
+                ("ph", Value::from("E")),
+                ("ts", Value::from(end)),
+                ("pid", Value::from(PID)),
+                ("tid", Value::from(slice.worker as u64)),
+            ]));
+        }
+    }
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::from("ms")),
+        ("otherData", obj(vec![("generator", Value::from("simprof-obs"))])),
+    ])
+}
+
+/// Renders [`fleet_chrome_trace`] to a file.
+pub fn write_fleet_timeline(slices: &[JobSlice], path: &Path) -> Result<(), String> {
+    write_timeline_doc(&fleet_chrome_trace(slices), path)
+}
+
+fn write_timeline_doc(doc: &Value, path: &Path) -> Result<(), String> {
+    let text = serde_json::to_string(doc).map_err(|e| format!("cannot serialize timeline: {e}"))?;
     std::fs::write(path, text + "\n")
         .map_err(|e| format!("cannot write timeline {}: {e}", path.display()))
 }
@@ -205,6 +278,37 @@ mod tests {
                 && field(e, "name").as_str() == Some("worker_task")
                 && field(e, "tid").as_u64() == Some(1)
         }));
+    }
+
+    #[test]
+    fn fleet_slices_land_on_worker_tracks_balanced() {
+        let slices = vec![
+            JobSlice { name: "job-b".into(), worker: 1, start_us: 5, end_us: 9 },
+            JobSlice { name: "job-a".into(), worker: 0, start_us: 0, end_us: 7 },
+            // Scripted clocks can collapse start == end; still balanced.
+            JobSlice { name: "job-c".into(), worker: 0, start_us: 7, end_us: 7 },
+        ];
+        let doc = fleet_chrome_trace(&slices);
+        let events = doc.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+        let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+        let mut metas = 0usize;
+        for e in events {
+            match field(e, "ph").as_str().unwrap() {
+                "M" => metas += 1,
+                "B" => stacks
+                    .entry(field(e, "tid").as_u64().unwrap())
+                    .or_default()
+                    .push(field(e, "name").as_str().unwrap().to_owned()),
+                "E" => {
+                    let tid = field(e, "tid").as_u64().unwrap();
+                    let name = field(e, "name").as_str().unwrap();
+                    assert_eq!(stacks.get_mut(&tid).and_then(Vec::pop).as_deref(), Some(name));
+                }
+                other => panic!("unexpected ph {other}"),
+            }
+        }
+        assert_eq!(metas, 2, "one thread_name per worker track");
+        assert!(stacks.values().all(Vec::is_empty), "balanced B/E per worker");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Injectable monotonic clocks for the service layer.
+//!
+//! The [`JobRunner`](crate::JobRunner) stamps every job lifecycle
+//! transition (queued → started → finished/failed) through a [`Clock`]
+//! instead of touching `Instant` directly, so tests and the CI smoke can
+//! script time: with a [`ScriptedClock`] every duration in the
+//! [`FleetReport`](simprof_obs::FleetReport) is a pure function of the
+//! script, independent of worker count and thread interleaving — which
+//! is what makes the report byte-deterministic at 1-vs-K concurrency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond clock. Implementations must be
+/// thread-safe — workers read it concurrently — and non-decreasing.
+pub trait Clock: Send + Sync {
+    /// Microseconds since the clock's epoch.
+    fn now_us(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        Self { epoch: Instant::now() }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A clock that replays a pre-programmed script of readings, in call
+/// order; once the script is exhausted the last reading repeats (an
+/// empty script always reads 0).
+///
+/// Concurrent callers race for script positions, so a multi-reading
+/// script is only deterministic single-threaded. For concurrent runs use
+/// [`ScriptedClock::fixed`]: every reading is the same value, every
+/// duration is zero, and nothing depends on which thread read first.
+#[derive(Debug)]
+pub struct ScriptedClock {
+    readings: Vec<u64>,
+    next: AtomicUsize,
+}
+
+impl ScriptedClock {
+    /// A clock replaying `readings` (clamped to be non-decreasing).
+    pub fn from_script(readings: Vec<u64>) -> Self {
+        let mut clamped = readings;
+        let mut floor = 0u64;
+        for r in &mut clamped {
+            floor = floor.max(*r);
+            *r = floor;
+        }
+        Self { readings: clamped, next: AtomicUsize::new(0) }
+    }
+
+    /// A clock stuck at `us`: the interleaving-proof script.
+    pub fn fixed(us: u64) -> Self {
+        Self::from_script(vec![us])
+    }
+}
+
+impl Clock for ScriptedClock {
+    fn now_us(&self) -> u64 {
+        if self.readings.is_empty() {
+            return 0;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed).min(self.readings.len() - 1);
+        self.readings[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn scripted_clock_replays_then_repeats_the_last_reading() {
+        let clock = ScriptedClock::from_script(vec![10, 25, 40]);
+        assert_eq!(clock.now_us(), 10);
+        assert_eq!(clock.now_us(), 25);
+        assert_eq!(clock.now_us(), 40);
+        assert_eq!(clock.now_us(), 40, "exhausted script repeats its tail");
+    }
+
+    #[test]
+    fn scripted_clock_clamps_non_monotonic_scripts() {
+        let clock = ScriptedClock::from_script(vec![50, 20, 60]);
+        assert_eq!(clock.now_us(), 50);
+        assert_eq!(clock.now_us(), 50, "backwards reading clamped up");
+        assert_eq!(clock.now_us(), 60);
+    }
+
+    #[test]
+    fn fixed_and_empty_scripts_are_constant() {
+        let fixed = ScriptedClock::fixed(7);
+        assert_eq!(fixed.now_us(), 7);
+        assert_eq!(fixed.now_us(), 7);
+        let empty = ScriptedClock::from_script(Vec::new());
+        assert_eq!(empty.now_us(), 0);
+    }
+}

@@ -22,11 +22,23 @@
 //! any one tenant's shards may occupy; admission is checked when a
 //! finished shard is committed to the index, and a rejected shard is
 //! deleted rather than left dangling.
+//!
+//! The fleet is observable while and after it runs (DESIGN.md §18): the
+//! runner stamps `job_queued`/`job_started`/`job_finished`/`job_failed`
+//! lifecycle events through an injectable [`Clock`] into a service-level
+//! [`simprof_obs::EventSink`], [`FleetProgress`] folds them into a live
+//! status line, and [`fleet_report`] merges every job's telemetry into a
+//! per-tenant [`simprof_obs::FleetReport`] — byte-deterministic under a
+//! [`ScriptedClock`] at any concurrency.
 
+pub mod clock;
+pub mod fleet;
 pub mod runner;
 pub mod spec;
 pub mod store;
 
+pub use clock::{Clock, MonotonicClock, ScriptedClock};
+pub use fleet::{fleet_report, fleet_slices, shard_payload_bytes, FleetProgress};
 pub use runner::{JobOutcome, JobRunner};
 pub use spec::{load_jobs, JobSpec};
 pub use store::{ShardRecord, StoreCheck, StoreIndex, TraceStore, INDEX_FILE};

@@ -15,13 +15,17 @@
 //! bit-identical to the batch CLI's output for the same spec.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
-use simprof_obs::{AllocSlot, ObsContext, RunReport, ALLOC_SLOTS};
+use simprof_obs::{
+    AllocSlot, Event, EventKind, EventSink, ObsContext, RunReport, ALLOC_SLOTS,
+    EVENT_SCHEMA_VERSION,
+};
 use simprof_profiler::sink::{SharedSink, UnitSink};
 use simprof_trace::{Codec, TraceMeta, TraceWriter};
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::spec::JobSpec;
 use crate::store::{ShardRecord, TraceStore};
 
@@ -49,8 +53,27 @@ pub struct JobOutcome {
     pub within_cap: bool,
     /// Wall-clock milliseconds from spec validation to admission.
     pub wall_ms: u64,
+    /// 0-based index of the worker thread that ran the job.
+    pub worker: usize,
+    /// Runner-clock reading when the job left the queue.
+    pub started_us: u64,
+    /// Runner-clock reading when the job finished.
+    pub finished_us: u64,
+    /// Microseconds the job waited between queueing and start
+    /// (runner-clock; scripted clocks make this deterministic).
+    pub queue_us: u64,
+    /// Microseconds the job ran for (runner-clock).
+    pub run_us: u64,
     /// The job's own span tree and metrics.
     pub report: RunReport,
+}
+
+/// The runner's installed lifecycle sink plus its own `seq` counter
+/// (mirrors the per-context `SinkSlot` stamping contract: `seq` and
+/// `ts_us` assigned under one lock, so file order is monotone).
+struct EventState {
+    sink: Box<dyn EventSink>,
+    seq: u64,
 }
 
 /// Runs batches of [`JobSpec`]s concurrently against one [`TraceStore`].
@@ -58,13 +81,22 @@ pub struct JobRunner {
     store: TraceStore,
     default_codec: Option<Codec>,
     max_concurrent: usize,
+    clock: Arc<dyn Clock>,
+    events: Mutex<Option<EventState>>,
 }
 
 impl JobRunner {
-    /// A runner writing into `store`, with up to 4 concurrent jobs and no
-    /// default codec (jobs without one write uncompressed v2 shards).
+    /// A runner writing into `store`, with up to 4 concurrent jobs, no
+    /// default codec (jobs without one write uncompressed v2 shards), the
+    /// real monotonic clock, and no lifecycle sink.
     pub fn new(store: TraceStore) -> Self {
-        Self { store, default_codec: None, max_concurrent: 4 }
+        Self {
+            store,
+            default_codec: None,
+            max_concurrent: 4,
+            clock: Arc::new(MonotonicClock::new()),
+            events: Mutex::new(None),
+        }
     }
 
     /// Sets the codec applied to jobs whose spec does not choose one.
@@ -79,9 +111,48 @@ impl JobRunner {
         self
     }
 
+    /// Replaces the clock that stamps job lifecycle transitions. Inject a
+    /// [`crate::ScriptedClock`] to make queue/run durations — and any
+    /// [`simprof_obs::FleetReport`] built from them — byte-deterministic.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Installs a service-level sink receiving one event per job
+    /// lifecycle transition (`job_queued`/`job_started`/`job_finished`/
+    /// `job_failed`). Flushed after every [`run`](JobRunner::run).
+    pub fn with_event_sink(mut self, sink: Box<dyn EventSink>) -> Self {
+        self.events = Mutex::new(Some(EventState { sink, seq: 0 }));
+        self
+    }
+
     /// The store this runner admits shards into.
     pub fn store(&self) -> &TraceStore {
         &self.store
+    }
+
+    /// Stamps and delivers one lifecycle event, returning the clock
+    /// reading used. With no sink installed this is just a clock read.
+    fn emit_event(&self, kind: EventKind) -> u64 {
+        let mut state = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.as_mut() {
+            Some(s) => {
+                s.seq += 1;
+                let event =
+                    Event { v: EVENT_SCHEMA_VERSION, seq: s.seq, ts_us: self.clock.now_us(), kind };
+                s.sink.emit(&event);
+                event.ts_us
+            }
+            None => self.clock.now_us(),
+        }
+    }
+
+    fn flush_events(&self) {
+        let mut state = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(s) = state.as_mut() {
+            s.sink.flush();
+        }
     }
 
     /// Runs every spec, up to `max_concurrent` at a time, and returns one
@@ -89,37 +160,105 @@ impl JobRunner {
     /// neighbor down — its error is returned in its own slot and any
     /// partial shard file is deleted.
     pub fn run(&self, specs: &[JobSpec]) -> Vec<Result<JobOutcome, String>> {
+        self.run_with(specs, |_, _| {})
+    }
+
+    /// Like [`run`](JobRunner::run), invoking `on_done(index, result)` on
+    /// the worker thread as each job completes (completion order, not
+    /// input order) — the hook behind `simprof serve`'s streamed outcome
+    /// lines. The returned vector is still in input order.
+    pub fn run_with<F>(&self, specs: &[JobSpec], on_done: F) -> Vec<Result<JobOutcome, String>>
+    where
+        F: Fn(usize, &Result<JobOutcome, String>) + Sync,
+    {
         if specs.is_empty() {
             return Vec::new();
         }
+        // Queue stamps happen on this thread, in input order, before any
+        // worker starts: the queued prefix of the event log is
+        // deterministic and every queue wait is measured from here.
+        let queued_us: Vec<u64> = specs
+            .iter()
+            .map(|s| {
+                self.emit_event(EventKind::JobQueued {
+                    job: s.id.clone(),
+                    tenant: s.tenant().to_owned(),
+                })
+            })
+            .collect();
+
         let next = AtomicUsize::new(0);
         let results: Vec<Mutex<Option<Result<JobOutcome, String>>>> =
             specs.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.max_concurrent.min(specs.len());
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= specs.len() {
-                        break;
+            for worker in 0..workers {
+                let queued_us = &queued_us;
+                let results = &results;
+                let next = &next;
+                let on_done = &on_done;
+                scope.spawn(move || {
+                    warm_worker_thread();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        let spec = &specs[i];
+                        let started_us = self.emit_event(EventKind::JobStarted {
+                            job: spec.id.clone(),
+                            tenant: spec.tenant().to_owned(),
+                            worker: worker as u64,
+                        });
+                        let mut outcome = self.run_one(spec);
+                        let finished_us = self.clock.now_us().max(started_us);
+                        let queue_us = started_us.saturating_sub(queued_us[i]);
+                        let run_us = finished_us - started_us;
+                        match &mut outcome {
+                            Ok(o) => {
+                                o.worker = worker;
+                                o.started_us = started_us;
+                                o.finished_us = finished_us;
+                                o.queue_us = queue_us;
+                                o.run_us = run_us;
+                                self.emit_event(EventKind::JobFinished {
+                                    job: o.id.clone(),
+                                    tenant: o.tenant.clone(),
+                                    units: o.units,
+                                    bytes: o.trace_bytes,
+                                    peak_bytes: o.peak_bytes,
+                                    queue_us,
+                                    run_us,
+                                });
+                            }
+                            Err(e) => {
+                                self.emit_event(EventKind::JobFailed {
+                                    job: spec.id.clone(),
+                                    tenant: spec.tenant().to_owned(),
+                                    error: e.clone(),
+                                });
+                            }
+                        }
+                        on_done(i, &outcome);
+                        *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                     }
-                    let outcome = self.run_one(&specs[i]);
-                    *results[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
-                        Some(outcome);
                 });
             }
         });
+        self.flush_events();
         results
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .unwrap_or_else(PoisonError::into_inner)
                     .unwrap_or_else(|| Err("job worker panicked before reporting".into()))
             })
             .collect()
     }
 
-    /// Runs one job end-to-end on the calling thread.
+    /// Runs one job end-to-end on the calling thread. Lifecycle timing
+    /// fields (`worker`, `started_us`, …) are zero here; the worker loop
+    /// in [`run_with`](JobRunner::run_with) fills them in.
     fn run_one(&self, spec: &JobSpec) -> Result<JobOutcome, String> {
         let started = Instant::now();
         spec.validate_id().map_err(|e| format!("job `{}`: {e}", spec.id))?;
@@ -208,9 +347,28 @@ impl JobRunner {
             mem_cap_bytes,
             within_cap,
             wall_ms: started.elapsed().as_millis() as u64,
+            worker: 0,
+            started_us: 0,
+            finished_us: 0,
+            queue_us: 0,
+            run_us: 0,
             report,
         })
     }
+}
+
+/// Pays a worker thread's one-time lazy-init costs (thread-local span
+/// and context stacks, thread registration) *before* any job's
+/// allocation slot is tagged on the thread. Without this, whichever job
+/// lands on a fresh thread first is charged those allocations, making
+/// per-job peaks depend on worker count and scheduling.
+fn warm_worker_thread() {
+    let ctx = ObsContext::new();
+    {
+        let _installed = ctx.install();
+        let _span = simprof_obs::span!("service.worker_warmup");
+    }
+    ctx.stop();
 }
 
 #[cfg(test)]
@@ -296,6 +454,77 @@ mod tests {
         assert!(!runner.store().shard_path("bad").exists());
         runner.store().write_index().unwrap();
         assert!(TraceStore::validate(&root).unwrap().clean());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lifecycle_events_stream_in_order_under_a_scripted_clock() {
+        use simprof_obs::events::CollectSink;
+
+        let root = tmp_root("simprof_runner_events");
+        let events = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let runner = JobRunner::new(TraceStore::create(&root).unwrap())
+            .with_max_concurrent(1)
+            .with_clock(Arc::new(crate::ScriptedClock::fixed(5)))
+            .with_event_sink(Box::new(CollectSink(Arc::clone(&events))));
+        let results = runner.run(&[spec("a", "wc_sp", 1), spec("bad", "no_such", 1)]);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+
+        let events = events.lock().unwrap();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.label()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "job_queued",
+                "job_queued",
+                "job_started",
+                "job_finished",
+                "job_started",
+                "job_failed"
+            ]
+        );
+        for w in events.windows(2) {
+            assert!(w[1].seq > w[0].seq, "seq strictly increasing");
+            assert!(w[1].ts_us >= w[0].ts_us, "ts non-decreasing");
+        }
+        assert!(events.iter().all(|e| e.ts_us == 5), "every stamp reads the scripted clock");
+
+        let outcome = results[0].as_ref().unwrap();
+        assert_eq!(outcome.queue_us, 0, "fixed clock makes every duration zero");
+        assert_eq!(outcome.run_us, 0);
+        assert_eq!(outcome.started_us, 5);
+        assert_eq!(outcome.finished_us, 5);
+        assert_eq!(outcome.worker, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn outcomes_carry_their_worker_index_and_clock_stamps() {
+        let root = tmp_root("simprof_runner_workers");
+        let runner = JobRunner::new(TraceStore::create(&root).unwrap()).with_max_concurrent(2);
+        let results = runner.run(&[spec("a", "wc_sp", 1), spec("b", "grep_hp", 2)]);
+        for r in &results {
+            let o = r.as_ref().unwrap();
+            assert!(o.worker < 2);
+            assert!(o.finished_us >= o.started_us);
+            assert_eq!(o.run_us, o.finished_us - o.started_us);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn on_done_fires_once_per_job_with_its_index() {
+        let root = tmp_root("simprof_runner_on_done");
+        let runner = JobRunner::new(TraceStore::create(&root).unwrap()).with_max_concurrent(2);
+        let seen = Mutex::new(Vec::new());
+        let results = runner.run_with(&[spec("a", "wc_sp", 1), spec("b", "grep_hp", 2)], |i, r| {
+            seen.lock().unwrap().push((i, r.is_ok()));
+        });
+        assert_eq!(results.len(), 2);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(seen, vec![(0, true), (1, true)]);
         let _ = std::fs::remove_dir_all(&root);
     }
 

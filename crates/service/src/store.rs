@@ -150,6 +150,18 @@ impl TraceStore {
         records.iter().filter(|r| r.tenant == tenant).map(|r| r.bytes).sum()
     }
 
+    /// Bytes currently admitted per tenant, for every tenant with at
+    /// least one shard (each value equals
+    /// [`tenant_bytes`](TraceStore::tenant_bytes) for that tenant).
+    pub fn tenant_bytes_map(&self) -> BTreeMap<String, u64> {
+        let records = self.records.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut map = BTreeMap::new();
+        for r in records.iter() {
+            *map.entry(r.tenant.clone()).or_insert(0) += r.bytes;
+        }
+        map
+    }
+
     /// Admits a sealed shard into the index, enforcing the tenant's byte
     /// cap atomically under the store lock. On rejection nothing is
     /// recorded — the caller owns deleting the shard file.

@@ -606,6 +606,10 @@ pub struct TraceReader<R: Read + Seek = BufReader<File>> {
     done: bool,
     /// Bitmask of codec ids observed in decoded frames (bit n = codec n).
     codecs_seen: u8,
+    /// Stored (on-disk) payload bytes across frames decoded so far.
+    stored_payload_bytes: u64,
+    /// Decoded payload bytes across the same frames.
+    raw_payload_bytes: u64,
 }
 
 impl TraceReader<BufReader<File>> {
@@ -647,10 +651,11 @@ impl<R: Read + Seek> TraceReader<R> {
                 "{path}: not a chunked simprof trace (bad magic {magic:?}; expected {MAGIC:?})"
             ));
         };
-        let (kind, payload, codec_id) = read_frame(&mut file, path, layout_version)?;
+        let (kind, payload, codec_id, stored_len) = read_frame(&mut file, path, layout_version)?;
         if kind != FRAME_HEADER {
             return Err(format!("{path}: expected header frame, found {:?}", kind as char));
         }
+        let raw_len = payload.len() as u64;
         let meta: TraceMeta = parse_payload(path, "header", &payload)?;
         let data_start = file.stream_position().map_err(|e| io_err(path, "seek", e))?;
         Ok(Self {
@@ -663,6 +668,8 @@ impl<R: Read + Seek> TraceReader<R> {
             pos: 0,
             done: false,
             codecs_seen: 1 << codec_id.min(7),
+            stored_payload_bytes: stored_len,
+            raw_payload_bytes: raw_len,
         })
     }
 
@@ -684,6 +691,16 @@ impl<R: Read + Seek> TraceReader<R> {
             .filter(|&id| self.codecs_seen & (1 << id) != 0)
             .filter_map(codec::codec_name)
             .collect()
+    }
+
+    /// `(stored, raw)` payload byte totals across the frames decoded so
+    /// far — the compression accounting. Like [`codecs_seen`], the
+    /// totals grow as frames are decoded: read the footer and stream the
+    /// units first for full coverage. For v1/v2 files stored equals raw.
+    ///
+    /// [`codecs_seen`]: TraceReader::codecs_seen
+    pub fn payload_bytes(&self) -> (u64, u64) {
+        (self.stored_payload_bytes, self.raw_payload_bytes)
     }
 
     /// Reads the footer via the 12-byte trailer (seek from end), leaving
@@ -729,8 +746,11 @@ impl<R: Read + Seek> TraceReader<R> {
         self.file
             .seek(SeekFrom::End(-12 - frame_len as i64))
             .map_err(|e| io_err(&path, "seek", e))?;
-        let (kind, payload, codec_id) = read_frame(&mut self.file, &path, self.layout_version)?;
+        let (kind, payload, codec_id, stored_len) =
+            read_frame(&mut self.file, &path, self.layout_version)?;
         self.codecs_seen |= 1 << codec_id.min(7);
+        self.stored_payload_bytes += stored_len;
+        self.raw_payload_bytes += payload.len() as u64;
         if kind != FRAME_FOOTER {
             return Err(format!(
                 "{path}: corrupt footer frame (kind {:?}); {SALVAGE_HINT}",
@@ -784,9 +804,11 @@ impl<R: Read + Seek> TraceReader<R> {
             if self.done {
                 return Ok(false);
             }
-            let (kind, payload, codec_id) =
+            let (kind, payload, codec_id, stored_len) =
                 read_frame(&mut self.file, &self.path, self.layout_version)?;
             self.codecs_seen |= 1 << codec_id.min(7);
+            self.stored_payload_bytes += stored_len;
+            self.raw_payload_bytes += payload.len() as u64;
             match kind {
                 FRAME_UNITS => {
                     let units: Vec<SamplingUnit> = parse_payload(&self.path, "chunk", &payload)?;
@@ -858,11 +880,15 @@ pub fn read_trace(path: &str) -> Result<(ProfileTrace, TraceFooter), String> {
 /// [`MAX_FRAME_LEN`] *before* allocating, verifies the frame's CRC32
 /// (v2+) over the *stored* bytes, and only then decompresses (v3) — so a
 /// corrupt frame fails the checksum, not the decompressor.
+/// Reads one frame, returning `(kind, decoded payload, codec id, stored
+/// payload length)`. The stored length is what the frame occupies on
+/// disk before decoding, so readers can account compression without
+/// re-encoding.
 fn read_frame<R: Read>(
     file: &mut R,
     path: &str,
     layout_version: u32,
-) -> Result<(u8, Vec<u8>, u8), String> {
+) -> Result<(u8, Vec<u8>, u8, u64), String> {
     let mut kind = [0u8; 1];
     file.read_exact(&mut kind).map_err(|e| io_err(path, "read", e))?;
     let mut codec_byte = [codec::CODEC_RAW; 1];
@@ -905,7 +931,7 @@ fn read_frame<R: Read>(
     } else {
         stored
     };
-    Ok((kind[0], payload, codec_byte[0]))
+    Ok((kind[0], payload, codec_byte[0], len as u64))
 }
 
 pub(crate) fn parse_payload<T: Deserialize>(

@@ -10,10 +10,17 @@
 //!    exactly the bytes `simprof profile` writes for the same
 //!    workload/scale/seed, so traces are interchangeable between the two
 //!    entry points.
+//! 3. **Fleet-report determinism** — under a [`ScriptedClock`] the
+//!    serialized [`FleetReport`] is byte-identical whether the fleet ran
+//!    on one worker or K, and its per-tenant byte totals equal the
+//!    store's own accounting (DESIGN.md §18).
+
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use simprof::service::{JobRunner, JobSpec, TraceStore};
+use simprof::obs::FleetReport;
+use simprof::service::{fleet_report, JobRunner, JobSpec, ScriptedClock, TraceStore};
 use simprof::trace::TraceReader;
 use simprof::workloads::WorkloadId;
 
@@ -136,5 +143,89 @@ fn served_jobs_keep_their_own_reports_and_readable_shards() {
         }
         assert_eq!(units, outcome.units, "job `{}` shard unit count drifted", outcome.id);
     }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The fleet of specs the determinism tests below serve: two tenants, a
+/// mix of codecs, one job that fails.
+fn fleet_specs() -> Vec<JobSpec> {
+    let mut specs = vec![
+        spec("det-a", "wc_sp", 11, Some("lz")),
+        spec("det-b", "grep_hp", 12, None),
+        spec("det-c", "sort_sp", 13, Some("lz")),
+        spec("det-d", "wc_hp", 14, None),
+        spec("det-e", "no_such_workload", 15, None),
+    ];
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.tenant = Some(format!("tenant-{}", i % 2));
+    }
+    specs
+}
+
+/// Serves `fleet_specs` into a fresh store under a fixed scripted clock
+/// and returns the runner plus the serialized fleet report.
+fn scripted_fleet(
+    root: &str,
+    workers: usize,
+) -> (JobRunner, Vec<Result<simprof::service::JobOutcome, String>>, String) {
+    let runner = JobRunner::new(TraceStore::create(root).unwrap())
+        .with_max_concurrent(workers)
+        .with_clock(Arc::new(ScriptedClock::fixed(0)));
+    let specs = fleet_specs();
+    let results = runner.run(&specs);
+    let report = fleet_report(runner.store(), &specs, &results).unwrap();
+    (runner, results, report.to_json_pretty())
+}
+
+/// Under a scripted clock the fleet report serializes to the same bytes
+/// on one worker as on K — no field may leak worker count, completion
+/// order, or wall-clock time.
+#[test]
+fn fleet_report_is_byte_deterministic_across_concurrency() {
+    let solo_root = tmp_root("simprof_svc_fleet_det_1");
+    let wide_root = tmp_root("simprof_svc_fleet_det_k");
+    let again_root = tmp_root("simprof_svc_fleet_det_k2");
+    let (_, _, solo) = scripted_fleet(&solo_root, 1);
+    let (_, _, wide) = scripted_fleet(&wide_root, 4);
+    let (_, _, again) = scripted_fleet(&again_root, 4);
+
+    assert_eq!(solo, wide, "fleet report differs between 1 and 4 workers");
+    assert_eq!(wide, again, "fleet report differs across identical runs");
+
+    let report: FleetReport = serde_json::from_str(solo.trim_end()).unwrap();
+    assert_eq!(report.totals.jobs, 5);
+    assert_eq!(report.totals.failed, 1);
+    assert_eq!(report.totals.run_us, 0, "scripted clock pins every duration to zero");
+    let ids: Vec<&str> = report.jobs.iter().map(|j| j.id.as_str()).collect();
+    assert_eq!(ids, ["det-a", "det-b", "det-c", "det-d", "det-e"], "jobs sorted by id");
+
+    for root in [&solo_root, &wide_root, &again_root] {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+/// The report's per-tenant `store_bytes` is the store's own accounting,
+/// not a re-derivation that could drift.
+#[test]
+fn fleet_report_tenant_bytes_match_the_store() {
+    let root = tmp_root("simprof_svc_fleet_bytes");
+    let (runner, results, text) = scripted_fleet(&root, 2);
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 4);
+
+    let report: FleetReport = serde_json::from_str(text.trim_end()).unwrap();
+    assert_eq!(report.tenants.len(), 2);
+    let mut store_total = 0u64;
+    for (tenant, stats) in &report.tenants {
+        assert_eq!(
+            stats.store_bytes,
+            runner.store().tenant_bytes(tenant),
+            "tenant `{tenant}` byte totals drifted from the store"
+        );
+        store_total += stats.store_bytes;
+    }
+    assert_eq!(
+        store_total, report.totals.trace_bytes,
+        "single-run store: tenant bytes sum to the fleet's sealed shard bytes"
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
